@@ -1,0 +1,96 @@
+//! Criterion benches of full decodes: the standard single-packet decoder,
+//! the two-packet ZigZag executor vs payload size, and the k-sender
+//! generalisation — quantifying §4.6's claim that ZigZag is linear in the
+//! number of colliding senders and needs only "two decoding lines".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use zigzag_bench::{airframe, run_zigzag_pair};
+use zigzag_channel::fading::LinkProfile;
+use zigzag_channel::scenario::{clean_reception, synth_collision, PlacedTx};
+use zigzag_core::config::DecoderConfig;
+use zigzag_core::standard::decode_single;
+use zigzag_core::zigzag::{CollisionSpec, PacketSpec, ZigzagDecoder};
+use zigzag_phy::preamble::Preamble;
+
+fn bench_standard(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let l = LinkProfile::typical(14.0, &mut rng);
+    let a = airframe(1, 1, 500, 9);
+    let rx = clean_reception(&a, &l, &mut rng);
+    let reg = zigzag_testbed::registry_for(&[(1, &l)]);
+    c.bench_function("standard_decode_500B", |b| {
+        b.iter(|| {
+            decode_single(
+                &rx.buffer,
+                0,
+                Some(1),
+                &reg,
+                &Preamble::default_len(),
+                true,
+                &DecoderConfig::default(),
+            )
+        })
+    });
+}
+
+fn bench_zigzag_pair(c: &mut Criterion) {
+    for payload in [200usize, 500, 1500] {
+        c.bench_with_input(
+            BenchmarkId::new("zigzag_pair_decode", payload),
+            &payload,
+            |b, &payload| {
+                b.iter(|| {
+                    run_zigzag_pair(12.0, payload, 300, 100, &DecoderConfig::default(), false, 7)
+                })
+            },
+        );
+    }
+}
+
+fn bench_zigzag_k_senders(c: &mut Criterion) {
+    // k senders, k collisions: wall time should grow ~linearly in k (§4.6)
+    for k in [2usize, 3, 4] {
+        let mut rng = StdRng::seed_from_u64(20 + k as u64);
+        let links: Vec<LinkProfile> = (0..k).map(|_| LinkProfile::clean(14.0)).collect();
+        let airs: Vec<_> =
+            (0..k).map(|i| airframe(i as u16 + 1, 1, 200, 40 + i as u64)).collect();
+        let chans: Vec<_> = links.iter().map(|l| l.draw(&mut rng)).collect();
+        // simple decodable offset structure: round r shifts sender i by
+        // a distinct prime multiple
+        let offsets: Vec<Vec<usize>> = (0..k)
+            .map(|r| (0..k).map(|i| ((i * (83 + 29 * r)) % 331) + i * 37).collect())
+            .collect();
+        let buffers: Vec<_> = offsets
+            .iter()
+            .map(|offs| {
+                let placed: Vec<PlacedTx<'_>> = (0..k)
+                    .map(|i| PlacedTx { air: &airs[i], base: &chans[i], start: offs[i] })
+                    .collect();
+                synth_collision(&placed, 1.0, &mut rng)
+            })
+            .collect();
+        let pairs: Vec<(u16, &LinkProfile)> =
+            links.iter().enumerate().map(|(i, l)| (i as u16 + 1, l)).collect();
+        let reg = zigzag_testbed::registry_for(&pairs);
+        c.bench_with_input(BenchmarkId::new("zigzag_k_senders", k), &k, |b, &k| {
+            b.iter(|| {
+                let dec = ZigzagDecoder::new(DecoderConfig::forward_only(), &reg);
+                let specs: Vec<CollisionSpec<'_>> = buffers
+                    .iter()
+                    .zip(offsets.iter())
+                    .map(|(buf, offs)| CollisionSpec {
+                        buffer: &buf.buffer,
+                        placements: (0..k).map(|i| (i, offs[i])).collect(),
+                    })
+                    .collect();
+                let pkts: Vec<PacketSpec> =
+                    (0..k).map(|i| PacketSpec { client: i as u16 + 1 }).collect();
+                dec.decode(&specs, &pkts)
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_standard, bench_zigzag_pair, bench_zigzag_k_senders);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion benches of the receiver's hot primitives: preamble
+//! correlation scan, fractional interpolation, equalizer design and
+//! Viterbi decoding. These quantify the per-buffer detection cost the
+//! §4.6 complexity discussion treats as "typical functionality".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use zigzag_phy::coding;
+use zigzag_phy::complex::Complex;
+use zigzag_phy::correlate::corr_at;
+use zigzag_phy::equalize::{design_inverse, estimate_channel_taps};
+use zigzag_phy::filter::Fir;
+use zigzag_phy::interp::interp_at;
+use zigzag_phy::preamble::Preamble;
+
+fn noise(n: usize, seed: u64) -> Vec<Complex> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+}
+
+fn bench_correlation(c: &mut Criterion) {
+    let p = Preamble::default_len();
+    let buf = noise(4096, 1);
+    c.bench_function("correlation_scan_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for d in 0..buf.len() {
+                acc += corr_at(&buf, p.symbols(), d, 0.01).abs();
+            }
+            acc
+        })
+    });
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let buf = noise(4096, 2);
+    c.bench_function("sinc_interp_1k_points", |b| {
+        b.iter(|| {
+            let mut acc = Complex::default();
+            for k in 0..1000 {
+                acc += interp_at(&buf, 100.0 + k as f64 * 3.37);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_equalizer(c: &mut Criterion) {
+    let p = Preamble::standard(64);
+    let ch = Fir::new(
+        vec![Complex::new(0.1, 0.02), Complex::real(1.0), Complex::new(0.2, -0.05)],
+        1,
+    );
+    let rx = ch.apply(p.symbols());
+    c.bench_function("channel_estimate_plus_inverse", |b| {
+        b.iter(|| {
+            let taps = estimate_channel_taps(&rx, p.symbols(), 5, 2).unwrap();
+            design_inverse(&taps, 11).unwrap()
+        })
+    });
+}
+
+fn bench_viterbi(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    for n in [256usize, 1024] {
+        let bits: Vec<u8> = (0..n).map(|_| rng.gen_range(0..2u8)).collect();
+        let coded = coding::encode(&bits);
+        c.bench_with_input(BenchmarkId::new("viterbi_decode", n), &coded, |b, coded| {
+            b.iter(|| coding::decode_hard(coded))
+        });
+    }
+}
+
+criterion_group!(benches, bench_correlation, bench_interp, bench_equalizer, bench_viterbi);
+criterion_main!(benches);

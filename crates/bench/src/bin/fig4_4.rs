@@ -1,0 +1,60 @@
+//! §4.3(a) / Fig 4-4: decoding errors die exponentially fast.
+//!
+//! Inject a single wrong symbol decision into ZigZag's subtraction chain
+//! and measure how far the corruption propagates. For BPSK the paper
+//! argues each hop flips the next symbol only if the interferer's phase
+//! lands within ±60° (probability 1/6), so the propagation length is
+//! geometric with ratio ≈ 1/6.
+
+use rand::prelude::*;
+use zigzag_bench::trials;
+use zigzag_phy::complex::Complex;
+
+fn main() {
+    // Direct Monte Carlo of the §4.3a geometry: an erroneous subtraction
+    // adds 2·y_A to the estimate of y_B; the next decision flips iff the
+    // result crosses the BPSK boundary, i.e. iff the angle between y_B
+    // and y_A is under 60°. Chain the event to measure propagation runs.
+    let n_trials = trials(2_000_000, 100_000);
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut run_lengths = vec![0usize; 12];
+    for _ in 0..n_trials {
+        let mut len = 0usize;
+        loop {
+            // independent random phases of equal-power senders
+            let phi = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+            let ya = Complex::cis(phi);
+            let yb = Complex::real(1.0);
+            // wrong-sign subtraction: estimate = y_B + 2·y_A
+            let est = yb + ya.scale(2.0);
+            if est.re < 0.0 {
+                len += 1;
+                if len >= run_lengths.len() - 1 {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        run_lengths[len] += 1;
+    }
+    println!("Fig 4-4 / §4.3a: propagation length of an injected symbol error");
+    println!("{:>7} {:>12} {:>12}", "hops", "P(measured)", "P(geom 1/3)");
+    for (k, &c) in run_lengths.iter().enumerate().take(8) {
+        let p = c as f64 / n_trials as f64;
+        // flip ⟺ 1 + 2cos(φ) < 0 ⟺ |φ| > 120°, probability exactly 1/3
+        let expect = (1.0f64 / 3.0).powi(k as i32) * (2.0 / 3.0);
+        println!("{k:>7} {p:>12.6} {expect:>12.6}");
+    }
+    let p_flip = run_lengths.iter().enumerate().map(|(k, &c)| k * c).sum::<usize>() as f64
+        / n_trials as f64;
+    println!("\nmean propagation length: {p_flip:.4} (geometric 1/3 ⇒ 0.5)");
+    println!(
+        "flip probability per hop: measured {:.4}; exact geometry 1/3 = {:.4}; the paper states 1/6",
+        1.0 - run_lengths[0] as f64 / n_trials as f64,
+        1.0 / 3.0
+    );
+    println!("(worst-case wrong-sign subtraction flips the next BPSK symbol iff");
+    println!(" 1 + 2cos(φ) < 0, i.e. |φ| > 120°: probability 1/3, not the paper's 1/6;");
+    println!(" the paper's claim — exponential decay — holds with ratio 1/3.)");
+}

@@ -1,0 +1,47 @@
+//! Figure 5-4: normalized throughput in capture-effect scenarios.
+//!
+//! Alice moves closer to the AP: ΔSNR = SNR_A − SNR_B sweeps 0..16 dB
+//! with SNR_B fixed. Plots (a) Alice's, (b) Bob's, (c) total normalized
+//! throughput for 802.11, the Collision-Free Scheduler and ZigZag.
+//!
+//! Paper shape: 802.11 starves Bob and ramps Alice up once capture kicks
+//! in (4–6 dB); the scheduler is flat at 0.5/0.5; ZigZag rides capture +
+//! interference cancellation to a total of ≈2 in the mid band and falls
+//! back toward 1 when Alice's power buries Bob (the cancellation-floor
+//! regime; ours sits at −20 dB, see DESIGN.md §2).
+
+use zigzag_bench::trials;
+use zigzag_channel::fading::LinkProfile;
+use zigzag_testbed::{run_pair, ExperimentConfig};
+
+fn main() {
+    let rounds = trials(40, 12);
+    let snr_b = 12.0;
+    let cfg = ExperimentConfig { payload: 300, rounds, ..Default::default() };
+    println!("Figure 5-4: capture sweep (SNR_B = {snr_b} dB, {rounds} rounds/point)");
+    println!(
+        "{:>6} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}",
+        "dSNR", "A:802", "A:cfs", "A:zz", "B:802", "B:cfs", "B:zz", "T:802", "T:cfs", "T:zz"
+    );
+    for dsnr in [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0] {
+        let mut rng = rand::prelude::StdRng::seed_from_u64(7_000 + dsnr as u64);
+        use rand::prelude::*;
+        let la = LinkProfile::typical(snr_b + dsnr, &mut rng);
+        let lb = LinkProfile::typical(snr_b, &mut rng);
+        let run = run_pair(&la, &lb, 0.0, &cfg, 600 + dsnr as u64);
+        println!(
+            "{dsnr:>6.1} | {:>7.2} {:>7.2} {:>7.2} | {:>7.2} {:>7.2} {:>7.2} | {:>7.2} {:>7.2} {:>7.2}",
+            run.s802.throughput(0),
+            run.cfs.throughput(0),
+            run.zigzag.throughput(0),
+            run.s802.throughput(1),
+            run.cfs.throughput(1),
+            run.zigzag.throughput(1),
+            run.s802.total_throughput(),
+            run.cfs.total_throughput(),
+            run.zigzag.total_throughput(),
+        );
+    }
+    println!("\npaper shape: zigzag ≥ max(802.11, scheduler) everywhere; total");
+    println!("exceeds 1 in the capture band; 802.11 starves Bob at high dSNR.");
+}

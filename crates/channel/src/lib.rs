@@ -1,0 +1,33 @@
+//! # zigzag-channel — software radio channel simulator
+//!
+//! This crate stands in for the paper's USRP/RFX2400 RF front ends and the
+//! physical medium of the 14-node testbed (§5.1a). It generates complex
+//! baseband receive buffers with every impairment §3/§3.1 names —
+//! flat-fading gain and phase, carrier-frequency offset, fractional
+//! sampling offset with clock drift, inter-symbol interference, AWGN —
+//! plus oscillator phase noise (the effect that bounds interference
+//! cancellation at very high SNR; see DESIGN.md §2).
+//!
+//! * [`noise`] — AWGN and dB helpers (unit-noise convention).
+//! * [`fading`] — [`ChannelParams`](fading::ChannelParams) (one packet's
+//!   channel realisation) and [`LinkProfile`](fading::LinkProfile) (what is
+//!   quasi-static per link vs re-drawn per packet).
+//! * [`mixer`] — overlaying transmissions into one receive buffer
+//!   (collision synthesis, §3's `y = yA + yB + w`).
+//! * [`pathloss`] — log-distance + shadowing model and carrier-sense
+//!   classification (hidden / partial / perfect, §5.1).
+//! * [`scenario`] — canned scenarios: the Fig 1-2 hidden-terminal
+//!   retransmission pair, clean receptions, arbitrary k-packet collisions.
+
+#![warn(missing_docs)]
+
+pub mod fading;
+pub mod mixer;
+pub mod noise;
+pub mod pathloss;
+pub mod scenario;
+
+pub use fading::{ChannelParams, LinkProfile};
+pub use mixer::Arrival;
+pub use pathloss::{PathLossModel, Sensing};
+pub use scenario::{HiddenPair, PlacedTx, SynthCollision, TxTruth};

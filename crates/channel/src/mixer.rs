@@ -1,0 +1,123 @@
+//! Collision synthesis: overlaying transmissions at a receiver.
+//!
+//! "If Alice and Bob transmit concurrently their signals add up, and the
+//! received signal can be expressed as `y[n] = yA[n] + yB[n] + w[n]`" (§3).
+//! The mixer places each already-channel-distorted transmission at its
+//! start offset in one receive buffer and adds a single AWGN realisation —
+//! one front end, one noise process.
+
+use crate::noise::add_awgn;
+use rand::Rng;
+use zigzag_phy::complex::Complex;
+
+/// One transmission as it arrives at the receiver: post-channel samples
+/// plus the sample index at which its first sample lands.
+#[derive(Clone, Debug)]
+pub struct Arrival {
+    /// Channel-distorted samples (output of
+    /// [`ChannelParams::apply`](crate::fading::ChannelParams::apply)).
+    pub samples: Vec<Complex>,
+    /// Receive-buffer index of the first sample (the packet's time offset;
+    /// the Δ of Fig 1-2 is the difference of two of these).
+    pub start: usize,
+}
+
+impl Arrival {
+    /// Creates an arrival.
+    pub fn new(samples: Vec<Complex>, start: usize) -> Self {
+        Self { samples, start }
+    }
+
+    /// Index one past the last sample.
+    pub fn end(&self) -> usize {
+        self.start + self.samples.len()
+    }
+}
+
+/// Sums arrivals into a single receive buffer (no noise). The buffer is
+/// sized `max(end) + tail_pad`.
+pub fn overlay(arrivals: &[Arrival], tail_pad: usize) -> Vec<Complex> {
+    let len = arrivals.iter().map(Arrival::end).max().unwrap_or(0) + tail_pad;
+    let mut buf = vec![Complex::default(); len];
+    for a in arrivals {
+        for (k, &s) in a.samples.iter().enumerate() {
+            buf[a.start + k] += s;
+        }
+    }
+    buf
+}
+
+/// Sums arrivals and adds receiver AWGN of total variance `sigma²`.
+pub fn mix<R: Rng + ?Sized>(
+    arrivals: &[Arrival],
+    tail_pad: usize,
+    sigma: f64,
+    rng: &mut R,
+) -> Vec<Complex> {
+    let mut buf = overlay(arrivals, tail_pad);
+    if sigma > 0.0 {
+        add_awgn(rng, &mut buf, sigma);
+    }
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use zigzag_phy::complex::mean_power;
+
+    #[test]
+    fn overlay_places_at_offsets() {
+        let a = Arrival::new(vec![Complex::real(1.0); 4], 0);
+        let b = Arrival::new(vec![Complex::real(10.0); 4], 2);
+        let buf = overlay(&[a, b], 1);
+        assert_eq!(buf.len(), 7);
+        assert_eq!(buf[0].re, 1.0);
+        assert_eq!(buf[1].re, 1.0);
+        assert_eq!(buf[2].re, 11.0);
+        assert_eq!(buf[3].re, 11.0);
+        assert_eq!(buf[4].re, 10.0);
+        assert_eq!(buf[5].re, 10.0);
+        assert_eq!(buf[6].re, 0.0);
+    }
+
+    #[test]
+    fn empty_mix_is_pure_noise() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let buf = mix(&[], 1000, 1.0, &mut rng);
+        let p = mean_power(&buf);
+        assert!((p - 1.0).abs() < 0.1, "noise power {p}");
+    }
+
+    #[test]
+    fn signals_add_linearly() {
+        // Superposition: mixing then subtracting one arrival recovers the
+        // other exactly (noiseless) — the property ZigZag's subtraction
+        // step relies on.
+        let a = Arrival::new(vec![Complex::new(1.0, 2.0); 16], 0);
+        let b = Arrival::new(vec![Complex::new(-0.5, 0.25); 16], 5);
+        let buf = overlay(&[a.clone(), b.clone()], 0);
+        for (k, &s) in b.samples.iter().enumerate() {
+            let resid = buf[b.start + k] - s;
+            let expect = a.samples.get(b.start + k).copied().unwrap_or_default();
+            assert!((resid - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_sigma_adds_no_noise() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Arrival::new(vec![Complex::real(1.0); 8], 0);
+        let buf = mix(&[a], 0, 0.0, &mut rng);
+        for s in &buf {
+            assert_eq!(s.im, 0.0);
+        }
+    }
+
+    #[test]
+    fn tail_pad_extends_buffer() {
+        let a = Arrival::new(vec![Complex::real(1.0); 8], 3);
+        assert_eq!(overlay(&[a], 10).len(), 21);
+    }
+}

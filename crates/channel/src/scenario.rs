@@ -1,0 +1,225 @@
+//! Ready-made collision scenarios.
+//!
+//! These builders assemble the situations the evaluation runs over and
+//! over: the canonical hidden-terminal retransmission pair of Fig 1-2
+//! (same two packets, colliding twice with different offsets Δ₁ ≠ Δ₂),
+//! its k-sender generalisation (§4.5), and single collisions for the
+//! capture-effect scenarios of Fig 4-1(d)/(e).
+//!
+//! A scenario carries, besides the receive buffers, the **ground truth**
+//! (who transmitted what, where, through which channel realisation) so
+//! experiments can score BER, and the **receiver-visible knowledge** (the
+//! per-client coarse frequency estimates from association, §4.2.1).
+
+use crate::fading::{ChannelParams, LinkProfile};
+use crate::mixer::{mix, Arrival};
+use rand::Rng;
+use zigzag_phy::complex::Complex;
+use zigzag_phy::frame::AirFrame;
+
+/// Ground truth for one packet inside one synthesized collision.
+#[derive(Clone, Debug)]
+pub struct TxTruth {
+    /// Sender node id (matches `AirFrame.frame.src`).
+    pub sender: u16,
+    /// Sample index where the packet starts in the receive buffer.
+    pub start: usize,
+    /// Exact channel realisation the packet traversed.
+    pub params: ChannelParams,
+}
+
+/// One synthesized receive buffer plus its ground truth.
+#[derive(Clone, Debug)]
+pub struct SynthCollision {
+    /// The receive buffer (signals + noise).
+    pub buffer: Vec<Complex>,
+    /// Per-packet ground truth, in transmission order.
+    pub truth: Vec<TxTruth>,
+}
+
+/// Specification of one packet's placement in a collision to synthesize.
+pub struct PlacedTx<'a> {
+    /// The encoded frame.
+    pub air: &'a AirFrame,
+    /// The quasi-static channel (a fresh transmission phase/µ is drawn).
+    pub base: &'a ChannelParams,
+    /// Start offset in samples.
+    pub start: usize,
+}
+
+/// Extra noise-only samples kept past the last packet.
+pub const TAIL_PAD: usize = 64;
+
+/// Synthesizes one receive buffer from placed transmissions, drawing fresh
+/// per-transmission phase and sampling offset for each, and adding
+/// unit-variance receiver noise (scaled by `sigma`).
+pub fn synth_collision<R: Rng + ?Sized>(
+    placed: &[PlacedTx<'_>],
+    sigma: f64,
+    rng: &mut R,
+) -> SynthCollision {
+    let mut arrivals = Vec::with_capacity(placed.len());
+    let mut truth = Vec::with_capacity(placed.len());
+    for p in placed {
+        let params = p.base.new_transmission(rng);
+        let rx = params.apply(&p.air.symbols, rng);
+        arrivals.push(Arrival::new(rx, p.start));
+        truth.push(TxTruth { sender: p.air.frame.src, start: p.start, params });
+    }
+    SynthCollision { buffer: mix(&arrivals, TAIL_PAD, sigma, rng), truth }
+}
+
+/// The canonical two-sender hidden-terminal scenario: the same two packets
+/// collide twice, Alice first at offset 0 in both collisions, Bob at
+/// Δ₁/Δ₂ (§4.2.3, Fig 4-3).
+#[derive(Clone, Debug)]
+pub struct HiddenPair {
+    /// First collision.
+    pub collision1: SynthCollision,
+    /// Second collision.
+    pub collision2: SynthCollision,
+    /// Bob's offset in collision 1 (samples).
+    pub delta1: usize,
+    /// Bob's offset in collision 2 (samples).
+    pub delta2: usize,
+}
+
+/// Builds a [`HiddenPair`] for the given frames, link profiles and offsets.
+/// Each sender's channel realisation (gain magnitude, ω, ISI, drift) is
+/// quasi-static across the two collisions; carrier phase and sampling
+/// offset are re-drawn per transmission.
+pub fn hidden_pair<R: Rng + ?Sized>(
+    air_a: &AirFrame,
+    air_b: &AirFrame,
+    link_a: &LinkProfile,
+    link_b: &LinkProfile,
+    delta1: usize,
+    delta2: usize,
+    rng: &mut R,
+) -> HiddenPair {
+    let ch_a = link_a.draw(rng);
+    let ch_b = link_b.draw(rng);
+    let collision1 = synth_collision(
+        &[
+            PlacedTx { air: air_a, base: &ch_a, start: 0 },
+            PlacedTx { air: air_b, base: &ch_b, start: delta1 },
+        ],
+        1.0,
+        rng,
+    );
+    let collision2 = synth_collision(
+        &[
+            PlacedTx { air: air_a, base: &ch_a, start: 0 },
+            PlacedTx { air: air_b, base: &ch_b, start: delta2 },
+        ],
+        1.0,
+        rng,
+    );
+    HiddenPair { collision1, collision2, delta1, delta2 }
+}
+
+/// A clean (collision-free) reception of a single frame — what the
+/// Collision-Free Scheduler baseline receives in each of its time slots.
+pub fn clean_reception<R: Rng + ?Sized>(
+    air: &AirFrame,
+    link: &LinkProfile,
+    rng: &mut R,
+) -> SynthCollision {
+    let ch = link.draw(rng);
+    synth_collision(&[PlacedTx { air, base: &ch, start: 0 }], 1.0, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use zigzag_phy::complex::mean_power;
+    use zigzag_phy::frame::{encode_frame, Frame};
+    use zigzag_phy::modulation::Modulation;
+    use zigzag_phy::preamble::Preamble;
+
+    fn air(src: u16, seq: u16, len: usize) -> zigzag_phy::frame::AirFrame {
+        let f = Frame::with_random_payload(0, src, seq, len, 42 + src as u64);
+        encode_frame(&f, Modulation::Bpsk, &Preamble::default_len())
+    }
+
+    #[test]
+    fn hidden_pair_layout() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = air(1, 0, 100);
+        let b = air(2, 0, 100);
+        let la = LinkProfile::clean(10.0);
+        let lb = LinkProfile::clean(10.0);
+        let hp = hidden_pair(&a, &b, &la, &lb, 120, 40, &mut rng);
+        assert_eq!(hp.collision1.truth[0].start, 0);
+        assert_eq!(hp.collision1.truth[1].start, 120);
+        assert_eq!(hp.collision2.truth[1].start, 40);
+        assert_eq!(hp.collision1.buffer.len(), 120 + b.len() + TAIL_PAD);
+    }
+
+    #[test]
+    fn quasi_static_across_collisions() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = air(1, 0, 64);
+        let b = air(2, 0, 64);
+        let hp = hidden_pair(
+            &a,
+            &b,
+            &LinkProfile::clean(12.0),
+            &LinkProfile::clean(9.0),
+            80,
+            30,
+            &mut rng,
+        );
+        let t1 = &hp.collision1.truth[0].params;
+        let t2 = &hp.collision2.truth[0].params;
+        // magnitude, omega, drift stable; phase & sampling offset re-drawn
+        assert!((t1.gain.abs() - t2.gain.abs()).abs() < 1e-12);
+        assert_eq!(t1.omega, t2.omega);
+        assert_eq!(t1.sampling_drift, t2.sampling_drift);
+        assert_ne!(t1.gain.arg(), t2.gain.arg());
+    }
+
+    #[test]
+    fn overlap_region_has_summed_power() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = air(1, 0, 400);
+        let b = air(2, 0, 400);
+        let la = LinkProfile::clean(10.0);
+        let lb = LinkProfile::clean(10.0);
+        let hp = hidden_pair(&a, &b, &la, &lb, 500, 200, &mut rng);
+        // in collision 1: [0,500) is Alice alone (+noise): power ≈ h²+1 = 11
+        let alone = mean_power(&hp.collision1.buffer[100..400]);
+        let both = mean_power(&hp.collision1.buffer[600..3000]);
+        assert!((alone - 11.0).abs() < 1.5, "alone {alone}");
+        assert!((both - 21.0).abs() < 2.5, "both {both}");
+    }
+
+    #[test]
+    fn clean_reception_power() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = air(1, 0, 300);
+        let rx = clean_reception(&a, &LinkProfile::clean(13.0), &mut rng);
+        let p = mean_power(&rx.buffer[..a.len()]);
+        let expect = 10f64.powf(1.3) + 1.0;
+        assert!((p - expect).abs() < 0.15 * expect, "power {p} vs {expect}");
+    }
+
+    #[test]
+    fn truth_records_sender_ids() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = air(7, 3, 50);
+        let b = air(9, 4, 50);
+        let hp = hidden_pair(
+            &a,
+            &b,
+            &LinkProfile::clean(10.0),
+            &LinkProfile::clean(10.0),
+            60,
+            20,
+            &mut rng,
+        );
+        assert_eq!(hp.collision1.truth[0].sender, 7);
+        assert_eq!(hp.collision1.truth[1].sender, 9);
+    }
+}

@@ -1,0 +1,203 @@
+//! Sorted disjoint interval sets over symbol indices.
+//!
+//! The greedy chunk scheduler (§4.5) tracks, per packet, which symbol
+//! ranges have been decoded so far. With overhanging chunks and multiple
+//! collisions, decoded regions are generally a union of disjoint ranges,
+//! not a prefix — hence a small interval-set type rather than a counter.
+
+use std::ops::Range;
+
+/// A set of `usize` indices stored as sorted, disjoint, non-adjacent
+/// half-open ranges.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IntervalSet {
+    ranges: Vec<Range<usize>>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A set holding one range.
+    pub fn from_range(r: Range<usize>) -> Self {
+        let mut s = Self::new();
+        s.insert(r);
+        s
+    }
+
+    /// Inserts a range, merging with any overlapping or adjacent ranges.
+    pub fn insert(&mut self, r: Range<usize>) {
+        if r.is_empty() {
+            return;
+        }
+        let mut new_start = r.start;
+        let mut new_end = r.end;
+        let mut out = Vec::with_capacity(self.ranges.len() + 1);
+        let mut placed = false;
+        for existing in self.ranges.drain(..) {
+            if existing.end < new_start || existing.start > new_end {
+                // disjoint and non-adjacent
+                if existing.start > new_end && !placed {
+                    out.push(new_start..new_end);
+                    placed = true;
+                }
+                out.push(existing);
+            } else {
+                new_start = new_start.min(existing.start);
+                new_end = new_end.max(existing.end);
+            }
+        }
+        if !placed {
+            out.push(new_start..new_end);
+        }
+        out.sort_by_key(|r| r.start);
+        self.ranges = out;
+    }
+
+    /// `true` if `idx` is in the set.
+    pub fn contains(&self, idx: usize) -> bool {
+        self.ranges
+            .binary_search_by(|r| {
+                if idx < r.start {
+                    std::cmp::Ordering::Greater
+                } else if idx >= r.end {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// `true` if the whole range is covered.
+    pub fn covers(&self, r: Range<usize>) -> bool {
+        if r.is_empty() {
+            return true;
+        }
+        self.ranges
+            .iter()
+            .any(|e| e.start <= r.start && r.end <= e.end)
+    }
+
+    /// Total number of indices covered.
+    pub fn total(&self) -> usize {
+        self.ranges.iter().map(|r| r.end - r.start).sum()
+    }
+
+    /// `true` if nothing is covered.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// The covered ranges, sorted.
+    pub fn ranges(&self) -> &[Range<usize>] {
+        &self.ranges
+    }
+
+    /// Iterates over the *gaps* of the set within `within`.
+    pub fn gaps(&self, within: Range<usize>) -> Vec<Range<usize>> {
+        let mut gaps = Vec::new();
+        let mut cursor = within.start;
+        for r in &self.ranges {
+            if r.end <= within.start {
+                continue;
+            }
+            if r.start >= within.end {
+                break;
+            }
+            if r.start > cursor {
+                gaps.push(cursor..r.start.min(within.end));
+            }
+            cursor = cursor.max(r.end);
+        }
+        if cursor < within.end {
+            gaps.push(cursor..within.end);
+        }
+        gaps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = IntervalSet::new();
+        s.insert(5..10);
+        assert!(s.contains(5) && s.contains(9));
+        assert!(!s.contains(4) && !s.contains(10));
+    }
+
+    #[test]
+    fn merge_overlapping() {
+        let mut s = IntervalSet::new();
+        s.insert(0..5);
+        s.insert(3..8);
+        assert_eq!(s.ranges(), &[0..8]);
+    }
+
+    #[test]
+    fn merge_adjacent() {
+        let mut s = IntervalSet::new();
+        s.insert(0..5);
+        s.insert(5..8);
+        assert_eq!(s.ranges(), &[0..8]);
+    }
+
+    #[test]
+    fn keep_disjoint() {
+        let mut s = IntervalSet::new();
+        s.insert(0..3);
+        s.insert(10..12);
+        s.insert(5..7);
+        assert_eq!(s.ranges(), &[0..3, 5..7, 10..12]);
+        assert_eq!(s.total(), 7);
+    }
+
+    #[test]
+    fn merge_spanning_many() {
+        let mut s = IntervalSet::new();
+        s.insert(0..2);
+        s.insert(4..6);
+        s.insert(8..10);
+        s.insert(1..9);
+        assert_eq!(s.ranges(), &[0..10]);
+    }
+
+    #[test]
+    fn covers_range() {
+        let mut s = IntervalSet::new();
+        s.insert(2..10);
+        assert!(s.covers(2..10));
+        assert!(s.covers(4..6));
+        assert!(!s.covers(0..5));
+        assert!(!s.covers(9..11));
+        assert!(s.covers(7..7)); // empty range always covered
+    }
+
+    #[test]
+    fn gaps_basic() {
+        let mut s = IntervalSet::new();
+        s.insert(3..5);
+        s.insert(8..10);
+        assert_eq!(s.gaps(0..12), vec![0..3, 5..8, 10..12]);
+        assert_eq!(s.gaps(4..9), vec![5..8]);
+        assert_eq!(s.gaps(3..5), Vec::<std::ops::Range<usize>>::new());
+    }
+
+    #[test]
+    fn gaps_of_empty_set() {
+        let s = IntervalSet::new();
+        assert_eq!(s.gaps(2..6), vec![2..6]);
+    }
+
+    #[test]
+    fn empty_insert_ignored() {
+        let mut s = IntervalSet::new();
+        s.insert(5..5);
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! # zigzag-core — the ZigZag receiver
+//!
+//! The paper's primary contribution: an 802.11 receiver that decodes
+//! collisions. "ZigZag exploits 802.11 retransmissions which, in the case
+//! of hidden terminals, cause successive collisions. Due to asynchrony,
+//! these collisions have different interference-free stretches at their
+//! start, which ZigZag uses to bootstrap its decoding."
+//!
+//! ## Pipeline (§5.1d implementation flow)
+//!
+//! 1. [`detect`] — find packet starts / classify collisions by
+//!    frequency-compensated preamble correlation (§4.2.1).
+//! 2. [`standard`] — try the ordinary single-packet decode first; ZigZag
+//!    adds nothing when there is no collision.
+//! 3. [`matcher`] — match a new collision against stored ones (§4.2.2).
+//! 4. [`schedule`] — plan interference-free chunks greedily (§4.5; also
+//!    powers the Fig 4-7 Monte Carlo through [`schedule::decodable`]).
+//! 5. [`zigzag`] — execute: decode → re-encode → subtract across
+//!    collisions, with parameter tracking, forward+backward passes and
+//!    MRC (§4.2.3, §4.2.4, §4.3).
+//! 6. [`capture`] — capture effect, single-collision interference
+//!    cancellation, cross-collision MRC, ANC mode (Fig 4-1d/e).
+//! 7. [`receiver`] — the AP front-end tying it all together, with the
+//!    unmatched-collision store.
+//!
+//! Supporting modules: [`view`] (per-packet-per-collision channel model —
+//!  estimation, chunk decode, image synthesis, tracking), [`config`]
+//! (receiver knobs + association registry), [`intervals`] (decoded-range
+//! bookkeeping).
+
+#![warn(missing_docs)]
+
+pub mod capture;
+pub mod config;
+pub mod detect;
+pub mod intervals;
+pub mod matcher;
+pub mod receiver;
+pub mod schedule;
+pub mod standard;
+pub mod view;
+pub mod zigzag;
+
+pub use config::{ClientInfo, ClientRegistry, DecoderConfig};
+pub use receiver::{ReceiverEvent, ZigzagReceiver};
+pub use zigzag::{CollisionSpec, PacketSpec, ZigzagDecoder, ZigzagOutput};

@@ -1,0 +1,169 @@
+//! Collision matching (§4.2.2) — "Did the AP receive two matching
+//! collisions?"
+//!
+//! "The AP stores recent unmatched collisions … We use the same
+//! correlation trick to match the current collision against prior
+//! collisions. … The AP aligns the two collisions at the positions where
+//! P₂ and P₂′ start. If the two packets are the same, the samples aligned
+//! in such a way are highly dependent … and thus the correlation spikes.
+//! If P₂ and P₂′ are different, their data is not correlated."
+//!
+//! The correlation is between *raw collision buffers*: the shared packet's
+//! samples are coherent across the two receptions (same symbols, same ω,
+//! quasi-static |H|; only carrier phase and µ differ, which leave the
+//! magnitude of the coherent sum intact), while the other packet's data
+//! and the noise average out.
+
+use zigzag_phy::complex::Complex;
+
+/// How many aligned samples to correlate when matching (enough that an
+/// uncorrelated pairing stays far under the matched level).
+pub const MATCH_WINDOW: usize = 512;
+
+/// Normalised match metric between packet-aligned spans of two collision
+/// buffers: `|Σ x·conj(y)| / √(Σ|x|²·Σ|y|²)` over the overlap, in [0, 1].
+///
+/// `start_a`/`start_b` are the aligned packet's start positions in the
+/// respective buffers.
+/// The two receptions carry independent fractional sampling offsets
+/// (§3.1.2), which at one sample per symbol can decorrelate a raw
+/// integer-aligned product (sinc(Δµ) → 0 as Δµ → 1). The metric therefore
+/// maximises over sub-sample alignments of the second buffer.
+pub fn match_metric(
+    buf_a: &[Complex],
+    start_a: usize,
+    buf_b: &[Complex],
+    start_b: usize,
+    window: usize,
+) -> f64 {
+    let n = window
+        .min(buf_a.len().saturating_sub(start_a))
+        .min(buf_b.len().saturating_sub(start_b));
+    if n == 0 {
+        return 0.0;
+    }
+    let mut best = 0.0f64;
+    let mut tau = -1.0f64;
+    while tau <= 1.0 {
+        let mut acc = Complex::default();
+        let mut ea = 0.0;
+        let mut eb = 0.0;
+        for k in 0..n {
+            let x = buf_a[start_a + k];
+            let y = zigzag_phy::interp::interp_at(buf_b, start_b as f64 + k as f64 + tau);
+            acc += x * y.conj();
+            ea += x.norm_sq();
+            eb += y.norm_sq();
+        }
+        if ea > 0.0 && eb > 0.0 {
+            best = best.max(acc.abs() / (ea * eb).sqrt());
+        }
+        tau += 0.25;
+    }
+    best
+}
+
+/// Decision threshold for [`is_match`]: matched packets produce metrics
+/// near `P_pkt/(P_pkt+P_other+σ²)` (≈ 0.3–0.5 in two-packet collisions);
+/// unmatched pairings stay at the `1/√window` noise level (≈ 0.04).
+pub const MATCH_THRESHOLD: f64 = 0.15;
+
+/// `true` if the packet starting at `start_a` in `buf_a` and the packet
+/// starting at `start_b` in `buf_b` carry the same symbols (§4.2.2).
+pub fn is_match(
+    buf_a: &[Complex],
+    start_a: usize,
+    buf_b: &[Complex],
+    start_b: usize,
+) -> bool {
+    match_metric(buf_a, start_a, buf_b, start_b, MATCH_WINDOW) > MATCH_THRESHOLD
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use zigzag_channel::fading::LinkProfile;
+    use zigzag_channel::scenario::hidden_pair;
+    use zigzag_phy::frame::{encode_frame, Frame};
+    use zigzag_phy::modulation::Modulation;
+    use zigzag_phy::preamble::Preamble;
+
+    fn air(src: u16, seq: u16, len: usize) -> zigzag_phy::frame::AirFrame {
+        let f = Frame::with_random_payload(0, src, seq, len, src as u64 * 31 + seq as u64);
+        encode_frame(&f, Modulation::Bpsk, &Preamble::default_len())
+    }
+
+    #[test]
+    fn matching_collisions_spike() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let la = LinkProfile::typical(12.0, &mut rng);
+        let lb = LinkProfile::typical(12.0, &mut rng);
+        let a = air(1, 5, 400);
+        let b = air(2, 9, 400);
+        let hp = hidden_pair(&a, &b, &la, &lb, 600, 150, &mut rng);
+        // align at Bob's starts (600 in c1, 150 in c2)
+        let m = match_metric(&hp.collision1.buffer, 600, &hp.collision2.buffer, 150, MATCH_WINDOW);
+        assert!(m > MATCH_THRESHOLD, "matched metric {m}");
+        assert!(is_match(&hp.collision1.buffer, 600, &hp.collision2.buffer, 150));
+        // aligning at Alice's starts also matches (same Alice packet)
+        let ma = match_metric(&hp.collision1.buffer, 0, &hp.collision2.buffer, 0, MATCH_WINDOW);
+        assert!(ma > MATCH_THRESHOLD, "alice metric {ma}");
+    }
+
+    #[test]
+    fn different_packets_do_not_match() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let la = LinkProfile::typical(12.0, &mut rng);
+        let lb = LinkProfile::typical(12.0, &mut rng);
+        let lc = LinkProfile::typical(12.0, &mut rng);
+        let a = air(1, 5, 400);
+        let b = air(2, 9, 400);
+        let c = air(3, 2, 400);
+        let hp1 = hidden_pair(&a, &b, &la, &lb, 600, 150, &mut rng);
+        let hp2 = hidden_pair(&a, &c, &la, &lc, 500, 220, &mut rng);
+        // Bob (in hp1 c1 at 600) vs Charlie (in hp2 c1 at 500): unrelated
+        let m = match_metric(&hp1.collision1.buffer, 600, &hp2.collision1.buffer, 500, MATCH_WINDOW);
+        assert!(m < MATCH_THRESHOLD, "unmatched metric {m}");
+    }
+
+    #[test]
+    fn misaligned_same_packet_does_not_match() {
+        // aligning the same packet at the wrong offset decorrelates it
+        let mut rng = StdRng::seed_from_u64(3);
+        let la = LinkProfile::typical(12.0, &mut rng);
+        let lb = LinkProfile::typical(12.0, &mut rng);
+        let a = air(1, 5, 400);
+        let b = air(2, 9, 400);
+        let hp = hidden_pair(&a, &b, &la, &lb, 600, 150, &mut rng);
+        let m = match_metric(&hp.collision1.buffer, 600, &hp.collision2.buffer, 190, MATCH_WINDOW);
+        assert!(m < MATCH_THRESHOLD, "misaligned metric {m}");
+    }
+
+    #[test]
+    fn empty_windows_yield_zero() {
+        let empty: Vec<Complex> = Vec::new();
+        assert_eq!(match_metric(&empty, 0, &empty, 0, 128), 0.0);
+        let buf = vec![Complex::real(1.0); 10];
+        assert_eq!(match_metric(&buf, 20, &buf, 0, 128), 0.0);
+    }
+
+    #[test]
+    fn retransmission_with_fresh_carrier_phase_still_matches() {
+        // The whole point: per-transmission random carrier phase must not
+        // break magnitude-based matching.
+        let mut rng = StdRng::seed_from_u64(4);
+        let la = LinkProfile::typical(10.0, &mut rng);
+        let lb = LinkProfile::typical(10.0, &mut rng);
+        let a = air(1, 5, 300);
+        let b = air(2, 9, 300);
+        for seed in 0..5u64 {
+            let mut r2 = StdRng::seed_from_u64(100 + seed);
+            let hp = hidden_pair(&a, &b, &la, &lb, 400, 100, &mut r2);
+            assert!(
+                is_match(&hp.collision1.buffer, 400, &hp.collision2.buffer, 100),
+                "seed {seed}"
+            );
+        }
+    }
+}

@@ -1,0 +1,463 @@
+//! The ZigZag access-point receiver front end.
+//!
+//! Implements the §5.1(d) flow: "First, the packet is detected … Second,
+//! we try to decode the packet using the standard approach. If standard
+//! decoding fails, we use the algorithm in §4.2.1 to detect whether the
+//! packet has experienced a collision, and where exactly the colliding
+//! packet starts. If a collision is detected, the receiver matches the
+//! packet against any recent reception (§4.2.2). If no match is found,
+//! the packet is stored in case it helps decoding a future collision. If
+//! a match is found, the receiver performs chunk-by-chunk decoding on the
+//! two collisions (§4.2.3). Note that even when the standard decoding
+//! succeeds we still check whether we can decode a second packet with
+//! lower power (i.e., a capture scenario)."
+
+use crate::capture::mrc_combine_retry;
+use crate::config::{ClientInfo, ClientRegistry, DecoderConfig};
+use crate::detect::{detect_packets, Detection};
+use crate::matcher::is_match;
+use crate::standard::{decode_single, SingleDecode};
+use crate::zigzag::{CollisionSpec, PacketSpec, ZigzagDecoder};
+use std::collections::HashSet;
+use std::collections::VecDeque;
+use zigzag_phy::complex::Complex;
+use zigzag_phy::frame::Frame;
+use zigzag_phy::preamble::Preamble;
+
+/// How a delivered frame was recovered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodePath {
+    /// Plain single-packet decode (no collision).
+    Standard,
+    /// Strong packet decoded through interference (capture effect).
+    Capture,
+    /// Weak packet recovered by subtracting the strong one from a single
+    /// collision (Fig 4-1e).
+    InterferenceCancellation,
+    /// Recovered by chunk-by-chunk ZigZag over matched collisions.
+    Zigzag,
+    /// Two faulty capture residues MRC-combined across collisions
+    /// (Fig 4-1d).
+    MrcRetry,
+}
+
+/// Events emitted while processing a receive buffer.
+#[derive(Clone, Debug)]
+pub enum ReceiverEvent {
+    /// A frame was recovered (CRC-32 passed).
+    Delivered {
+        /// The frame.
+        frame: Frame,
+        /// Recovery path (for the evaluation's accounting).
+        path: DecodePath,
+    },
+    /// A collision was detected but could not be resolved yet; its
+    /// samples were stored awaiting a matching retransmission.
+    CollisionStored,
+    /// Nothing recoverable in this buffer.
+    DecodeFailed,
+}
+
+/// A stored unmatched collision (§4.2.2: "the AP stores recent unmatched
+/// collisions (i.e., stores the received complex samples)").
+struct StoredCollision {
+    buffer: Vec<Complex>,
+    detections: Vec<Detection>,
+}
+
+/// The ZigZag AP receiver.
+pub struct ZigzagReceiver {
+    cfg: DecoderConfig,
+    registry: ClientRegistry,
+    preamble: Preamble,
+    store: VecDeque<StoredCollision>,
+    /// Faulty weak-packet versions kept for cross-collision MRC.
+    weak_versions: Vec<(u16, SingleDecode)>,
+    /// Frames already delivered, to deduplicate retransmissions.
+    delivered: HashSet<(u16, u16)>,
+}
+
+impl ZigzagReceiver {
+    /// Creates a receiver with the given configuration and association
+    /// registry.
+    pub fn new(cfg: DecoderConfig, registry: ClientRegistry) -> Self {
+        Self {
+            cfg,
+            registry,
+            preamble: Preamble::default_len(),
+            store: VecDeque::new(),
+            weak_versions: Vec::new(),
+            delivered: HashSet::new(),
+        }
+    }
+
+    /// Associates a client (what the 802.11 association handshake would
+    /// establish, §4.2.1).
+    pub fn associate(&mut self, id: u16, info: ClientInfo) {
+        self.registry.associate(id, info);
+    }
+
+    /// Read access to the association registry.
+    pub fn registry(&self) -> &ClientRegistry {
+        &self.registry
+    }
+
+    /// Forgets delivery history (between experiment runs).
+    pub fn reset_history(&mut self) {
+        self.delivered.clear();
+        self.store.clear();
+        self.weak_versions.clear();
+    }
+
+    /// Processes one receive buffer and returns what happened.
+    pub fn process(&mut self, buffer: &[Complex]) -> Vec<ReceiverEvent> {
+        let detections = detect_packets(buffer, &self.preamble, &self.registry, &self.cfg);
+        match detections.len() {
+            0 => vec![ReceiverEvent::DecodeFailed],
+            1 => self.process_single(buffer, detections[0]),
+            _ => self.process_collision(buffer, detections),
+        }
+    }
+
+    fn deliver(&mut self, frame: Frame, path: DecodePath, out: &mut Vec<ReceiverEvent>) {
+        if self.delivered.insert((frame.src, frame.seq)) {
+            out.push(ReceiverEvent::Delivered { frame, path });
+        }
+        if self.delivered.len() > 4096 {
+            self.delivered.clear(); // bounded memory; seq spaces recycle
+        }
+    }
+
+    fn process_single(&mut self, buffer: &[Complex], det: Detection) -> Vec<ReceiverEvent> {
+        let mut out = Vec::new();
+        let decode = decode_single(
+            buffer,
+            det.pos,
+            Some(det.client),
+            &self.registry,
+            &self.preamble,
+            true,
+            &self.cfg,
+        );
+        match decode {
+            Some(d) if d.frame.is_some() => {
+                let frame = d.frame.clone().unwrap();
+                self.deliver(frame, DecodePath::Standard, &mut out);
+            }
+            _ => out.push(ReceiverEvent::DecodeFailed),
+        }
+        out
+    }
+
+    fn process_collision(
+        &mut self,
+        buffer: &[Complex],
+        detections: Vec<Detection>,
+    ) -> Vec<ReceiverEvent> {
+        let mut out = Vec::new();
+
+        // --- capture / single-collision interference cancellation ---
+        // Try each detection as the capture anchor, best score first: a
+        // data sidelobe of a strong sender can out-score the (fractionally
+        // attenuated) true preamble peak, so correlation strength alone is
+        // not a reliable anchor — a CRC-passing decode is (§5.3a: false
+        // positives are harmless beyond the wasted attempt).
+        let mut by_power = detections.clone();
+        by_power.sort_by(|a, b| b.corr.abs().total_cmp(&a.corr.abs()));
+        let mut anchor: Option<(Detection, crate::standard::SingleDecode)> = None;
+        for cand in by_power.iter().take(4) {
+            if let Some(d) = decode_single(
+                buffer,
+                cand.pos,
+                Some(cand.client),
+                &self.registry,
+                &self.preamble,
+                false,
+                &self.cfg,
+            ) {
+                if d.frame.is_some() {
+                    anchor = Some((*cand, d));
+                    break;
+                }
+            }
+        }
+        if let Some((strong, strong_decode)) = anchor {
+            let f = strong_decode.frame.clone().unwrap();
+            self.deliver(f, DecodePath::Capture, &mut out);
+            // best-scoring other detection outside the anchor's preamble
+            let weak_det = by_power
+                .iter()
+                .find(|d| d.pos.abs_diff(strong.pos) >= self.preamble.len())
+                .copied();
+            if let Some(weak) = weak_det {
+                let residual =
+                    crate::capture::subtract_decoded(buffer, &strong_decode, &self.preamble);
+                let weak_decode = decode_single(
+                    &residual,
+                    weak.pos,
+                    Some(weak.client),
+                    &self.registry,
+                    &self.preamble,
+                    true,
+                    &self.cfg,
+                );
+                match weak_decode {
+                    Some(w) if w.frame.is_some() => {
+                        let f = w.frame.clone().unwrap();
+                        self.deliver(f, DecodePath::InterferenceCancellation, &mut out);
+                    }
+                    Some(w) => {
+                        // Fig 4-1d: try MRC with a stored faulty version
+                        let mut matched = None;
+                        for (i, (client, prev)) in self.weak_versions.iter().enumerate() {
+                            if *client != weak.client {
+                                continue;
+                            }
+                            if let Some(f) = mrc_combine_retry(prev, &w) {
+                                matched = Some((i, f));
+                                break;
+                            }
+                        }
+                        if let Some((i, f)) = matched {
+                            self.weak_versions.remove(i);
+                            self.deliver(f, DecodePath::MrcRetry, &mut out);
+                        } else {
+                            self.weak_versions.push((weak.client, w));
+                            if self.weak_versions.len() > self.cfg.collision_store {
+                                self.weak_versions.remove(0);
+                            }
+                        }
+                    }
+                    None => {}
+                }
+            }
+            if !out.is_empty() {
+                return out;
+            }
+        }
+
+        // --- match against stored collisions & ZigZag ---
+        let mut matched_idx = None;
+        for (i, stored) in self.store.iter().enumerate() {
+            if let Some(pairing) = pair_collisions(&detections, &stored.detections) {
+                // verify sample-level match on the second packet
+                let (cur2, old2) = pairing[1];
+                if is_match(buffer, cur2.pos, &stored.buffer, old2.pos) {
+                    matched_idx = Some((i, pairing));
+                    break;
+                }
+            }
+        }
+
+        if let Some((i, pairing)) = matched_idx {
+            let stored = self.store.remove(i).unwrap();
+            let specs = [
+                CollisionSpec {
+                    buffer,
+                    placements: pairing.iter().enumerate().map(|(q, (c, _))| (q, c.pos)).collect(),
+                },
+                CollisionSpec {
+                    buffer: &stored.buffer,
+                    placements: pairing.iter().enumerate().map(|(q, (_, s))| (q, s.pos)).collect(),
+                },
+            ];
+            let packets: Vec<PacketSpec> =
+                pairing.iter().map(|(c, _)| PacketSpec { client: c.client }).collect();
+            let dec = ZigzagDecoder::with_preamble(
+                self.cfg.clone(),
+                &self.registry,
+                self.preamble.clone(),
+            );
+            let result = dec.decode(&specs, &packets);
+            let mut any = false;
+            for p in result.packets {
+                if let Some(f) = p.frame {
+                    self.deliver(f, DecodePath::Zigzag, &mut out);
+                    any = true;
+                }
+            }
+            if !any {
+                out.push(ReceiverEvent::DecodeFailed);
+            }
+            return out;
+        }
+
+        // --- store for a future match ---
+        self.store.push_back(StoredCollision { buffer: buffer.to_vec(), detections });
+        while self.store.len() > self.cfg.collision_store {
+            self.store.pop_front();
+        }
+        out.push(ReceiverEvent::CollisionStored);
+        out
+    }
+}
+
+/// Pairs the detections of two collisions by client id, requiring the
+/// same client set and different relative offsets (Δ₁ ≠ Δ₂ would be
+/// undecodable anyway). Returns `[(current, stored); 2]` with the
+/// first-starting current packet first.
+fn pair_collisions(
+    current: &[Detection],
+    stored: &[Detection],
+) -> Option<[(Detection, Detection); 2]> {
+    if current.len() < 2 || stored.len() < 2 {
+        return None;
+    }
+    let (c1, c2) = (current[0], current[1]);
+    let s1 = stored.iter().find(|d| d.client == c1.client)?;
+    let s2 = stored.iter().find(|d| d.client == c2.client)?;
+    if s1.pos == s2.pos && c1.pos == c2.pos {
+        return None;
+    }
+    Some([(c1, *s1), (c2, *s2)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use zigzag_channel::fading::LinkProfile;
+    use zigzag_channel::scenario::{clean_reception, hidden_pair};
+    use zigzag_phy::frame::encode_frame;
+    use zigzag_phy::modulation::Modulation;
+
+    fn air(src: u16, seq: u16, len: usize) -> zigzag_phy::frame::AirFrame {
+        let f = Frame::with_random_payload(0, src, seq, len, 3000 + src as u64 * 13 + seq as u64);
+        encode_frame(&f, Modulation::Bpsk, &Preamble::default_len())
+    }
+
+    fn receiver_with(links: &[(u16, &LinkProfile)]) -> ZigzagReceiver {
+        let mut rx = ZigzagReceiver::new(DecoderConfig::default(), ClientRegistry::new());
+        for (id, l) in links {
+            rx.associate(
+                *id,
+                ClientInfo { omega: l.association_omega(), snr_db: l.snr_db, taps: l.isi.clone() },
+            );
+        }
+        rx
+    }
+
+    #[test]
+    fn clean_packet_via_standard_path() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = LinkProfile::typical(16.0, &mut rng);
+        let a = air(1, 1, 300);
+        let rx_sig = clean_reception(&a, &l, &mut rng);
+        let mut rx = receiver_with(&[(1, &l)]);
+        let ev = rx.process(&rx_sig.buffer);
+        assert!(matches!(
+            &ev[..],
+            [ReceiverEvent::Delivered { path: DecodePath::Standard, frame }] if frame == &a.frame
+        ));
+    }
+
+    #[test]
+    fn hidden_terminal_pair_via_zigzag_path() {
+        // The headline scenario: first collision stored, second matched
+        // and both packets delivered.
+        let mut rng = StdRng::seed_from_u64(2);
+        let la = LinkProfile::typical(16.0, &mut rng);
+        let lb = LinkProfile::typical(16.0, &mut rng);
+        let a = air(1, 7, 300);
+        let b = air(2, 9, 300);
+        let hp = hidden_pair(&a, &b, &la, &lb, 420, 140, &mut rng);
+        let mut rx = receiver_with(&[(1, &la), (2, &lb)]);
+
+        let ev1 = rx.process(&hp.collision1.buffer);
+        assert!(
+            matches!(&ev1[..], [ReceiverEvent::CollisionStored]),
+            "first collision should be stored, got {ev1:?}"
+        );
+        let ev2 = rx.process(&hp.collision2.buffer);
+        let delivered: Vec<&Frame> = ev2
+            .iter()
+            .filter_map(|e| match e {
+                ReceiverEvent::Delivered { frame, path: DecodePath::Zigzag } => Some(frame),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered.len(), 2, "events: {ev2:?}");
+        assert!(delivered.contains(&&a.frame));
+        assert!(delivered.contains(&&b.frame));
+    }
+
+    #[test]
+    fn capture_scenario_via_capture_paths() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let la = LinkProfile::typical(22.0, &mut rng);
+        let lb = LinkProfile::typical(13.0, &mut rng);
+        let a = air(1, 1, 250);
+        let b = air(2, 1, 250);
+        let hp = hidden_pair(&a, &b, &la, &lb, 300, 120, &mut rng);
+        let mut rx = receiver_with(&[(1, &la), (2, &lb)]);
+        let ev = rx.process(&hp.collision1.buffer);
+        let paths: Vec<DecodePath> = ev
+            .iter()
+            .filter_map(|e| match e {
+                ReceiverEvent::Delivered { path, .. } => Some(*path),
+                _ => None,
+            })
+            .collect();
+        assert!(paths.contains(&DecodePath::Capture), "events: {ev:?}");
+        let delivered: Vec<&Frame> = ev
+            .iter()
+            .filter_map(|e| match e {
+                ReceiverEvent::Delivered { frame, .. } => Some(frame),
+                _ => None,
+            })
+            .collect();
+        assert!(delivered.contains(&&a.frame), "strong frame must capture");
+        // Frame-level (CRC) IC delivery of the weak packet is best-effort
+        // at our substrate's −20 dB cancellation floor (DESIGN.md §2); the
+        // IC mechanism itself is verified in capture::tests and swept in
+        // the fig5_4 reproduction. Here `b` only documents the scenario.
+        let _ = &b;
+    }
+
+    #[test]
+    fn duplicate_deliveries_suppressed() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let l = LinkProfile::typical(19.0, &mut rng);
+        let a = air(1, 1, 200);
+        let rx1 = clean_reception(&a, &l, &mut rng);
+        let rx2 = clean_reception(&a, &l, &mut rng);
+        let mut rx = receiver_with(&[(1, &l)]);
+        let e1 = rx.process(&rx1.buffer);
+        let e2 = rx.process(&rx2.buffer);
+        // a data-sidelobe false detection may add harmless extra events
+        // (§5.3a); the frame must still be delivered exactly once
+        assert!(
+            e1.iter().any(|e| matches!(e, ReceiverEvent::Delivered { frame, .. } if frame == &a.frame)),
+            "{e1:?}"
+        );
+        assert!(
+            !e2.iter().any(|e| matches!(e, ReceiverEvent::Delivered { .. })),
+            "retransmission of a delivered frame must not re-deliver: {e2:?}"
+        );
+    }
+
+    #[test]
+    fn store_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let la = LinkProfile::typical(12.0, &mut rng);
+        let lb = LinkProfile::typical(12.0, &mut rng);
+        let mut rx = receiver_with(&[(1, &la), (2, &lb)]);
+        for seq in 0..10u16 {
+            let a = air(1, 100 + seq, 150);
+            let b = air(2, 200 + seq, 150);
+            let hp = hidden_pair(&a, &b, &la, &lb, 300, 100, &mut rng);
+            let _ = rx.process(&hp.collision1.buffer);
+        }
+        assert!(rx.store.len() <= rx.cfg.collision_store);
+    }
+
+    #[test]
+    fn pure_noise_fails_cleanly() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let l = LinkProfile::clean(12.0);
+        let mut rx = receiver_with(&[(1, &l)]);
+        let noise = zigzag_channel::noise::awgn_vec(&mut rng, 3000, 1.0);
+        let ev = rx.process(&noise);
+        assert!(matches!(&ev[..], [ReceiverEvent::DecodeFailed]));
+    }
+}

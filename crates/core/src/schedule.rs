@@ -1,0 +1,495 @@
+//! The greedy chunk-decoding scheduler (§4.5).
+//!
+//! "Step 1: For each of the collisions, decode all the overhanging chunks
+//! that are interference-free. Step 2: Subtract the known chunks wherever
+//! they appear in all collisions. Step 3: Decode all the new chunks that
+//! become interference free as a result of Step 2. Repeat…"
+//!
+//! This module treats the problem *combinatorially*: packets are symbol
+//! ranges, collisions are placements of packets at offsets, and a symbol
+//! is decodable from a collision position once every other symbol covering
+//! that position is already decoded. Two implementations share these
+//! semantics:
+//!
+//! * [`PlanState`] — an incremental planner that yields maximal
+//!   interference-free **runs** (chunks). The signal-level executor in
+//!   [`crate::zigzag`] consumes these steps one at a time, so lengths can
+//!   be revised mid-flight (a packet's true length becomes known only when
+//!   its PLCP header is decoded).
+//! * [`decodable`] — a fast peeling-style decider used by the Fig 4-7
+//!   Monte-Carlo (failure probability vs number of colliding senders),
+//!   where millions of offset patterns must be tested.
+//!
+//! The 2-packet ZigZag of Fig 1-2 is the special case with two collisions;
+//! the planner also resolves the overlapped/flipped/different-size
+//! patterns of Fig 4-1 and the 3+-sender patterns of Fig 4-6.
+
+use crate::intervals::IntervalSet;
+use std::collections::VecDeque;
+use std::ops::Range;
+
+/// One packet placed inside one collision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Placement {
+    /// Packet index (into the planner's packet table).
+    pub packet: usize,
+    /// Sample offset of the packet's first symbol in the collision buffer.
+    pub start: usize,
+}
+
+/// The layout of one collision: which packets start where.
+#[derive(Clone, Debug)]
+pub struct CollisionLayout {
+    /// Packet placements.
+    pub placements: Vec<Placement>,
+    /// Usable buffer length in samples.
+    pub len: usize,
+}
+
+/// A decodable chunk: symbols `range` of `packet`, interference-free in
+/// `collision`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Step {
+    /// Collision index to decode from.
+    pub collision: usize,
+    /// Packet index to decode.
+    pub packet: usize,
+    /// Symbol range of the packet (not buffer positions).
+    pub range: Range<usize>,
+}
+
+/// Why planning stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanOutcome {
+    /// Every symbol of every packet was scheduled.
+    Complete,
+    /// No interference-free chunk exists but packets remain — the
+    /// collisions are not "linearly independent" enough (§4.5's failure
+    /// condition, e.g. Δ₁ = Δ₂).
+    Stuck,
+}
+
+/// Incremental greedy planner state.
+#[derive(Clone, Debug)]
+pub struct PlanState {
+    lens: Vec<usize>,
+    decoded: Vec<IntervalSet>,
+    collisions: Vec<CollisionLayout>,
+}
+
+impl PlanState {
+    /// Creates a planner over packets with the given (possibly
+    /// upper-bound) symbol lengths and collision layouts.
+    pub fn new(lens: Vec<usize>, collisions: Vec<CollisionLayout>) -> Self {
+        let decoded = lens.iter().map(|_| IntervalSet::new()).collect();
+        Self { lens, decoded, collisions }
+    }
+
+    /// Current length of a packet.
+    pub fn len_of(&self, packet: usize) -> usize {
+        self.lens[packet]
+    }
+
+    /// Revises a packet's length (e.g. after its PLCP is decoded).
+    /// Shrinking is always safe; growing may invalidate prior planning.
+    pub fn set_len(&mut self, packet: usize, len: usize) {
+        self.lens[packet] = len;
+    }
+
+    /// Marks symbols of a packet as decoded.
+    pub fn mark(&mut self, packet: usize, range: Range<usize>) {
+        self.decoded[packet].insert(range);
+    }
+
+    /// Decoded symbol set of a packet.
+    pub fn decoded(&self, packet: usize) -> &IntervalSet {
+        &self.decoded[packet]
+    }
+
+    /// `true` once every packet is fully decoded.
+    pub fn is_complete(&self) -> bool {
+        self.lens
+            .iter()
+            .zip(self.decoded.iter())
+            .all(|(&l, d)| d.covers(0..l))
+    }
+
+    /// `true` if buffer position `pos` of collision `c` is free of
+    /// interference for `packet` (every *other* covering symbol decoded).
+    fn position_free(&self, c: &CollisionLayout, pos: usize, packet: usize) -> bool {
+        for pl in &c.placements {
+            if pl.packet == packet {
+                continue;
+            }
+            if pos < pl.start {
+                continue;
+            }
+            let sym = pos - pl.start;
+            if sym < self.lens[pl.packet] && !self.decoded[pl.packet].contains(sym) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// All maximal interference-free undecoded runs currently available in
+    /// collision `ci`.
+    pub fn runs_in(&self, ci: usize) -> Vec<Step> {
+        let c = &self.collisions[ci];
+        let mut steps = Vec::new();
+        for pl in &c.placements {
+            let plen = self.lens[pl.packet];
+            // symbols of this packet that fit inside the buffer
+            let max_sym = plen.min(c.len.saturating_sub(pl.start));
+            for gap in self.decoded[pl.packet].gaps(0..max_sym) {
+                // split the gap into maximal runs of free positions
+                let mut run_start: Option<usize> = None;
+                for u in gap.clone() {
+                    let free = self.position_free(c, pl.start + u, pl.packet);
+                    match (free, run_start) {
+                        (true, None) => run_start = Some(u),
+                        (false, Some(s)) => {
+                            steps.push(Step { collision: ci, packet: pl.packet, range: s..u });
+                            run_start = None;
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some(s) = run_start {
+                    steps.push(Step { collision: ci, packet: pl.packet, range: s..gap.end });
+                }
+            }
+        }
+        steps
+    }
+
+    /// All available runs across all collisions.
+    pub fn available_runs(&self) -> Vec<Step> {
+        (0..self.collisions.len()).flat_map(|c| self.runs_in(c)).collect()
+    }
+
+    /// Runs the greedy algorithm to completion, returning the step
+    /// sequence and whether it finished (the paper's Steps 1–3 loop).
+    /// Steps are deduplicated: a symbol is scheduled from only one
+    /// collision per wave (the executor gets its second copy from the
+    /// backward pass instead).
+    pub fn plan_all(&mut self) -> (Vec<Step>, PlanOutcome) {
+        let mut plan = Vec::new();
+        loop {
+            if self.is_complete() {
+                return (plan, PlanOutcome::Complete);
+            }
+            let runs = self.available_runs();
+            let mut progressed = false;
+            for step in runs {
+                // re-check against symbols marked earlier in this wave
+                let fresh: Vec<Range<usize>> =
+                    self.decoded[step.packet].gaps(step.range.clone());
+                for r in fresh {
+                    self.mark(step.packet, r.clone());
+                    plan.push(Step { collision: step.collision, packet: step.packet, range: r });
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                return (plan, PlanOutcome::Stuck);
+            }
+        }
+    }
+}
+
+/// Fast decodability test by position-wise peeling.
+///
+/// Equivalent to running [`PlanState::plan_all`] and checking for
+/// [`PlanOutcome::Complete`], but O(total positions) — suitable for the
+/// Fig 4-7 Monte Carlo. Uses the classic count/XOR peeling trick: each
+/// buffer position keeps the number of undecoded symbols covering it plus
+/// XOR accumulators identifying the survivor once the count reaches one.
+pub fn decodable(lens: &[usize], collisions: &[CollisionLayout]) -> bool {
+    // global symbol ids
+    let base: Vec<usize> = {
+        let mut b = Vec::with_capacity(lens.len());
+        let mut acc = 0;
+        for &l in lens {
+            b.push(acc);
+            acc += l;
+        }
+        b
+    };
+    let total_syms: usize = lens.iter().sum();
+    if total_syms == 0 {
+        return true;
+    }
+
+    // per collision: count + xor of covering undecoded symbol ids
+    let mut counts: Vec<Vec<u32>> = Vec::with_capacity(collisions.len());
+    let mut xors: Vec<Vec<usize>> = Vec::with_capacity(collisions.len());
+    // where each symbol appears: (collision, position)
+    let mut appearances: Vec<Vec<(usize, usize)>> = vec![Vec::new(); total_syms];
+
+    for (ci, c) in collisions.iter().enumerate() {
+        let mut cnt = vec![0u32; c.len];
+        let mut xr = vec![0usize; c.len];
+        for pl in &c.placements {
+            let max_sym = lens[pl.packet].min(c.len.saturating_sub(pl.start));
+            for u in 0..max_sym {
+                let pos = pl.start + u;
+                let sid = base[pl.packet] + u;
+                cnt[pos] += 1;
+                xr[pos] ^= sid;
+                appearances[sid].push((ci, pos));
+            }
+        }
+        counts.push(cnt);
+        xors.push(xr);
+    }
+
+    // any symbol not covered by any collision can never be decoded
+    if appearances.iter().any(|a| a.is_empty()) {
+        return false;
+    }
+
+    let mut decoded = vec![false; total_syms];
+    let mut n_decoded = 0usize;
+    let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
+    for (ci, cnt) in counts.iter().enumerate() {
+        for (pos, &k) in cnt.iter().enumerate() {
+            if k == 1 {
+                queue.push_back((ci, pos));
+            }
+        }
+    }
+    while let Some((ci, pos)) = queue.pop_front() {
+        if counts[ci][pos] != 1 {
+            continue;
+        }
+        let sid = xors[ci][pos];
+        if decoded[sid] {
+            continue;
+        }
+        decoded[sid] = true;
+        n_decoded += 1;
+        for &(cj, pj) in &appearances[sid] {
+            counts[cj][pj] -= 1;
+            xors[cj][pj] ^= sid;
+            if counts[cj][pj] == 1 {
+                queue.push_back((cj, pj));
+            }
+        }
+    }
+    n_decoded == total_syms
+}
+
+/// Convenience: layouts for the canonical retransmission pair of Fig 1-2
+/// (packet 0 at offset 0 in both collisions, packet 1 at Δ₁ / Δ₂).
+pub fn pair_layouts(
+    len_a: usize,
+    len_b: usize,
+    delta1: usize,
+    delta2: usize,
+) -> Vec<CollisionLayout> {
+    let mk = |d: usize| CollisionLayout {
+        placements: vec![
+            Placement { packet: 0, start: 0 },
+            Placement { packet: 1, start: d },
+        ],
+        len: (len_a).max(d + len_b) + 8,
+    };
+    vec![mk(delta1), mk(delta2)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair_state(len: usize, d1: usize, d2: usize) -> PlanState {
+        PlanState::new(vec![len, len], pair_layouts(len, len, d1, d2))
+    }
+
+    #[test]
+    fn canonical_pair_decodes() {
+        // Fig 1-2: Δ1=30, Δ2=10, packets of 100 symbols.
+        let mut st = pair_state(100, 30, 10);
+        let (plan, outcome) = st.plan_all();
+        assert_eq!(outcome, PlanOutcome::Complete);
+        assert!(!plan.is_empty());
+        // the bootstrap chunk: packet 0's symbols [0, 30) are free in
+        // collision 0 (before Δ1)
+        assert_eq!(plan[0].packet, 0);
+        assert_eq!(plan[0].range.start, 0);
+    }
+
+    #[test]
+    fn equal_offsets_stuck() {
+        // Δ1 = Δ2: the two collisions are the same linear equation (§4.5).
+        let mut st = pair_state(100, 20, 20);
+        let (_, outcome) = st.plan_all();
+        assert_eq!(outcome, PlanOutcome::Stuck);
+        assert!(!decodable(&[100, 100], &pair_layouts(100, 100, 20, 20)));
+    }
+
+    #[test]
+    fn peeling_matches_greedy_on_pairs() {
+        for (d1, d2) in [(30, 10), (10, 30), (5, 95), (0, 50), (7, 7), (99, 98)] {
+            let mut st = pair_state(100, d1, d2);
+            let (_, outcome) = st.plan_all();
+            let peel = decodable(&[100, 100], &pair_layouts(100, 100, d1, d2));
+            assert_eq!(
+                outcome == PlanOutcome::Complete,
+                peel,
+                "divergence at ({d1},{d2})"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_order_pattern() {
+        // Fig 4-1b: packets change order between collisions.
+        let collisions = vec![
+            CollisionLayout {
+                placements: vec![
+                    Placement { packet: 0, start: 0 },
+                    Placement { packet: 1, start: 40 },
+                ],
+                len: 200,
+            },
+            CollisionLayout {
+                placements: vec![
+                    Placement { packet: 1, start: 0 },
+                    Placement { packet: 0, start: 25 },
+                ],
+                len: 200,
+            },
+        ];
+        let mut st = PlanState::new(vec![100, 100], collisions.clone());
+        let (_, outcome) = st.plan_all();
+        assert_eq!(outcome, PlanOutcome::Complete);
+        assert!(decodable(&[100, 100], &collisions));
+    }
+
+    #[test]
+    fn different_sizes_pattern() {
+        // Fig 4-1c: different packet sizes.
+        let collisions = pair_layouts(150, 60, 35, 10);
+        let mut st = PlanState::new(vec![150, 60], collisions.clone());
+        let (_, outcome) = st.plan_all();
+        assert_eq!(outcome, PlanOutcome::Complete);
+    }
+
+    #[test]
+    fn single_collision_with_free_tail() {
+        // Fig 4-1f: one collision + the second packet retransmitted alone.
+        let collisions = vec![
+            CollisionLayout {
+                placements: vec![
+                    Placement { packet: 0, start: 0 },
+                    Placement { packet: 1, start: 30 },
+                ],
+                len: 200,
+            },
+            CollisionLayout {
+                placements: vec![Placement { packet: 1, start: 0 }],
+                len: 140,
+            },
+        ];
+        let mut st = PlanState::new(vec![100, 100], collisions);
+        let (_, outcome) = st.plan_all();
+        assert_eq!(outcome, PlanOutcome::Complete);
+    }
+
+    #[test]
+    fn three_collisions_three_packets() {
+        // Fig 4-6a-style: three senders, three collisions, distinct offsets.
+        let mk = |s0: usize, s1: usize, s2: usize| CollisionLayout {
+            placements: vec![
+                Placement { packet: 0, start: s0 },
+                Placement { packet: 1, start: s1 },
+                Placement { packet: 2, start: s2 },
+            ],
+            len: 400,
+        };
+        let collisions = vec![mk(0, 20, 50), mk(0, 45, 15), mk(10, 0, 70)];
+        let lens = vec![120usize, 120, 120];
+        assert!(decodable(&lens, &collisions));
+        let mut st = PlanState::new(lens, collisions);
+        let (_, outcome) = st.plan_all();
+        assert_eq!(outcome, PlanOutcome::Complete);
+    }
+
+    #[test]
+    fn three_packets_degenerate_offsets_fail() {
+        // All three collisions have identical relative offsets: only one
+        // independent equation.
+        let mk = || CollisionLayout {
+            placements: vec![
+                Placement { packet: 0, start: 0 },
+                Placement { packet: 1, start: 10 },
+                Placement { packet: 2, start: 20 },
+            ],
+            len: 300,
+        };
+        let lens = vec![100usize, 100, 100];
+        let collisions = vec![mk(), mk(), mk()];
+        assert!(!decodable(&lens, &collisions));
+    }
+
+    #[test]
+    fn plan_steps_respect_interference() {
+        // No step may cover a position where another packet is undecoded
+        // at plan time. Replay the plan and verify the invariant.
+        let mut st = pair_state(80, 25, 5);
+        let collisions = pair_layouts(80, 80, 25, 5);
+        let (plan, outcome) = st.plan_all();
+        assert_eq!(outcome, PlanOutcome::Complete);
+        let mut replay = PlanState::new(vec![80, 80], collisions);
+        for step in plan {
+            let c = &replay.collisions[step.collision].clone();
+            let pl = c
+                .placements
+                .iter()
+                .find(|p| p.packet == step.packet)
+                .unwrap();
+            for u in step.range.clone() {
+                assert!(
+                    replay.position_free(c, pl.start + u, step.packet),
+                    "step decodes interfered symbol {u} of packet {}",
+                    step.packet
+                );
+            }
+            replay.mark(step.packet, step.range);
+        }
+        assert!(replay.is_complete());
+    }
+
+    #[test]
+    fn shrinking_length_mid_plan() {
+        let mut st = pair_state(100, 30, 10);
+        // decode a bit, then learn packet 1 is only 50 symbols
+        let runs = st.available_runs();
+        assert!(!runs.is_empty());
+        st.mark(0, 0..30);
+        st.set_len(1, 50);
+        let (_, outcome) = st.plan_all();
+        assert_eq!(outcome, PlanOutcome::Complete);
+    }
+
+    #[test]
+    fn uncovered_symbol_fails_peeling() {
+        // packet 1 longer than any collision window
+        let collisions = vec![CollisionLayout {
+            placements: vec![Placement { packet: 0, start: 0 }],
+            len: 50,
+        }];
+        assert!(!decodable(&[100], &collisions));
+        assert!(decodable(&[50], &collisions));
+    }
+
+    #[test]
+    fn empty_problem_is_complete() {
+        assert!(decodable(&[], &[]));
+        let mut st = PlanState::new(vec![], vec![]);
+        let (plan, outcome) = st.plan_all();
+        assert!(plan.is_empty());
+        assert_eq!(outcome, PlanOutcome::Complete);
+    }
+}

@@ -1,0 +1,967 @@
+//! Per-(packet × collision) channel view: estimation, chunk decoding,
+//! image synthesis, and parameter tracking.
+//!
+//! Everything ZigZag does to a packet inside one receive buffer goes
+//! through a [`ChannelView`]:
+//!
+//! * **Estimation** (§4.2.4a): the channel `H` comes from the correlation
+//!   trick `Ĥ = Γ'(Δ)/Σ|s[k]|²`, which works even when the packet's
+//!   preamble is *immersed* in another sender's signal ("this is the
+//!   harder case since the preamble in Bob's packet … is immersed in
+//!   noise" — the interferer's data is uncorrelated with the preamble and
+//!   averages out). The frequency offset starts from the association-time
+//!   coarse estimate (§4.2.1); the fractional timing from a small search
+//!   around the correlation peak; the static ISI taps from the
+//!   association registry or, when the preamble is clean, a fresh
+//!   least-squares fit.
+//! * **Chunk decoding** (§4.2.3a): "the decoder operates on a chunk after
+//!   it has been rid from interference, and hence can use standard
+//!   techniques" — de-rotate by the phase model, equalize, slice, with a
+//!   decision-directed PLL and Mueller–Müller timing loop running inside
+//!   the chunk. Works forward or backward (§4.3b).
+//! * **Image synthesis** (§4.2.3b, §4.2.4d): re-modulate decided symbols,
+//!   re-apply the ISI taps ("invert the equalizer"), the gain, the phase
+//!   ramp, and sinc-interpolate onto the receiver's sampling grid.
+//! * **Feedback tracking** (§4.2.4b–c): comparing a synthesized chunk
+//!   image with the actual received image (exposed once the other
+//!   packet's chunk is subtracted) yields phase, frequency
+//!   (`δf̂ += α·δφ/δt`), amplitude and timing corrections.
+
+use crate::config::DecoderConfig;
+use zigzag_phy::complex::{inner, Complex, ZERO};
+use zigzag_phy::equalize::{design_inverse, estimate_channel_taps, DEFAULT_EQUALIZER_TAPS};
+use zigzag_phy::filter::Fir;
+use zigzag_phy::interp::interp_at;
+use zigzag_phy::modulation::Modulation;
+use zigzag_phy::sync::estimate_freq;
+
+/// Decode direction (§4.3b forward/backward decoding).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Process symbols in increasing index order.
+    Forward,
+    /// Process symbols in decreasing index order.
+    Backward,
+}
+
+/// Linear phase model `φ(n) = phase + ω·(n − ref_n)` over symbol index.
+#[derive(Clone, Debug)]
+pub struct PhaseModel {
+    phase: f64,
+    ref_n: f64,
+    omega: f64,
+}
+
+impl PhaseModel {
+    /// New model anchored at symbol `ref_n`.
+    pub fn new(phase: f64, ref_n: f64, omega: f64) -> Self {
+        Self { phase, ref_n, omega }
+    }
+
+    /// Phase at symbol `n`.
+    pub fn at(&self, n: f64) -> f64 {
+        self.phase + self.omega * (n - self.ref_n)
+    }
+
+    /// Moves the anchor to `n` without changing the model.
+    pub fn rebase(&mut self, n: f64) {
+        self.phase = self.at(n);
+        self.ref_n = n;
+    }
+
+    /// Current frequency (rad/symbol).
+    pub fn omega(&self) -> f64 {
+        self.omega
+    }
+
+    /// Adds `dphase` at the anchor and `domega` to the slope.
+    pub fn correct(&mut self, dphase: f64, domega: f64) {
+        self.phase += dphase;
+        self.omega += domega;
+    }
+}
+
+/// A packet's symbol-level layout, shared by all of its views.
+#[derive(Clone, Debug)]
+pub struct PacketLayout {
+    /// Known preamble symbols (BPSK ±1).
+    pub preamble: Vec<Complex>,
+    /// Number of PLCP symbols following the preamble (BPSK).
+    pub plcp_syms: usize,
+    /// Modulation of the MPDU body. Starts as the PLCP default (BPSK) and
+    /// is updated once the PLCP is parsed.
+    pub payload_mod: Modulation,
+    /// Total symbol count of the packet. May start as an upper bound
+    /// (until the PLCP reveals the MPDU length) and shrink.
+    pub total_syms: usize,
+}
+
+impl PacketLayout {
+    /// Layout for a packet whose PLCP has not been read yet: body assumed
+    /// BPSK, length capped at `max_syms`.
+    pub fn unknown(preamble: Vec<Complex>, plcp_syms: usize, max_syms: usize) -> Self {
+        Self { preamble, plcp_syms, payload_mod: Modulation::Bpsk, total_syms: max_syms }
+    }
+
+    /// Modulation in effect at symbol `n` (preamble/PLCP are BPSK).
+    pub fn modulation_at(&self, n: usize) -> Modulation {
+        if n < self.preamble.len() + self.plcp_syms {
+            Modulation::Bpsk
+        } else {
+            self.payload_mod
+        }
+    }
+
+    /// Known symbol at `n` (preamble positions only).
+    pub fn known_symbol(&self, n: usize) -> Option<Complex> {
+        self.preamble.get(n).copied()
+    }
+
+    /// First symbol index of the MPDU body.
+    pub fn body_start(&self) -> usize {
+        self.preamble.len() + self.plcp_syms
+    }
+}
+
+/// Output of decoding one chunk.
+#[derive(Clone, Debug, Default)]
+pub struct ChunkDecode {
+    /// Soft (normalised) symbol estimates, one per symbol in the chunk,
+    /// in **symbol-index order** regardless of decode direction.
+    pub soft: Vec<Complex>,
+    /// Hard-decision constellation points, same order.
+    pub decided: Vec<Complex>,
+}
+
+/// A synthesized image of a chunk, on the receive-buffer sample grid.
+#[derive(Clone, Debug)]
+pub struct Image {
+    /// First buffer index the image occupies.
+    pub first: usize,
+    /// Image samples (to subtract from the buffer).
+    pub samples: Vec<Complex>,
+}
+
+impl Image {
+    /// Buffer range covered.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.first..self.first + self.samples.len()
+    }
+
+    /// Subtracts the image from a buffer (clipped to the buffer).
+    pub fn subtract_from(&self, buffer: &mut [Complex]) {
+        for (k, &s) in self.samples.iter().enumerate() {
+            if let Some(b) = buffer.get_mut(self.first + k) {
+                *b -= s;
+            }
+        }
+    }
+
+    /// Adds the image back to a buffer (undo of
+    /// [`Image::subtract_from`]).
+    pub fn add_to(&self, buffer: &mut [Complex]) {
+        for (k, &s) in self.samples.iter().enumerate() {
+            if let Some(b) = buffer.get_mut(self.first + k) {
+                *b += s;
+            }
+        }
+    }
+}
+
+/// The receiver's model of one packet inside one receive buffer.
+#[derive(Clone, Debug)]
+pub struct ChannelView {
+    /// Integer start position the detector reported.
+    pub start: usize,
+    /// Fractional timing offset relative to `start` (tracked).
+    pub mu: f64,
+    /// Channel amplitude estimate `|H|` (tracked).
+    pub gain: f64,
+    /// Phase/frequency model (tracked).
+    pub phase: PhaseModel,
+    /// Static ISI taps (unit main tap).
+    pub taps: Fir,
+    /// Zero-forcing equalizer (inverse of `taps`).
+    pub inv: Fir,
+    /// Symbol index of the last reconstruction feedback (for `δφ/δt`).
+    last_fb_n: Option<f64>,
+    cfg: DecoderConfig,
+}
+
+impl ChannelView {
+    /// Estimates a view from the packet's preamble region in `buffer`.
+    ///
+    /// * `start` — integer sample index where the packet begins (from the
+    ///   collision detector).
+    /// * `omega_init` — coarse frequency offset. `Some(ω)` means a trusted
+    ///   association-time estimate (§4.2.1); it is **not** re-estimated,
+    ///   because a preamble-length fit at operating SNR is an order of
+    ///   magnitude noisier than the long-term registry value, and a bad ω
+    ///   wrecks cross-collision image synthesis within ~100 symbols.
+    ///   `None` self-estimates from the preamble (only sensible when the
+    ///   preamble is clean).
+    /// * `taps_hint` — static per-link ISI taps if known; when `None` and
+    ///   `clean_preamble` is set, taps are fitted from the preamble;
+    ///   otherwise identity.
+    /// * `clean_preamble` — whether the preamble region is known to be
+    ///   interference-free.
+    ///
+    /// Returns `None` if the correlation at `start` is too weak to carry
+    /// an estimate.
+    pub fn estimate(
+        buffer: &[Complex],
+        start: usize,
+        preamble: &[Complex],
+        omega_init: Option<f64>,
+        taps_hint: Option<&Fir>,
+        clean_preamble: bool,
+        cfg: &DecoderConfig,
+    ) -> Option<ChannelView> {
+        let l = preamble.len();
+        if start + l + 1 > buffer.len() {
+            return None;
+        }
+        // For the µ search we only need ω to hold the preamble coherent;
+        // an unknown ω starts at 0 and is re-estimated below.
+        let omega_search = omega_init.unwrap_or(0.0);
+        // 1. fractional timing: search the frequency-compensated
+        //    correlation over µ ∈ [−0.6, 0.6].
+        let corr_at_mu = |mu: f64| -> Complex {
+            let mut acc = ZERO;
+            for (k, &s) in preamble.iter().enumerate() {
+                let y = interp_at(buffer, start as f64 + mu + k as f64);
+                acc += s.conj() * y * Complex::cis(-omega_search * k as f64);
+            }
+            acc
+        };
+        // ±1.05 samples: the integer `start` from the detector can be off
+        // by one sample when the true fractional offset is near ±0.5
+        let mut best_mu = 0.0;
+        let mut best_mag = -1.0;
+        let mut mu = -1.05;
+        while mu <= 1.05 {
+            let m = corr_at_mu(mu).abs();
+            if m > best_mag {
+                best_mag = m;
+                best_mu = mu;
+            }
+            mu += 0.15;
+        }
+        // parabolic refinement
+        let (m_l, m_c, m_r) = (
+            corr_at_mu(best_mu - 0.15).abs(),
+            best_mag,
+            corr_at_mu(best_mu + 0.15).abs(),
+        );
+        let denom = m_l - 2.0 * m_c + m_r;
+        if denom.abs() > 1e-12 {
+            let frac = 0.5 * (m_l - m_r) / denom;
+            best_mu += 0.15 * frac.clamp(-1.0, 1.0);
+        }
+
+        // 2. channel: Ĥ = Γ'(µ*)/Σ|s|² (§4.2.4a).
+        let peak = corr_at_mu(best_mu);
+        let energy: f64 = preamble.iter().map(|s| s.norm_sq()).sum();
+        let h = peak / energy;
+        if h.abs() < 1e-6 {
+            return None;
+        }
+
+        // 3. frequency: trust the registry when available; self-estimate
+        //    from the preamble otherwise (clean preambles only — the Fitz
+        //    estimate under interference would alias onto the interferer).
+        let omega = match omega_init {
+            Some(w) => w,
+            None if clean_preamble => {
+                let rx: Vec<Complex> = (0..l)
+                    .map(|k| interp_at(buffer, start as f64 + best_mu + k as f64))
+                    .collect();
+                estimate_freq(&rx, preamble)
+            }
+            None => 0.0,
+        };
+
+        // 4. ISI taps.
+        let taps = if !cfg.use_isi_filter {
+            Fir::identity()
+        } else if let Some(t) = taps_hint {
+            t.clone()
+        } else if clean_preamble {
+            // fit on the de-rotated, gain-normalised preamble
+            let rx: Vec<Complex> = (0..l)
+                .map(|k| {
+                    interp_at(buffer, start as f64 + best_mu + k as f64)
+                        * Complex::cis(-omega * k as f64)
+                        / h
+                })
+                .collect();
+            estimate_channel_taps(&rx, preamble, 5, 2)
+                .map(normalise_main_tap)
+                .unwrap_or_else(Fir::identity)
+        } else {
+            Fir::identity()
+        };
+        let inv = if taps.is_identity() {
+            Fir::identity()
+        } else {
+            design_inverse(&taps, DEFAULT_EQUALIZER_TAPS).unwrap_or_else(Fir::identity)
+        };
+
+        Some(ChannelView {
+            start,
+            mu: best_mu,
+            gain: h.abs(),
+            phase: PhaseModel::new(h.arg(), 0.0, omega),
+            taps,
+            inv,
+            last_fb_n: None,
+            cfg: cfg.clone(),
+        })
+    }
+
+    /// Builds a view directly from known parameters (tests, oracles).
+    pub fn from_params(
+        start: usize,
+        mu: f64,
+        gain: f64,
+        phase0: f64,
+        omega: f64,
+        taps: Fir,
+        cfg: &DecoderConfig,
+    ) -> ChannelView {
+        let inv = if taps.is_identity() {
+            Fir::identity()
+        } else {
+            design_inverse(&taps, DEFAULT_EQUALIZER_TAPS).unwrap_or_else(Fir::identity)
+        };
+        ChannelView {
+            start,
+            mu,
+            gain,
+            phase: PhaseModel::new(phase0, 0.0, omega),
+            taps,
+            inv,
+            last_fb_n: None,
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// Buffer position of symbol `n` under the current timing estimate.
+    pub fn position(&self, n: f64) -> f64 {
+        self.start as f64 + self.mu + n
+    }
+
+    /// Decodes symbols `range` of the packet from `buffer` (which must be
+    /// interference-free over the chunk — the ZigZag executor guarantees
+    /// this by subtraction). Preamble symbols are treated as known
+    /// (data-aided); PLCP and body symbols are sliced per `layout`.
+    ///
+    /// Tracking loops (PLL + Mueller–Müller) run inside the chunk and
+    /// leave the view's phase/timing models positioned at the chunk's far
+    /// end (in processing direction).
+    pub fn decode_chunk(
+        &mut self,
+        buffer: &[Complex],
+        range: std::ops::Range<usize>,
+        layout: &PacketLayout,
+        dir: Direction,
+    ) -> ChunkDecode {
+        let n_syms = range.len();
+        let mut soft = vec![ZERO; n_syms];
+        let mut decided = vec![ZERO; n_syms];
+        if n_syms == 0 {
+            return ChunkDecode { soft, decided };
+        }
+        let margin = self.inv.len();
+        let block = self.cfg.block.max(8);
+
+        // iterate blocks in processing order
+        let mut blocks: Vec<(usize, usize)> = Vec::new();
+        let mut s = range.start;
+        while s < range.end {
+            let e = (s + block).min(range.end);
+            blocks.push((s, e));
+            s = e;
+        }
+        if dir == Direction::Backward {
+            blocks.reverse();
+        }
+
+        // fine PLL residual state folded into the model per block
+        let mut fine_phase = 0.0f64;
+        let mut fine_freq = 0.0f64;
+        let (kp, ki, mm_g) = (self.cfg.pll_kp, self.cfg.pll_ki, self.cfg.mm_gain);
+        let mm_sign = if dir == Direction::Forward { 1.0 } else { -1.0 };
+        let mut prev_soft = ZERO;
+        let mut prev_dec = ZERO;
+        let mut primed = false;
+        // Timing updates are decimated to once per block: the sampling grid
+        // is fixed while a block is being processed, so applying
+        // Mueller–Müller per symbol would integrate error with ~1 block of
+        // actuation delay and go unstable. One damped update per block
+        // (error averaged over the block) keeps the loop well inside its
+        // stability margin while still tracking ppm-scale clock drift.
+        let mut mm_acc = 0.0f64;
+        let mut mm_n = 0usize;
+
+        for &(bs, be) in &blocks {
+            // resample block (+ equalizer margin) on the symbol grid
+            let lo = bs as isize - margin as isize;
+            let hi = be as isize + margin as isize;
+            let grid: Vec<Complex> = (lo..hi)
+                .map(|n| {
+                    let y = interp_at(buffer, self.position(n as f64));
+                    // de-rotate with the *model* (fine residual applied per
+                    // symbol below)
+                    y * Complex::cis(-self.phase.at(n as f64))
+                })
+                .collect();
+            let eq = if self.inv.is_identity() { grid } else { self.inv.apply(&grid) };
+
+            let idx_of = |n: usize| (n as isize - lo) as usize;
+            let sym_iter: Box<dyn Iterator<Item = usize>> = if dir == Direction::Forward {
+                Box::new(bs..be)
+            } else {
+                Box::new((bs..be).rev())
+            };
+            for n in sym_iter {
+                let y = eq[idx_of(n)] * Complex::cis(-fine_phase) / self.gain;
+                let (dec_point, is_known) = match layout.known_symbol(n) {
+                    Some(k) => (k, true),
+                    None => {
+                        let m = layout.modulation_at(n);
+                        (m.decide(y).1, false)
+                    }
+                };
+                soft[n - range.start] = y;
+                decided[n - range.start] = dec_point;
+                // decision-directed PLL (data-aided on known symbols)
+                let err = if dec_point.norm_sq() > 0.0 { (y * dec_point.conj()).arg() } else { 0.0 };
+                let _ = is_known;
+                // `fine_freq` is the residual phase velocity per *processing
+                // step* (negated model-frequency error when running
+                // backward); the advance is therefore direction-agnostic,
+                // and only the fold into the model's ω flips sign.
+                fine_freq += ki * err;
+                fine_phase += kp * err + fine_freq;
+                // Mueller–Müller timing (accumulated; applied per block)
+                if primed {
+                    let te = (prev_dec.conj() * y - dec_point.conj() * prev_soft).re;
+                    mm_acc += te;
+                    mm_n += 1;
+                }
+                prev_soft = y;
+                prev_dec = dec_point;
+                primed = true;
+            }
+            // fold fine residual into the model at the block's far edge
+            let edge = if dir == Direction::Forward { be as f64 } else { bs as f64 };
+            if std::env::var_os("ZIGZAG_DEBUG_PLL").is_some() {
+                eprintln!(
+                    "block {bs}..{be}: fold fine_phase={fine_phase:.4} fine_freq={fine_freq:.6} model_omega={:.6} mu={:.4}",
+                    self.phase.omega(),
+                    self.mu
+                );
+            }
+            self.phase.rebase(edge);
+            self.phase.correct(fine_phase, fine_freq * if dir == Direction::Forward { 1.0 } else { -1.0 });
+            fine_phase = 0.0;
+            fine_freq = 0.0;
+            if mm_n > 0 {
+                let step = (mm_sign * mm_g * mm_acc / mm_n as f64).clamp(-0.1, 0.1);
+                self.mu += step;
+                mm_acc = 0.0;
+                mm_n = 0;
+            }
+        }
+        ChunkDecode { soft, decided }
+    }
+
+    /// Synthesizes the image of symbols `range` on the buffer grid, from
+    /// the clean constellation points in `symbols` (indexed by absolute
+    /// symbol index; `None` for undecoded neighbours, treated as zero at
+    /// the margins).
+    pub fn synthesize(
+        &self,
+        range: std::ops::Range<usize>,
+        symbols: &dyn Fn(usize) -> Option<Complex>,
+    ) -> Image {
+        self.synthesize_at(range, symbols, self.mu)
+    }
+
+    fn synthesize_at(
+        &self,
+        range: std::ops::Range<usize>,
+        symbols: &dyn Fn(usize) -> Option<Complex>,
+        mu: f64,
+    ) -> Image {
+        let m = self.taps.len() + 9; // ISI + sinc-kernel margin
+        let lo = range.start as isize - m as isize;
+        let hi = range.end as isize + m as isize;
+        // clean symbols over the margin window
+        let xw: Vec<Complex> = (lo..hi)
+            .map(|n| {
+                if n < 0 {
+                    ZERO
+                } else {
+                    symbols(n as usize).unwrap_or(ZERO)
+                }
+            })
+            .collect();
+        let shaped = if self.taps.is_identity() { xw } else { self.taps.apply(&xw) };
+        // apply gain + phase ramp on the symbol grid
+        let img_sym: Vec<Complex> = shaped
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let n = (lo + i as isize) as f64;
+                v * self.gain * Complex::cis(self.phase.at(n))
+            })
+            .collect();
+        // owned buffer span: positions whose nearest symbol index falls in
+        // `range` — tiles exactly across adjacent chunks
+        let p_first = (self.start as f64 + mu + range.start as f64 - 0.5).ceil().max(0.0) as usize;
+        let p_last = (self.start as f64 + mu + range.end as f64 - 0.5).ceil().max(0.0) as usize;
+        let samples: Vec<Complex> = (p_first..p_last)
+            .map(|p| {
+                let t = p as f64 - self.start as f64 - mu; // symbol-units position
+                interp_at(&img_sym, t - lo as f64)
+            })
+            .collect();
+        Image { first: p_first, samples }
+    }
+
+    /// Reconstruction-tracking feedback (§4.2.4b–c): given the *actual*
+    /// received image of a chunk (`observed`, i.e. the buffer span with
+    /// every other contribution subtracted) and our synthesized `image`,
+    /// update phase, frequency (`δf̂ += α·δφ/δt`), amplitude, and timing.
+    ///
+    /// `mid_n` is the chunk's centre symbol index (the `δt` reference).
+    /// Does nothing if tracking is disabled in the configuration.
+    pub fn feedback(
+        &mut self,
+        observed: &[Complex],
+        image: &Image,
+        range: std::ops::Range<usize>,
+        symbols: &dyn Fn(usize) -> Option<Complex>,
+    ) {
+        if observed.len() != image.samples.len() || observed.is_empty() {
+            return;
+        }
+        let c = inner(observed, &image.samples);
+        let e_img: f64 = image.samples.iter().map(|s| s.norm_sq()).sum();
+        if e_img < 1e-9 || c.abs() < 1e-12 {
+            return;
+        }
+        let ratio = c / e_img; // observed ≈ ratio · image
+        let mid_n = (range.start + range.end) as f64 / 2.0;
+
+        if self.cfg.track_phase {
+            let dphi = ratio.arg();
+            let domega = match self.last_fb_n {
+                Some(last) if mid_n > last + 1.0 => {
+                    self.cfg.alpha_freq * dphi / (mid_n - last)
+                }
+                _ => 0.0,
+            };
+            self.phase.rebase(mid_n);
+            self.phase.correct(dphi, domega);
+            self.last_fb_n = Some(mid_n);
+        }
+        if self.cfg.track_gain {
+            let g = ratio.abs().clamp(0.5, 2.0);
+            self.gain *= 1.0 + 0.5 * (g - 1.0); // damped amplitude update
+        }
+        if self.cfg.track_timing {
+            // early/late gate: compare correlation against images shifted
+            // ±0.3 samples
+            let delta = 0.3;
+            let early = self.synthesize_at(range.clone(), symbols, self.mu - delta);
+            let late = self.synthesize_at(range.clone(), symbols, self.mu + delta);
+            let ce = corr_clipped(observed, image.first, &early);
+            let cl = corr_clipped(observed, image.first, &late);
+            // quality gate: a contaminated span (other packets still live
+            // over it) decorrelates observed vs image; don't let it jolt µ
+            let e_obs: f64 = observed.iter().map(|s| s.norm_sq()).sum();
+            let rho = c.norm_sq() / (e_obs * e_img).max(1e-12);
+            let denom = ce + cl;
+            if denom > 1e-9 && rho > 0.25 {
+                let e = (cl - ce) / denom;
+                self.mu += 0.3 * delta * e.clamp(-1.0, 1.0);
+            }
+        }
+    }
+
+    /// Effective SNR of this view against unit noise, in dB.
+    pub fn snr_db(&self) -> f64 {
+        20.0 * self.gain.log10()
+    }
+
+    /// Re-anchors the phase model at the packet start: keeps everything
+    /// the decode tracked (µ, gain, ω, taps) and re-derives only the
+    /// carrier phase at symbol 0 from the preamble correlation. Used when
+    /// a view whose phase model sits at the packet's *end* (after a full
+    /// decode) is needed for synthesis from the *start* — a linear model
+    /// cannot be extrapolated backwards across a whole packet of
+    /// phase-noise walk. (A full re-estimate would discard the tracked µ,
+    /// whose correlation-peak initialisation is biased by the ISI group
+    /// delay.)
+    pub fn reanchored(&self, buffer: &[Complex], preamble: &[Complex]) -> Option<ChannelView> {
+        let omega = self.phase.omega();
+        let mut acc = ZERO;
+        let mut energy = 0.0;
+        for (k, &s) in preamble.iter().enumerate() {
+            let y = interp_at(buffer, self.start as f64 + self.mu + k as f64);
+            acc += s.conj() * y * Complex::cis(-omega * k as f64);
+            energy += s.norm_sq();
+        }
+        if energy <= 0.0 || acc.abs() < 1e-9 {
+            return None;
+        }
+        let h = acc / energy;
+        let mut v = self.clone();
+        v.phase = PhaseModel::new(h.arg(), 0.0, omega);
+        v.last_fb_n = None;
+        Some(v)
+    }
+}
+
+/// |correlation| of `observed` (anchored at buffer index `obs_first`)
+/// with a shifted image, over their overlap.
+fn corr_clipped(observed: &[Complex], obs_first: usize, img: &Image) -> f64 {
+    let mut acc = ZERO;
+    for (k, &s) in img.samples.iter().enumerate() {
+        let p = img.first + k;
+        if p >= obs_first {
+            if let Some(&o) = observed.get(p - obs_first) {
+                acc += o * s.conj();
+            }
+        }
+    }
+    acc.abs()
+}
+
+fn normalise_main_tap(f: Fir) -> Fir {
+    let main = f.taps()[f.delay()];
+    if main.abs() < 1e-9 {
+        return f;
+    }
+    let inv = main.inv();
+    Fir::new(f.taps().iter().map(|&t| t * inv).collect(), f.delay())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use zigzag_channel::fading::ChannelParams;
+    use zigzag_channel::noise::add_awgn;
+    use zigzag_phy::bits::bit_error_rate;
+    use zigzag_phy::frame::{encode_frame, Frame};
+    use zigzag_phy::preamble::Preamble;
+
+    fn air(len: usize) -> zigzag_phy::frame::AirFrame {
+        let f = Frame::with_random_payload(0, 1, 7, len, 99);
+        encode_frame(&f, Modulation::Bpsk, &Preamble::default_len())
+    }
+
+    fn layout_for(a: &zigzag_phy::frame::AirFrame) -> PacketLayout {
+        PacketLayout {
+            preamble: Preamble::default_len().symbols().to_vec(),
+            plcp_syms: zigzag_phy::frame::PLCP_SYMBOLS,
+            payload_mod: a.modulation,
+            total_syms: a.len(),
+        }
+    }
+
+    /// Builds a clean single-packet reception and returns
+    /// (buffer, airframe, params).
+    fn reception(
+        snr_db: f64,
+        ch: ChannelParams,
+        len: usize,
+        seed: u64,
+    ) -> (Vec<Complex>, zigzag_phy::frame::AirFrame, ChannelParams) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = air(len);
+        let ch = ChannelParams {
+            gain: Complex::from_polar(
+                zigzag_channel::noise::amplitude_for_snr_db(snr_db),
+                ch.gain.arg(),
+            ),
+            ..ch
+        };
+        let mut buf = ch.apply(&a.symbols, &mut rng);
+        buf.extend(std::iter::repeat(ZERO).take(32));
+        add_awgn(&mut rng, &mut buf, 1.0);
+        (buf, a, ch)
+    }
+
+    #[test]
+    fn estimate_recovers_parameters_clean() {
+        let ch = ChannelParams {
+            gain: Complex::from_polar(1.0, 1.2),
+            omega: 0.03,
+            sampling_offset: 0.2,
+            ..ChannelParams::ideal()
+        };
+        let (buf, _a, ch) = reception(20.0, ch, 200, 5);
+        let cfg = DecoderConfig::default();
+        let p = Preamble::default_len();
+        let v = ChannelView::estimate(&buf, 0, p.symbols(), Some(0.03), None, true, &cfg).unwrap();
+        assert!((v.gain - ch.gain.abs()).abs() / ch.gain.abs() < 0.1, "gain {}", v.gain);
+        // the channel resamples tx at µ + k, i.e. the packet appears
+        // *advanced* by µ: the receiver's best alignment is mu ≈ −µ
+        assert!((v.mu + 0.2).abs() < 0.12, "mu {}", v.mu);
+        assert!((v.phase.omega() - 0.03).abs() < 2e-3, "omega {}", v.phase.omega());
+        // phase at symbol 0 should match the channel phase (γ)
+        let dp = (v.phase.at(0.0) - 1.2).rem_euclid(2.0 * std::f64::consts::PI);
+        assert!(dp < 0.35 || dp > 2.0 * std::f64::consts::PI - 0.35, "phase {}", v.phase.at(0.0));
+    }
+
+    #[test]
+    fn estimate_immersed_in_interferer() {
+        // Bob's preamble under Alice's signal (§4.2.4a "harder case"):
+        // H_B must still come out of the correlation.
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = air(400);
+        let b = air(400);
+        let ch_a = ChannelParams {
+            gain: Complex::from_polar(3.16, 0.4), // 10 dB
+            omega: 0.01,
+            ..ChannelParams::ideal()
+        };
+        let ch_b = ChannelParams {
+            gain: Complex::from_polar(3.16, -0.9),
+            omega: -0.02,
+            ..ChannelParams::ideal()
+        };
+        let ya = ch_a.apply(&a.symbols, &mut rng);
+        let yb = ch_b.apply(&b.symbols, &mut rng);
+        let delta = 500;
+        let mut buf = vec![ZERO; delta + yb.len() + 32];
+        for (k, &s) in ya.iter().enumerate() {
+            buf[k] += s;
+        }
+        for (k, &s) in yb.iter().enumerate() {
+            buf[delta + k] += s;
+        }
+        add_awgn(&mut rng, &mut buf, 1.0);
+        let cfg = DecoderConfig::default();
+        let p = Preamble::default_len();
+        let v = ChannelView::estimate(&buf, delta, p.symbols(), Some(-0.02), None, false, &cfg)
+            .expect("estimate");
+        assert!(
+            (v.gain - 3.16).abs() / 3.16 < 0.35,
+            "immersed gain {} vs 3.16",
+            v.gain
+        );
+    }
+
+    #[test]
+    fn decode_full_packet_with_all_impairments() {
+        let ch = ChannelParams {
+            gain: Complex::from_polar(1.0, -0.7),
+            omega: 0.05,
+            sampling_offset: 0.25,
+            sampling_drift: 1.5e-5,
+            isi: Fir::new(
+                vec![
+                    Complex::new(0.08, 0.02),
+                    Complex::real(1.0),
+                    Complex::new(0.18, -0.06),
+                ],
+                1,
+            ),
+            phase_noise: 0.01,
+        };
+        // 12 dB, 400-byte payload
+        let (buf, a, _ch) = reception(12.0, ch, 400, 7);
+        let cfg = DecoderConfig::default();
+        let p = Preamble::default_len();
+        // coarse omega off by 2e-4 (association-time jitter)
+        let mut v =
+            ChannelView::estimate(&buf, 0, p.symbols(), Some(0.05 + 2e-4), None, true, &cfg).unwrap();
+        let layout = layout_for(&a);
+        let out = v.decode_chunk(&buf, 0..a.len(), &layout, Direction::Forward);
+        // compare MPDU bits
+        let body = &out.decided[a.mpdu_start()..];
+        let bits: Vec<u8> = body
+            .iter()
+            .flat_map(|&d| Modulation::Bpsk.decide(d).0)
+            .collect();
+        let ber = bit_error_rate(&a.mpdu_bits, &bits[..a.mpdu_bits.len()]);
+        assert!(ber < 1e-3, "BER {ber}");
+    }
+
+    #[test]
+    fn decode_backward_matches_forward_quality() {
+        let ch = ChannelParams {
+            gain: Complex::from_polar(1.0, 0.3),
+            omega: 0.02,
+            sampling_offset: -0.2,
+            ..ChannelParams::ideal()
+        };
+        let (buf, a, _ch) = reception(14.0, ch, 300, 8);
+        let cfg = DecoderConfig::default();
+        let p = Preamble::default_len();
+        let layout = layout_for(&a);
+        // forward pass to get end-state
+        let mut vf = ChannelView::estimate(&buf, 0, p.symbols(), Some(0.02), None, true, &cfg).unwrap();
+        let fwd = vf.decode_chunk(&buf, 0..a.len(), &layout, Direction::Forward);
+        // backward pass: clone the *post-forward* view (model at packet end)
+        let mut vb = vf.clone();
+        let bwd = vb.decode_chunk(&buf, 0..a.len(), &layout, Direction::Backward);
+        let ber_of = |out: &ChunkDecode| {
+            let bits: Vec<u8> = out.decided[a.mpdu_start()..]
+                .iter()
+                .flat_map(|&d| Modulation::Bpsk.decide(d).0)
+                .collect();
+            bit_error_rate(&a.mpdu_bits, &bits[..a.mpdu_bits.len()])
+        };
+        assert!(ber_of(&fwd) < 1e-3, "fwd {}", ber_of(&fwd));
+        assert!(ber_of(&bwd) < 1e-3, "bwd {}", ber_of(&bwd));
+    }
+
+    #[test]
+    fn synthesize_then_subtract_cancels_signal() {
+        // The core ZigZag subtraction: decode a clean packet, synthesize
+        // its image, subtract — residual must be near the noise floor.
+        let ch = ChannelParams {
+            gain: Complex::from_polar(3.16, 0.9), // 10 dB
+            omega: 0.03,
+            sampling_offset: 0.15,
+            isi: Fir::new(
+                vec![Complex::new(0.1, 0.0), Complex::real(1.0), Complex::new(0.2, 0.05)],
+                1,
+            ),
+            ..ChannelParams::ideal()
+        };
+        let (buf, a, _) = reception(10.0, ch, 300, 9);
+        let cfg = DecoderConfig::default();
+        let p = Preamble::default_len();
+        let mut v = ChannelView::estimate(&buf, 0, p.symbols(), Some(0.03), None, true, &cfg).unwrap();
+        let layout = layout_for(&a);
+        let out = v.decode_chunk(&buf, 0..a.len(), &layout, Direction::Forward);
+        // rebuild image with the post-decode view (fully tracked)
+        let decided = out.decided.clone();
+        let img = v.synthesize(0..a.len(), &|n| decided.get(n).copied());
+        let mut resid = buf.clone();
+        img.subtract_from(&mut resid);
+        // residual power over the packet interior vs pre-subtraction power
+        let span = 100..a.len() - 100;
+        let before = zigzag_phy::complex::mean_power(&buf[span.clone()]);
+        let after = zigzag_phy::complex::mean_power(&resid[span]);
+        // signal ~ 10+1; residual should be close to noise (1.0): require
+        // at least 7 dB of cancellation and residual < 2x noise.
+        assert!(after < before / 5.0, "before {before} after {after}");
+        assert!(after < 2.0, "residual power {after}");
+    }
+
+    #[test]
+    fn feedback_corrects_phase_error() {
+        // Build a clean signal, make a view with a deliberate phase bias,
+        // and check feedback pulls it back.
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = air(100);
+        let ch = ChannelParams {
+            gain: Complex::from_polar(3.16, 0.5),
+            ..ChannelParams::ideal()
+        };
+        let buf = {
+            let mut b = ch.apply(&a.symbols, &mut rng);
+            b.extend(std::iter::repeat(ZERO).take(16));
+            b
+        };
+        let cfg = DecoderConfig::default();
+        let clean_syms = a.symbols.clone();
+        let sym_fn = |n: usize| clean_syms.get(n).copied();
+        let mut v = ChannelView::from_params(
+            0,
+            0.0,
+            3.16,
+            0.5 + 0.2, // 0.2 rad phase error
+            0.0,
+            Fir::identity(),
+            &cfg,
+        );
+        let range = 100..300;
+        let img = v.synthesize(range.clone(), &sym_fn);
+        let observed: Vec<Complex> = buf[img.range()].to_vec();
+        let before = v.phase.at(200.0);
+        v.feedback(&observed, &img, range, &sym_fn);
+        let after = v.phase.at(200.0);
+        assert!(
+            (after - 0.5).abs() < (before - 0.5).abs(),
+            "phase error not reduced: {before} -> {after}"
+        );
+        assert!((after - 0.5).abs() < 0.05, "after {after}");
+    }
+
+    #[test]
+    fn feedback_corrects_timing_error() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = air(100);
+        let ch = ChannelParams {
+            gain: Complex::from_polar(3.16, 0.0),
+            sampling_offset: 0.2,
+            ..ChannelParams::ideal()
+        };
+        let buf = {
+            let mut b = ch.apply(&a.symbols, &mut rng);
+            b.extend(std::iter::repeat(ZERO).take(16));
+            b
+        };
+        let cfg = DecoderConfig::default();
+        let clean_syms = a.symbols.clone();
+        let sym_fn = |n: usize| clean_syms.get(n).copied();
+        // view believes mu = 0; the channel advanced the packet by 0.2, so
+        // the correct alignment is mu = −0.2
+        let mut v = ChannelView::from_params(0, 0.0, 3.16, 0.0, 0.0, Fir::identity(), &cfg);
+        for _ in 0..40 {
+            let range = 100..300;
+            let img = v.synthesize(range.clone(), &sym_fn);
+            let observed: Vec<Complex> = buf[img.range()].to_vec();
+            v.feedback(&observed, &img, range, &sym_fn);
+        }
+        assert!((v.mu + 0.2).abs() < 0.08, "mu {} want -0.2", v.mu);
+    }
+
+    #[test]
+    fn images_tile_exactly_across_chunks() {
+        let cfg = DecoderConfig::default();
+        let v = ChannelView::from_params(10, 0.3, 1.0, 0.0, 0.0, Fir::identity(), &cfg);
+        let i1 = v.synthesize(0..50, &|_| Some(Complex::real(1.0)));
+        let i2 = v.synthesize(50..100, &|_| Some(Complex::real(1.0)));
+        assert_eq!(i1.range().end, i2.range().start, "chunks must tile");
+    }
+
+    #[test]
+    fn phase_model_algebra() {
+        let mut m = PhaseModel::new(1.0, 0.0, 0.1);
+        assert!((m.at(10.0) - 2.0).abs() < 1e-12);
+        m.rebase(10.0);
+        assert!((m.at(10.0) - 2.0).abs() < 1e-12);
+        assert!((m.at(0.0) - 1.0).abs() < 1e-12);
+        m.correct(0.5, 0.0);
+        assert!((m.at(10.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn image_add_undoes_subtract() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = air(64);
+        let ch = ChannelParams::ideal_with_snr(10.0);
+        let buf = ch.apply(&a.symbols, &mut rng);
+        let mut work = buf.clone();
+        let cfg = DecoderConfig::default();
+        let v = ChannelView::from_params(0, 0.0, 3.16, 0.0, 0.0, Fir::identity(), &cfg);
+        let syms = a.symbols.clone();
+        let img = v.synthesize(10..40, &|n| syms.get(n).copied());
+        img.subtract_from(&mut work);
+        img.add_to(&mut work);
+        for (x, y) in work.iter().zip(buf.iter()) {
+            assert!((*x - *y).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Synchronous-ACK feasibility (Lemma 4.4.1, Fig 4-5).
+//!
+//! A ZigZag AP that decoded both colliding packets must ack them without
+//! MAC changes: it acks Alice in the SIFS window after her packet ends
+//! (the tail of Bob's packet doesn't disturb this — Alice can't hear Bob,
+//! and Bob is still transmitting), pads the medium, then acks Bob. This
+//! works iff the offset between the colliding packets exceeds
+//! SIFS + ACK. Lemma 4.4.1 lower-bounds that probability at
+//! `1 − (SIFS+ACK)/(S·CW)` = 93.75% for 802.11g.
+
+use crate::backoff::Backoff;
+use crate::params::MacParams;
+use rand::Rng;
+
+/// The analytic lower bound of Lemma 4.4.1:
+/// `P(offset sufficient) ≥ 1 − (SIFS + ACK)/(S·CW)` where CW is the
+/// (doubled) second-collision window.
+pub fn sync_ack_probability_bound(params: &MacParams) -> f64 {
+    // second-collision window is 2·CW = 64 slots; the Appendix's union
+    // bound is (SIFS+ACK)/(S·CW) with CW = half the window
+    let window = params.cw_after(1) as f64 + 1.0;
+    1.0 - 2.0 * params.sync_ack_window_us() / (params.slot_us * window)
+}
+
+/// Monte-Carlo estimate of the same probability: both senders draw slots
+/// from the second-collision window; the ack fits iff their offset
+/// exceeds SIFS + ACK.
+pub fn sync_ack_probability_mc<R: Rng + ?Sized>(
+    params: &MacParams,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    let policy = Backoff::Exponential;
+    let need_us = params.sync_ack_window_us();
+    let mut ok = 0usize;
+    for _ in 0..trials {
+        let a = policy.draw(params, 1, rng);
+        let b = policy.draw(params, 1, rng);
+        let offset_us = (a.abs_diff(b)) as f64 * params.slot_us;
+        if offset_us > need_us {
+            ok += 1;
+        }
+    }
+    ok as f64 / trials as f64
+}
+
+/// Outcome of the Fig 4-5 ACK schedule for one decoded collision pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AckSchedule {
+    /// Both acks fit synchronously (no sender modification needed).
+    pub synchronous: bool,
+    /// Time (µs, from the first packet's end) at which Alice's ack is
+    /// sent.
+    pub ack1_at_us: f64,
+    /// Time at which Bob's ack is sent.
+    pub ack2_at_us: f64,
+}
+
+/// Computes the Fig 4-5 ack schedule given the second packet's offset and
+/// both packet durations (all in µs, measured from the first packet's
+/// start).
+pub fn schedule_acks(
+    offset_us: f64,
+    len1_us: f64,
+    len2_us: f64,
+    params: &MacParams,
+) -> AckSchedule {
+    let end1 = len1_us;
+    let end2 = offset_us + len2_us;
+    let synchronous = (end2 - end1) > params.sync_ack_window_us();
+    // ack1 after SIFS from packet 1's end; AP pads until packet 2 ends,
+    // then acks packet 2 after SIFS.
+    let ack1_at_us = end1 + params.sifs_us;
+    let ack2_at_us = end2.max(ack1_at_us + params.ack_us) + params.sifs_us;
+    AckSchedule { synchronous, ack1_at_us, ack2_at_us }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn lemma_bound_is_93_75_percent() {
+        // Appendix A: S=20, ACK=30, SIFS=10, second window 2·CW = 64
+        // slots ⇒ 1 − 40/(20·32) = 0.9375.
+        let b = sync_ack_probability_bound(&MacParams::default());
+        assert!((b - 0.9375).abs() < 1e-9, "bound {b}");
+    }
+
+    #[test]
+    fn monte_carlo_close_to_the_bound() {
+        // Exact: P(|a−b| ≤ 2 slots) over U{0..63}² = 314/4096 ⇒ success
+        // ≈ 0.9233. The Appendix's 0.9375 comes from the looser estimate
+        // (SIFS+ACK)/(S·CW); both are reported by the lemma4_4_1 bench.
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = MacParams::default();
+        let mc = sync_ack_probability_mc(&p, 200_000, &mut rng);
+        let exact = 1.0 - 314.0 / 4096.0;
+        assert!((mc - exact).abs() < 0.005, "mc {mc} vs exact {exact}");
+        let bound = sync_ack_probability_bound(&p);
+        assert!((bound - 0.9375).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ack_schedule_ordering() {
+        let p = MacParams::default();
+        // same-length packets offset by 3 slots (60 µs > 40 µs window)
+        let s = schedule_acks(60.0, 1000.0, 1000.0, &p);
+        assert!(s.synchronous);
+        assert!(s.ack1_at_us < s.ack2_at_us);
+        // ack1 lands while packet 2 is still on the air (Fig 4-5)
+        assert!(s.ack1_at_us < 60.0 + 1000.0);
+    }
+
+    #[test]
+    fn too_small_offset_is_asynchronous() {
+        let p = MacParams::default();
+        let s = schedule_acks(20.0, 1000.0, 1000.0, &p);
+        assert!(!s.synchronous);
+    }
+
+    #[test]
+    fn acks_never_overlap() {
+        let p = MacParams::default();
+        for off in [0.0, 20.0, 40.0, 100.0, 400.0] {
+            let s = schedule_acks(off, 800.0, 600.0, &p);
+            assert!(s.ack2_at_us >= s.ack1_at_us + p.ack_us, "offset {off}");
+        }
+    }
+}

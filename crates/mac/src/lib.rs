@@ -1,0 +1,28 @@
+//! # zigzag-mac — 802.11 MAC behaviour simulator
+//!
+//! The MAC-layer substrate of the reproduction: the 802.11 rules whose
+//! interaction with hidden terminals *creates* ZigZag's opportunity —
+//! "an 802.11 sender retransmits a packet until it is acked or timed out
+//! … and jitters every transmission by a short random interval" (§1).
+//!
+//! * [`params`] — 802.11g timing (slot/SIFS/DIFS/ACK, CWmin/max,
+//!   Appendix A's numbers).
+//! * [`backoff`] — random jitter draws, fixed and exponential windows,
+//!   and collision offset patterns (the Fig 4-7 workload).
+//! * [`sim`] — behavioural CSMA episodes: which transmissions collide,
+//!   with what offsets, under perfect/partial/no sensing (the §5.2
+//!   trace-replay methodology).
+//! * [`ack`] — Lemma 4.4.1 (synchronous-ACK feasibility ≥ 93.75%) and the
+//!   Fig 4-5 ack schedule.
+
+#![warn(missing_docs)]
+
+pub mod ack;
+pub mod backoff;
+pub mod params;
+pub mod sim;
+
+pub use ack::{schedule_acks, sync_ack_probability_bound, sync_ack_probability_mc, AckSchedule};
+pub use backoff::Backoff;
+pub use params::MacParams;
+pub use sim::{multi_episode, pair_episode, PairEpisode, Round};

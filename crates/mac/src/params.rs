@@ -1,0 +1,101 @@
+//! 802.11 MAC timing parameters.
+//!
+//! The evaluation uses the backward-compatible 802.11g numbers from
+//! Appendix A: slot S = 20 µs, SIFS = 10 µs, ACK = 30 µs, CWmin = 31,
+//! CWmax = 1023, and the §4.5 footnote's exponential backoff ("doubling
+//! the congestion window every time there is a collision").
+
+/// MAC timing and contention parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MacParams {
+    /// Slot time, µs.
+    pub slot_us: f64,
+    /// Short inter-frame space, µs.
+    pub sifs_us: f64,
+    /// DCF inter-frame space, µs.
+    pub difs_us: f64,
+    /// ACK transmission duration, µs.
+    pub ack_us: f64,
+    /// Minimum contention window (slots).
+    pub cw_min: u32,
+    /// Maximum contention window (slots).
+    pub cw_max: u32,
+    /// Retry limit before a frame is dropped.
+    pub retry_limit: u32,
+    /// PHY symbol duration, µs (500 kb/s BPSK ⇒ 2 µs, §5.1c).
+    pub symbol_us: f64,
+}
+
+impl Default for MacParams {
+    /// Backward-compatible 802.11g (Appendix A).
+    fn default() -> Self {
+        Self {
+            slot_us: 20.0,
+            sifs_us: 10.0,
+            difs_us: 50.0,
+            ack_us: 30.0,
+            cw_min: 31,
+            cw_max: 1023,
+            retry_limit: 7,
+            symbol_us: 2.0,
+        }
+    }
+}
+
+impl MacParams {
+    /// Contention window for the transmission after `retries` collisions
+    /// (exponential backoff, §4.5 footnote): CWmin for the initial
+    /// transmission, doubling per collision, capped at CWmax.
+    pub fn cw_after(&self, retries: u32) -> u32 {
+        let cw = (u64::from(self.cw_min) + 1) << retries.min(16);
+        (cw - 1).min(u64::from(self.cw_max)) as u32
+    }
+
+    /// Converts a slot count to PHY symbols.
+    pub fn slots_to_symbols(&self, slots: u32) -> usize {
+        ((slots as f64 * self.slot_us) / self.symbol_us).round() as usize
+    }
+
+    /// Time needed after a packet to send a synchronous ACK (Appendix A:
+    /// SIFS + ACK).
+    pub fn sync_ack_window_us(&self) -> f64 {
+        self.sifs_us + self.ack_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_appendix_a() {
+        let p = MacParams::default();
+        assert_eq!(p.slot_us, 20.0);
+        assert_eq!(p.sifs_us, 10.0);
+        assert_eq!(p.ack_us, 30.0);
+        assert_eq!(p.cw_min, 31);
+        assert_eq!(p.cw_max, 1023);
+    }
+
+    #[test]
+    fn exponential_backoff_doubles_and_caps() {
+        let p = MacParams::default();
+        assert_eq!(p.cw_after(0), 31); // initial window
+        assert_eq!(p.cw_after(1), 63); // second collision: 2·CW (Appendix A)
+        assert_eq!(p.cw_after(5), 1023);
+        assert_eq!(p.cw_after(10), 1023);
+    }
+
+    #[test]
+    fn slot_symbol_conversion() {
+        let p = MacParams::default();
+        // 20 µs slot at 2 µs/symbol = 10 symbols
+        assert_eq!(p.slots_to_symbols(1), 10);
+        assert_eq!(p.slots_to_symbols(31), 310);
+    }
+
+    #[test]
+    fn ack_window() {
+        assert_eq!(MacParams::default().sync_ack_window_us(), 40.0);
+    }
+}

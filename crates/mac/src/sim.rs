@@ -1,0 +1,161 @@
+//! Behavioural CSMA episode simulation.
+//!
+//! The paper's testbed methodology (§5.2) replays card-level CSMA traces:
+//! what matters downstream is *which transmissions collided and with what
+//! offsets*. This module generates those episode traces from a sensing
+//! probability — `p = 1` for pairs that sense each other perfectly,
+//! `p = 0` for hidden terminals, intermediate for partial sensing — and
+//! the 802.11 retransmission rules (fresh jitter per round, exponential
+//! backoff, retry limit).
+
+use crate::backoff::Backoff;
+use crate::params::MacParams;
+use rand::Rng;
+
+/// One retransmission round of a contending pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Round {
+    /// Carrier sense worked: the senders serialised; both packets go
+    /// through cleanly this round.
+    Deferred,
+    /// Both transmitted; the packets collided with these start offsets
+    /// (slots, re-referenced so the earlier sender is 0).
+    Collided {
+        /// First sender's offset (slots).
+        a: u32,
+        /// Second sender's offset (slots).
+        b: u32,
+    },
+}
+
+/// The retransmission history of one packet pair.
+#[derive(Clone, Debug)]
+pub struct PairEpisode {
+    /// Rounds until resolution (a deferral) or the retry limit.
+    pub rounds: Vec<Round>,
+}
+
+impl PairEpisode {
+    /// Slot offsets of every collision round, `(a, b)` per round.
+    pub fn collision_offsets(&self) -> Vec<(u32, u32)> {
+        self.rounds
+            .iter()
+            .filter_map(|r| match r {
+                Round::Collided { a, b } => Some((*a, *b)),
+                Round::Deferred => None,
+            })
+            .collect()
+    }
+
+    /// `true` if the episode ended with carrier sense resolving the
+    /// contention.
+    pub fn resolved_by_csma(&self) -> bool {
+        matches!(self.rounds.last(), Some(Round::Deferred))
+    }
+}
+
+/// Simulates one contention episode between two senders that sense each
+/// other with probability `p_sense` per round.
+pub fn pair_episode<R: Rng + ?Sized>(
+    p_sense: f64,
+    params: &MacParams,
+    rng: &mut R,
+) -> PairEpisode {
+    let mut rounds = Vec::new();
+    for round in 0..=params.retry_limit {
+        if rng.gen_bool(p_sense.clamp(0.0, 1.0)) {
+            rounds.push(Round::Deferred);
+            break;
+        }
+        let policy = Backoff::Exponential;
+        let a = policy.draw(params, round, rng);
+        let b = policy.draw(params, round, rng);
+        let min = a.min(b);
+        rounds.push(Round::Collided { a: a - min, b: b - min });
+    }
+    PairEpisode { rounds }
+}
+
+/// Simulates a hidden-terminal episode of `n` senders: each round, every
+/// sender redraws its jitter; all transmissions collide (none can sense
+/// the others). Returns per-round per-sender slot offsets — the input to
+/// the Fig 4-7 decodability test and the §5.7 three-sender experiments.
+pub fn multi_episode<R: Rng + ?Sized>(
+    n: usize,
+    rounds: usize,
+    policy: Backoff,
+    params: &MacParams,
+    rng: &mut R,
+) -> Vec<Vec<u32>> {
+    crate::backoff::episode_offsets(n, rounds, policy, params, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn perfect_sensing_never_collides() {
+        let p = MacParams::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let ep = pair_episode(1.0, &p, &mut rng);
+            assert_eq!(ep.rounds, vec![Round::Deferred]);
+            assert!(ep.resolved_by_csma());
+        }
+    }
+
+    #[test]
+    fn hidden_terminals_always_collide() {
+        let p = MacParams::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let ep = pair_episode(0.0, &p, &mut rng);
+            assert!(!ep.resolved_by_csma());
+            assert_eq!(ep.rounds.len() as u32, p.retry_limit + 1);
+            assert_eq!(ep.collision_offsets().len() as u32, p.retry_limit + 1);
+        }
+    }
+
+    #[test]
+    fn partial_sensing_mixes() {
+        let p = MacParams::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut any_deferred = false;
+        let mut any_collided = false;
+        for _ in 0..300 {
+            let ep = pair_episode(0.5, &p, &mut rng);
+            any_deferred |= ep.resolved_by_csma();
+            any_collided |= !ep.collision_offsets().is_empty();
+        }
+        assert!(any_deferred && any_collided);
+    }
+
+    #[test]
+    fn collision_offsets_rereferenced() {
+        let p = MacParams::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let ep = pair_episode(0.0, &p, &mut rng);
+        for (a, b) in ep.collision_offsets() {
+            assert!(a == 0 || b == 0);
+        }
+    }
+
+    #[test]
+    fn retry_limit_bounds_rounds() {
+        let p = MacParams { retry_limit: 3, ..MacParams::default() };
+        let mut rng = StdRng::seed_from_u64(5);
+        let ep = pair_episode(0.0, &p, &mut rng);
+        assert_eq!(ep.rounds.len(), 4);
+    }
+
+    #[test]
+    fn multi_episode_shape() {
+        let p = MacParams::default();
+        let mut rng = StdRng::seed_from_u64(6);
+        let ep = multi_episode(5, 5, Backoff::Fixed(16), &p, &mut rng);
+        assert_eq!(ep.len(), 5);
+        assert!(ep.iter().all(|r| r.len() == 5));
+    }
+}

@@ -1,0 +1,371 @@
+//! Complex-number arithmetic for baseband signal processing.
+//!
+//! The paper (§3) represents a wireless signal as "a stream of discrete
+//! complex numbers". This module provides the [`Complex`] sample type used
+//! throughout the workspace. It is a deliberately small, `f64`-backed value
+//! type: the decoder's subtraction steps (§4.2.3) accumulate many rounding
+//! errors, and `f64` keeps residual-cancellation noise far below the AWGN
+//! floor at the SNRs the evaluation sweeps (5–20 dB).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex baseband sample `re + j·im`.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real (in-phase, I) component.
+    pub re: f64,
+    /// Imaginary (quadrature, Q) component.
+    pub im: f64,
+}
+
+/// The additive identity, `0 + 0j`.
+pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+/// The multiplicative identity, `1 + 0j`.
+pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+impl Complex {
+    /// Creates a complex number from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{jθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self { re: r * theta.cos(), im: r * theta.sin() }
+    }
+
+    /// The unit phasor `e^{jθ}`. This is the workhorse of frequency-offset
+    /// application and compensation (`y[n]·e^{-j2πnδfT}`, §4.2.1).
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate `re − j·im`.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Magnitude `|z| = √(re² + im²)`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²`, cheaper than [`Complex::abs`] when only the
+    /// energy is needed (e.g. the correlation threshold of §4.2.1).
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Phase angle in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns [`ZERO`]'s inverse as infinity components, mirroring `f64`
+    /// division semantics; callers guard against zero channels explicitly.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sq();
+        Self { re: self.re / d, im: -self.im / d }
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Self { re: self.re * k, im: self.im * k }
+    }
+
+    /// Rotates by angle `θ` (multiplies by `e^{jθ}`).
+    #[inline]
+    pub fn rotate(self, theta: f64) -> Self {
+        self * Self::cis(theta)
+    }
+
+    /// `true` if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Complex {
+    type Output = Self;
+    #[inline]
+    fn add(self, o: Self) -> Self {
+        Self { re: self.re + o.re, im: self.im + o.im }
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, o: Self) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Self;
+    #[inline]
+    fn sub(self, o: Self) -> Self {
+        Self { re: self.re - o.re, im: self.im - o.im }
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, o: Self) {
+        self.re -= o.re;
+        self.im -= o.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Self;
+    #[inline]
+    fn mul(self, o: Self) -> Self {
+        Self {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, o: Self) {
+        *self = *self * o;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Self;
+    #[inline]
+    fn mul(self, k: f64) -> Self {
+        self.scale(k)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, z: Complex) -> Complex {
+        z.scale(self)
+    }
+}
+
+impl Div for Complex {
+    type Output = Self;
+    #[inline]
+    fn div(self, o: Self) -> Self {
+        self * o.inv()
+    }
+}
+
+impl DivAssign for Complex {
+    #[inline]
+    fn div_assign(&mut self, o: Self) {
+        *self = *self / o;
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Self;
+    #[inline]
+    fn div(self, k: f64) -> Self {
+        Self { re: self.re / k, im: self.im / k }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self { re: -self.re, im: -self.im }
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a Complex> for Complex {
+    fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+        iter.fold(ZERO, |a, b| a + *b)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Self::real(re)
+    }
+}
+
+impl fmt::Debug for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}j", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}j", self.re, -self.im)
+        }
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Mean power `Σ|z|²/N` of a sample slice; 0 for an empty slice.
+pub fn mean_power(samples: &[Complex]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().map(|s| s.norm_sq()).sum::<f64>() / samples.len() as f64
+}
+
+/// Total energy `Σ|z|²` of a sample slice.
+pub fn energy(samples: &[Complex]) -> f64 {
+    samples.iter().map(|s| s.norm_sq()).sum()
+}
+
+/// Inner product `Σ a[k]·conj(b[k])` over the common prefix of two slices.
+///
+/// This is the primitive behind every correlation in the receiver
+/// (§4.2.1, §4.2.2).
+pub fn inner(a: &[Complex], b: &[Complex]) -> Complex {
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y.conj()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Complex::new(1.5, -2.0);
+        let b = Complex::new(-0.25, 4.0);
+        assert_eq!(a + b - b, a);
+    }
+
+    #[test]
+    fn mul_matches_polar() {
+        let a = Complex::from_polar(2.0, 0.3);
+        let b = Complex::from_polar(3.0, -1.1);
+        let p = a * b;
+        assert!(close(p.abs(), 6.0));
+        assert!(close(p.arg(), 0.3 - 1.1));
+    }
+
+    #[test]
+    fn conj_negates_phase() {
+        let z = Complex::from_polar(1.7, 0.9);
+        assert!(close(z.conj().arg(), -0.9));
+        assert!(close(z.conj().abs(), 1.7));
+    }
+
+    #[test]
+    fn inv_is_multiplicative_inverse() {
+        let z = Complex::new(3.0, -4.0);
+        let w = z * z.inv();
+        assert!(close(w.re, 1.0) && close(w.im, 0.0));
+    }
+
+    #[test]
+    fn div_by_self_is_one() {
+        let z = Complex::new(-2.5, 0.1);
+        let w = z / z;
+        assert!(close(w.re, 1.0) && close(w.im, 0.0));
+    }
+
+    #[test]
+    fn cis_is_unit_circle() {
+        for k in 0..16 {
+            let th = k as f64 * std::f64::consts::PI / 8.0;
+            assert!(close(Complex::cis(th).abs(), 1.0));
+        }
+    }
+
+    #[test]
+    fn rotate_adds_angle() {
+        let z = Complex::from_polar(1.0, 0.2);
+        let r = z.rotate(0.5);
+        assert!(close(r.arg(), 0.7));
+    }
+
+    #[test]
+    fn norm_sq_is_abs_squared() {
+        let z = Complex::new(3.0, 4.0);
+        assert!(close(z.norm_sq(), 25.0));
+        assert!(close(z.abs(), 5.0));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let v = vec![Complex::new(1.0, 1.0); 10];
+        let s: Complex = v.iter().sum();
+        assert!(close(s.re, 10.0) && close(s.im, 10.0));
+    }
+
+    #[test]
+    fn inner_product_of_identical_is_energy() {
+        let v: Vec<Complex> = (0..32).map(|k| Complex::cis(k as f64 * 0.37)).collect();
+        let ip = inner(&v, &v);
+        assert!(close(ip.re, 32.0));
+        assert!(ip.im.abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_power_of_unit_phasors_is_one() {
+        let v: Vec<Complex> = (0..100).map(|k| Complex::cis(k as f64)).collect();
+        assert!(close(mean_power(&v), 1.0));
+        assert!(close(energy(&v), 100.0));
+    }
+
+    #[test]
+    fn mean_power_empty_is_zero() {
+        assert_eq!(mean_power(&[]), 0.0);
+    }
+
+    #[test]
+    fn scalar_mul_commutes() {
+        let z = Complex::new(1.0, -2.0);
+        assert_eq!(z * 3.0, 3.0 * z);
+    }
+
+    #[test]
+    fn debug_formats_sign() {
+        let s = format!("{:?}", Complex::new(1.0, -1.0));
+        assert!(s.contains('-'));
+    }
+}

@@ -1,0 +1,182 @@
+//! Small dense complex linear algebra.
+//!
+//! The receiver solves two kinds of tiny least-squares problems: channel
+//! (ISI tap) estimation from the known preamble, and zero-forcing inverse
+//! filter design (§4.2.4d). Systems are at most ~15 unknowns, so plain
+//! Gaussian elimination with partial pivoting on the normal equations is
+//! both adequate and dependency-free.
+
+use crate::complex::{Complex, ZERO};
+
+/// Solves the dense square system `A·x = b` in place by Gaussian
+/// elimination with partial pivoting. Returns `None` for (numerically)
+/// singular systems.
+pub fn solve_in_place(a: &mut [Vec<Complex>], b: &mut [Complex]) -> Option<Vec<Complex>> {
+    let n = b.len();
+    assert_eq!(a.len(), n, "matrix/vector size mismatch");
+    for row in a.iter() {
+        assert_eq!(row.len(), n, "matrix must be square");
+    }
+
+    for col in 0..n {
+        // partial pivot
+        let (pivot_row, pivot_mag) = (col..n)
+            .map(|r| (r, a[r][col].norm_sq()))
+            .max_by(|x, y| x.1.total_cmp(&y.1))?;
+        if pivot_mag < 1e-24 {
+            return None;
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+
+        let inv_pivot = a[col][col].inv();
+        for r in col + 1..n {
+            let factor = a[r][col] * inv_pivot;
+            if factor == ZERO {
+                continue;
+            }
+            for c in col..n {
+                let v = a[col][c];
+                a[r][c] -= factor * v;
+            }
+            let bv = b[col];
+            b[r] -= factor * bv;
+        }
+    }
+
+    // back substitution
+    let mut x = vec![ZERO; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for col in row + 1..n {
+            acc -= a[row][col] * x[col];
+        }
+        x[row] = acc * a[row][row].inv();
+    }
+    Some(x)
+}
+
+/// Solves the least-squares problem `min ‖A·x − b‖²` via the normal
+/// equations `AᴴA·x = Aᴴb`, with Tikhonov regularisation `λ` on the
+/// diagonal for robustness against ill-conditioned training sequences.
+///
+/// `rows` holds the rows of `A`; every row must have the same length.
+pub fn lstsq(rows: &[Vec<Complex>], b: &[Complex], lambda: f64) -> Option<Vec<Complex>> {
+    assert_eq!(rows.len(), b.len(), "row/observation count mismatch");
+    let m = rows.first()?.len();
+    let mut ata = vec![vec![ZERO; m]; m];
+    let mut atb = vec![ZERO; m];
+    for (row, &obs) in rows.iter().zip(b.iter()) {
+        debug_assert_eq!(row.len(), m);
+        for i in 0..m {
+            let ci = row[i].conj();
+            for j in 0..m {
+                ata[i][j] += ci * row[j];
+            }
+            atb[i] += ci * obs;
+        }
+    }
+    for (i, row) in ata.iter_mut().enumerate() {
+        row[i] += Complex::real(lambda);
+    }
+    solve_in_place(&mut ata, &mut atb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    #[test]
+    fn solve_identity() {
+        let mut a = vec![
+            vec![c(1.0, 0.0), ZERO],
+            vec![ZERO, c(1.0, 0.0)],
+        ];
+        let mut b = vec![c(3.0, 1.0), c(-2.0, 0.5)];
+        let x = solve_in_place(&mut a, &mut b).unwrap();
+        assert!((x[0] - c(3.0, 1.0)).abs() < 1e-12);
+        assert!((x[1] - c(-2.0, 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_known_complex_system() {
+        // A = [[1+j, 2], [3, 4-j]], x = [1-j, 2+j]; b = A·x
+        let a0 = vec![
+            vec![c(1.0, 1.0), c(2.0, 0.0)],
+            vec![c(3.0, 0.0), c(4.0, -1.0)],
+        ];
+        let x_true = [c(1.0, -1.0), c(2.0, 1.0)];
+        let b0: Vec<Complex> = a0
+            .iter()
+            .map(|row| row[0] * x_true[0] + row[1] * x_true[1])
+            .collect();
+        let mut a = a0.clone();
+        let mut b = b0.clone();
+        let x = solve_in_place(&mut a, &mut b).unwrap();
+        assert!((x[0] - x_true[0]).abs() < 1e-10);
+        assert!((x[1] - x_true[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        let mut a = vec![
+            vec![c(1.0, 0.0), c(2.0, 0.0)],
+            vec![c(2.0, 0.0), c(4.0, 0.0)],
+        ];
+        let mut b = vec![c(1.0, 0.0), c(2.0, 0.0)];
+        assert!(solve_in_place(&mut a, &mut b).is_none());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let mut a = vec![
+            vec![ZERO, c(1.0, 0.0)],
+            vec![c(1.0, 0.0), ZERO],
+        ];
+        let mut b = vec![c(5.0, 0.0), c(7.0, 0.0)];
+        let x = solve_in_place(&mut a, &mut b).unwrap();
+        assert!((x[0] - c(7.0, 0.0)).abs() < 1e-12);
+        assert!((x[1] - c(5.0, 0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lstsq_exact_system() {
+        // Overdetermined but consistent.
+        let rows = vec![
+            vec![c(1.0, 0.0), c(0.0, 0.0)],
+            vec![c(0.0, 0.0), c(1.0, 0.0)],
+            vec![c(1.0, 0.0), c(1.0, 0.0)],
+        ];
+        let b = vec![c(2.0, 0.0), c(3.0, 0.0), c(5.0, 0.0)];
+        let x = lstsq(&rows, &b, 0.0).unwrap();
+        assert!((x[0] - c(2.0, 0.0)).abs() < 1e-10);
+        assert!((x[1] - c(3.0, 0.0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lstsq_minimises_residual() {
+        // Inconsistent system: solution must beat small perturbations.
+        let rows = vec![
+            vec![c(1.0, 0.0)],
+            vec![c(1.0, 0.0)],
+        ];
+        let b = vec![c(0.0, 0.0), c(2.0, 0.0)];
+        let x = lstsq(&rows, &b, 0.0).unwrap();
+        assert!((x[0] - c(1.0, 0.0)).abs() < 1e-10); // mean
+    }
+
+    #[test]
+    fn regularisation_stabilises_singular_normal_eqs() {
+        let rows = vec![vec![c(1.0, 0.0), c(1.0, 0.0)]];
+        let b = vec![c(2.0, 0.0)];
+        // Without λ this is singular; with λ it returns the minimum-norm-ish
+        // solution.
+        let x = lstsq(&rows, &b, 1e-6).unwrap();
+        assert!((x[0] - x[1]).abs() < 1e-6);
+        assert!(((x[0] + x[1]) - c(2.0, 0.0)).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,128 @@
+//! Known preamble sequence.
+//!
+//! "Every 802.11 packet starts with a known preamble … The preamble is a
+//! pseudo-random sequence that is independent of shifted versions of
+//! itself, as well as Alice's and Bob's data" (§4.2.1). That independence
+//! is exactly the autocorrelation property of a maximal-length LFSR
+//! sequence, so the preamble here is a BPSK-mapped m-sequence
+//! (x⁷ + x⁴ + 1, period 127), truncated to the configured length.
+//!
+//! The paper's prototype uses a 32-symbol preamble (§5.1c); that is the
+//! default.
+
+use crate::complex::Complex;
+use crate::scramble::Scrambler;
+
+/// Default preamble length in symbols, matching §5.1c ("32-bit preamble").
+pub const DEFAULT_PREAMBLE_LEN: usize = 32;
+
+/// The known preamble: a fixed pseudo-random BPSK symbol sequence shared by
+/// every transmitter and receiver in the network.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Preamble {
+    symbols: Vec<Complex>,
+    bits: Vec<u8>,
+}
+
+impl Preamble {
+    /// The standard network-wide preamble of the given length.
+    pub fn standard(len: usize) -> Self {
+        assert!(len > 0, "preamble cannot be empty");
+        // m-sequence from the 802.11 scrambler LFSR, fixed seed.
+        let mut lfsr = Scrambler::new(0b111_1111);
+        let bits: Vec<u8> = (0..len).map(|_| lfsr.next_bit()).collect();
+        let symbols = bits
+            .iter()
+            .map(|&b| Complex::real(if b == 1 { 1.0 } else { -1.0 }))
+            .collect();
+        Self { symbols, bits }
+    }
+
+    /// The default 32-symbol preamble.
+    pub fn default_len() -> Self {
+        Self::standard(DEFAULT_PREAMBLE_LEN)
+    }
+
+    /// The preamble's BPSK symbols (±1).
+    pub fn symbols(&self) -> &[Complex] {
+        &self.symbols
+    }
+
+    /// The preamble's underlying bits.
+    pub fn bits(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// Length in symbols.
+    #[allow(clippy::len_without_is_empty)] // a preamble is never empty
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Total energy `Σ|s[k]|²`. Because the symbols are ±1 this equals the
+    /// length; the channel estimator divides the correlation peak by this
+    /// (§4.2.4a: `H = Γ'/Σ|s[k]|²`).
+    pub fn energy(&self) -> f64 {
+        self.symbols.len() as f64
+    }
+}
+
+impl Default for Preamble {
+    fn default() -> Self {
+        Self::default_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::inner;
+
+    #[test]
+    fn default_length_is_32() {
+        assert_eq!(Preamble::default_len().len(), 32);
+    }
+
+    #[test]
+    fn symbols_are_bpsk() {
+        let p = Preamble::standard(64);
+        for s in p.symbols() {
+            assert!(s.im == 0.0 && (s.re == 1.0 || s.re == -1.0));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(Preamble::standard(32), Preamble::standard(32));
+    }
+
+    #[test]
+    fn energy_equals_length() {
+        let p = Preamble::standard(48);
+        assert_eq!(p.energy(), 48.0);
+    }
+
+    #[test]
+    fn shifted_autocorrelation_is_low() {
+        // §4.2.1 requires the preamble to be nearly independent of shifted
+        // versions of itself: correlation at non-zero lag must be far below
+        // the zero-lag peak.
+        let p = Preamble::standard(32);
+        let peak = inner(p.symbols(), p.symbols()).abs();
+        for lag in 1..p.len() {
+            let c = inner(&p.symbols()[lag..], &p.symbols()[..p.len() - lag]).abs();
+            assert!(
+                c < 0.55 * peak,
+                "lag {lag}: sidelobe {c:.1} vs peak {peak:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn roughly_balanced() {
+        let p = Preamble::standard(127);
+        let ones = p.bits().iter().filter(|&&b| b == 1).count();
+        // A full-period m-sequence has 64 ones / 63 zeros.
+        assert_eq!(ones, 64);
+    }
+}

@@ -1,0 +1,58 @@
+//! Failure injection: what makes ZigZag fall over, and how it degrades.
+//!
+//! Sweeps three fault axes the paper discusses — equal offsets (the §4.5
+//! undecodable pattern), tracking disabled (Table 5.1), and low SNR — and
+//! prints the observed failure modes. The smoltcp-style counterpart of a
+//! fault-injection demo.
+//!
+//! Run: `cargo run --release --example failure_injection`
+
+use rand::prelude::*;
+use zigzag::channel::fading::LinkProfile;
+use zigzag::channel::scenario::hidden_pair;
+use zigzag::core::config::{ClientInfo, ClientRegistry, DecoderConfig};
+use zigzag::core::schedule::PlanOutcome;
+use zigzag::core::zigzag::{CollisionSpec, PacketSpec, ZigzagDecoder};
+use zigzag::phy::bits::bit_error_rate;
+use zigzag::phy::frame::{encode_frame, Frame};
+use zigzag::phy::modulation::Modulation;
+use zigzag::phy::preamble::Preamble;
+
+fn run(name: &str, snr: f64, d1: usize, d2: usize, cfg: DecoderConfig, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let la = LinkProfile::typical(snr, &mut rng);
+    let lb = LinkProfile::typical(snr, &mut rng);
+    let fa = Frame::with_random_payload(0, 1, 1, 400, seed);
+    let fb = Frame::with_random_payload(0, 2, 1, 400, seed + 1);
+    let a = encode_frame(&fa, Modulation::Bpsk, &Preamble::default_len());
+    let b = encode_frame(&fb, Modulation::Bpsk, &Preamble::default_len());
+    let hp = hidden_pair(&a, &b, &la, &lb, d1, d2, &mut rng);
+    let mut reg = ClientRegistry::new();
+    reg.associate(1, ClientInfo { omega: la.association_omega(), snr_db: snr, taps: la.isi.clone() });
+    reg.associate(2, ClientInfo { omega: lb.association_omega(), snr_db: snr, taps: lb.isi.clone() });
+    let dec = ZigzagDecoder::new(cfg, &reg);
+    let out = dec.decode(
+        &[
+            CollisionSpec { buffer: &hp.collision1.buffer, placements: vec![(0, 0), (1, d1)] },
+            CollisionSpec { buffer: &hp.collision2.buffer, placements: vec![(0, 0), (1, d2)] },
+        ],
+        &[PacketSpec { client: 1 }, PacketSpec { client: 2 }],
+    );
+    let ber_a = bit_error_rate(&a.mpdu_bits, &out.packets[0].scrambled_bits);
+    let ber_b = bit_error_rate(&b.mpdu_bits, &out.packets[1].scrambled_bits);
+    let stuck = out.outcome == PlanOutcome::Stuck;
+    println!("{name:<36} outcome={:<9} BER A={ber_a:<9.1e} B={ber_b:<9.1e}",
+        if stuck { "STUCK" } else { "complete" });
+}
+
+fn main() {
+    println!("fault axis                           result");
+    run("baseline (12 dB, D=340/110)", 12.0, 340, 110, DecoderConfig::default(), 1);
+    run("equal offsets (undecodable, §4.5)", 12.0, 200, 200, DecoderConfig::default(), 2);
+    run("tracking disabled (Table 5.1)", 12.0, 340, 110, DecoderConfig::without_tracking(), 3);
+    run("ISI filter disabled (Table 5.1)", 10.0, 340, 110, DecoderConfig::without_isi_filter(), 4);
+    run("deep fade (4 dB)", 4.0, 340, 110, DecoderConfig::default(), 5);
+    run("one-slot offset difference", 12.0, 110, 100, DecoderConfig::default(), 6);
+    println!("\nequal offsets leave the scheduler stuck (two identical equations);");
+    println!("everything else degrades gracefully in BER, as the paper describes.");
+}

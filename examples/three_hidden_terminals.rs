@@ -1,0 +1,96 @@
+//! Three hidden terminals (§4.5, Fig 4-6, §5.7).
+//!
+//! Three senders collide three times with MAC-drawn offsets; the greedy
+//! chunk scheduler finds a decode order across the three collisions and
+//! the executor recovers all three packets.
+//!
+//! Run: `cargo run --release --example three_hidden_terminals`
+
+use rand::prelude::*;
+use zigzag_channel::fading::LinkProfile;
+use zigzag_channel::scenario::{synth_collision, PlacedTx};
+use zigzag_core::config::DecoderConfig;
+use zigzag_core::schedule::{decodable, CollisionLayout, Placement, PlanOutcome};
+use zigzag_core::zigzag::{CollisionSpec, PacketSpec, ZigzagDecoder};
+use zigzag_mac::{multi_episode, Backoff, MacParams};
+use zigzag_phy::bits::bit_error_rate;
+use zigzag_phy::frame::{encode_frame, Frame};
+use zigzag_phy::modulation::Modulation;
+use zigzag_phy::preamble::Preamble;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let params = MacParams::default();
+    let payload = 300;
+
+    let links: Vec<LinkProfile> = (0..3).map(|_| LinkProfile::typical(14.0, &mut rng)).collect();
+    let airs: Vec<_> = (0..3)
+        .map(|i| {
+            let f = Frame::with_random_payload(0, i as u16 + 1, 5, payload, 600 + i as u64);
+            encode_frame(&f, Modulation::Bpsk, &Preamble::default_len())
+        })
+        .collect();
+    let chans: Vec<_> = links.iter().map(|l| l.draw(&mut rng)).collect();
+
+    // Draw MAC jitter until the offset pattern is solvable (a real AP
+    // would keep collecting retransmissions).
+    let rounds = loop {
+        let r = multi_episode(3, 3, Backoff::Exponential, &params, &mut rng);
+        let lens = vec![airs[0].len(); 3];
+        let layouts: Vec<CollisionLayout> = r
+            .iter()
+            .map(|offs| CollisionLayout {
+                placements: offs
+                    .iter()
+                    .enumerate()
+                    .map(|(q, &o)| Placement { packet: q, start: params.slots_to_symbols(o) })
+                    .collect(),
+                len: params.slots_to_symbols(*offs.iter().max().unwrap()) + lens[0] + 64,
+            })
+            .collect();
+        if decodable(&lens, &layouts) {
+            break r;
+        }
+        println!("  (offset pattern unsolvable — waiting for another retransmission)");
+    };
+    println!("three collisions, per-round slot offsets:");
+    for (r, offs) in rounds.iter().enumerate() {
+        println!("  collision {}: {:?}", r + 1, offs);
+    }
+
+    let buffers: Vec<_> = rounds
+        .iter()
+        .map(|offs| {
+            let placed: Vec<PlacedTx<'_>> = (0..3)
+                .map(|i| PlacedTx {
+                    air: &airs[i],
+                    base: &chans[i],
+                    start: params.slots_to_symbols(offs[i]),
+                })
+                .collect();
+            synth_collision(&placed, 1.0, &mut rng)
+        })
+        .collect();
+
+    let reg = zigzag_testbed::registry_for(&[(1, &links[0]), (2, &links[1]), (3, &links[2])]);
+    let dec = ZigzagDecoder::new(DecoderConfig::default(), &reg);
+    let specs: Vec<CollisionSpec<'_>> = buffers
+        .iter()
+        .zip(rounds.iter())
+        .map(|(b, offs)| CollisionSpec {
+            buffer: &b.buffer,
+            placements: (0..3).map(|i| (i, params.slots_to_symbols(offs[i]))).collect(),
+        })
+        .collect();
+    let out = dec.decode(
+        &specs,
+        &[PacketSpec { client: 1 }, PacketSpec { client: 2 }, PacketSpec { client: 3 }],
+    );
+    assert_eq!(out.outcome, PlanOutcome::Complete, "scheduler should finish");
+    for (i, p) in out.packets.iter().enumerate() {
+        let ber = bit_error_rate(&airs[i].mpdu_bits, &p.scrambled_bits);
+        println!("sender {}: BER {ber:.2e}", i + 1);
+        assert!(ber < 1e-2);
+    }
+    println!("all three packets recovered — each sender effectively got 1/3 of the medium (Fig 5-9)");
+}

@@ -1,0 +1,27 @@
+//! # zigzag — facade crate
+//!
+//! Re-exports the whole ZigZag reproduction workspace ("ZigZag Decoding:
+//! Combating Hidden Terminals in Wireless Networks", SIGCOMM 2008) behind
+//! one dependency:
+//!
+//! * [`phy`] — complex-baseband DSP substrate (modulation, framing,
+//!   synchronisation, equalization, coding).
+//! * [`channel`] — software radio channel simulator (fading, offsets,
+//!   ISI, noise, collisions, path loss).
+//! * [`mac`] — 802.11 MAC behaviour (timing, backoff, CSMA episodes,
+//!   ACK feasibility).
+//! * [`core`] — the ZigZag receiver itself (detection, matching, chunk
+//!   scheduling, iterative decode–re-encode–subtract, capture/IC).
+//! * [`testbed`] — the 14-node evaluation harness and metrics.
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! binaries that regenerate every table and figure of the paper's
+//! evaluation.
+
+#![warn(missing_docs)]
+
+pub use zigzag_channel as channel;
+pub use zigzag_core as core;
+pub use zigzag_mac as mac;
+pub use zigzag_phy as phy;
+pub use zigzag_testbed as testbed;

@@ -1,0 +1,174 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants, spanning phy and core.
+
+use proptest::prelude::*;
+use zigzag::core::intervals::IntervalSet;
+use zigzag::core::schedule::{decodable, pair_layouts, CollisionLayout, Placement, PlanOutcome, PlanState};
+use zigzag::phy::bits::{bits_to_bytes, bytes_to_bits};
+use zigzag::phy::complex::Complex;
+use zigzag::phy::crc::{append_crc, verify_crc};
+use zigzag::phy::frame::{decode_mpdu, encode_frame, Frame};
+use zigzag::phy::modulation::Modulation;
+use zigzag::phy::preamble::Preamble;
+use zigzag::phy::scramble::{descramble, scramble};
+
+proptest! {
+    /// Bit/byte packing round-trips for any byte string.
+    #[test]
+    fn bits_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(bits_to_bytes(&bytes_to_bits(&data)), data);
+    }
+
+    /// Scrambling is an involution for every seed and payload.
+    #[test]
+    fn scramble_involution(data in proptest::collection::vec(any::<u8>(), 0..256), seed: u8) {
+        prop_assert_eq!(descramble(&scramble(&data, seed), seed), data);
+    }
+
+    /// CRC-32 detects any single bit flip.
+    #[test]
+    fn crc_detects_single_flips(
+        data in proptest::collection::vec(any::<u8>(), 1..128),
+        flip_bit in 0usize..1024,
+    ) {
+        let mut buf = data;
+        append_crc(&mut buf);
+        let bit = flip_bit % (buf.len() * 8);
+        buf[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(!verify_crc(&buf));
+    }
+
+    /// Every modulation round-trips any bit string noiselessly.
+    #[test]
+    fn modulation_roundtrip(
+        bits in proptest::collection::vec(0u8..2, 0..240),
+        which in 0usize..4,
+    ) {
+        let m = Modulation::ALL[which];
+        // pad to a whole number of symbols
+        let mut padded = bits;
+        while padded.len() % m.bits_per_symbol() != 0 {
+            padded.push(0);
+        }
+        let syms = m.modulate(&padded);
+        prop_assert_eq!(m.demodulate(&syms), padded);
+    }
+
+    /// Frame encode → noiseless demodulate → parse recovers the frame.
+    #[test]
+    fn frame_roundtrip(
+        src in 1u16..100,
+        seq in 0u16..500,
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let f = Frame::new(0, src, seq, payload);
+        let air = encode_frame(&f, Modulation::Bpsk, &Preamble::default_len());
+        let bits = Modulation::Bpsk.demodulate(&air.symbols[air.mpdu_start()..]);
+        let parsed = decode_mpdu(&bits[..air.mpdu_bits.len()], f.scramble_seed());
+        prop_assert_eq!(parsed, Some(f));
+    }
+
+    /// IntervalSet::insert keeps ranges sorted, disjoint and
+    /// non-adjacent; totals never exceed the span.
+    #[test]
+    fn interval_set_invariants(
+        ranges in proptest::collection::vec((0usize..500, 1usize..60), 1..24)
+    ) {
+        let mut s = IntervalSet::new();
+        for (start, len) in &ranges {
+            s.insert(*start..start + len);
+        }
+        let rs = s.ranges();
+        for w in rs.windows(2) {
+            prop_assert!(w[0].end < w[1].start, "ranges must stay disjoint, non-adjacent");
+        }
+        for (start, len) in &ranges {
+            prop_assert!(s.covers(*start..start + len));
+        }
+    }
+
+    /// The peeling decodability test agrees with the greedy planner on
+    /// random two-packet layouts (they implement the same §4.5 semantics).
+    #[test]
+    fn peeling_matches_greedy(
+        len in 20usize..120,
+        d1 in 0usize..100,
+        d2 in 0usize..100,
+    ) {
+        let layouts = pair_layouts(len, len, d1, d2);
+        let peel = decodable(&[len, len], &layouts);
+        let mut plan = PlanState::new(vec![len, len], layouts);
+        let (_, outcome) = plan.plan_all();
+        prop_assert_eq!(peel, outcome == PlanOutcome::Complete);
+    }
+
+    /// A greedy plan never schedules a symbol whose position is still
+    /// interfered (the §4.5 safety invariant), for random 3-packet
+    /// three-collision layouts.
+    #[test]
+    fn greedy_plan_is_interference_safe(
+        offs in proptest::collection::vec((0usize..80, 0usize..80, 0usize..80), 3..4),
+        len in 30usize..100,
+    ) {
+        let collisions: Vec<CollisionLayout> = offs
+            .iter()
+            .map(|&(a, b, c)| CollisionLayout {
+                placements: vec![
+                    Placement { packet: 0, start: a },
+                    Placement { packet: 1, start: b },
+                    Placement { packet: 2, start: c },
+                ],
+                len: a.max(b).max(c) + len + 8,
+            })
+            .collect();
+        let mut plan = PlanState::new(vec![len; 3], collisions.clone());
+        let (steps, _) = plan.plan_all();
+        // replay and verify no step decodes an interfered position
+        let mut replay = PlanState::new(vec![len; 3], collisions.clone());
+        for step in steps {
+            let c = &collisions[step.collision];
+            let start = c
+                .placements
+                .iter()
+                .find(|p| p.packet == step.packet)
+                .unwrap()
+                .start;
+            for u in step.range.clone() {
+                for other in &c.placements {
+                    if other.packet == step.packet {
+                        continue;
+                    }
+                    let pos = start + u;
+                    if pos >= other.start && pos - other.start < len {
+                        prop_assert!(
+                            replay.decoded(other.packet).contains(pos - other.start),
+                            "packet {} interfered at {}",
+                            step.packet,
+                            u
+                        );
+                    }
+                }
+            }
+            replay.mark(step.packet, step.range);
+        }
+    }
+
+    /// Complex arithmetic: |a·b| = |a|·|b| and arg(a·b) ≈ arg a + arg b.
+    #[test]
+    fn complex_polar_mul(r1 in 0.1f64..10.0, t1 in -3.0f64..3.0, r2 in 0.1f64..10.0, t2 in -3.0f64..3.0) {
+        let a = Complex::from_polar(r1, t1);
+        let b = Complex::from_polar(r2, t2);
+        let p = a * b;
+        prop_assert!((p.abs() - r1 * r2).abs() < 1e-9 * (1.0 + r1 * r2));
+        let want = (t1 + t2).rem_euclid(2.0 * std::f64::consts::PI);
+        let got = p.arg().rem_euclid(2.0 * std::f64::consts::PI);
+        prop_assert!((want - got).abs() < 1e-9 || (want - got).abs() > 2.0 * std::f64::consts::PI - 1e-9);
+    }
+
+    /// Convolutional code round-trips any clean input.
+    #[test]
+    fn conv_code_roundtrip(bits in proptest::collection::vec(0u8..2, 0..200)) {
+        let coded = zigzag::phy::coding::encode(&bits);
+        prop_assert_eq!(zigzag::phy::coding::decode_hard(&coded), bits);
+    }
+}
