@@ -53,8 +53,7 @@ fn bench_zigzag_k_senders(c: &mut Criterion) {
     for k in [2usize, 3, 4] {
         let mut rng = StdRng::seed_from_u64(20 + k as u64);
         let links: Vec<LinkProfile> = (0..k).map(|_| LinkProfile::clean(14.0)).collect();
-        let airs: Vec<_> =
-            (0..k).map(|i| airframe(i as u16 + 1, 1, 200, 40 + i as u64)).collect();
+        let airs: Vec<_> = (0..k).map(|i| airframe(i as u16 + 1, 1, 200, 40 + i as u64)).collect();
         let chans: Vec<_> = links.iter().map(|l| l.draw(&mut rng)).collect();
         // simple decodable offset structure: round r shifts sender i by
         // a distinct prime multiple

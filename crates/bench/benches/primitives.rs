@@ -47,10 +47,8 @@ fn bench_interp(c: &mut Criterion) {
 
 fn bench_equalizer(c: &mut Criterion) {
     let p = Preamble::standard(64);
-    let ch = Fir::new(
-        vec![Complex::new(0.1, 0.02), Complex::real(1.0), Complex::new(0.2, -0.05)],
-        1,
-    );
+    let ch =
+        Fir::new(vec![Complex::new(0.1, 0.02), Complex::real(1.0), Complex::new(0.2, -0.05)], 1);
     let rx = ch.apply(p.symbols());
     c.bench_function("channel_estimate_plus_inverse", |b| {
         b.iter(|| {

@@ -1,0 +1,111 @@
+//! Batched decode throughput: buffers decoded/sec through the
+//! `BatchEngine`, single- vs multi-threaded, on a batch of 64 independent
+//! hidden-terminal work units (128 collision buffers).
+//!
+//! This is the perf anchor for the engine refactor: the multi-threaded
+//! engine must beat the single-threaded path by ≥ 2× on this batch while
+//! producing byte-identical decode results at every thread count (both
+//! checked at the end of the run; the run fails loudly otherwise).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::prelude::*;
+use std::time::Instant;
+use zigzag_bench::airframe;
+use zigzag_channel::fading::LinkProfile;
+use zigzag_channel::scenario::hidden_pair;
+use zigzag_core::config::DecoderConfig;
+use zigzag_core::engine::{decode_batch, unit_seed, BatchEngine, DecodeUnit};
+
+const UNITS: usize = 64;
+
+/// Builds 64 independent hidden-terminal work units: each is a fresh
+/// receiver fed the two collisions of one retransmission pair (store →
+/// match → zigzag), i.e. 128 collision buffers in total.
+fn build_units() -> Vec<DecodeUnit> {
+    (0..UNITS)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(unit_seed(2008, i));
+            let la = LinkProfile::typical(16.0, &mut rng);
+            let lb = LinkProfile::typical(16.0, &mut rng);
+            let a = airframe(1, i as u16, 200, 10_000 + i as u64);
+            let b = airframe(2, i as u16, 200, 20_000 + i as u64);
+            let d1 = 200 + 10 * (i % 12);
+            let d2 = 60 + 10 * (i % 5);
+            let hp = hidden_pair(&a, &b, &la, &lb, d1, d2, &mut rng);
+            let registry = zigzag_testbed::registry_for(&[(1, &la), (2, &lb)]);
+            DecodeUnit {
+                cfg: DecoderConfig::default(),
+                registry,
+                buffers: vec![hp.collision1.buffer, hp.collision2.buffer],
+            }
+        })
+        .collect()
+}
+
+fn bench_batch_decode(c: &mut Criterion) {
+    let units = build_units();
+    let n_buffers: usize = units.iter().map(|u| u.buffers.len()).sum();
+    let single = BatchEngine::single_threaded();
+    let multi = BatchEngine::new(0);
+    println!(
+        "batch: {UNITS} work units / {n_buffers} collision buffers; multi = {} threads",
+        multi.threads()
+    );
+
+    c.bench_function("batch_decode_single_thread", |b| b.iter(|| decode_batch(&single, &units)));
+    c.bench_function("batch_decode_multi_thread", |b| b.iter(|| decode_batch(&multi, &units)));
+
+    // Speedup from median-of-3 timed passes per engine (plain std timing,
+    // portable to real criterion) — less noise-sensitive than one pass.
+    let median_ns = |engine: &BatchEngine| {
+        let mut samples: Vec<f64> = (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(decode_batch(engine, &units));
+                t.elapsed().as_nanos() as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        samples[1]
+    };
+    let ns_single = median_ns(&single);
+    let ns_multi = median_ns(&multi);
+
+    // --- determinism check ---
+    let events_single = decode_batch(&single, &units);
+    let events_multi = decode_batch(&multi, &units);
+    assert_eq!(
+        events_single, events_multi,
+        "multi-threaded decode must be bit-identical to single-threaded"
+    );
+    let delivered: usize = events_single
+        .iter()
+        .flat_map(|ev| ev.iter())
+        .filter(|e| matches!(e, zigzag_core::ReceiverEvent::Delivered { .. }))
+        .count();
+    let speedup = ns_single / ns_multi;
+    println!(
+        "single: {:>8.1} ms ({:.1} buffers/s)   multi: {:>8.1} ms ({:.1} buffers/s)",
+        ns_single / 1e6,
+        n_buffers as f64 / (ns_single / 1e9),
+        ns_multi / 1e6,
+        n_buffers as f64 / (ns_multi / 1e9),
+    );
+    println!(
+        "speedup: {speedup:.2}x   frames delivered: {delivered} (identical across thread counts)"
+    );
+    // Hard perf gate for dedicated hardware with real parallelism; shared
+    // CI runners (SMT vCPUs, noisy neighbors) set ZIGZAG_BENCH_RELAXED=1
+    // and rely on the determinism assert above.
+    let relaxed = std::env::var_os("ZIGZAG_BENCH_RELAXED").is_some();
+    if multi.threads() >= 4 && !relaxed {
+        assert!(
+            speedup >= 2.0,
+            "multi-threaded BatchEngine must be >= 2x single-threaded on {} threads, got {speedup:.2}x",
+            multi.threads()
+        );
+    }
+}
+
+criterion_group!(benches, bench_batch_decode);
+criterion_main!(benches);

@@ -17,7 +17,7 @@ fn main() {
     // and y_A is under 60°. Chain the event to measure propagation runs.
     let n_trials = trials(2_000_000, 100_000);
     let mut rng = StdRng::seed_from_u64(4);
-    let mut run_lengths = vec![0usize; 12];
+    let mut run_lengths = [0usize; 12];
     for _ in 0..n_trials {
         let mut len = 0usize;
         loop {
@@ -46,8 +46,8 @@ fn main() {
         let expect = (1.0f64 / 3.0).powi(k as i32) * (2.0 / 3.0);
         println!("{k:>7} {p:>12.6} {expect:>12.6}");
     }
-    let p_flip = run_lengths.iter().enumerate().map(|(k, &c)| k * c).sum::<usize>() as f64
-        / n_trials as f64;
+    let p_flip =
+        run_lengths.iter().enumerate().map(|(k, &c)| k * c).sum::<usize>() as f64 / n_trials as f64;
     println!("\nmean propagation length: {p_flip:.4} (geometric 1/3 ⇒ 0.5)");
     println!(
         "flip probability per hop: measured {:.4}; exact geometry 1/3 = {:.4}; the paper states 1/6",

@@ -13,31 +13,38 @@ use zigzag_bench::{airframe, draw_offsets, run_zigzag_pair, trials};
 use zigzag_channel::fading::LinkProfile;
 use zigzag_channel::scenario::clean_reception;
 use zigzag_core::config::DecoderConfig;
+use zigzag_core::engine::{unit_seed, BatchEngine};
 use zigzag_core::standard::decode_single;
 use zigzag_phy::bits::bit_error_rate;
 use zigzag_phy::preamble::Preamble;
 
-fn collision_free_ber(snr_db: f64, payload: usize, n_trials: usize, seed: u64) -> f64 {
-    let mut rng = StdRng::seed_from_u64(seed);
+fn collision_free_ber(
+    engine: &BatchEngine,
+    snr_db: f64,
+    payload: usize,
+    n_trials: usize,
+    seed: u64,
+) -> f64 {
     let cfg = DecoderConfig::default();
-    let mut errs = 0usize;
-    let mut bits = 0usize;
-    for t in 0..n_trials {
+    let ts: Vec<usize> = (0..n_trials).collect();
+    let per_trial = engine.map(&ts, |_, &t| {
+        let mut rng = StdRng::seed_from_u64(unit_seed(seed, t));
         let l = LinkProfile::typical(snr_db, &mut rng);
         let reg = zigzag_testbed::registry_for(&[(1, &l)]);
         let a = airframe(1, t as u16, payload, seed + t as u64);
         let rx = clean_reception(&a, &l, &mut rng);
-        if let Some(d) =
+        let errs = if let Some(d) =
             decode_single(&rx.buffer, 0, Some(1), &reg, &Preamble::default_len(), true, &cfg)
         {
-            errs += (bit_error_rate(&a.mpdu_bits, &d.scrambled_bits)
-                * a.mpdu_bits.len() as f64)
-                .round() as usize;
+            (bit_error_rate(&a.mpdu_bits, &d.scrambled_bits) * a.mpdu_bits.len() as f64).round()
+                as usize
         } else {
-            errs += a.mpdu_bits.len() / 2;
-        }
-        bits += a.mpdu_bits.len();
-    }
+            a.mpdu_bits.len() / 2
+        };
+        (errs, a.mpdu_bits.len())
+    });
+    let errs: usize = per_trial.iter().map(|&(e, _)| e).sum();
+    let bits: usize = per_trial.iter().map(|&(_, b)| b).sum();
     errs as f64 / bits as f64
 }
 
@@ -45,26 +52,28 @@ fn collision_free_ber(snr_db: f64, payload: usize, n_trials: usize, seed: u64) -
 /// (BER > 0.1 — a bootstrap/estimation collapse rather than bit noise;
 /// the paper reports these separately as the Table 5.1 success rates).
 fn zigzag_ber(
+    engine: &BatchEngine,
     snr_db: f64,
     payload: usize,
     cfg: &DecoderConfig,
     n_trials: usize,
     seed: u64,
 ) -> (f64, f64) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let ts: Vec<usize> = (0..n_trials).collect();
+    let bers = engine.map(&ts, |_, &t| {
+        let mut rng = StdRng::seed_from_u64(unit_seed(seed, t));
+        let (d1, d2) = draw_offsets(&mut rng);
+        run_zigzag_pair(snr_db, payload, d1, d2, cfg, true, seed * 977 + t as u64).ber
+    });
     let mut acc = 0.0;
     let mut n = 0usize;
     let mut fails = 0usize;
-    for t in 0..n_trials {
-        let (d1, d2) = draw_offsets(&mut rng);
-        let out = run_zigzag_pair(snr_db, payload, d1, d2, cfg, true, seed * 977 + t as u64);
-        for b in out.ber {
-            if b > 0.1 {
-                fails += 1;
-            } else {
-                acc += b;
-                n += 1;
-            }
+    for b in bers.iter().flatten() {
+        if *b > 0.1 {
+            fails += 1;
+        } else {
+            acc += b;
+            n += 1;
         }
     }
     (acc / n.max(1) as f64, fails as f64 / (2 * n_trials) as f64)
@@ -73,7 +82,11 @@ fn zigzag_ber(
 fn main() {
     let n_trials = trials(60, 8);
     let payload = 500;
-    println!("Figure 5-3: BER vs SNR ({n_trials} packet-pairs per point, {payload} B)");
+    let engine = BatchEngine::new(0);
+    println!(
+        "Figure 5-3: BER vs SNR ({n_trials} packet-pairs per point, {payload} B, {} threads)",
+        engine.threads()
+    );
     println!(
         "{:>5} {:>16} {:>16} {:>16} {:>10}",
         "SNR", "collision-free", "zigzag fwd", "zigzag fwd+bwd", "zz fail%"
@@ -81,11 +94,23 @@ fn main() {
     let mut ratio_acc = 0.0;
     let mut ratio_n = 0;
     for snr in [5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0] {
-        let cf = collision_free_ber(snr, payload, n_trials, 3_000 + snr as u64);
-        let (fwd, _) =
-            zigzag_ber(snr, payload, &DecoderConfig::forward_only(), n_trials, 4_000 + snr as u64);
-        let (fb, fail) =
-            zigzag_ber(snr, payload, &DecoderConfig::default(), n_trials, 5_000 + snr as u64);
+        let cf = collision_free_ber(&engine, snr, payload, n_trials, 3_000 + snr as u64);
+        let (fwd, _) = zigzag_ber(
+            &engine,
+            snr,
+            payload,
+            &DecoderConfig::forward_only(),
+            n_trials,
+            4_000 + snr as u64,
+        );
+        let (fb, fail) = zigzag_ber(
+            &engine,
+            snr,
+            payload,
+            &DecoderConfig::default(),
+            n_trials,
+            5_000 + snr as u64,
+        );
         println!("{snr:>5.1} {cf:>16.6} {fwd:>16.6} {fb:>16.6} {:>10.1}", fail * 100.0);
         if fb > 0.0 && cf > 0.0 {
             ratio_acc += cf / fb;

@@ -10,25 +10,41 @@
 //! back toward 1 when Alice's power buries Bob (the cancellation-floor
 //! regime; ours sits at −20 dB, see DESIGN.md §2).
 
+use rand::prelude::*;
 use zigzag_bench::trials;
 use zigzag_channel::fading::LinkProfile;
-use zigzag_testbed::{run_pair, ExperimentConfig};
+use zigzag_core::engine::BatchEngine;
+use zigzag_testbed::{run_pairs, ExperimentConfig, PairScenario};
 
 fn main() {
     let rounds = trials(40, 12);
     let snr_b = 12.0;
     let cfg = ExperimentConfig { payload: 300, rounds, ..Default::default() };
-    println!("Figure 5-4: capture sweep (SNR_B = {snr_b} dB, {rounds} rounds/point)");
+    let engine = BatchEngine::new(0);
+    println!(
+        "Figure 5-4: capture sweep (SNR_B = {snr_b} dB, {rounds} rounds/point, {} threads)",
+        engine.threads()
+    );
     println!(
         "{:>6} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}",
         "dSNR", "A:802", "A:cfs", "A:zz", "B:802", "B:cfs", "B:zz", "T:802", "T:cfs", "T:zz"
     );
-    for dsnr in [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0] {
-        let mut rng = rand::prelude::StdRng::seed_from_u64(7_000 + dsnr as u64);
-        use rand::prelude::*;
-        let la = LinkProfile::typical(snr_b + dsnr, &mut rng);
-        let lb = LinkProfile::typical(snr_b, &mut rng);
-        let run = run_pair(&la, &lb, 0.0, &cfg, 600 + dsnr as u64);
+    // one scenario per ΔSNR point, fanned across the engine
+    let points = [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0];
+    let scenarios: Vec<PairScenario> = points
+        .iter()
+        .map(|&dsnr| {
+            let mut rng = StdRng::seed_from_u64(7_000 + dsnr as u64);
+            PairScenario {
+                link_a: LinkProfile::typical(snr_b + dsnr, &mut rng),
+                link_b: LinkProfile::typical(snr_b, &mut rng),
+                p_sense: 0.0,
+                seed: 600 + dsnr as u64,
+            }
+        })
+        .collect();
+    let runs = run_pairs(&engine, &scenarios, &cfg);
+    for (dsnr, run) in points.iter().zip(runs.iter()) {
         println!(
             "{dsnr:>6.1} | {:>7.2} {:>7.2} {:>7.2} | {:>7.2} {:>7.2} {:>7.2} | {:>7.2} {:>7.2} {:>7.2}",
             run.s802.throughput(0),

@@ -15,7 +15,8 @@ use rand::prelude::*;
 use zigzag_bench::{section, trials};
 use zigzag_channel::fading::LinkProfile;
 use zigzag_channel::pathloss::Sensing;
-use zigzag_testbed::{run_pair, ExperimentConfig, Samples, Testbed};
+use zigzag_core::engine::BatchEngine;
+use zigzag_testbed::{run_pairs, ExperimentConfig, PairScenario, Samples, Testbed};
 
 fn cdf_print(name: &str, s: &Samples) {
     print!("{name} CDF:");
@@ -37,6 +38,8 @@ fn main() {
 
     let n_pairs = trials(40, 10);
     let cfg = ExperimentConfig { payload: 300, rounds: trials(30, 12), ..Default::default() };
+    let engine = BatchEngine::new(0);
+    println!("running {n_pairs} sampled pairs on {} threads", engine.threads());
     let mut rng = StdRng::seed_from_u64(42);
 
     let mut tput_802 = Samples::new();
@@ -47,18 +50,29 @@ fn main() {
     let mut hidden_loss_zz = Samples::new();
     let mut scatter: Vec<(f64, f64, bool)> = Vec::new();
 
+    // Sample the pair scenarios sequentially (cheap, keeps the draw order
+    // deterministic), then fan the expensive flow experiments across the
+    // engine.
     let pairs = tb.sender_pairs();
-    let mut sampled = 0usize;
-    while sampled < n_pairs {
+    let mut scenarios: Vec<PairScenario> = Vec::new();
+    let mut hidden_flags: Vec<bool> = Vec::new();
+    while scenarios.len() < n_pairs {
         let &(a, b) = pairs.choose(&mut rng).unwrap();
         let aps = tb.common_aps(a, b, 6.0);
         let Some(&ap) = aps.choose(&mut rng) else { continue };
         let snr_a = tb.link_snr_db(a, ap).min(25.0);
         let snr_b = tb.link_snr_db(b, ap).min(25.0);
         let sensing = tb.sensing(a, b);
-        let la = LinkProfile::typical(snr_a, &mut rng);
-        let lb = LinkProfile::typical(snr_b, &mut rng);
-        let run = run_pair(&la, &lb, sensing.probability(), &cfg, 5_000 + sampled as u64);
+        scenarios.push(PairScenario {
+            link_a: LinkProfile::typical(snr_a, &mut rng),
+            link_b: LinkProfile::typical(snr_b, &mut rng),
+            p_sense: sensing.probability(),
+            seed: 5_000 + scenarios.len() as u64,
+        });
+        hidden_flags.push(matches!(sensing, Sensing::Hidden | Sensing::Partial(_)));
+    }
+    let runs = run_pairs(&engine, &scenarios, &cfg);
+    for (run, &is_ht) in runs.iter().zip(hidden_flags.iter()) {
         tput_802.push(run.s802.total_throughput());
         tput_zz.push(run.zigzag.total_throughput());
         // per-flow loss, the paper's Fig 5-6/5-8 unit
@@ -66,7 +80,6 @@ fn main() {
             loss_802.push(run.s802.flow_loss(s));
             loss_zz.push(run.zigzag.flow_loss(s));
         }
-        let is_ht = matches!(sensing, Sensing::Hidden | Sensing::Partial(_));
         if is_ht {
             for s in 0..2 {
                 hidden_loss_802.push(run.s802.flow_loss(s));
@@ -74,7 +87,6 @@ fn main() {
             }
         }
         scatter.push((run.s802.total_throughput(), run.zigzag.total_throughput(), is_ht));
-        sampled += 1;
     }
 
     section("Figure 5-5: aggregate normalized throughput (whole testbed)");

@@ -11,6 +11,7 @@ use zigzag_bench::{airframe, trials};
 use zigzag_channel::fading::LinkProfile;
 use zigzag_channel::scenario::{synth_collision, PlacedTx};
 use zigzag_core::config::DecoderConfig;
+use zigzag_core::engine::{unit_seed, BatchEngine};
 use zigzag_core::schedule::PlanOutcome;
 use zigzag_core::zigzag::{CollisionSpec, PacketSpec, ZigzagDecoder};
 use zigzag_mac::{multi_episode, Backoff, MacParams};
@@ -27,12 +28,18 @@ fn main() {
     let mut per_sender = Samples::new();
     let mut fail_bers = Samples::new();
     let mut episodes_ok = 0usize;
-    let mut rng = StdRng::seed_from_u64(99);
-    for t in 0..n_trials {
-        let links: Vec<LinkProfile> =
-            (0..3).map(|_| LinkProfile::typical(snr, &mut rng)).collect();
-        let airs: Vec<_> =
-            (0..3).map(|i| airframe(i as u16 + 1, t as u16, payload, 70_000 + t as u64 * 3 + i as u64)).collect();
+    let engine = BatchEngine::new(0);
+    println!("({} threads)", engine.threads());
+    let mode = std::env::var("FIG59_MODE").unwrap_or_default();
+    let cfg9 = if mode == "fwd" { DecoderConfig::forward_only() } else { DecoderConfig::default() };
+    // one independent work unit per episode, seeded by episode index
+    let ts: Vec<usize> = (0..n_trials).collect();
+    let episodes = engine.map(&ts, |_, &t| {
+        let mut rng = StdRng::seed_from_u64(unit_seed(99, t));
+        let links: Vec<LinkProfile> = (0..3).map(|_| LinkProfile::typical(snr, &mut rng)).collect();
+        let airs: Vec<_> = (0..3)
+            .map(|i| airframe(i as u16 + 1, t as u16, payload, 70_000 + t as u64 * 3 + i as u64))
+            .collect();
         let chans: Vec<_> = links.iter().map(|l| l.draw(&mut rng)).collect();
         // three collision rounds with MAC jitter; retry until the offsets
         // are decodable in the abstract (the AP would wait for more
@@ -71,40 +78,41 @@ fn main() {
                 synth_collision(&placed, 1.0, &mut rng)
             })
             .collect();
-        let reg = zigzag_testbed::registry_for(&[
-            (1, &links[0]),
-            (2, &links[1]),
-            (3, &links[2]),
-        ]);
-        let mode = std::env::var("FIG59_MODE").unwrap_or_default();
-        let cfg9 = if mode == "fwd" { DecoderConfig::forward_only() } else { DecoderConfig::default() };
-        let dec = ZigzagDecoder::new(cfg9, &reg);
+        let reg = zigzag_testbed::registry_for(&[(1, &links[0]), (2, &links[1]), (3, &links[2])]);
+        let dec = ZigzagDecoder::new(cfg9.clone(), &reg);
         let specs: Vec<CollisionSpec<'_>> = buffers
             .iter()
             .zip(rounds.iter())
             .map(|(b, offs)| CollisionSpec {
                 buffer: &b.buffer,
-                placements: (0..3)
-                    .map(|i| (i, params.slots_to_symbols(offs[i])))
-                    .collect(),
+                placements: (0..3).map(|i| (i, params.slots_to_symbols(offs[i]))).collect(),
             })
             .collect();
         let out = dec.decode(
             &specs,
             &[PacketSpec { client: 1 }, PacketSpec { client: 2 }, PacketSpec { client: 3 }],
         );
-        if out.outcome == PlanOutcome::Complete {
+        let bers: Vec<f64> = (0..3)
+            .map(|i| bit_error_rate(&airs[i].mpdu_bits, &out.packets[i].scrambled_bits))
+            .collect();
+        if std::env::var_os("FIG59_DEBUG").is_some() {
+            for (i, ber) in bers.iter().enumerate() {
+                if *ber >= 1e-3 {
+                    eprintln!("  fail: episode {t} sender {i} BER {ber:.4} offsets {rounds:?}");
+                }
+            }
+        }
+        (out.outcome == PlanOutcome::Complete, bers)
+    });
+    for (complete, bers) in &episodes {
+        if *complete {
             episodes_ok += 1;
         }
         // three packets over three collision rounds: perfect = 1/3 each
-        for i in 0..3 {
-            let ber = bit_error_rate(&airs[i].mpdu_bits, &out.packets[i].scrambled_bits);
+        for &ber in bers {
             per_sender.push(if ber < 1e-3 { 1.0 / 3.0 } else { 0.0 });
             if ber >= 1e-3 {
                 fail_bers.push(ber);
-            }
-            if std::env::var_os("FIG59_DEBUG").is_some() && ber >= 1e-3 {
-                eprintln!("  fail: episode {t} sender {i} BER {ber:.4} offsets {rounds:?}");
             }
         }
     }

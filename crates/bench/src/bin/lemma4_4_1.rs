@@ -6,12 +6,17 @@
 
 use rand::prelude::*;
 use zigzag_bench::trials;
-use zigzag_mac::{schedule_acks, sync_ack_probability_bound, sync_ack_probability_mc, Backoff, MacParams};
+use zigzag_mac::{
+    schedule_acks, sync_ack_probability_bound, sync_ack_probability_mc, Backoff, MacParams,
+};
 
 fn main() {
     let p = MacParams::default();
     println!("Lemma 4.4.1: P(offset sufficient for a synchronous ACK), 802.11g");
-    println!("analytic bound (Appendix A): {:.4}  (paper: >= 0.9375)", sync_ack_probability_bound(&p));
+    println!(
+        "analytic bound (Appendix A): {:.4}  (paper: >= 0.9375)",
+        sync_ack_probability_bound(&p)
+    );
     let mut rng = StdRng::seed_from_u64(1);
     let mc = sync_ack_probability_mc(&p, trials(1_000_000, 50_000), &mut rng);
     println!("Monte Carlo (exact draws):   {:.4}", mc);
@@ -32,5 +37,8 @@ fn main() {
             sync_ok += 1;
         }
     }
-    println!("episodes where both acks fit synchronously: {:.2}%", 100.0 * sync_ok as f64 / n as f64);
+    println!(
+        "episodes where both acks fit synchronously: {:.2}%",
+        100.0 * sync_ok as f64 / n as f64
+    );
 }

@@ -15,6 +15,7 @@ use zigzag_channel::fading::LinkProfile;
 use zigzag_channel::scenario::{clean_reception, hidden_pair};
 use zigzag_core::config::DecoderConfig;
 use zigzag_core::detect::{detect_packets, is_collision};
+use zigzag_core::engine::{unit_seed, BatchEngine};
 use zigzag_phy::preamble::Preamble;
 
 fn correlation_rates(n_trials: usize) -> (f64, f64) {
@@ -47,21 +48,33 @@ fn correlation_rates(n_trials: usize) -> (f64, f64) {
     (fp as f64 / n_trials as f64, fneg as f64 / n_trials as f64)
 }
 
-/// Fraction of colliding packets decodable (BER < 1e-3).
-fn success_rate(payload: usize, cfg: &DecoderConfig, snr_db: f64, n_trials: usize, seed: u64) -> f64 {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut ok = 0usize;
-    for t in 0..n_trials {
-        let (d1, d2) = draw_offsets(&mut rng);
-        let out = run_zigzag_pair(snr_db, payload, d1, d2, cfg, true, seed * 1000 + t as u64);
-        ok += out.ber.iter().filter(|&&b| b < 1e-3).count();
-    }
+/// Fraction of colliding packets decodable (BER < 1e-3), fanned across
+/// the engine one trial per work unit.
+fn success_rate(
+    engine: &BatchEngine,
+    payload: usize,
+    cfg: &DecoderConfig,
+    snr_db: f64,
+    n_trials: usize,
+    seed: u64,
+) -> f64 {
+    let ts: Vec<usize> = (0..n_trials).collect();
+    let ok: usize = engine
+        .map(&ts, |_, &t| {
+            let mut rng = StdRng::seed_from_u64(unit_seed(seed, t));
+            let (d1, d2) = draw_offsets(&mut rng);
+            let out = run_zigzag_pair(snr_db, payload, d1, d2, cfg, true, seed * 1000 + t as u64);
+            out.ber.iter().filter(|&&b| b < 1e-3).count()
+        })
+        .into_iter()
+        .sum();
     ok as f64 / (2 * n_trials) as f64
 }
 
 fn main() {
     println!("Table 5.1: micro-evaluation of ZigZag's components");
     let n = trials(250, 30);
+    let engine = BatchEngine::new(0);
 
     section("Correlation collision detector (beta = 0.78; paper used 0.65 at 2 sps)");
     let (fp, fneg) = correlation_rates(trials(500, 60));
@@ -72,8 +85,8 @@ fn main() {
     let with = DecoderConfig::default();
     let without = DecoderConfig::without_tracking();
     for (payload, paper_with, paper_without) in [(800, "99.6%", "89%"), (1500, "98.2%", "0%")] {
-        let s_with = success_rate(payload, &with, 12.0, n, 7000 + payload as u64);
-        let s_without = success_rate(payload, &without, 12.0, n, 8000 + payload as u64);
+        let s_with = success_rate(&engine, payload, &with, 12.0, n, 7000 + payload as u64);
+        let s_without = success_rate(&engine, payload, &without, 12.0, n, 8000 + payload as u64);
         println!(
             "{payload:>5} B: with {:.1}% (paper {paper_with})   without {:.1}% (paper {paper_without})",
             s_with * 100.0,
@@ -85,8 +98,8 @@ fn main() {
     let with = DecoderConfig::default();
     let without = DecoderConfig::without_isi_filter();
     for (snr, paper_with, paper_without) in [(10.0, "99.6%", "47%"), (20.0, "100%", "96%")] {
-        let s_with = success_rate(800, &with, snr, n, 9000 + snr as u64);
-        let s_without = success_rate(800, &without, snr, n, 9500 + snr as u64);
+        let s_with = success_rate(&engine, 800, &with, snr, n, 9000 + snr as u64);
+        let s_without = success_rate(&engine, 800, &without, snr, n, 9500 + snr as u64);
         println!(
             "{snr:>4} dB: with {:.1}% (paper {paper_with})   without {:.1}% (paper {paper_without})",
             s_with * 100.0,

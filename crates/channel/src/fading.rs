@@ -113,8 +113,7 @@ impl ChannelParams {
                     // Gaussian step via Box–Muller (single value).
                     let u1: f64 = rng.gen_range(1e-300..1.0);
                     let u2: f64 = rng.gen_range(0.0..1.0);
-                    let g = (-2.0 * u1.ln()).sqrt()
-                        * (2.0 * std::f64::consts::PI * u2).cos();
+                    let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                     pn += g * self.phase_noise;
                 }
                 self.gain * s * Complex::cis(self.omega * n as f64 + pn)
@@ -263,7 +262,7 @@ mod tests {
         for (n, v) in y.iter().enumerate() {
             let expected = 0.01 * n as f64;
             let diff = (v.arg() - expected).rem_euclid(2.0 * std::f64::consts::PI);
-            assert!(diff < 1e-9 || diff > 2.0 * std::f64::consts::PI - 1e-9, "n={n}");
+            assert!(!(1e-9..=2.0 * std::f64::consts::PI - 1e-9).contains(&diff), "n={n}");
         }
     }
 
@@ -285,10 +284,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut x = vec![Complex::default(); 64];
         x[32] = Complex::real(1.0);
-        let ch = ChannelParams {
-            isi: Fir::from_real(&[0.2, 1.0, 0.3], 1),
-            ..ChannelParams::ideal()
-        };
+        let ch =
+            ChannelParams { isi: Fir::from_real(&[0.2, 1.0, 0.3], 1), ..ChannelParams::ideal() };
         let y = ch.apply(&x, &mut rng);
         assert!((y[31].re - 0.2).abs() < 1e-12);
         assert!((y[32].re - 1.0).abs() < 1e-12);

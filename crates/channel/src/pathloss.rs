@@ -7,7 +7,6 @@
 //! all the evaluation needs: a realistic joint distribution of per-link
 //! SNRs and sensing relationships (see DESIGN.md §2).
 
-
 /// Path-loss + shadowing model mapping node geometry to link SNR.
 #[derive(Clone, Debug)]
 pub struct PathLossModel {
@@ -153,9 +152,8 @@ mod tests {
     #[test]
     fn shadowing_roughly_standard_normal() {
         let m = PathLossModel { shadowing_sigma_db: 1.0, ref_snr_db: 0.0, exponent: 0.0, seed: 42 };
-        let draws: Vec<f64> = (0..2000)
-            .map(|k| m.snr_db(k, (1.0, 0.0), k + 5000, (1.0, 1.0)))
-            .collect();
+        let draws: Vec<f64> =
+            (0..2000).map(|k| m.snr_db(k, (1.0, 0.0), k + 5000, (1.0, 1.0))).collect();
         let n = draws.len() as f64;
         let mean = draws.iter().sum::<f64>() / n;
         let var = draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n;

@@ -1,0 +1,156 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this in-tree crate
+//! provides the API subset the workspace's benches use: [`Criterion`]
+//! with `bench_function`/`bench_with_input`, [`BenchmarkId`], `Bencher::iter`,
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple: a short calibration pass sizes the
+//! iteration count to a target sampling window, several samples are taken,
+//! and the median ns/iter is reported on stdout. Set `CRITERION_QUICK=1`
+//! (or pass `--quick`) to shrink the window for CI smoke runs.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterised benchmark, e.g. `name/param`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        Self { id: format!("{name}/{parameter}") }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    sample_target: Duration,
+    /// Median duration of one iteration from the last `iter` call, in ns.
+    pub last_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the median time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // calibration: one timed call decides the per-sample iteration count
+        let t0 = Instant::now();
+        black_box(f());
+        let est = t0.elapsed().max(Duration::from_nanos(20));
+        let iters = (self.sample_target.as_nanos() / est.as_nanos()).clamp(1, 100_000) as u64;
+        let mut samples: Vec<f64> = Vec::with_capacity(5);
+        for _ in 0..5 {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.last_ns = samples[samples.len() / 2];
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_target: Duration,
+    /// ns/iter of the most recently completed benchmark.
+    pub last_ns: f64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var_os("CRITERION_QUICK").is_some()
+            || std::env::args().any(|a| a == "--quick");
+        Self {
+            sample_target: if quick {
+                Duration::from_millis(10)
+            } else {
+                Duration::from_millis(120)
+            },
+            last_ns: 0.0,
+        }
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+impl Criterion {
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher { sample_target: self.sample_target, last_ns: 0.0 };
+        f(&mut b);
+        self.last_ns = b.last_ns;
+        println!("{id:<40} time: {:>12}/iter", human(b.last_ns));
+    }
+
+    /// Benchmarks a closure under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, f);
+        self
+    }
+
+    /// Benchmarks a closure with an input value under a parameterised id.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_one(&id.id, |b| f(b, input));
+        self
+    }
+}
+
+/// Declares a group function running each benchmark in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($f(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($g:path),+ $(,)?) => {
+        fn main() {
+            $($g();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion { sample_target: Duration::from_millis(2), last_ns: 0.0 };
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        assert!(c.last_ns > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("decode", 1500);
+        assert_eq!(id.id, "decode/1500");
+    }
+}

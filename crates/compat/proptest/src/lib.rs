@@ -1,0 +1,216 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this in-tree crate
+//! implements the subset of the proptest API that `tests/properties.rs`
+//! uses: the [`proptest!`] macro over functions whose parameters are either
+//! `name in strategy` or `name: Type`, scalar range strategies
+//! (`0u8..2`, `0.1f64..10.0`), [`any`], tuple strategies, and
+//! [`collection::vec`].
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with
+//! the usual assertion message, and cases are generated from a
+//! deterministic per-test seed so failures reproduce exactly. The case
+//! count defaults to 64 and can be overridden with `PROPTEST_CASES`.
+
+#![warn(missing_docs)]
+
+use rand::prelude::*;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A generator of values for one test parameter.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)*) = self;
+                ($($name.generate(rng),)*)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`, `name: T`).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<T>(PhantomData<T>);
+
+/// Whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element_strategy, length_range)`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runs `case` for the configured number of deterministic cases.
+pub fn run_proptest(name: &str, mut case: impl FnMut(&mut StdRng)) {
+    let cases: u64 =
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+    // FNV-1a over the test name: every test gets its own stable stream.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    for i in 0..cases {
+        let mut rng = StdRng::seed_from_u64(h ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        case(&mut rng);
+    }
+}
+
+/// Declares property tests. Parameters are `name in strategy` or
+/// `name: Type`; bodies use `prop_assert!`/`prop_assert_eq!` (or plain
+/// `assert!`).
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_proptest(stringify!($name), |__pt_rng| {
+                    $crate::__proptest_bind!(__pt_rng, $($params)*);
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// Internal: binds one parameter list entry at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $name:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        let $name = $crate::Strategy::generate(&($strat), $rng);
+        $($crate::__proptest_bind!($rng, $($rest)*);)?
+    };
+    ($rng:ident, $name:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        let $name = $crate::Strategy::generate(&$crate::any::<$ty>(), $rng);
+        $($crate::__proptest_bind!($rng, $($rest)*);)?
+    };
+}
+
+/// Property assertion (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property equality assertion (no shrinking: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// One-stop import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Arbitrary, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -1.0f64..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+        }
+
+        #[test]
+        fn typed_params_bind(seed: u8, big: u64) {
+            let _ = (seed, big);
+            prop_assert_eq!(seed as u64 & 0xFF, seed as u64);
+        }
+
+        #[test]
+        fn tuples_compose(pair in (0usize..4, 1usize..3)) {
+            prop_assert!(pair.0 < 4 && pair.1 >= 1);
+        }
+    }
+}

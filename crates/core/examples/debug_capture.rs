@@ -23,16 +23,19 @@ fn main() {
     let cb = lb.draw(&mut rng);
     let delta = 300;
     let sc = synth_collision(
-        &[
-            PlacedTx { air: &a, base: &ca, start: 0 },
-            PlacedTx { air: &b, base: &cb, start: delta },
-        ],
+        &[PlacedTx { air: &a, base: &ca, start: 0 }, PlacedTx { air: &b, base: &cb, start: delta }],
         1.0,
         &mut rng,
     );
     let mut reg = ClientRegistry::new();
-    reg.associate(1, ClientInfo { omega: la.association_omega(), snr_db: 22.0, taps: la.isi.clone() });
-    reg.associate(2, ClientInfo { omega: lb.association_omega(), snr_db: 13.0, taps: lb.isi.clone() });
+    reg.associate(
+        1,
+        ClientInfo { omega: la.association_omega(), snr_db: 22.0, taps: la.isi.clone() },
+    );
+    reg.associate(
+        2,
+        ClientInfo { omega: lb.association_omega(), snr_db: 13.0, taps: lb.isi.clone() },
+    );
     let cfg = DecoderConfig::default();
     let p = Preamble::default_len();
 

@@ -22,8 +22,14 @@ fn main() {
     let b = encode_frame(&fb, Modulation::Bpsk, &Preamble::default_len());
     let hp = hidden_pair(&a, &b, &la, &lb, d1, d2, &mut rng);
     let mut reg = ClientRegistry::new();
-    reg.associate(1, ClientInfo { omega: la.association_omega(), snr_db: snr, taps: la.isi.clone() });
-    reg.associate(2, ClientInfo { omega: lb.association_omega(), snr_db: snr, taps: lb.isi.clone() });
+    reg.associate(
+        1,
+        ClientInfo { omega: la.association_omega(), snr_db: snr, taps: la.isi.clone() },
+    );
+    reg.associate(
+        2,
+        ClientInfo { omega: lb.association_omega(), snr_db: snr, taps: lb.isi.clone() },
+    );
     let dec = ZigzagDecoder::new(DecoderConfig::default(), &reg);
     let out = dec.decode(
         &[

@@ -38,11 +38,7 @@ fn main() {
         )
         .unwrap();
         let ber = bit_error_rate(&a.mpdu_bits, &out.scrambled_bits);
-        let first = a
-            .mpdu_bits
-            .iter()
-            .zip(out.scrambled_bits.iter())
-            .position(|(x, y)| x != y);
+        let first = a.mpdu_bits.iter().zip(out.scrambled_bits.iter()).position(|(x, y)| x != y);
         println!(
             "{m:?} @{snr}dB: plcp={:?} frame_ok={} BER={ber:.4} first_err={first:?} len_bits={} got={}",
             out.plcp.map(|p| p.modulation),

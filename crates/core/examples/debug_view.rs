@@ -21,7 +21,7 @@ fn run(name: &str, ch: ChannelParams, snr_db: f64, omega_hint: f64, payload: usi
         ..ch
     };
     let mut buf = ch.apply(&a.symbols, &mut rng);
-    buf.extend(std::iter::repeat(ZERO).take(32));
+    buf.extend(std::iter::repeat_n(ZERO, 32));
     add_awgn(&mut rng, &mut buf, 1.0);
 
     let cfg = DecoderConfig::default();
@@ -47,17 +47,11 @@ fn run(name: &str, ch: ChannelParams, snr_db: f64, omega_hint: f64, payload: usi
         total_syms: a.len(),
     };
     let out = v.decode_chunk(&buf, 0..a.len(), &layout, Direction::Forward);
-    let bits: Vec<u8> = out.decided[a.mpdu_start()..]
-        .iter()
-        .flat_map(|&d| Modulation::Bpsk.decide(d).0)
-        .collect();
+    let bits: Vec<u8> =
+        out.decided[a.mpdu_start()..].iter().flat_map(|&d| Modulation::Bpsk.decide(d).0).collect();
     let ber = bit_error_rate(&a.mpdu_bits, &bits[..a.mpdu_bits.len()]);
     // where do errors start?
-    let first_err = a
-        .mpdu_bits
-        .iter()
-        .zip(bits.iter())
-        .position(|(x, y)| x != y);
+    let first_err = a.mpdu_bits.iter().zip(bits.iter()).position(|(x, y)| x != y);
     println!("    BER {ber:.5} first_err {first_err:?} of {}", a.mpdu_bits.len());
 }
 

@@ -16,8 +16,9 @@
 //! content, one collision suffices.
 
 use crate::config::{ClientRegistry, DecoderConfig};
-use crate::standard::{decode_single, SingleDecode};
-use crate::view::ChannelView;
+use crate::engine::scratch::Scratch;
+use crate::standard::{decode_single_with, SingleDecode};
+use crate::view::{ChannelView, Image};
 use zigzag_phy::complex::Complex;
 use zigzag_phy::frame::{decode_mpdu, Frame};
 
@@ -47,13 +48,22 @@ pub fn subtract_decoded(
     decoded: &SingleDecode,
     preamble: &Preamble,
 ) -> Vec<Complex> {
+    let mut ws = Scratch::new();
+    subtract_decoded_with(buffer, decoded, preamble, &mut ws)
+}
+
+/// Scratch-aware variant of [`subtract_decoded`].
+pub fn subtract_decoded_with(
+    buffer: &[Complex],
+    decoded: &SingleDecode,
+    preamble: &Preamble,
+    ws: &mut Scratch,
+) -> Vec<Complex> {
     // the decode left the view's linear phase model at the packet end;
     // re-anchor it at the preamble for front-to-back synthesis
-    let view = decoded
-        .view
-        .reanchored(buffer, preamble.symbols())
-        .unwrap_or_else(|| decoded.view.clone());
-    subtract_known(buffer, &decoded.decided, &view)
+    let view =
+        decoded.view.reanchored(buffer, preamble.symbols()).unwrap_or_else(|| decoded.view.clone());
+    subtract_known_with(buffer, &decoded.decided, &view, ws)
 }
 
 /// Subtracts a packet with *known clean symbols* through a channel view —
@@ -62,14 +72,25 @@ pub fn subtract_decoded(
 /// phase/frequency/amplitude/timing before the next block is rendered, so
 /// oscillator phase noise cannot accumulate across the packet (a one-shot
 /// linear-phase image would).
-pub fn subtract_known(
+pub fn subtract_known(buffer: &[Complex], symbols: &[Complex], view: &ChannelView) -> Vec<Complex> {
+    let mut ws = Scratch::new();
+    subtract_known_with(buffer, symbols, view, &mut ws)
+}
+
+/// Scratch-aware variant of [`subtract_known`]: per-block images and
+/// observed spans are drawn from `ws`.
+pub fn subtract_known_with(
     buffer: &[Complex],
     symbols: &[Complex],
     view: &ChannelView,
+    ws: &mut Scratch,
 ) -> Vec<Complex> {
     let mut residual = buffer.to_vec();
     let mut v = view.clone();
     let sym_fn = |n: usize| symbols.get(n).copied();
+    let Scratch { pool, .. } = ws;
+    let mut img = Image { first: 0, samples: pool.take() };
+    let mut observed = pool.take();
     // Small blocks: cancellation depth is set by how far the oscillator
     // phase-noise walk gets between feedback corrections. 32 symbols keeps
     // the within-block walk ≈0.07 rad ⇒ ≈−28 dB residual, enough to expose
@@ -78,16 +99,19 @@ pub fn subtract_known(
     let mut s = 0usize;
     while s < symbols.len() {
         let e = (s + block).min(symbols.len());
-        let img = v.synthesize(s..e, &sym_fn);
+        v.synthesize_into(s..e, &sym_fn, pool, &mut img);
         let blen = residual.len();
         let span = img.first.min(blen)..img.range().end.min(blen);
-        let observed: Vec<Complex> = residual[span.clone()].to_vec();
+        observed.clear();
+        observed.extend_from_slice(&residual[span.clone()]);
         img.subtract_from(&mut residual);
         if e - s >= 16 && observed.len() == img.samples.len() {
-            v.feedback(&observed, &img, s..e, &sym_fn);
+            v.feedback_with(&observed, &img, s..e, &sym_fn, pool);
         }
         s = e;
     }
+    pool.put(img.samples);
+    pool.put(observed);
     residual
 }
 
@@ -106,7 +130,43 @@ pub fn capture_decode(
     preamble: &Preamble,
     cfg: &DecoderConfig,
 ) -> Option<CaptureResult> {
-    let strong = decode_single(buffer, strong_start, strong_client, registry, preamble, false, cfg)?;
+    let mut ws = Scratch::new();
+    capture_decode_with(
+        buffer,
+        strong_start,
+        strong_client,
+        weak_start,
+        weak_client,
+        registry,
+        preamble,
+        cfg,
+        &mut ws,
+    )
+}
+
+/// Scratch-aware variant of [`capture_decode`].
+#[allow(clippy::too_many_arguments)]
+pub fn capture_decode_with(
+    buffer: &[Complex],
+    strong_start: usize,
+    strong_client: Option<u16>,
+    weak_start: usize,
+    weak_client: Option<u16>,
+    registry: &ClientRegistry,
+    preamble: &Preamble,
+    cfg: &DecoderConfig,
+    ws: &mut Scratch,
+) -> Option<CaptureResult> {
+    let strong = decode_single_with(
+        buffer,
+        strong_start,
+        strong_client,
+        registry,
+        preamble,
+        false,
+        cfg,
+        ws,
+    )?;
     // Subtract whenever the strong decode looks self-consistent: the PLCP
     // must have been readable (else even the length is a guess) and the
     // decisions must sit close to the soft symbols (EVM gate). A CRC pass
@@ -125,8 +185,9 @@ pub fn capture_decode(
     if !plausible {
         return Some(CaptureResult { strong, weak: None });
     }
-    let residual = subtract_decoded(buffer, &strong, preamble);
-    let weak = decode_single(&residual, weak_start, weak_client, registry, preamble, true, cfg);
+    let residual = subtract_decoded_with(buffer, &strong, preamble, ws);
+    let weak =
+        decode_single_with(&residual, weak_start, weak_client, registry, preamble, true, cfg, ws);
     Some(CaptureResult { strong, weak })
 }
 
@@ -138,9 +199,10 @@ pub fn mrc_combined_bits(v1: &SingleDecode, v2: &SingleDecode) -> Option<Vec<u8>
     let plcp = v1.plcp.or(v2.plcp)?;
     let body_start = {
         // preamble + PLCP symbols — identical for both versions
-        v1.soft.len().min(v2.soft.len()).checked_sub(
-            plcp.modulation.symbols_for_bits(plcp.mpdu_len as usize * 8),
-        )?
+        v1.soft
+            .len()
+            .min(v2.soft.len())
+            .checked_sub(plcp.modulation.symbols_for_bits(plcp.mpdu_len as usize * 8))?
     };
     let w1 = v1.view.gain * v1.view.gain;
     let w2 = v2.view.gain * v2.view.gain;
@@ -169,11 +231,12 @@ pub fn mrc_combine_retry(v1: &SingleDecode, v2: &SingleDecode) -> Option<Frame> 
 mod tests {
     use super::*;
     use crate::config::ClientInfo;
+    use crate::standard::decode_single;
     use rand::prelude::*;
-    use zigzag_phy::modulation::Modulation;
     use zigzag_channel::fading::LinkProfile;
     use zigzag_channel::scenario::{synth_collision, PlacedTx};
     use zigzag_phy::frame::encode_frame;
+    use zigzag_phy::modulation::Modulation;
 
     fn air(src: u16, seq: u16, len: usize) -> zigzag_phy::frame::AirFrame {
         let f = Frame::with_random_payload(0, src, seq, len, 900 + src as u64 + seq as u64);
@@ -343,7 +406,13 @@ mod tests {
                 1.0,
                 &mut rng,
             );
+            // Fresh link draws model a fresh association: both clients'
+            // registry entries must match the links actually in the air.
             let mut reg2 = reg.clone();
+            reg2.associate(
+                1,
+                ClientInfo { omega: la.association_omega(), snr_db: 22.0, taps: la.isi.clone() },
+            );
             reg2.associate(
                 2,
                 ClientInfo { omega: lb.association_omega(), snr_db: 9.0, taps: lb.isi.clone() },

@@ -13,9 +13,10 @@
 //! balances false positives against false negatives (Table 5.1).
 
 use crate::config::{ClientRegistry, DecoderConfig};
+use crate::engine::scratch::BufPool;
 use zigzag_channel::noise::amplitude_for_snr_db;
 use zigzag_phy::complex::Complex;
-use zigzag_phy::correlate::{corr_at, find_peaks};
+use zigzag_phy::correlate::{find_peaks, scan_into};
 use zigzag_phy::preamble::Preamble;
 
 /// A detected packet start.
@@ -44,21 +45,35 @@ pub fn detect_packets(
     registry: &ClientRegistry,
     cfg: &DecoderConfig,
 ) -> Vec<Detection> {
+    let mut pool = BufPool::new();
+    detect_packets_with(buffer, preamble, registry, cfg, &mut pool)
+}
+
+/// Scratch-aware variant of [`detect_packets`]: the full-buffer
+/// correlation scans (one per associated client per sampling grid — the
+/// largest transient buffers in the receive path) are drawn from `pool`.
+pub fn detect_packets_with(
+    buffer: &[Complex],
+    preamble: &Preamble,
+    registry: &ClientRegistry,
+    cfg: &DecoderConfig,
+    pool: &mut BufPool,
+) -> Vec<Detection> {
     let l = preamble.len();
     // A packet's fractional sampling offset attenuates the integer-grid
     // correlation peak (by sinc(µ), down to ~0.64 at µ=±0.5) — enough to
     // push marginal preambles under the threshold. Scan a half-sample
     // grid: the buffer interpolated at +0.5 is computed once and shared
     // by all clients.
-    let half: Vec<Complex> = zigzag_phy::interp::resample(buffer, 0.5, 1.0, buffer.len());
+    let mut half = pool.take();
+    zigzag_phy::interp::resample_into(buffer, 0.5, 1.0, buffer.len(), &mut half);
+    let mut corr = pool.take();
     let mut all: Vec<Detection> = Vec::new();
     for (client, info) in registry.iter() {
         let h = amplitude_for_snr_db(info.snr_db);
         let threshold = cfg.beta * l as f64 * h;
         for grid in [buffer, half.as_slice()] {
-            let corr: Vec<Complex> = (0..grid.len())
-                .map(|d| corr_at(grid, preamble.symbols(), d, info.omega))
-                .collect();
+            scan_into(grid, preamble.symbols(), info.omega, 0..grid.len(), &mut corr);
             for p in find_peaks(&corr, threshold, l) {
                 all.push(Detection {
                     pos: p.pos,
@@ -69,6 +84,8 @@ pub fn detect_packets(
             }
         }
     }
+    pool.put(corr);
+    pool.put(half);
     // merge near-duplicates across clients
     all.sort_by(|a, b| a.pos.cmp(&b.pos).then(b.score.total_cmp(&a.score)));
     let mut merged: Vec<Detection> = Vec::new();
@@ -109,7 +126,11 @@ mod tests {
         for (id, l) in links {
             r.associate(
                 *id,
-                ClientInfo { omega: l.association_omega(), snr_db: l.snr_db, taps: Fir::identity() },
+                ClientInfo {
+                    omega: l.association_omega(),
+                    snr_db: l.snr_db,
+                    taps: Fir::identity(),
+                },
             );
         }
         r
@@ -127,7 +148,8 @@ mod tests {
         let a = air(1, 300);
         let rx = clean_reception(&a, &l, &mut rng);
         let reg = setup_registry(&[(1, &l)]);
-        let det = detect_packets(&rx.buffer, &Preamble::default_len(), &reg, &DecoderConfig::default());
+        let det =
+            detect_packets(&rx.buffer, &Preamble::default_len(), &reg, &DecoderConfig::default());
         assert_eq!(det.len(), 1, "{det:?}");
         assert!(det[0].pos <= 1, "pos {}", det[0].pos);
         assert_eq!(det[0].client, 1);
@@ -189,7 +211,8 @@ mod tests {
         let l = LinkProfile::clean(12.0);
         let buffer = zigzag_channel::noise::awgn_vec(&mut rng, 4000, 1.0);
         let reg = setup_registry(&[(1, &l)]);
-        let det = detect_packets(&buffer, &Preamble::default_len(), &reg, &DecoderConfig::default());
+        let det =
+            detect_packets(&buffer, &Preamble::default_len(), &reg, &DecoderConfig::default());
         assert!(det.is_empty(), "{det:?}");
     }
 

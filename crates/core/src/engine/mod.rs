@@ -1,0 +1,40 @@
+//! # The batched parallel decode engine
+//!
+//! This subsystem restructures the receiver around three ideas, in
+//! service of the ROADMAP's "production-scale, fast as the hardware
+//! allows" north star:
+//!
+//! * **[`stage`]** — the §5.1d receiver flow as a trait-based pipeline of
+//!   [`DecodeStage`]s (Detect → StandardDecode → Capture → Match → Plan →
+//!   Zigzag → Store) over a shared [`ReceiverCore`], replacing the old
+//!   monolithic `ZigzagReceiver::process` control flow with an
+//!   inspectable, reorderable [`Pipeline`] that emits the same
+//!   [`ReceiverEvent`](crate::receiver::ReceiverEvent)s.
+//! * **[`batch`]** — a [`BatchEngine`] that fans independent work units
+//!   (buffers from distinct clients/APs, matched collision pairs,
+//!   Monte-Carlo rounds) across a scoped thread pool with deterministic
+//!   per-unit seeding ([`unit_seed`]), so a multi-threaded run is
+//!   bit-for-bit identical to a single-threaded one.
+//! * **[`scratch`]** — a [`Scratch`] arena threaded through the
+//!   chunk-decode / image-synthesis / subtraction hot loops, turning the
+//!   dozens of per-symbol `Vec<Complex>` allocations into reused buffers
+//!   (with matching in-place primitives in `zigzag-phy`:
+//!   `Fir::apply_into`, `correlate::scan_into`, `mrc::combine_weighted_into`,
+//!   `interp::resample_into`).
+//!
+//! Future scaling work (sharding receivers across cores, async buffer
+//! ingestion, alternative compute backends) plugs in here: a backend is a
+//! `Pipeline` variant, a sharding policy is a `BatchEngine` work-unit
+//! partition.
+
+pub mod batch;
+pub mod scratch;
+pub mod stage;
+
+pub use batch::{decode_batch, unit_seed, BatchEngine, DecodeUnit};
+pub use scratch::{BufPool, Scratch};
+pub use stage::{
+    CaptureStage, DecodePlan, DecodeStage, DetectStage, Flow, MatchStage, MatchedCollision,
+    Pipeline, PlanStage, ReceiverCore, StandardDecodeStage, StoreStage, StoredCollision, UnitCtx,
+    ZigzagStage,
+};

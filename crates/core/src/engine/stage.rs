@@ -1,0 +1,559 @@
+//! The trait-based decode pipeline.
+//!
+//! The §5.1d receiver flow — detect → standard decode → capture/IC →
+//! match → plan → zigzag → store — used to be one hard-wired call chain
+//! inside `ZigzagReceiver::process`. Here each step is a [`DecodeStage`]:
+//! an inspectable, reorderable unit that reads/writes the per-buffer
+//! [`UnitCtx`], mutates the shared [`ReceiverCore`] state, and appends
+//! [`ReceiverEvent`]s. A [`Pipeline`] runs stages in order until one
+//! reports [`Flow::Done`].
+//!
+//! The default stage order ([`Pipeline::standard`]) reproduces the legacy
+//! receiver's behaviour event-for-event (verified by the pipeline-vs-
+//! legacy equivalence test in `tests/engine.rs`); custom pipelines can
+//! drop, reorder, or wrap stages — e.g. skipping capture for
+//! equal-power-only deployments, or inserting instrumentation stages.
+
+use crate::capture::{mrc_combine_retry, subtract_decoded_with};
+use crate::config::{ClientRegistry, DecoderConfig};
+use crate::detect::{detect_packets_with, Detection};
+use crate::engine::scratch::Scratch;
+use crate::matcher::is_match;
+use crate::receiver::{DecodePath, ReceiverEvent};
+use crate::standard::{decode_single_with, SingleDecode};
+use crate::zigzag::{CollisionSpec, PacketSpec, ZigzagDecoder};
+use std::collections::{HashSet, VecDeque};
+use zigzag_phy::complex::Complex;
+use zigzag_phy::preamble::Preamble;
+
+/// A stored unmatched collision (§4.2.2: "the AP stores recent unmatched
+/// collisions (i.e., stores the received complex samples)").
+#[derive(Clone, Debug)]
+pub struct StoredCollision {
+    /// The raw receive buffer.
+    pub buffer: Vec<Complex>,
+    /// The detections found in it.
+    pub detections: Vec<Detection>,
+}
+
+/// The receiver's long-lived state, shared by every stage: configuration,
+/// association registry, the unmatched-collision store, the faulty-weak-
+/// version store for cross-collision MRC, the delivery dedup set, and the
+/// hot-path [`Scratch`].
+pub struct ReceiverCore {
+    pub(crate) cfg: DecoderConfig,
+    pub(crate) registry: ClientRegistry,
+    pub(crate) preamble: Preamble,
+    pub(crate) store: VecDeque<StoredCollision>,
+    pub(crate) weak_versions: Vec<(u16, SingleDecode)>,
+    pub(crate) delivered: HashSet<(u16, u16)>,
+    pub(crate) scratch: Scratch,
+}
+
+impl ReceiverCore {
+    /// Fresh state with the given configuration and registry.
+    pub fn new(cfg: DecoderConfig, registry: ClientRegistry) -> Self {
+        Self {
+            cfg,
+            registry,
+            preamble: Preamble::default_len(),
+            store: VecDeque::new(),
+            weak_versions: Vec::new(),
+            delivered: HashSet::new(),
+            scratch: Scratch::new(),
+        }
+    }
+
+    /// Emits a `Delivered` event unless this `(src, seq)` was already
+    /// delivered (retransmission dedup).
+    pub(crate) fn deliver(
+        &mut self,
+        frame: zigzag_phy::frame::Frame,
+        path: DecodePath,
+        out: &mut Vec<ReceiverEvent>,
+    ) {
+        if self.delivered.insert((frame.src, frame.seq)) {
+            out.push(ReceiverEvent::Delivered { frame, path });
+        }
+        if self.delivered.len() > 4096 {
+            self.delivered.clear(); // bounded memory; seq spaces recycle
+        }
+    }
+}
+
+/// A matched pair of collisions ready for ZigZag. The stored collision
+/// stays **in the receiver's store** until a consuming stage (the
+/// [`ZigzagStage`]) removes it — so dropping or reordering stages can
+/// never destroy collision data.
+#[derive(Clone, Debug)]
+pub struct MatchedCollision {
+    /// Index of the matched collision in the receiver's store.
+    pub store_index: usize,
+    /// The stored collision's detections at match time; consumers
+    /// re-validate these against the store entry before using the index
+    /// (a custom stage may have mutated the store in between).
+    pub stored_detections: Vec<Detection>,
+    /// `(current, stored)` detections per packet, first-starting current
+    /// packet first.
+    pub pairing: [(Detection, Detection); 2],
+}
+
+/// The chunk-scheduling inputs planned for the ZigZag executor.
+#[derive(Clone, Debug)]
+pub struct DecodePlan {
+    /// `(packet index, start sample)` in the current buffer.
+    pub current_placements: Vec<(usize, usize)>,
+    /// `(packet index, start sample)` in the stored buffer.
+    pub stored_placements: Vec<(usize, usize)>,
+    /// Per-packet specs (client ids).
+    pub packets: Vec<PacketSpec>,
+}
+
+/// Per-buffer working context flowing through the pipeline.
+pub struct UnitCtx<'a> {
+    /// The receive buffer being processed.
+    pub buffer: &'a [Complex],
+    /// Detections (filled by [`DetectStage`]).
+    pub detections: Vec<Detection>,
+    /// Matched stored collision (filled by [`MatchStage`]).
+    pub matched: Option<MatchedCollision>,
+    /// ZigZag inputs (filled by [`PlanStage`]).
+    pub plan: Option<DecodePlan>,
+}
+
+impl<'a> UnitCtx<'a> {
+    /// A fresh context over a receive buffer.
+    pub fn new(buffer: &'a [Complex]) -> Self {
+        Self { buffer, detections: Vec::new(), matched: None, plan: None }
+    }
+}
+
+/// Whether the pipeline keeps running after a stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Flow {
+    /// Hand the unit to the next stage.
+    Continue,
+    /// The buffer is fully handled; stop the pipeline.
+    Done,
+}
+
+/// One step of the receive pipeline.
+pub trait DecodeStage: Send + Sync {
+    /// Stable display name (for inspection/telemetry).
+    fn name(&self) -> &'static str;
+    /// Processes the unit, possibly emitting events.
+    fn run(
+        &self,
+        rx: &mut ReceiverCore,
+        unit: &mut UnitCtx<'_>,
+        events: &mut Vec<ReceiverEvent>,
+    ) -> Flow;
+}
+
+/// An ordered set of stages.
+pub struct Pipeline {
+    stages: Vec<Box<dyn DecodeStage>>,
+}
+
+impl Pipeline {
+    /// The §5.1d flow: Detect → StandardDecode → Capture → Match → Plan →
+    /// Zigzag → Store.
+    pub fn standard() -> Self {
+        Self {
+            stages: vec![
+                Box::new(DetectStage),
+                Box::new(StandardDecodeStage),
+                Box::new(CaptureStage),
+                Box::new(MatchStage),
+                Box::new(PlanStage),
+                Box::new(ZigzagStage),
+                Box::new(StoreStage),
+            ],
+        }
+    }
+
+    /// A pipeline from explicit stages.
+    pub fn from_stages(stages: Vec<Box<dyn DecodeStage>>) -> Self {
+        Self { stages }
+    }
+
+    /// Appends a stage.
+    pub fn push(&mut self, stage: Box<dyn DecodeStage>) {
+        self.stages.push(stage);
+    }
+
+    /// Inserts a stage at `index`.
+    pub fn insert(&mut self, index: usize, stage: Box<dyn DecodeStage>) {
+        self.stages.insert(index, stage);
+    }
+
+    /// The stage names, in execution order.
+    pub fn stage_names(&self) -> Vec<&'static str> {
+        self.stages.iter().map(|s| s.name()).collect()
+    }
+
+    /// Runs one receive buffer through the pipeline.
+    pub fn run(&self, rx: &mut ReceiverCore, buffer: &[Complex]) -> Vec<ReceiverEvent> {
+        let mut unit = UnitCtx::new(buffer);
+        let mut events = Vec::new();
+        for stage in &self.stages {
+            if stage.run(rx, &mut unit, &mut events) == Flow::Done {
+                break;
+            }
+        }
+        events
+    }
+}
+
+/// Pairs the detections of two collisions by client id, requiring the
+/// same client set and different relative offsets (Δ₁ ≠ Δ₂ would be
+/// undecodable anyway). Returns `[(current, stored); 2]` with the
+/// first-starting current packet first.
+pub(crate) fn pair_collisions(
+    current: &[Detection],
+    stored: &[Detection],
+) -> Option<[(Detection, Detection); 2]> {
+    if current.len() < 2 || stored.len() < 2 {
+        return None;
+    }
+    let (c1, c2) = (current[0], current[1]);
+    let s1 = stored.iter().find(|d| d.client == c1.client)?;
+    let s2 = stored.iter().find(|d| d.client == c2.client)?;
+    if s1.pos == s2.pos && c1.pos == c2.pos {
+        return None;
+    }
+    Some([(c1, *s1), (c2, *s2)])
+}
+
+/// §4.2.1: scan the buffer for packet starts from every associated client.
+pub struct DetectStage;
+
+impl DecodeStage for DetectStage {
+    fn name(&self) -> &'static str {
+        "detect"
+    }
+
+    fn run(
+        &self,
+        rx: &mut ReceiverCore,
+        unit: &mut UnitCtx<'_>,
+        events: &mut Vec<ReceiverEvent>,
+    ) -> Flow {
+        let ReceiverCore { cfg, registry, preamble, scratch, .. } = rx;
+        unit.detections =
+            detect_packets_with(unit.buffer, preamble, registry, cfg, &mut scratch.pool);
+        if unit.detections.is_empty() {
+            events.push(ReceiverEvent::DecodeFailed);
+            return Flow::Done;
+        }
+        Flow::Continue
+    }
+}
+
+/// The ordinary single-packet decode — the whole story when there is no
+/// collision.
+pub struct StandardDecodeStage;
+
+impl DecodeStage for StandardDecodeStage {
+    fn name(&self) -> &'static str {
+        "standard-decode"
+    }
+
+    fn run(
+        &self,
+        rx: &mut ReceiverCore,
+        unit: &mut UnitCtx<'_>,
+        events: &mut Vec<ReceiverEvent>,
+    ) -> Flow {
+        if unit.detections.len() != 1 {
+            return Flow::Continue;
+        }
+        let det = unit.detections[0];
+        let decode = {
+            let ReceiverCore { cfg, registry, preamble, scratch, .. } = &mut *rx;
+            decode_single_with(
+                unit.buffer,
+                det.pos,
+                Some(det.client),
+                registry,
+                preamble,
+                true,
+                cfg,
+                scratch,
+            )
+        };
+        match decode {
+            Some(d) if d.frame.is_some() => {
+                let frame = d.frame.clone().unwrap();
+                rx.deliver(frame, DecodePath::Standard, events);
+            }
+            _ => events.push(ReceiverEvent::DecodeFailed),
+        }
+        Flow::Done
+    }
+}
+
+/// Capture-effect decode + single-collision interference cancellation +
+/// the Fig 4-1d cross-collision MRC retry.
+pub struct CaptureStage;
+
+impl DecodeStage for CaptureStage {
+    fn name(&self) -> &'static str {
+        "capture"
+    }
+
+    fn run(
+        &self,
+        rx: &mut ReceiverCore,
+        unit: &mut UnitCtx<'_>,
+        events: &mut Vec<ReceiverEvent>,
+    ) -> Flow {
+        if unit.detections.len() < 2 {
+            return Flow::Continue;
+        }
+        let n_before = events.len();
+
+        // Try each detection as the capture anchor, best score first: a
+        // data sidelobe of a strong sender can out-score the (fractionally
+        // attenuated) true preamble peak, so correlation strength alone is
+        // not a reliable anchor — a CRC-passing decode is (§5.3a: false
+        // positives are harmless beyond the wasted attempt).
+        let mut by_power = unit.detections.clone();
+        by_power.sort_by(|a, b| b.corr.abs().total_cmp(&a.corr.abs()));
+        let mut anchor: Option<(Detection, SingleDecode)> = None;
+        for cand in by_power.iter().take(4) {
+            let d = {
+                let ReceiverCore { cfg, registry, preamble, scratch, .. } = &mut *rx;
+                decode_single_with(
+                    unit.buffer,
+                    cand.pos,
+                    Some(cand.client),
+                    registry,
+                    preamble,
+                    false,
+                    cfg,
+                    scratch,
+                )
+            };
+            if let Some(d) = d {
+                if d.frame.is_some() {
+                    anchor = Some((*cand, d));
+                    break;
+                }
+            }
+        }
+        let Some((strong, strong_decode)) = anchor else {
+            return Flow::Continue;
+        };
+
+        let f = strong_decode.frame.clone().unwrap();
+        rx.deliver(f, DecodePath::Capture, events);
+        // best-scoring other detection outside the anchor's preamble
+        let weak_det =
+            by_power.iter().find(|d| d.pos.abs_diff(strong.pos) >= rx.preamble.len()).copied();
+        if let Some(weak) = weak_det {
+            let weak_decode = {
+                let ReceiverCore { cfg, registry, preamble, scratch, .. } = &mut *rx;
+                let residual =
+                    subtract_decoded_with(unit.buffer, &strong_decode, preamble, scratch);
+                decode_single_with(
+                    &residual,
+                    weak.pos,
+                    Some(weak.client),
+                    registry,
+                    preamble,
+                    true,
+                    cfg,
+                    scratch,
+                )
+            };
+            match weak_decode {
+                Some(w) if w.frame.is_some() => {
+                    let f = w.frame.clone().unwrap();
+                    rx.deliver(f, DecodePath::InterferenceCancellation, events);
+                }
+                Some(w) => {
+                    // Fig 4-1d: try MRC with a stored faulty version
+                    let mut matched = None;
+                    for (i, (client, prev)) in rx.weak_versions.iter().enumerate() {
+                        if *client != weak.client {
+                            continue;
+                        }
+                        if let Some(f) = mrc_combine_retry(prev, &w) {
+                            matched = Some((i, f));
+                            break;
+                        }
+                    }
+                    if let Some((i, f)) = matched {
+                        rx.weak_versions.remove(i);
+                        rx.deliver(f, DecodePath::MrcRetry, events);
+                    } else {
+                        rx.weak_versions.push((weak.client, w));
+                        if rx.weak_versions.len() > rx.cfg.collision_store {
+                            rx.weak_versions.remove(0);
+                        }
+                    }
+                }
+                None => {}
+            }
+        }
+        if events.len() > n_before {
+            Flow::Done
+        } else {
+            Flow::Continue
+        }
+    }
+}
+
+/// §4.2.2: match the collision against the unmatched-collision store.
+pub struct MatchStage;
+
+impl DecodeStage for MatchStage {
+    fn name(&self) -> &'static str {
+        "match"
+    }
+
+    fn run(
+        &self,
+        rx: &mut ReceiverCore,
+        unit: &mut UnitCtx<'_>,
+        _events: &mut Vec<ReceiverEvent>,
+    ) -> Flow {
+        if unit.detections.len() < 2 {
+            return Flow::Continue;
+        }
+        let mut matched_idx = None;
+        for (i, stored) in rx.store.iter().enumerate() {
+            if let Some(pairing) = pair_collisions(&unit.detections, &stored.detections) {
+                // verify sample-level match on the second packet
+                let (cur2, old2) = pairing[1];
+                if is_match(unit.buffer, cur2.pos, &stored.buffer, old2.pos) {
+                    matched_idx = Some((i, pairing));
+                    break;
+                }
+            }
+        }
+        if let Some((i, pairing)) = matched_idx {
+            // non-destructive: the store entry stays until the consuming
+            // stage (ZigzagStage) removes it
+            unit.matched = Some(MatchedCollision {
+                store_index: i,
+                stored_detections: rx.store[i].detections.clone(),
+                pairing,
+            });
+        }
+        Flow::Continue
+    }
+}
+
+/// §4.5: turn a matched pair into the executor's collision layout.
+pub struct PlanStage;
+
+impl DecodeStage for PlanStage {
+    fn name(&self) -> &'static str {
+        "plan"
+    }
+
+    fn run(
+        &self,
+        _rx: &mut ReceiverCore,
+        unit: &mut UnitCtx<'_>,
+        _events: &mut Vec<ReceiverEvent>,
+    ) -> Flow {
+        let Some(m) = &unit.matched else {
+            return Flow::Continue;
+        };
+        unit.plan = Some(DecodePlan {
+            current_placements: m
+                .pairing
+                .iter()
+                .enumerate()
+                .map(|(q, (c, _))| (q, c.pos))
+                .collect(),
+            stored_placements: m.pairing.iter().enumerate().map(|(q, (_, s))| (q, s.pos)).collect(),
+            packets: m.pairing.iter().map(|(c, _)| PacketSpec { client: c.client }).collect(),
+        });
+        Flow::Continue
+    }
+}
+
+/// §4.2.3: chunk-by-chunk decode of the matched collision pair.
+pub struct ZigzagStage;
+
+impl DecodeStage for ZigzagStage {
+    fn name(&self) -> &'static str {
+        "zigzag"
+    }
+
+    fn run(
+        &self,
+        rx: &mut ReceiverCore,
+        unit: &mut UnitCtx<'_>,
+        events: &mut Vec<ReceiverEvent>,
+    ) -> Flow {
+        let (Some(m), Some(plan)) = (&unit.matched, &unit.plan) else {
+            return Flow::Continue;
+        };
+        let result = {
+            let ReceiverCore { cfg, registry, preamble, scratch, store, .. } = &mut *rx;
+            // re-validate the match against the store: a custom stage may
+            // have mutated it since MatchStage ran
+            let Some(stored) = store.get(m.store_index) else {
+                return Flow::Continue;
+            };
+            if stored.detections != m.stored_detections {
+                return Flow::Continue;
+            }
+            let specs = [
+                CollisionSpec { buffer: unit.buffer, placements: plan.current_placements.clone() },
+                CollisionSpec {
+                    buffer: &stored.buffer,
+                    placements: plan.stored_placements.clone(),
+                },
+            ];
+            let dec = ZigzagDecoder::with_preamble(cfg.clone(), registry, preamble.clone());
+            dec.decode_with(&specs, &plan.packets, scratch)
+        };
+        // consume the matched stored collision (decode attempted, like the
+        // legacy flow — regardless of whether any frame CRC'd)
+        let idx = unit.matched.take().map(|m| m.store_index).unwrap();
+        rx.store.remove(idx);
+        let mut any = false;
+        for p in result.packets {
+            if let Some(f) = p.frame {
+                rx.deliver(f, DecodePath::Zigzag, events);
+                any = true;
+            }
+        }
+        if !any {
+            events.push(ReceiverEvent::DecodeFailed);
+        }
+        Flow::Done
+    }
+}
+
+/// §4.2.2 fallback: store the unmatched collision for a future match.
+pub struct StoreStage;
+
+impl DecodeStage for StoreStage {
+    fn name(&self) -> &'static str {
+        "store"
+    }
+
+    fn run(
+        &self,
+        rx: &mut ReceiverCore,
+        unit: &mut UnitCtx<'_>,
+        events: &mut Vec<ReceiverEvent>,
+    ) -> Flow {
+        rx.store.push_back(StoredCollision {
+            buffer: unit.buffer.to_vec(),
+            detections: unit.detections.clone(),
+        });
+        while rx.store.len() > rx.cfg.collision_store {
+            rx.store.pop_front();
+        }
+        events.push(ReceiverEvent::CollisionStored);
+        Flow::Done
+    }
+}

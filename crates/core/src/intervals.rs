@@ -76,9 +76,7 @@ impl IntervalSet {
         if r.is_empty() {
             return true;
         }
-        self.ranges
-            .iter()
-            .any(|e| e.start <= r.start && r.end <= e.end)
+        self.ranges.iter().any(|e| e.start <= r.start && r.end <= e.end)
     }
 
     /// Total number of indices covered.
@@ -120,6 +118,7 @@ impl IntervalSet {
 }
 
 #[cfg(test)]
+#[allow(clippy::single_range_in_vec_init)] // asserting on literal range lists
 mod tests {
     use super::*;
 

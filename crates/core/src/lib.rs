@@ -23,6 +23,11 @@
 //! 7. [`receiver`] — the AP front-end tying it all together, with the
 //!    unmatched-collision store.
 //!
+//! The steps above execute as a trait-based stage pipeline inside
+//! [`engine`], which also provides the [`BatchEngine`] (deterministic
+//! multi-threaded fan-out over independent work units) and the
+//! [`Scratch`] arena the hot loops draw their buffers from.
+//!
 //! Supporting modules: [`view`] (per-packet-per-collision channel model —
 //!  estimation, chunk decode, image synthesis, tracking), [`config`]
 //! (receiver knobs + association registry), [`intervals`] (decoded-range
@@ -33,6 +38,7 @@
 pub mod capture;
 pub mod config;
 pub mod detect;
+pub mod engine;
 pub mod intervals;
 pub mod matcher;
 pub mod receiver;
@@ -42,5 +48,6 @@ pub mod view;
 pub mod zigzag;
 
 pub use config::{ClientInfo, ClientRegistry, DecoderConfig};
+pub use engine::{decode_batch, unit_seed, BatchEngine, DecodeUnit, Pipeline, Scratch};
 pub use receiver::{ReceiverEvent, ZigzagReceiver};
 pub use zigzag::{CollisionSpec, PacketSpec, ZigzagDecoder, ZigzagOutput};

@@ -36,9 +36,8 @@ pub fn match_metric(
     start_b: usize,
     window: usize,
 ) -> f64 {
-    let n = window
-        .min(buf_a.len().saturating_sub(start_a))
-        .min(buf_b.len().saturating_sub(start_b));
+    let n =
+        window.min(buf_a.len().saturating_sub(start_a)).min(buf_b.len().saturating_sub(start_b));
     if n == 0 {
         return 0.0;
     }
@@ -70,12 +69,7 @@ pub const MATCH_THRESHOLD: f64 = 0.15;
 
 /// `true` if the packet starting at `start_a` in `buf_a` and the packet
 /// starting at `start_b` in `buf_b` carry the same symbols (§4.2.2).
-pub fn is_match(
-    buf_a: &[Complex],
-    start_a: usize,
-    buf_b: &[Complex],
-    start_b: usize,
-) -> bool {
+pub fn is_match(buf_a: &[Complex], start_a: usize, buf_b: &[Complex], start_b: usize) -> bool {
     match_metric(buf_a, start_a, buf_b, start_b, MATCH_WINDOW) > MATCH_THRESHOLD
 }
 
@@ -123,7 +117,8 @@ mod tests {
         let hp1 = hidden_pair(&a, &b, &la, &lb, 600, 150, &mut rng);
         let hp2 = hidden_pair(&a, &c, &la, &lc, 500, 220, &mut rng);
         // Bob (in hp1 c1 at 600) vs Charlie (in hp2 c1 at 500): unrelated
-        let m = match_metric(&hp1.collision1.buffer, 600, &hp2.collision1.buffer, 500, MATCH_WINDOW);
+        let m =
+            match_metric(&hp1.collision1.buffer, 600, &hp2.collision1.buffer, 500, MATCH_WINDOW);
         assert!(m < MATCH_THRESHOLD, "unmatched metric {m}");
     }
 

@@ -108,10 +108,7 @@ impl PlanState {
 
     /// `true` once every packet is fully decoded.
     pub fn is_complete(&self) -> bool {
-        self.lens
-            .iter()
-            .zip(self.decoded.iter())
-            .all(|(&l, d)| d.covers(0..l))
+        self.lens.iter().zip(self.decoded.iter()).all(|(&l, d)| d.covers(0..l))
     }
 
     /// `true` if buffer position `pos` of collision `c` is free of
@@ -183,8 +180,7 @@ impl PlanState {
             let mut progressed = false;
             for step in runs {
                 // re-check against symbols marked earlier in this wave
-                let fresh: Vec<Range<usize>> =
-                    self.decoded[step.packet].gaps(step.range.clone());
+                let fresh: Vec<Range<usize>> = self.decoded[step.packet].gaps(step.range.clone());
                 for r in fresh {
                     self.mark(step.packet, r.clone());
                     plan.push(Step { collision: step.collision, packet: step.packet, range: r });
@@ -289,10 +285,7 @@ pub fn pair_layouts(
     delta2: usize,
 ) -> Vec<CollisionLayout> {
     let mk = |d: usize| CollisionLayout {
-        placements: vec![
-            Placement { packet: 0, start: 0 },
-            Placement { packet: 1, start: d },
-        ],
+        placements: vec![Placement { packet: 0, start: 0 }, Placement { packet: 1, start: d }],
         len: (len_a).max(d + len_b) + 8,
     };
     vec![mk(delta1), mk(delta2)]
@@ -334,11 +327,7 @@ mod tests {
             let mut st = pair_state(100, d1, d2);
             let (_, outcome) = st.plan_all();
             let peel = decodable(&[100, 100], &pair_layouts(100, 100, d1, d2));
-            assert_eq!(
-                outcome == PlanOutcome::Complete,
-                peel,
-                "divergence at ({d1},{d2})"
-            );
+            assert_eq!(outcome == PlanOutcome::Complete, peel, "divergence at ({d1},{d2})");
         }
     }
 
@@ -387,10 +376,7 @@ mod tests {
                 ],
                 len: 200,
             },
-            CollisionLayout {
-                placements: vec![Placement { packet: 1, start: 0 }],
-                len: 140,
-            },
+            CollisionLayout { placements: vec![Placement { packet: 1, start: 0 }], len: 140 },
         ];
         let mut st = PlanState::new(vec![100, 100], collisions);
         let (_, outcome) = st.plan_all();
@@ -444,11 +430,7 @@ mod tests {
         let mut replay = PlanState::new(vec![80, 80], collisions);
         for step in plan {
             let c = &replay.collisions[step.collision].clone();
-            let pl = c
-                .placements
-                .iter()
-                .find(|p| p.packet == step.packet)
-                .unwrap();
+            let pl = c.placements.iter().find(|p| p.packet == step.packet).unwrap();
             for u in step.range.clone() {
                 assert!(
                     replay.position_free(c, pl.start + u, step.packet),
@@ -476,10 +458,8 @@ mod tests {
     #[test]
     fn uncovered_symbol_fails_peeling() {
         // packet 1 longer than any collision window
-        let collisions = vec![CollisionLayout {
-            placements: vec![Placement { packet: 0, start: 0 }],
-            len: 50,
-        }];
+        let collisions =
+            vec![CollisionLayout { placements: vec![Placement { packet: 0, start: 0 }], len: 50 }];
         assert!(!decodable(&[100], &collisions));
         assert!(decodable(&[50], &collisions));
     }

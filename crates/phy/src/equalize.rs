@@ -52,15 +52,12 @@ pub fn estimate_channel_taps(
     }
     let mut rows = Vec::with_capacity(last - first);
     let mut obs = Vec::with_capacity(last - first);
+    #[allow(clippy::needless_range_loop)] // `out` indexes both rx and the tap window
     for out in first..last {
         let mut row = Vec::with_capacity(n_taps);
         for l in 0..n_taps {
             let idx = out as isize + delay as isize - l as isize;
-            row.push(if idx >= 0 && (idx as usize) < n {
-                known[idx as usize]
-            } else {
-                ZERO
-            });
+            row.push(if idx >= 0 && (idx as usize) < n { known[idx as usize] } else { ZERO });
         }
         rows.push(row);
         obs.push(rx[out]);
@@ -140,19 +137,13 @@ mod tests {
     use rand::prelude::*;
 
     fn random_symbols(rng: &mut StdRng, n: usize) -> Vec<Complex> {
-        (0..n)
-            .map(|_| Complex::real(if rng.gen_bool(0.5) { 1.0 } else { -1.0 }))
-            .collect()
+        (0..n).map(|_| Complex::real(if rng.gen_bool(0.5) { 1.0 } else { -1.0 })).collect()
     }
 
     #[test]
     fn estimates_known_channel() {
         let true_ch = Fir::new(
-            vec![
-                Complex::new(0.08, 0.02),
-                Complex::new(0.95, -0.1),
-                Complex::new(0.15, 0.05),
-            ],
+            vec![Complex::new(0.08, 0.02), Complex::new(0.95, -0.1), Complex::new(0.15, 0.05)],
             1,
         );
         let mut rng = StdRng::seed_from_u64(1);
@@ -182,11 +173,7 @@ mod tests {
     #[test]
     fn inverse_cancels_channel() {
         let ch = Fir::new(
-            vec![
-                Complex::new(0.1, -0.05),
-                Complex::new(1.0, 0.2),
-                Complex::new(0.2, 0.1),
-            ],
+            vec![Complex::new(0.1, -0.05), Complex::new(1.0, 0.2), Complex::new(0.2, 0.1)],
             1,
         );
         let inv = design_inverse(&ch, 15).unwrap();
@@ -214,16 +201,15 @@ mod tests {
         // matches the clean preamble.
         let p = Preamble::standard(64);
         let ch = Fir::new(
-            vec![
-                Complex::new(0.12, 0.03),
-                Complex::new(0.9, -0.15),
-                Complex::new(0.18, -0.02),
-            ],
+            vec![Complex::new(0.12, 0.03), Complex::new(0.9, -0.15), Complex::new(0.18, -0.02)],
             1,
         );
         let rx = ch.apply(p.symbols());
         let eq = Equalizer::train_default(&rx, p.symbols()).unwrap();
+        // equalization is `inverse.apply`; the engine's hot path uses the
+        // in-place `apply_into`, asserted equal below
         let recovered = eq.inverse.apply(&rx);
+        #[allow(clippy::needless_range_loop)]
         for k in 8..56 {
             assert!(
                 (recovered[k] - p.symbols()[k]).abs() < 0.05,
@@ -231,6 +217,10 @@ mod tests {
                 (recovered[k] - p.symbols()[k]).abs()
             );
         }
+        // the in-place variant must agree exactly
+        let mut out = Vec::new();
+        eq.inverse.apply_into(&rx, &mut out);
+        assert_eq!(out, recovered);
     }
 
     #[test]

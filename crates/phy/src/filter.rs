@@ -66,10 +66,21 @@ impl Fir {
     /// Filters a signal, producing an output of the same length aligned
     /// with the input (out-of-range input treated as zero).
     pub fn apply(&self, x: &[Complex]) -> Vec<Complex> {
+        let mut y = Vec::new();
+        self.apply_into(x, &mut y);
+        y
+    }
+
+    /// In-place variant of [`Fir::apply`]: fills `y` (cleared first) with
+    /// the filtered signal, reusing its allocation. This is the hot-path
+    /// entry point used by the decode engine's scratch buffers.
+    pub fn apply_into(&self, x: &[Complex], y: &mut Vec<Complex>) {
+        y.clear();
         if self.is_identity() {
-            return x.to_vec();
+            y.extend_from_slice(x);
+            return;
         }
-        let mut y = vec![ZERO; x.len()];
+        y.resize(x.len(), ZERO);
         for (n, out) in y.iter_mut().enumerate() {
             let mut acc = ZERO;
             for (l, &t) in self.taps.iter().enumerate() {
@@ -81,7 +92,6 @@ impl Fir {
             }
             *out = acc;
         }
-        y
     }
 
     /// Filters a single output sample at position `n` of signal `x`.
@@ -164,6 +174,7 @@ mod tests {
         let f = Fir::from_real(&[0.2, 0.9, -0.1, 0.05], 1);
         let x = sig(32);
         let y = f.apply(&x);
+        #[allow(clippy::needless_range_loop)]
         for n in 0..32 {
             assert!((f.apply_at(&x, n) - y[n]).abs() < 1e-12);
         }

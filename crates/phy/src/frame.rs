@@ -65,7 +65,7 @@ impl Frame {
     /// handy for experiments that only care about bit statistics.
     pub fn with_random_payload(dst: u16, src: u16, seq: u16, len: usize, seed: u64) -> Self {
         // xorshift64* keeps this dependency-free and reproducible.
-        let mut state = seed.wrapping_mul(2685_8216_5773_6338_717).wrapping_add(1);
+        let mut state = seed.wrapping_mul(2_685_821_657_736_338_717).wrapping_add(1);
         let mut payload = Vec::with_capacity(len);
         for _ in 0..len {
             state ^= state >> 12;
@@ -218,11 +218,7 @@ impl AirFrame {
 pub fn encode_frame(frame: &Frame, modulation: Modulation, preamble: &Preamble) -> AirFrame {
     let seed = frame.scramble_seed();
     let mpdu = frame.mpdu_bytes();
-    let plcp = PlcpHeader {
-        modulation,
-        seed,
-        mpdu_len: mpdu.len() as u16,
-    };
+    let plcp = PlcpHeader { modulation, seed, mpdu_len: mpdu.len() as u16 };
 
     let mut scrambled = mpdu;
     Scrambler::new(seed).apply_bytes(&mut scrambled);
@@ -235,13 +231,7 @@ pub fn encode_frame(frame: &Frame, modulation: Modulation, preamble: &Preamble) 
     symbols.extend(Modulation::Bpsk.modulate(&bytes_to_bits(&plcp.to_bytes())));
     symbols.extend(modulation.modulate(&mpdu_bits));
 
-    AirFrame {
-        frame: frame.clone(),
-        modulation,
-        symbols,
-        mpdu_bits,
-        preamble_len: preamble.len(),
-    }
+    AirFrame { frame: frame.clone(), modulation, symbols, mpdu_bits, preamble_len: preamble.len() }
 }
 
 /// Decodes an MPDU from its (already demodulated) scrambled bits.

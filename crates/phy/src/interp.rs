@@ -67,7 +67,16 @@ pub fn interp_at(samples: &[Complex], t: f64) -> Complex {
 /// the transmitter's and receiver's clocks results in a drift in the
 /// sampling offset").
 pub fn resample(samples: &[Complex], start: f64, step: f64, n: usize) -> Vec<Complex> {
-    (0..n).map(|k| interp_at(samples, start + k as f64 * step)).collect()
+    let mut out = Vec::new();
+    resample_into(samples, start, step, n, &mut out);
+    out
+}
+
+/// In-place variant of [`resample`]: fills `out` (cleared first) with the
+/// resampled signal, reusing its allocation.
+pub fn resample_into(samples: &[Complex], start: f64, step: f64, n: usize, out: &mut Vec<Complex>) {
+    out.clear();
+    out.extend((0..n).map(|k| interp_at(samples, start + k as f64 * step)));
 }
 
 #[cfg(test)]
@@ -80,14 +89,16 @@ mod tests {
         (0..n)
             .map(|k| {
                 let t = k as f64;
-                Complex::cis(0.05 * t) + Complex::cis(-0.11 * t).scale(0.5)
+                Complex::cis(0.05 * t)
+                    + Complex::cis(-0.11 * t).scale(0.5)
                     + Complex::cis(0.23 * t).scale(0.25)
             })
             .collect()
     }
 
     fn reference(t: f64) -> Complex {
-        Complex::cis(0.05 * t) + Complex::cis(-0.11 * t).scale(0.5)
+        Complex::cis(0.05 * t)
+            + Complex::cis(-0.11 * t).scale(0.5)
             + Complex::cis(0.23 * t).scale(0.25)
     }
 
@@ -108,11 +119,7 @@ mod tests {
                 let t = k as f64 + frac;
                 let v = interp_at(&s, t);
                 let r = reference(t);
-                assert!(
-                    (v - r).abs() < 2e-3,
-                    "t={t}: got {v:?} want {r:?} err {}",
-                    (v - r).abs()
-                );
+                assert!((v - r).abs() < 2e-3, "t={t}: got {v:?} want {r:?} err {}", (v - r).abs());
             }
         }
     }
@@ -152,11 +159,7 @@ mod tests {
         let shifted = resample(&s, mu, 1.0, 256);
         let back = resample(&shifted, -mu, 1.0, 256);
         for k in 32..224 {
-            assert!(
-                (back[k] - s[k]).abs() < 5e-3,
-                "k={k} err={}",
-                (back[k] - s[k]).abs()
-            );
+            assert!((back[k] - s[k]).abs() < 5e-3, "k={k} err={}", (back[k] - s[k]).abs());
         }
     }
 

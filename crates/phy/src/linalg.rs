@@ -20,9 +20,8 @@ pub fn solve_in_place(a: &mut [Vec<Complex>], b: &mut [Complex]) -> Option<Vec<C
 
     for col in 0..n {
         // partial pivot
-        let (pivot_row, pivot_mag) = (col..n)
-            .map(|r| (r, a[r][col].norm_sq()))
-            .max_by(|x, y| x.1.total_cmp(&y.1))?;
+        let (pivot_row, pivot_mag) =
+            (col..n).map(|r| (r, a[r][col].norm_sq())).max_by(|x, y| x.1.total_cmp(&y.1))?;
         if pivot_mag < 1e-24 {
             return None;
         }
@@ -35,6 +34,7 @@ pub fn solve_in_place(a: &mut [Vec<Complex>], b: &mut [Complex]) -> Option<Vec<C
             if factor == ZERO {
                 continue;
             }
+            #[allow(clippy::needless_range_loop)] // pivot search indexes rows by position
             for c in col..n {
                 let v = a[col][c];
                 a[r][c] -= factor * v;
@@ -92,10 +92,7 @@ mod tests {
 
     #[test]
     fn solve_identity() {
-        let mut a = vec![
-            vec![c(1.0, 0.0), ZERO],
-            vec![ZERO, c(1.0, 0.0)],
-        ];
+        let mut a = vec![vec![c(1.0, 0.0), ZERO], vec![ZERO, c(1.0, 0.0)]];
         let mut b = vec![c(3.0, 1.0), c(-2.0, 0.5)];
         let x = solve_in_place(&mut a, &mut b).unwrap();
         assert!((x[0] - c(3.0, 1.0)).abs() < 1e-12);
@@ -105,15 +102,10 @@ mod tests {
     #[test]
     fn solve_known_complex_system() {
         // A = [[1+j, 2], [3, 4-j]], x = [1-j, 2+j]; b = A·x
-        let a0 = vec![
-            vec![c(1.0, 1.0), c(2.0, 0.0)],
-            vec![c(3.0, 0.0), c(4.0, -1.0)],
-        ];
+        let a0 = vec![vec![c(1.0, 1.0), c(2.0, 0.0)], vec![c(3.0, 0.0), c(4.0, -1.0)]];
         let x_true = [c(1.0, -1.0), c(2.0, 1.0)];
-        let b0: Vec<Complex> = a0
-            .iter()
-            .map(|row| row[0] * x_true[0] + row[1] * x_true[1])
-            .collect();
+        let b0: Vec<Complex> =
+            a0.iter().map(|row| row[0] * x_true[0] + row[1] * x_true[1]).collect();
         let mut a = a0.clone();
         let mut b = b0.clone();
         let x = solve_in_place(&mut a, &mut b).unwrap();
@@ -123,20 +115,14 @@ mod tests {
 
     #[test]
     fn singular_returns_none() {
-        let mut a = vec![
-            vec![c(1.0, 0.0), c(2.0, 0.0)],
-            vec![c(2.0, 0.0), c(4.0, 0.0)],
-        ];
+        let mut a = vec![vec![c(1.0, 0.0), c(2.0, 0.0)], vec![c(2.0, 0.0), c(4.0, 0.0)]];
         let mut b = vec![c(1.0, 0.0), c(2.0, 0.0)];
         assert!(solve_in_place(&mut a, &mut b).is_none());
     }
 
     #[test]
     fn pivoting_handles_zero_leading_entry() {
-        let mut a = vec![
-            vec![ZERO, c(1.0, 0.0)],
-            vec![c(1.0, 0.0), ZERO],
-        ];
+        let mut a = vec![vec![ZERO, c(1.0, 0.0)], vec![c(1.0, 0.0), ZERO]];
         let mut b = vec![c(5.0, 0.0), c(7.0, 0.0)];
         let x = solve_in_place(&mut a, &mut b).unwrap();
         assert!((x[0] - c(7.0, 0.0)).abs() < 1e-12);
@@ -160,10 +146,7 @@ mod tests {
     #[test]
     fn lstsq_minimises_residual() {
         // Inconsistent system: solution must beat small perturbations.
-        let rows = vec![
-            vec![c(1.0, 0.0)],
-            vec![c(1.0, 0.0)],
-        ];
+        let rows = vec![vec![c(1.0, 0.0)], vec![c(1.0, 0.0)]];
         let b = vec![c(0.0, 0.0), c(2.0, 0.0)];
         let x = lstsq(&rows, &b, 0.0).unwrap();
         assert!((x[0] - c(1.0, 0.0)).abs() < 1e-10); // mean

@@ -37,25 +37,32 @@ pub fn combine_pair(a: &[Complex], b: &[Complex]) -> Vec<Complex> {
 /// Panics if `streams` is empty. Missing symbols (short streams) simply
 /// drop out of the weighted sum for that position.
 pub fn combine_weighted(streams: &[(&[Complex], f64)]) -> Vec<Complex> {
+    let mut out = Vec::new();
+    combine_weighted_into(streams, &mut out);
+    out
+}
+
+/// In-place variant of [`combine_weighted`]: fills `out` (cleared first)
+/// with the combined stream, reusing its allocation.
+pub fn combine_weighted_into(streams: &[(&[Complex], f64)], out: &mut Vec<Complex>) {
     assert!(!streams.is_empty(), "MRC needs at least one stream");
     let n = streams.iter().map(|(s, _)| s.len()).max().unwrap_or(0);
-    (0..n)
-        .map(|k| {
-            let mut num = ZERO;
-            let mut den = 0.0;
-            for &(s, w) in streams {
-                if let Some(&v) = s.get(k) {
-                    num += v.scale(w);
-                    den += w;
-                }
+    out.clear();
+    out.extend((0..n).map(|k| {
+        let mut num = ZERO;
+        let mut den = 0.0;
+        for &(s, w) in streams {
+            if let Some(&v) = s.get(k) {
+                num += v.scale(w);
+                den += w;
             }
-            if den > 0.0 {
-                num / den
-            } else {
-                ZERO
-            }
-        })
-        .collect()
+        }
+        if den > 0.0 {
+            num / den
+        } else {
+            ZERO
+        }
+    }));
 }
 
 #[cfg(test)]
@@ -105,10 +112,7 @@ mod tests {
         let single = ber(&a);
         let combined = ber(&combine_pair(&a, &b));
         assert!(single > 0.0);
-        assert!(
-            combined < single / 3.0,
-            "single {single:.5} combined {combined:.5}"
-        );
+        assert!(combined < single / 3.0, "single {single:.5} combined {combined:.5}");
     }
 
     #[test]

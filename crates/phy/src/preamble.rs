@@ -31,10 +31,8 @@ impl Preamble {
         // m-sequence from the 802.11 scrambler LFSR, fixed seed.
         let mut lfsr = Scrambler::new(0b111_1111);
         let bits: Vec<u8> = (0..len).map(|_| lfsr.next_bit()).collect();
-        let symbols = bits
-            .iter()
-            .map(|&b| Complex::real(if b == 1 { 1.0 } else { -1.0 }))
-            .collect();
+        let symbols =
+            bits.iter().map(|&b| Complex::real(if b == 1 { 1.0 } else { -1.0 })).collect();
         Self { symbols, bits }
     }
 
@@ -111,10 +109,7 @@ mod tests {
         let peak = inner(p.symbols(), p.symbols()).abs();
         for lag in 1..p.len() {
             let c = inner(&p.symbols()[lag..], &p.symbols()[..p.len() - lag]).abs();
-            assert!(
-                c < 0.55 * peak,
-                "lag {lag}: sidelobe {c:.1} vs peak {peak:.1}"
-            );
+            assert!(c < 0.55 * peak, "lag {lag}: sidelobe {c:.1} vs peak {peak:.1}");
         }
     }
 

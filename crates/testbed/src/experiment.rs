@@ -20,6 +20,7 @@ use zigzag_channel::fading::{ChannelParams, LinkProfile};
 use zigzag_channel::scenario::{synth_collision, PlacedTx, SynthCollision};
 use zigzag_core::capture::capture_decode;
 use zigzag_core::config::{ClientInfo, ClientRegistry, DecoderConfig};
+use zigzag_core::engine::BatchEngine;
 use zigzag_core::schedule::PlanOutcome;
 use zigzag_core::standard::decode_single;
 use zigzag_core::zigzag::{CollisionSpec, PacketSpec, ZigzagDecoder};
@@ -181,33 +182,31 @@ fn run_contending(
     ];
     // stored unmatched collision: (seqs, signed offset in slots, buffer,
     // starts)
-    let mut stored: Option<((u16, u16), i64, SynthCollision, [usize; 2])> = None;
+    type StoredRound = ((u16, u16), i64, SynthCollision, [usize; 2]);
+    let mut stored: Option<StoredRound> = None;
     let preamble = Preamble::default_len();
     let policy = Backoff::Exponential;
 
-    let handle_delivery = |out: &mut SchemeOutcome,
-                               tx: &mut [TxState; 2],
-                               s: usize,
-                               ber: f64,
-                               rng: &mut StdRng| {
-        out.bits += tx[s].air.mpdu_bits.len();
-        out.bit_errors += (ber * tx[s].air.mpdu_bits.len() as f64).round() as usize;
-        if delivered(ber) {
-            out.delivered[s] += 1;
-            out.offered[s] += 1;
-            let src = (s + 1) as u16;
-            tx[s].advance(src, cfg.payload, links[s], rng);
-            true
-        } else {
-            tx[s].retries += 1;
-            if tx[s].retries > cfg.mac.retry_limit {
-                out.offered[s] += 1; // dropped
+    let handle_delivery =
+        |out: &mut SchemeOutcome, tx: &mut [TxState; 2], s: usize, ber: f64, rng: &mut StdRng| {
+            out.bits += tx[s].air.mpdu_bits.len();
+            out.bit_errors += (ber * tx[s].air.mpdu_bits.len() as f64).round() as usize;
+            if delivered(ber) {
+                out.delivered[s] += 1;
+                out.offered[s] += 1;
                 let src = (s + 1) as u16;
                 tx[s].advance(src, cfg.payload, links[s], rng);
+                true
+            } else {
+                tx[s].retries += 1;
+                if tx[s].retries > cfg.mac.retry_limit {
+                    out.offered[s] += 1; // dropped
+                    let src = (s + 1) as u16;
+                    tx[s].advance(src, cfg.payload, links[s], rng);
+                }
+                false
             }
-            false
-        }
-    };
+        };
 
     let mut round = 0usize;
     while round < cfg.rounds {
@@ -228,10 +227,7 @@ fn run_contending(
         let ja = policy.draw(&cfg.mac, tx[0].retries, &mut rng);
         let jb = policy.draw(&cfg.mac, tx[1].retries, &mut rng);
         let m = ja.min(jb);
-        let (sa, sb) = (
-            cfg.mac.slots_to_symbols(ja - m),
-            cfg.mac.slots_to_symbols(jb - m),
-        );
+        let (sa, sb) = (cfg.mac.slots_to_symbols(ja - m), cfg.mac.slots_to_symbols(jb - m));
         let signed_offset = sb as i64 - sa as i64;
         let sc = synth_round(&tx[0], &tx[1], sa, sb, &mut rng);
         out.airtime += 1.0;
@@ -253,13 +249,11 @@ fn run_contending(
                 &preamble,
                 &cfg.decoder,
             ) {
-                let ber_s =
-                    bit_error_rate(&tx[s_strong].air.mpdu_bits, &res.strong.scrambled_bits);
+                let ber_s = bit_error_rate(&tx[s_strong].air.mpdu_bits, &res.strong.scrambled_bits);
                 if delivered(ber_s) {
                     got[s_strong] = true;
                     if let Some(w) = &res.weak {
-                        let ber_w =
-                            bit_error_rate(&tx[s_weak].air.mpdu_bits, &w.scrambled_bits);
+                        let ber_w = bit_error_rate(&tx[s_weak].air.mpdu_bits, &w.scrambled_bits);
                         if delivered(ber_w) {
                             got[s_weak] = true;
                         }
@@ -319,6 +313,7 @@ fn run_contending(
 
         // bookkeeping: store this collision if unresolved, then advance
         let both = got[0] && got[1];
+        #[allow(clippy::needless_range_loop)] // `s` indexes got/tx/links in lockstep
         for s in 0..2 {
             let ber = if got[s] { 0.0 } else { 1.0 };
             // deliveries already decided; reuse handler for advance logic
@@ -349,6 +344,31 @@ pub fn run_pair(
     }
 }
 
+/// One sender-pair scenario for batched runs: everything [`run_pair`]
+/// needs, self-contained so units are independent across threads.
+#[derive(Clone, Debug)]
+pub struct PairScenario {
+    /// Sender 1's link to the AP.
+    pub link_a: LinkProfile,
+    /// Sender 2's link to the AP.
+    pub link_b: LinkProfile,
+    /// Probability the senders hear each other per round (0 = hidden).
+    pub p_sense: f64,
+    /// Per-scenario RNG seed (deterministic regardless of scheduling).
+    pub seed: u64,
+}
+
+/// Runs many sender-pair experiments across the [`BatchEngine`]. Results
+/// are in scenario order and bit-for-bit independent of the engine's
+/// thread count: each scenario's randomness comes only from its own seed.
+pub fn run_pairs(
+    engine: &BatchEngine,
+    scenarios: &[PairScenario],
+    cfg: &ExperimentConfig,
+) -> Vec<PairRun> {
+    engine.map(scenarios, |_, s| run_pair(&s.link_a, &s.link_b, s.p_sense, cfg, s.seed))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -364,17 +384,9 @@ mod tests {
         let lb = LinkProfile::typical(12.0, &mut rng);
         let run = run_pair(&la, &lb, 0.0, &quick_cfg(), 42);
         // 802.11 hidden terminals: both senders mostly lose
-        assert!(
-            run.s802.total_throughput() < 0.4,
-            "802.11 {:?}",
-            run.s802.total_throughput()
-        );
+        assert!(run.s802.total_throughput() < 0.4, "802.11 {:?}", run.s802.total_throughput());
         // ZigZag: close to the collision-free scheduler (≈1.0)
-        assert!(
-            run.zigzag.total_throughput() > 0.6,
-            "zigzag {:?}",
-            run.zigzag.total_throughput()
-        );
+        assert!(run.zigzag.total_throughput() > 0.6, "zigzag {:?}", run.zigzag.total_throughput());
         assert!(run.zigzag.total_throughput() > run.s802.total_throughput());
     }
 
@@ -416,5 +428,27 @@ mod tests {
         let lb = LinkProfile::typical(16.0, &mut rng);
         let run = run_pair(&la, &lb, 0.0, &quick_cfg(), 45);
         assert!(run.cfs.total_throughput() > 0.85, "{}", run.cfs.total_throughput());
+    }
+
+    #[test]
+    fn batched_pairs_match_sequential_runs() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let scenarios: Vec<PairScenario> = (0..3)
+            .map(|i| PairScenario {
+                link_a: LinkProfile::typical(13.0, &mut rng),
+                link_b: LinkProfile::typical(13.0, &mut rng),
+                p_sense: 0.0,
+                seed: 80 + i,
+            })
+            .collect();
+        let cfg = ExperimentConfig { payload: 150, rounds: 6, ..Default::default() };
+        let seq = run_pairs(&BatchEngine::single_threaded(), &scenarios, &cfg);
+        let par = run_pairs(&BatchEngine::new(3), &scenarios, &cfg);
+        for (a, b) in seq.iter().zip(par.iter()) {
+            assert_eq!(a.zigzag.delivered, b.zigzag.delivered);
+            assert_eq!(a.s802.delivered, b.s802.delivered);
+            assert_eq!(a.cfs.delivered, b.cfs.delivered);
+            assert_eq!(a.zigzag.bit_errors, b.zigzag.bit_errors);
+        }
     }
 }

@@ -16,6 +16,6 @@ pub mod experiment;
 pub mod metrics;
 pub mod topology;
 
-pub use experiment::{registry_for, run_pair, ExperimentConfig, PairRun};
+pub use experiment::{registry_for, run_pair, run_pairs, ExperimentConfig, PairRun, PairScenario};
 pub use metrics::{delivered, Samples, SchemeOutcome, DELIVERY_BER};
 pub use topology::Testbed;

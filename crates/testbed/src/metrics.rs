@@ -136,10 +136,7 @@ impl Samples {
         let mut v = self.values.clone();
         v.sort_by(f64::total_cmp);
         let n = v.len() as f64;
-        v.into_iter()
-            .enumerate()
-            .map(|(i, x)| (x, (i + 1) as f64 / n))
-            .collect()
+        v.into_iter().enumerate().map(|(i, x)| (x, (i + 1) as f64 / n)).collect()
     }
 }
 

@@ -62,11 +62,7 @@ impl Testbed {
 
     /// Sensing relation between two senders.
     pub fn sensing(&self, a: usize, b: usize) -> Sensing {
-        Sensing::classify(
-            self.link_snr_db(a, b),
-            self.hidden_below_db,
-            self.perfect_above_db,
-        )
+        Sensing::classify(self.link_snr_db(a, b), self.hidden_below_db, self.perfect_above_db)
     }
 
     /// All sender pairs `(a, b)` with `a < b`.
@@ -138,10 +134,7 @@ mod tests {
     fn sensing_is_symmetric() {
         let tb = Testbed::paper_like(3);
         for (a, b) in tb.sender_pairs() {
-            assert_eq!(
-                tb.sensing(a, b).probability(),
-                tb.sensing(b, a).probability()
-            );
+            assert_eq!(tb.sensing(a, b).probability(), tb.sensing(b, a).probability());
         }
     }
 

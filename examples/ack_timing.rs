@@ -26,6 +26,9 @@ fn main() {
     let s = schedule_acks(80.0, len_us, len_us, &p);
     println!("\nFig 4-5 walk-through (offset 80 us, packets {len_us:.0} us):");
     println!("  synchronous: {}", s.synchronous);
-    println!("  ack for Alice at t = {:.0} us (inside Bob's tail — Alice can't hear Bob)", s.ack1_at_us);
+    println!(
+        "  ack for Alice at t = {:.0} us (inside Bob's tail — Alice can't hear Bob)",
+        s.ack1_at_us
+    );
     println!("  ack for Bob   at t = {:.0} us (after the padding signal)", s.ack2_at_us);
 }

@@ -33,18 +33,21 @@ fn main() {
     let cb = bob.draw(&mut rng);
     let delta = 260;
     let collision = synth_collision(
-        &[
-            PlacedTx { air: &a, base: &ca, start: 0 },
-            PlacedTx { air: &b, base: &cb, start: delta },
-        ],
+        &[PlacedTx { air: &a, base: &ca, start: 0 }, PlacedTx { air: &b, base: &cb, start: delta }],
         1.0,
         &mut rng,
     );
     println!("one collision: Alice at 24 dB, Bob at 12 dB, offset {delta} samples");
 
     let mut reg = ClientRegistry::new();
-    reg.associate(1, ClientInfo { omega: alice.association_omega(), snr_db: 24.0, taps: alice.isi.clone() });
-    reg.associate(2, ClientInfo { omega: bob.association_omega(), snr_db: 12.0, taps: bob.isi.clone() });
+    reg.associate(
+        1,
+        ClientInfo { omega: alice.association_omega(), snr_db: 24.0, taps: alice.isi.clone() },
+    );
+    reg.associate(
+        2,
+        ClientInfo { omega: bob.association_omega(), snr_db: 12.0, taps: bob.isi.clone() },
+    );
 
     let res = capture_decode(
         &collision.buffer,

@@ -36,8 +36,14 @@ fn main() {
     let hp = hidden_pair(&a, &b, &la, &lb, 340, 110, &mut rng);
 
     let mut reg = ClientRegistry::new();
-    reg.associate(1, ClientInfo { omega: la.association_omega(), snr_db: 9.0, taps: la.isi.clone() });
-    reg.associate(2, ClientInfo { omega: lb.association_omega(), snr_db: 9.0, taps: lb.isi.clone() });
+    reg.associate(
+        1,
+        ClientInfo { omega: la.association_omega(), snr_db: 9.0, taps: la.isi.clone() },
+    );
+    reg.associate(
+        2,
+        ClientInfo { omega: lb.association_omega(), snr_db: 9.0, taps: lb.isi.clone() },
+    );
     let dec = ZigzagDecoder::new(DecoderConfig::default(), &reg);
     let out = dec.decode(
         &[
@@ -61,10 +67,7 @@ fn main() {
     let coded_rx = bytes_to_bits(payload_rx);
     let decoded_info = coding::decode_hard(&coded_rx[..coded_bits.len()]);
     let residual = hamming_distance(&decoded_info, &info);
-    println!(
-        "after rate-1/2 K=7 Viterbi: {residual} residual errors in {} info bits",
-        info.len()
-    );
+    println!("after rate-1/2 K=7 Viterbi: {residual} residual errors in {} info bits", info.len());
     assert_eq!(residual, 0, "coding should clean up the residual BER");
     println!("the coding layer turns BER<1e-3 deliveries into exact payloads (the paper's footnote 1, §5.1f)");
 }

@@ -28,8 +28,14 @@ fn run(name: &str, snr: f64, d1: usize, d2: usize, cfg: DecoderConfig, seed: u64
     let b = encode_frame(&fb, Modulation::Bpsk, &Preamble::default_len());
     let hp = hidden_pair(&a, &b, &la, &lb, d1, d2, &mut rng);
     let mut reg = ClientRegistry::new();
-    reg.associate(1, ClientInfo { omega: la.association_omega(), snr_db: snr, taps: la.isi.clone() });
-    reg.associate(2, ClientInfo { omega: lb.association_omega(), snr_db: snr, taps: lb.isi.clone() });
+    reg.associate(
+        1,
+        ClientInfo { omega: la.association_omega(), snr_db: snr, taps: la.isi.clone() },
+    );
+    reg.associate(
+        2,
+        ClientInfo { omega: lb.association_omega(), snr_db: snr, taps: lb.isi.clone() },
+    );
     let dec = ZigzagDecoder::new(cfg, &reg);
     let out = dec.decode(
         &[
@@ -41,8 +47,10 @@ fn run(name: &str, snr: f64, d1: usize, d2: usize, cfg: DecoderConfig, seed: u64
     let ber_a = bit_error_rate(&a.mpdu_bits, &out.packets[0].scrambled_bits);
     let ber_b = bit_error_rate(&b.mpdu_bits, &out.packets[1].scrambled_bits);
     let stuck = out.outcome == PlanOutcome::Stuck;
-    println!("{name:<36} outcome={:<9} BER A={ber_a:<9.1e} B={ber_b:<9.1e}",
-        if stuck { "STUCK" } else { "complete" });
+    println!(
+        "{name:<36} outcome={:<9} BER A={ber_a:<9.1e} B={ber_b:<9.1e}",
+        if stuck { "STUCK" } else { "complete" }
+    );
 }
 
 fn main() {

@@ -64,7 +64,9 @@ fn describe(ev: &ReceiverEvent) -> String {
         ReceiverEvent::Delivered { frame, path } => {
             format!("Delivered src={} seq={} via {:?}", frame.src, frame.seq, path)
         }
-        ReceiverEvent::CollisionStored => "CollisionStored (awaiting a matching retransmission)".into(),
+        ReceiverEvent::CollisionStored => {
+            "CollisionStored (awaiting a matching retransmission)".into()
+        }
         ReceiverEvent::DecodeFailed => "DecodeFailed".into(),
     }
 }

@@ -46,11 +46,19 @@ fn main() {
     let mut registry = ClientRegistry::new();
     registry.associate(
         1,
-        ClientInfo { omega: alice_link.association_omega(), snr_db: 12.0, taps: alice_link.isi.clone() },
+        ClientInfo {
+            omega: alice_link.association_omega(),
+            snr_db: 12.0,
+            taps: alice_link.isi.clone(),
+        },
     );
     registry.associate(
         2,
-        ClientInfo { omega: bob_link.association_omega(), snr_db: 12.0, taps: bob_link.isi.clone() },
+        ClientInfo {
+            omega: bob_link.association_omega(),
+            snr_db: 12.0,
+            taps: bob_link.isi.clone(),
+        },
     );
 
     // A standard 802.11 receiver fails on either collision:
@@ -63,9 +71,8 @@ fn main() {
         true,
         &DecoderConfig::default(),
     );
-    let std_ber = std_try
-        .map(|d| bit_error_rate(&alice_air.mpdu_bits, &d.scrambled_bits))
-        .unwrap_or(1.0);
+    let std_ber =
+        std_try.map(|d| bit_error_rate(&alice_air.mpdu_bits, &d.scrambled_bits)).unwrap_or(1.0);
     println!("standard 802.11 decode of collision 1: BER {std_ber:.3} (garbage)");
 
     // ZigZag decodes both packets from the matched pair:
@@ -77,10 +84,9 @@ fn main() {
         ],
         &[PacketSpec { client: 1 }, PacketSpec { client: 2 }],
     );
-    for (name, air, res) in [
-        ("Alice", &alice_air, &out.packets[0]),
-        ("Bob  ", &bob_air, &out.packets[1]),
-    ] {
+    for (name, air, res) in
+        [("Alice", &alice_air, &out.packets[0]), ("Bob  ", &bob_air, &out.packets[1])]
+    {
         let ber = bit_error_rate(&air.mpdu_bits, &res.scrambled_bits);
         println!(
             "ZigZag {name}: BER {ber:.2e}  frame CRC: {}",

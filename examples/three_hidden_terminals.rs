@@ -92,5 +92,7 @@ fn main() {
         println!("sender {}: BER {ber:.2e}", i + 1);
         assert!(ber < 1e-2);
     }
-    println!("all three packets recovered — each sender effectively got 1/3 of the medium (Fig 5-9)");
+    println!(
+        "all three packets recovered — each sender effectively got 1/3 of the medium (Fig 5-9)"
+    );
 }

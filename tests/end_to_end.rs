@@ -45,10 +45,7 @@ fn mac_driven_hidden_pair_decodes() {
             let s1 = b1 as i64 - a1 as i64;
             let s2 = b2 as i64 - a2 as i64;
             if s1 >= 0 && s2 >= 0 && s1 != s2 {
-                break (
-                    params.slots_to_symbols(s1 as u32),
-                    params.slots_to_symbols(s2 as u32),
-                );
+                break (params.slots_to_symbols(s1 as u32), params.slots_to_symbols(s2 as u32));
             }
         };
         let la = LinkProfile::typical(13.0, &mut rng);
@@ -78,10 +75,7 @@ fn mac_driven_hidden_pair_decodes() {
     // MAC-drawn offsets include one-slot (10-symbol) differences, which
     // are marginal for the immersed bootstrap at this substrate's
     // 1 sample/symbol; table5_1 measures ≈70-85% packet success at 12 dB.
-    assert!(
-        decoded_pairs * 2 >= attempts,
-        "only {decoded_pairs}/{attempts} pairs decoded"
-    );
+    assert!(decoded_pairs * 2 >= attempts, "only {decoded_pairs}/{attempts} pairs decoded");
 }
 
 /// The full receiver FSM over the same scenario: store → match → deliver.

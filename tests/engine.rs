@@ -1,0 +1,183 @@
+//! Engine-level integration tests: the stage pipeline must reproduce the
+//! legacy monolithic receiver event-for-event, and the multi-threaded
+//! `BatchEngine` must be bit-for-bit identical to a single-threaded run.
+
+use rand::prelude::*;
+use zigzag::channel::fading::LinkProfile;
+use zigzag::channel::scenario::{clean_reception, hidden_pair};
+use zigzag::core::config::{ClientInfo, ClientRegistry, DecoderConfig};
+use zigzag::core::engine::{
+    decode_batch, unit_seed, BatchEngine, CaptureStage, DecodeUnit, DetectStage, MatchStage,
+    Pipeline, StandardDecodeStage, StoreStage,
+};
+use zigzag::core::receiver::{ReceiverEvent, ZigzagReceiver};
+use zigzag::phy::complex::Complex;
+use zigzag::phy::frame::{encode_frame, Frame};
+use zigzag::phy::modulation::Modulation;
+use zigzag::phy::preamble::Preamble;
+
+fn registry(links: &[(u16, &LinkProfile)]) -> ClientRegistry {
+    let mut reg = ClientRegistry::new();
+    for (id, l) in links {
+        reg.associate(
+            *id,
+            ClientInfo { omega: l.association_omega(), snr_db: l.snr_db, taps: l.isi.clone() },
+        );
+    }
+    reg
+}
+
+fn air(src: u16, seq: u16, len: usize) -> zigzag::phy::frame::AirFrame {
+    let f = Frame::with_random_payload(0, src, seq, len, 40_000 + src as u64 * 131 + seq as u64);
+    encode_frame(&f, Modulation::Bpsk, &Preamble::default_len())
+}
+
+/// A mixed workload per unit: a clean delivery, a hidden-terminal
+/// retransmission pair (store → match → zigzag), and a noise buffer.
+fn build_units(n: usize, payload: usize) -> Vec<DecodeUnit> {
+    (0..n)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(unit_seed(77, i));
+            let la = LinkProfile::typical(16.0, &mut rng);
+            let lb = LinkProfile::typical(16.0, &mut rng);
+            let a = air(1, i as u16, payload);
+            let b = air(2, i as u16, payload);
+            let clean = clean_reception(&air(1, 1000 + i as u16, payload), &la, &mut rng);
+            let d1 = 200 + 10 * (i % 8);
+            let d2 = 70 + 10 * (i % 4);
+            let hp = hidden_pair(&a, &b, &la, &lb, d1, d2, &mut rng);
+            let noise = zigzag::channel::noise::awgn_vec(&mut rng, 1500, 1.0);
+            DecodeUnit {
+                cfg: DecoderConfig::default(),
+                registry: registry(&[(1, &la), (2, &lb)]),
+                buffers: vec![clean.buffer, hp.collision1.buffer, hp.collision2.buffer, noise],
+            }
+        })
+        .collect()
+}
+
+/// Unequal-power collision units (strong 22 dB over weak 13 dB), so the
+/// capture / interference-cancellation / MRC-retry stage translation is
+/// differentially exercised too — equal-power units never take it.
+fn build_capture_units(n: usize, payload: usize) -> Vec<DecodeUnit> {
+    (0..n)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(unit_seed(15, i));
+            let la = LinkProfile::typical(22.0, &mut rng);
+            let lb = LinkProfile::typical(13.0, &mut rng);
+            let a = air(1, 500 + i as u16, payload);
+            let b = air(2, 500 + i as u16, payload);
+            let hp = hidden_pair(&a, &b, &la, &lb, 300, 120, &mut rng);
+            DecodeUnit {
+                cfg: DecoderConfig::default(),
+                registry: registry(&[(1, &la), (2, &lb)]),
+                buffers: vec![hp.collision1.buffer, hp.collision2.buffer],
+            }
+        })
+        .collect()
+}
+
+/// The tentpole equivalence claim: the stage pipeline emits the same
+/// event sequence as the legacy monolithic control flow, buffer for
+/// buffer, over clean receptions, collisions, matched pairs, capture
+/// scenarios and noise.
+#[test]
+fn pipeline_matches_legacy_event_for_event() {
+    let mut units = build_units(4, 200);
+    units.extend(build_capture_units(3, 250));
+    let mut capture_fired = false;
+    for unit in &units {
+        let mut pipeline_rx = ZigzagReceiver::new(unit.cfg.clone(), unit.registry.clone());
+        let mut legacy_rx = ZigzagReceiver::new(unit.cfg.clone(), unit.registry.clone());
+        for (k, buffer) in unit.buffers.iter().enumerate() {
+            let ev_pipeline = pipeline_rx.process(buffer);
+            let ev_legacy = legacy_rx.process_legacy(buffer);
+            assert_eq!(
+                ev_pipeline, ev_legacy,
+                "pipeline and legacy receivers diverged on buffer {k}"
+            );
+            capture_fired |= ev_pipeline.iter().any(|e| {
+                matches!(
+                    e,
+                    ReceiverEvent::Delivered {
+                        path: zigzag::core::receiver::DecodePath::Capture
+                            | zigzag::core::receiver::DecodePath::InterferenceCancellation
+                            | zigzag::core::receiver::DecodePath::MrcRetry,
+                        ..
+                    }
+                )
+            });
+        }
+    }
+    assert!(capture_fired, "workload must exercise the capture/IC stage translation");
+}
+
+/// Multi-threaded batch decoding must equal the single-threaded run
+/// bit for bit (events compare structurally, including frame payloads).
+#[test]
+fn batch_engine_is_deterministic_across_thread_counts() {
+    let units = build_units(8, 150);
+    let reference = decode_batch(&BatchEngine::single_threaded(), &units);
+    // the workload must actually exercise the decode paths
+    let delivered: usize = reference
+        .iter()
+        .flat_map(|ev| ev.iter())
+        .filter(|e| matches!(e, ReceiverEvent::Delivered { .. }))
+        .count();
+    assert!(delivered >= units.len(), "workload too easy: {delivered} deliveries");
+    for threads in [2, 4, 8] {
+        let out = decode_batch(&BatchEngine::new(threads), &units);
+        assert_eq!(reference, out, "batch decode diverged at {threads} threads");
+    }
+}
+
+/// The engine preserves input order even when units finish wildly out of
+/// order (unit 0 is far heavier than the rest).
+#[test]
+fn batch_engine_preserves_order_under_skew() {
+    let mut units = build_units(5, 150);
+    let heavy = build_units(1, 600);
+    units[0] = heavy.into_iter().next().unwrap();
+    let seq = decode_batch(&BatchEngine::single_threaded(), &units);
+    let par = decode_batch(&BatchEngine::new(4), &units);
+    assert_eq!(seq, par);
+}
+
+/// A custom pipeline without a ZigzagStage must not destroy matched
+/// stored collisions: MatchStage is non-destructive (the store entry is
+/// only removed by the consuming ZigzagStage), so dropping/reordering
+/// stages (the advertised pipeline contract) never loses collision data.
+#[test]
+fn custom_pipeline_without_zigzag_keeps_stored_collisions() {
+    let units = build_units(1, 200);
+    let unit = &units[0];
+    let pipeline = Pipeline::from_stages(vec![
+        Box::new(DetectStage),
+        Box::new(StandardDecodeStage),
+        Box::new(CaptureStage),
+        Box::new(MatchStage),
+        Box::new(StoreStage),
+    ]);
+    let mut rx = ZigzagReceiver::with_pipeline(unit.cfg.clone(), unit.registry.clone(), pipeline);
+    // buffers[1] and buffers[2] are the matched retransmission pair
+    let ev1 = rx.process(&unit.buffers[1]);
+    assert!(ev1.contains(&ReceiverEvent::CollisionStored), "{ev1:?}");
+    assert_eq!(rx.stored_collisions(), 1);
+    let ev2 = rx.process(&unit.buffers[2]);
+    assert!(ev2.contains(&ReceiverEvent::CollisionStored), "{ev2:?}");
+    // the matched stored collision was put back alongside the new one
+    assert_eq!(rx.stored_collisions(), 2, "matched stored collision must not be lost");
+}
+
+/// Per-unit scratch reuse must not leak state between buffers: decoding
+/// the same buffer twice through fresh receivers gives identical events.
+#[test]
+fn scratch_reuse_is_stateless_across_buffers() {
+    let units = build_units(1, 200);
+    let unit = &units[0];
+    let run = |buffers: &[Vec<Complex>]| {
+        let mut rx = ZigzagReceiver::new(unit.cfg.clone(), unit.registry.clone());
+        buffers.iter().flat_map(|b| rx.process(b)).collect::<Vec<_>>()
+    };
+    assert_eq!(run(&unit.buffers), run(&unit.buffers));
+}

@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 use zigzag::core::intervals::IntervalSet;
-use zigzag::core::schedule::{decodable, pair_layouts, CollisionLayout, Placement, PlanOutcome, PlanState};
+use zigzag::core::schedule::{
+    decodable, pair_layouts, CollisionLayout, Placement, PlanOutcome, PlanState,
+};
 use zigzag::phy::bits::{bits_to_bytes, bytes_to_bits};
 use zigzag::phy::complex::Complex;
 use zigzag::phy::crc::{append_crc, verify_crc};
