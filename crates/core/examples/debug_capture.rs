@@ -1,17 +1,27 @@
 //! Scratch diagnostic for the capture/IC path.
+//!
+//! Doubles as minimal kernel-backend usage for the capture flow: the
+//! backend is picked explicitly (`scalar`/`optimized` as first argument)
+//! and one `Scratch` is threaded through the `_with` entry points.
 use rand::prelude::*;
 use zigzag_channel::fading::LinkProfile;
 use zigzag_channel::scenario::{synth_collision, PlacedTx};
-use zigzag_core::capture::{capture_decode, subtract_decoded};
+use zigzag_core::capture::{capture_decode_with, subtract_decoded_with};
 use zigzag_core::config::{ClientInfo, ClientRegistry, DecoderConfig};
-use zigzag_core::standard::decode_single;
+use zigzag_core::engine::Scratch;
+use zigzag_core::standard::decode_single_with;
 use zigzag_phy::bits::bit_error_rate;
 use zigzag_phy::complex::mean_power;
 use zigzag_phy::frame::{encode_frame, Frame};
+use zigzag_phy::kernel::BackendKind;
 use zigzag_phy::modulation::Modulation;
 use zigzag_phy::preamble::Preamble;
 
 fn main() {
+    let backend =
+        std::env::args().nth(1).and_then(|a| BackendKind::from_arg(&a)).unwrap_or_default();
+    println!("kernel backend: {}", backend.name());
+    let mut ws = Scratch::with_backend(backend);
     let mut rng = StdRng::seed_from_u64(3);
     let la = LinkProfile::typical(22.0, &mut rng);
     let lb = LinkProfile::typical(13.0, &mut rng);
@@ -36,10 +46,11 @@ fn main() {
         2,
         ClientInfo { omega: lb.association_omega(), snr_db: 13.0, taps: lb.isi.clone() },
     );
-    let cfg = DecoderConfig::default();
+    let cfg = DecoderConfig::with_backend(backend);
     let p = Preamble::default_len();
 
-    let strong = decode_single(&sc.buffer, 0, Some(1), &reg, &p, false, &cfg).unwrap();
+    let strong =
+        decode_single_with(&sc.buffer, 0, Some(1), &reg, &p, false, &cfg, &mut ws).unwrap();
     println!("strong frame ok: {}", strong.frame.is_some());
     println!(
         "strong view: gain={:.2} (true {:.2}) omega={:.5} (true {:.5}) mu={:.3} (true {:.3})",
@@ -50,7 +61,7 @@ fn main() {
         strong.view.mu,
         -ca.sampling_offset
     );
-    let residual = subtract_decoded(&sc.buffer, &strong, &p);
+    let residual = subtract_decoded_with(&sc.buffer, &strong, &p, &mut ws);
     // power profile: before vs after over A-only region [0,200) and overlap
     println!(
         "pwr A-only [50,200): {:.1} -> {:.2}",
@@ -62,7 +73,8 @@ fn main() {
         mean_power(&sc.buffer[300..2000]),
         mean_power(&residual[300..2000])
     );
-    let weak = decode_single(&residual, delta, Some(2), &reg, &p, true, &cfg).unwrap();
+    let weak =
+        decode_single_with(&residual, delta, Some(2), &reg, &p, true, &cfg, &mut ws).unwrap();
     println!(
         "weak view: gain={:.2} (true {:.2}) mu={:.3} omega={:.5} (true {:.5})",
         weak.view.gain,
@@ -97,7 +109,8 @@ fn main() {
     }
 
     // also through capture_decode
-    let r = capture_decode(&sc.buffer, 0, Some(1), delta, Some(2), &reg, &p, &cfg).unwrap();
+    let r = capture_decode_with(&sc.buffer, 0, Some(1), delta, Some(2), &reg, &p, &cfg, &mut ws)
+        .unwrap();
     let w = r.weak.unwrap();
     println!("via capture_decode: weak BER {:.4}", bit_error_rate(&b.mpdu_bits, &w.scrambled_bits));
 }

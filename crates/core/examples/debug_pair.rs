@@ -1,14 +1,23 @@
 //! Scratch diagnostic: full pair decode with error-position mapping.
+//!
+//! Doubles as minimal kernel-backend usage for the ZigZag executor: the
+//! backend is picked explicitly (`scalar`/`optimized` as first argument)
+//! and threaded via `decode_with` and an explicit `Scratch`.
 use rand::prelude::*;
 use zigzag_channel::fading::LinkProfile;
 use zigzag_channel::scenario::hidden_pair;
 use zigzag_core::config::{ClientInfo, ClientRegistry, DecoderConfig};
+use zigzag_core::engine::Scratch;
 use zigzag_core::zigzag::{CollisionSpec, PacketSpec, ZigzagDecoder};
 use zigzag_phy::frame::{encode_frame, Frame};
+use zigzag_phy::kernel::BackendKind;
 use zigzag_phy::modulation::Modulation;
 use zigzag_phy::preamble::Preamble;
 
 fn main() {
+    let backend =
+        std::env::args().nth(1).and_then(|a| BackendKind::from_arg(&a)).unwrap_or_default();
+    println!("kernel backend: {}", backend.name());
     let seed = 21;
     let mut rng = StdRng::seed_from_u64(seed);
     let snr = 12.0;
@@ -30,13 +39,15 @@ fn main() {
         2,
         ClientInfo { omega: lb.association_omega(), snr_db: snr, taps: lb.isi.clone() },
     );
-    let dec = ZigzagDecoder::new(DecoderConfig::default(), &reg);
-    let out = dec.decode(
+    let dec = ZigzagDecoder::new(DecoderConfig::with_backend(backend), &reg);
+    let mut ws = Scratch::with_backend(backend);
+    let out = dec.decode_with(
         &[
             CollisionSpec { buffer: &hp.collision1.buffer, placements: vec![(0, 0), (1, d1)] },
             CollisionSpec { buffer: &hp.collision2.buffer, placements: vec![(0, 0), (1, d2)] },
         ],
         &[PacketSpec { client: 1 }, PacketSpec { client: 2 }],
+        &mut ws,
     );
     for (name, air, res) in [("A", &a, &out.packets[0]), ("B", &b, &out.packets[1])] {
         let errs: Vec<usize> = air

@@ -1,15 +1,28 @@
 //! Scratch diagnostic for decode_single paths.
+//!
+//! Doubles as minimal kernel-backend usage: the phy backend is
+//! constructed explicitly (`DecoderConfig::with_backend` +
+//! `Scratch::with_backend`) and threaded through `decode_single_with`.
+//! Pass `scalar` or `optimized` as the first argument to pick one.
 use rand::prelude::*;
 use zigzag_channel::fading::LinkProfile;
 use zigzag_channel::scenario::clean_reception;
 use zigzag_core::config::{ClientInfo, ClientRegistry, DecoderConfig};
-use zigzag_core::standard::decode_single;
+use zigzag_core::engine::Scratch;
+use zigzag_core::standard::decode_single_with;
 use zigzag_phy::bits::bit_error_rate;
 use zigzag_phy::frame::{encode_frame, Frame};
+use zigzag_phy::kernel::BackendKind;
 use zigzag_phy::modulation::Modulation;
 use zigzag_phy::preamble::Preamble;
 
 fn main() {
+    // backend from argv (`scalar`/`optimized`), else the process default
+    let backend =
+        std::env::args().nth(1).and_then(|a| BackendKind::from_arg(&a)).unwrap_or_default();
+    let cfg = DecoderConfig::with_backend(backend);
+    let mut ws = Scratch::with_backend(backend);
+    println!("kernel backend: {}", backend.name());
     for (m, snr) in [
         (Modulation::Bpsk, 12.0),
         (Modulation::Qpsk, 22.0),
@@ -27,14 +40,15 @@ fn main() {
             1,
             ClientInfo { omega: l.association_omega(), snr_db: snr, taps: l.isi.clone() },
         );
-        let out = decode_single(
+        let out = decode_single_with(
             &rx.buffer,
             0,
             Some(1),
             &reg,
             &Preamble::default_len(),
             true,
-            &DecoderConfig::default(),
+            &cfg,
+            &mut ws,
         )
         .unwrap();
         let ber = bit_error_rate(&a.mpdu_bits, &out.scrambled_bits);

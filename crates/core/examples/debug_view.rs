@@ -1,16 +1,26 @@
 //! Scratch diagnostic for the ChannelView decode path (not part of the
 //! public examples; see /examples at the workspace root for those).
+//!
+//! Doubles as minimal kernel-backend usage at the lowest level: the
+//! backend is constructed explicitly (`scalar`/`optimized` as first
+//! argument) and passed to `decode_chunk_into` alongside the buffer pool.
 use rand::prelude::*;
 use zigzag_channel::fading::ChannelParams;
 use zigzag_channel::noise::{add_awgn, amplitude_for_snr_db};
 use zigzag_core::config::DecoderConfig;
-use zigzag_core::view::{ChannelView, Direction, PacketLayout};
+use zigzag_core::engine::BufPool;
+use zigzag_core::view::{ChannelView, ChunkDecode, Direction, PacketLayout};
 use zigzag_phy::bits::bit_error_rate;
 use zigzag_phy::complex::{Complex, ZERO};
 use zigzag_phy::filter::Fir;
 use zigzag_phy::frame::{encode_frame, Frame};
+use zigzag_phy::kernel::{BackendKind, Kernel};
 use zigzag_phy::modulation::Modulation;
 use zigzag_phy::preamble::Preamble;
+
+fn backend() -> BackendKind {
+    std::env::args().nth(1).and_then(|a| BackendKind::from_arg(&a)).unwrap_or_default()
+}
 
 fn run(name: &str, ch: ChannelParams, snr_db: f64, omega_hint: f64, payload: usize) {
     let mut rng = StdRng::seed_from_u64(7);
@@ -24,7 +34,7 @@ fn run(name: &str, ch: ChannelParams, snr_db: f64, omega_hint: f64, payload: usi
     buf.extend(std::iter::repeat_n(ZERO, 32));
     add_awgn(&mut rng, &mut buf, 1.0);
 
-    let cfg = DecoderConfig::default();
+    let cfg = DecoderConfig::with_backend(backend());
     let p = Preamble::default_len();
     let v = ChannelView::estimate(&buf, 0, p.symbols(), Some(omega_hint), None, true, &cfg);
     let Some(mut v) = v else {
@@ -46,7 +56,18 @@ fn run(name: &str, ch: ChannelParams, snr_db: f64, omega_hint: f64, payload: usi
         payload_mod: a.modulation,
         total_syms: a.len(),
     };
-    let out = v.decode_chunk(&buf, 0..a.len(), &layout, Direction::Forward);
+    let mut pool = BufPool::new();
+    let mut kernel = Kernel::new(backend());
+    let mut out = ChunkDecode::default();
+    v.decode_chunk_into(
+        &buf,
+        0..a.len(),
+        &layout,
+        Direction::Forward,
+        &mut pool,
+        &mut kernel,
+        &mut out,
+    );
     let bits: Vec<u8> =
         out.decided[a.mpdu_start()..].iter().flat_map(|&d| Modulation::Bpsk.decide(d).0).collect();
     let ber = bit_error_rate(&a.mpdu_bits, &bits[..a.mpdu_bits.len()]);

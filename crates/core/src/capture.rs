@@ -48,7 +48,7 @@ pub fn subtract_decoded(
     decoded: &SingleDecode,
     preamble: &Preamble,
 ) -> Vec<Complex> {
-    let mut ws = Scratch::new();
+    let mut ws = Scratch::with_backend(decoded.view.backend());
     subtract_decoded_with(buffer, decoded, preamble, &mut ws)
 }
 
@@ -73,7 +73,7 @@ pub fn subtract_decoded_with(
 /// oscillator phase noise cannot accumulate across the packet (a one-shot
 /// linear-phase image would).
 pub fn subtract_known(buffer: &[Complex], symbols: &[Complex], view: &ChannelView) -> Vec<Complex> {
-    let mut ws = Scratch::new();
+    let mut ws = Scratch::with_backend(view.backend());
     subtract_known_with(buffer, symbols, view, &mut ws)
 }
 
@@ -88,7 +88,7 @@ pub fn subtract_known_with(
     let mut residual = buffer.to_vec();
     let mut v = view.clone();
     let sym_fn = |n: usize| symbols.get(n).copied();
-    let Scratch { pool, .. } = ws;
+    let Scratch { pool, kernel, .. } = ws;
     let mut img = Image { first: 0, samples: pool.take() };
     let mut observed = pool.take();
     // Small blocks: cancellation depth is set by how far the oscillator
@@ -99,14 +99,14 @@ pub fn subtract_known_with(
     let mut s = 0usize;
     while s < symbols.len() {
         let e = (s + block).min(symbols.len());
-        v.synthesize_into(s..e, &sym_fn, pool, &mut img);
+        v.synthesize_into(s..e, &sym_fn, pool, kernel, &mut img);
         let blen = residual.len();
         let span = img.first.min(blen)..img.range().end.min(blen);
         observed.clear();
         observed.extend_from_slice(&residual[span.clone()]);
         img.subtract_from(&mut residual);
         if e - s >= 16 && observed.len() == img.samples.len() {
-            v.feedback_with(&observed, &img, s..e, &sym_fn, pool);
+            v.feedback_with(&observed, &img, s..e, &sym_fn, pool, kernel);
         }
         s = e;
     }
@@ -130,7 +130,7 @@ pub fn capture_decode(
     preamble: &Preamble,
     cfg: &DecoderConfig,
 ) -> Option<CaptureResult> {
-    let mut ws = Scratch::new();
+    let mut ws = Scratch::with_backend(cfg.backend);
     capture_decode_with(
         buffer,
         strong_start,

@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 use zigzag_phy::filter::Fir;
+use zigzag_phy::kernel::BackendKind;
 
 /// Tunable knobs of the ZigZag receiver. Defaults reproduce the paper's
 /// configuration; the `false` settings exist for the Table 5.1 ablations.
@@ -43,6 +44,10 @@ pub struct DecoderConfig {
     /// How many recent unmatched collisions the AP stores (§4.2.2: "it is
     /// sufficient to store the few most recent collisions").
     pub collision_store: usize,
+    /// Which phy kernel backend the decode hot loops run on
+    /// (`zigzag_phy::kernel`). Defaults to the optimized SoA backend;
+    /// `ZIGZAG_BACKEND=scalar` selects the scalar reference process-wide.
+    pub backend: BackendKind,
 }
 
 impl Default for DecoderConfig {
@@ -70,7 +75,16 @@ impl Default for DecoderConfig {
             mm_gain: 0.3,
             block: 128,
             collision_store: 4,
+            backend: BackendKind::default(),
         }
+    }
+}
+
+impl DecoderConfig {
+    /// The default configuration pinned to a specific kernel backend
+    /// (differential testing, benchmarks).
+    pub fn with_backend(backend: BackendKind) -> Self {
+        Self { backend, ..Self::default() }
     }
 }
 

@@ -13,10 +13,10 @@
 //! balances false positives against false negatives (Table 5.1).
 
 use crate::config::{ClientRegistry, DecoderConfig};
-use crate::engine::scratch::BufPool;
+use crate::engine::scratch::Scratch;
 use zigzag_channel::noise::amplitude_for_snr_db;
 use zigzag_phy::complex::Complex;
-use zigzag_phy::correlate::{find_peaks, scan_into};
+use zigzag_phy::correlate::find_peaks;
 use zigzag_phy::preamble::Preamble;
 
 /// A detected packet start.
@@ -45,20 +45,22 @@ pub fn detect_packets(
     registry: &ClientRegistry,
     cfg: &DecoderConfig,
 ) -> Vec<Detection> {
-    let mut pool = BufPool::new();
-    detect_packets_with(buffer, preamble, registry, cfg, &mut pool)
+    let mut ws = Scratch::with_backend(cfg.backend);
+    detect_packets_with(buffer, preamble, registry, cfg, &mut ws)
 }
 
 /// Scratch-aware variant of [`detect_packets`]: the full-buffer
 /// correlation scans (one per associated client per sampling grid — the
-/// largest transient buffers in the receive path) are drawn from `pool`.
+/// largest transient buffers in the receive path) are drawn from the
+/// scratch pool and run on its kernel backend.
 pub fn detect_packets_with(
     buffer: &[Complex],
     preamble: &Preamble,
     registry: &ClientRegistry,
     cfg: &DecoderConfig,
-    pool: &mut BufPool,
+    ws: &mut Scratch,
 ) -> Vec<Detection> {
+    let Scratch { pool, kernel, .. } = ws;
     let l = preamble.len();
     // A packet's fractional sampling offset attenuates the integer-grid
     // correlation peak (by sinc(µ), down to ~0.64 at µ=±0.5) — enough to
@@ -66,14 +68,14 @@ pub fn detect_packets_with(
     // grid: the buffer interpolated at +0.5 is computed once and shared
     // by all clients.
     let mut half = pool.take();
-    zigzag_phy::interp::resample_into(buffer, 0.5, 1.0, buffer.len(), &mut half);
+    kernel.resample_into(buffer, 0.5, 1.0, buffer.len(), &mut half);
     let mut corr = pool.take();
     let mut all: Vec<Detection> = Vec::new();
     for (client, info) in registry.iter() {
         let h = amplitude_for_snr_db(info.snr_db);
         let threshold = cfg.beta * l as f64 * h;
         for grid in [buffer, half.as_slice()] {
-            scan_into(grid, preamble.symbols(), info.omega, 0..grid.len(), &mut corr);
+            kernel.scan_into(grid, preamble.symbols(), info.omega, 0..grid.len(), &mut corr);
             for p in find_peaks(&corr, threshold, l) {
                 all.push(Detection {
                     pos: p.pos,

@@ -20,7 +20,10 @@
 //!   dozens of per-symbol `Vec<Complex>` allocations into reused buffers
 //!   (with matching in-place primitives in `zigzag-phy`:
 //!   `Fir::apply_into`, `correlate::scan_into`, `mrc::combine_weighted_into`,
-//!   `interp::resample_into`).
+//!   `interp::resample_into`). The scratch also carries the
+//!   [`zigzag_phy::kernel::Kernel`] — the pluggable scalar/optimized
+//!   compute backend every phy hot loop dispatches to, selected once per
+//!   decode context via `DecoderConfig::backend`.
 //!
 //! Future scaling work (sharding receivers across cores, async buffer
 //! ingestion, alternative compute backends) plugs in here: a backend is a

@@ -15,6 +15,7 @@
 
 use crate::view::{ChunkDecode, Image};
 use zigzag_phy::complex::Complex;
+use zigzag_phy::kernel::{BackendKind, Kernel};
 
 /// A recycling pool of `Vec<Complex>` buffers.
 ///
@@ -51,6 +52,12 @@ impl BufPool {
 
 /// Reusable working state for one decode context (one receiver, one
 /// `BatchEngine` work unit, or one `ZigzagDecoder::decode_with` call).
+///
+/// Besides the buffer pool, a scratch carries the [`Kernel`] — the phy
+/// compute backend plus its SoA staging buffers — so the backend is
+/// selected once per decode context and every hot loop below it
+/// (correlation scans, FIR equalization, chunk resampling, MRC) runs on
+/// the same implementation.
 #[derive(Debug, Default)]
 pub struct Scratch {
     /// General-purpose complex-buffer pool.
@@ -59,12 +66,20 @@ pub struct Scratch {
     pub chunk: ChunkDecode,
     /// Reused synthesized-image buffer.
     pub image: Image,
+    /// The phy kernel backend (and its SoA temporaries) the hot loops
+    /// dispatch to.
+    pub kernel: Kernel,
 }
 
 impl Scratch {
-    /// A fresh scratch with empty buffers.
+    /// A fresh scratch with empty buffers and the default backend.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A fresh scratch pinned to a specific kernel backend.
+    pub fn with_backend(kind: BackendKind) -> Self {
+        Self { kernel: Kernel::new(kind), ..Self::default() }
     }
 }
 

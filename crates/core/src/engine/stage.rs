@@ -53,6 +53,7 @@ pub struct ReceiverCore {
 impl ReceiverCore {
     /// Fresh state with the given configuration and registry.
     pub fn new(cfg: DecoderConfig, registry: ClientRegistry) -> Self {
+        let scratch = Scratch::with_backend(cfg.backend);
         Self {
             cfg,
             registry,
@@ -60,7 +61,7 @@ impl ReceiverCore {
             store: VecDeque::new(),
             weak_versions: Vec::new(),
             delivered: HashSet::new(),
-            scratch: Scratch::new(),
+            scratch,
         }
     }
 
@@ -240,8 +241,7 @@ impl DecodeStage for DetectStage {
         events: &mut Vec<ReceiverEvent>,
     ) -> Flow {
         let ReceiverCore { cfg, registry, preamble, scratch, .. } = rx;
-        unit.detections =
-            detect_packets_with(unit.buffer, preamble, registry, cfg, &mut scratch.pool);
+        unit.detections = detect_packets_with(unit.buffer, preamble, registry, cfg, scratch);
         if unit.detections.is_empty() {
             events.push(ReceiverEvent::DecodeFailed);
             return Flow::Done;

@@ -56,7 +56,7 @@ pub fn decode_single(
     clean: bool,
     cfg: &DecoderConfig,
 ) -> Option<SingleDecode> {
-    let mut ws = Scratch::new();
+    let mut ws = Scratch::with_backend(cfg.backend);
     decode_single_with(buffer, start, client, registry, preamble, clean, cfg, &mut ws)
 }
 
@@ -86,7 +86,7 @@ pub fn decode_single_with(
         buffer.len().saturating_sub(start),
     );
 
-    let Scratch { pool, chunk, .. } = ws;
+    let Scratch { pool, chunk, kernel, .. } = ws;
 
     // 1. preamble + PLCP
     view.decode_chunk_into(
@@ -95,6 +95,7 @@ pub fn decode_single_with(
         &layout,
         Direction::Forward,
         pool,
+        kernel,
         chunk,
     );
     let mut soft = std::mem::take(&mut chunk.soft);
@@ -122,6 +123,7 @@ pub fn decode_single_with(
         &layout,
         Direction::Forward,
         pool,
+        kernel,
         chunk,
     );
     soft.extend_from_slice(&chunk.soft);

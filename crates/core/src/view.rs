@@ -33,6 +33,7 @@ use zigzag_phy::complex::{inner, Complex, ZERO};
 use zigzag_phy::equalize::{design_inverse, estimate_channel_taps, DEFAULT_EQUALIZER_TAPS};
 use zigzag_phy::filter::Fir;
 use zigzag_phy::interp::interp_at;
+use zigzag_phy::kernel::Kernel;
 use zigzag_phy::modulation::Modulation;
 use zigzag_phy::sync::estimate_freq;
 
@@ -364,14 +365,17 @@ impl ChannelView {
         dir: Direction,
     ) -> ChunkDecode {
         let mut pool = BufPool::new();
+        let mut kernel = Kernel::new(self.cfg.backend);
         let mut out = ChunkDecode::default();
-        self.decode_chunk_into(buffer, range, layout, dir, &mut pool, &mut out);
+        self.decode_chunk_into(buffer, range, layout, dir, &mut pool, &mut kernel, &mut out);
         out
     }
 
     /// In-place variant of [`ChannelView::decode_chunk`]: fills `out`
     /// (cleared first) and draws temporary grids from `pool`, so the
-    /// per-block resample/equalize buffers are reused across chunks.
+    /// per-block resample/equalize buffers are reused across chunks. The
+    /// block resampling and equalization run on `kernel`'s backend.
+    #[allow(clippy::too_many_arguments)]
     pub fn decode_chunk_into(
         &mut self,
         buffer: &[Complex],
@@ -379,6 +383,7 @@ impl ChannelView {
         layout: &PacketLayout,
         dir: Direction,
         pool: &mut BufPool,
+        kernel: &mut Kernel,
         out: &mut ChunkDecode,
     ) {
         let n_syms = range.len();
@@ -425,20 +430,27 @@ impl ChannelView {
         let mut eq_buf = pool.take();
 
         for &(bs, be) in &blocks {
-            // resample block (+ equalizer margin) on the symbol grid
+            // resample block (+ equalizer margin) on the symbol grid —
+            // positions step by exactly one symbol, which is the cached-
+            // tap fast path of the optimized backend
             let lo = bs as isize - margin as isize;
             let hi = be as isize + margin as isize;
-            grid.clear();
-            grid.extend((lo..hi).map(|n| {
-                let y = interp_at(buffer, self.position(n as f64));
-                // de-rotate with the *model* (fine residual applied per
-                // symbol below)
-                y * Complex::cis(-self.phase.at(n as f64))
-            }));
+            kernel.resample_into(
+                buffer,
+                self.position(lo as f64),
+                1.0,
+                (hi - lo) as usize,
+                &mut grid,
+            );
+            // de-rotate with the *model* (fine residual applied per
+            // symbol below)
+            for (i, v) in grid.iter_mut().enumerate() {
+                *v *= Complex::cis(-self.phase.at((lo + i as isize) as f64));
+            }
             let eq: &[Complex] = if self.inv.is_identity() {
                 &grid
             } else {
-                self.inv.apply_into(&grid, &mut eq_buf);
+                kernel.fir_apply_into(&self.inv, &grid, &mut eq_buf);
                 &eq_buf
             };
 
@@ -513,21 +525,24 @@ impl ChannelView {
         symbols: &dyn Fn(usize) -> Option<Complex>,
     ) -> Image {
         let mut pool = BufPool::new();
+        let mut kernel = Kernel::new(self.cfg.backend);
         let mut img = Image::default();
-        self.synthesize_at_into(range, symbols, self.mu, &mut pool, &mut img);
+        self.synthesize_at_into(range, symbols, self.mu, &mut pool, &mut kernel, &mut img);
         img
     }
 
     /// In-place variant of [`ChannelView::synthesize`]: fills `out`
-    /// (reusing its sample buffer) and draws temporaries from `pool`.
+    /// (reusing its sample buffer) and draws temporaries from `pool`; the
+    /// ISI shaping and grid interpolation run on `kernel`'s backend.
     pub fn synthesize_into(
         &self,
         range: std::ops::Range<usize>,
         symbols: &dyn Fn(usize) -> Option<Complex>,
         pool: &mut BufPool,
+        kernel: &mut Kernel,
         out: &mut Image,
     ) {
-        self.synthesize_at_into(range, symbols, self.mu, pool, out);
+        self.synthesize_at_into(range, symbols, self.mu, pool, kernel, out);
     }
 
     fn synthesize_at_into(
@@ -536,6 +551,7 @@ impl ChannelView {
         symbols: &dyn Fn(usize) -> Option<Complex>,
         mu: f64,
         pool: &mut BufPool,
+        kernel: &mut Kernel,
         out: &mut Image,
     ) {
         let m = self.taps.len() + 9; // ISI + sinc-kernel margin
@@ -548,7 +564,7 @@ impl ChannelView {
         let shaped: &mut Vec<Complex> = if self.taps.is_identity() {
             &mut xw
         } else {
-            self.taps.apply_into(&xw, &mut shaped_buf);
+            kernel.fir_apply_into(&self.taps, &xw, &mut shaped_buf);
             &mut shaped_buf
         };
         // apply gain + phase ramp on the symbol grid, in place
@@ -561,11 +577,10 @@ impl ChannelView {
         let p_first = (self.start as f64 + mu + range.start as f64 - 0.5).ceil().max(0.0) as usize;
         let p_last = (self.start as f64 + mu + range.end as f64 - 0.5).ceil().max(0.0) as usize;
         out.first = p_first;
-        out.samples.clear();
-        out.samples.extend((p_first..p_last).map(|p| {
-            let t = p as f64 - self.start as f64 - mu; // symbol-units position
-            interp_at(shaped, t - lo as f64)
-        }));
+        // image positions step by exactly one sample in symbol units —
+        // another constant-fraction resampling the backend can cache
+        let t0 = p_first as f64 - self.start as f64 - mu - lo as f64;
+        kernel.resample_into(shaped, t0, 1.0, p_last.saturating_sub(p_first), &mut out.samples);
         pool.put(xw);
         pool.put(shaped_buf);
     }
@@ -585,11 +600,13 @@ impl ChannelView {
         symbols: &dyn Fn(usize) -> Option<Complex>,
     ) {
         let mut pool = BufPool::new();
-        self.feedback_with(observed, image, range, symbols, &mut pool);
+        let mut kernel = Kernel::new(self.cfg.backend);
+        self.feedback_with(observed, image, range, symbols, &mut pool, &mut kernel);
     }
 
     /// Scratch-aware variant of [`ChannelView::feedback`]: the timing
-    /// early/late-gate images are synthesized into pooled buffers.
+    /// early/late-gate images are synthesized into pooled buffers on
+    /// `kernel`'s backend.
     pub fn feedback_with(
         &mut self,
         observed: &[Complex],
@@ -597,6 +614,7 @@ impl ChannelView {
         range: std::ops::Range<usize>,
         symbols: &dyn Fn(usize) -> Option<Complex>,
         pool: &mut BufPool,
+        kernel: &mut Kernel,
     ) {
         if observed.len() != image.samples.len() || observed.is_empty() {
             return;
@@ -629,8 +647,22 @@ impl ChannelView {
             let delta = 0.3;
             let mut early = Image { first: 0, samples: pool.take() };
             let mut late = Image { first: 0, samples: pool.take() };
-            self.synthesize_at_into(range.clone(), symbols, self.mu - delta, pool, &mut early);
-            self.synthesize_at_into(range.clone(), symbols, self.mu + delta, pool, &mut late);
+            self.synthesize_at_into(
+                range.clone(),
+                symbols,
+                self.mu - delta,
+                pool,
+                kernel,
+                &mut early,
+            );
+            self.synthesize_at_into(
+                range.clone(),
+                symbols,
+                self.mu + delta,
+                pool,
+                kernel,
+                &mut late,
+            );
             let ce = corr_clipped(observed, image.first, &early);
             let cl = corr_clipped(observed, image.first, &late);
             // quality gate: a contaminated span (other packets still live
@@ -650,6 +682,11 @@ impl ChannelView {
     /// Effective SNR of this view against unit noise, in dB.
     pub fn snr_db(&self) -> f64 {
         20.0 * self.gain.log10()
+    }
+
+    /// The kernel backend this view's configuration selects.
+    pub fn backend(&self) -> zigzag_phy::kernel::BackendKind {
+        self.cfg.backend
     }
 
     /// Re-anchors the phase model at the packet start: keeps everything

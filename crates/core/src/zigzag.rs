@@ -26,7 +26,6 @@ use zigzag_phy::bits::bits_to_bytes;
 use zigzag_phy::complex::Complex;
 use zigzag_phy::frame::{decode_mpdu, Frame, PlcpHeader, PLCP_SYMBOLS};
 use zigzag_phy::modulation::Modulation;
-use zigzag_phy::mrc::combine_weighted_into;
 use zigzag_phy::preamble::Preamble;
 
 /// What the receiver knows about one packet before ZigZag starts.
@@ -106,7 +105,7 @@ impl<'r> ZigzagDecoder<'r> {
 
     /// Runs ZigZag over the given collisions.
     pub fn decode(&self, collisions: &[CollisionSpec<'_>], packets: &[PacketSpec]) -> ZigzagOutput {
-        let mut ws = Scratch::new();
+        let mut ws = Scratch::with_backend(self.cfg.backend);
         self.decode_with(collisions, packets, &mut ws)
     }
 
@@ -285,13 +284,14 @@ impl<'r> ZigzagDecoder<'r> {
         };
 
         // decode the chunk from this collision's residual
-        let Scratch { pool, chunk, image } = ws;
+        let Scratch { pool, chunk, image, kernel } = ws;
         view.decode_chunk_into(
             &residuals[c],
             step.range.clone(),
             &pkts[q].layout,
             Direction::Forward,
             pool,
+            kernel,
             chunk,
         );
         let out = &*chunk;
@@ -343,7 +343,7 @@ impl<'r> ZigzagDecoder<'r> {
             let m2 = v.taps.len() + 9;
             let exp = step.range.start.saturating_sub(m2)
                 ..(step.range.end + m2).min(pkts[q].decided.len());
-            v.synthesize_into(exp.clone(), &sym_fn, pool, image);
+            v.synthesize_into(exp.clone(), &sym_fn, pool, kernel, image);
             let img = &*image;
             let blen = residuals[ci].len();
             let span = img.first.min(blen)..img.range().end.min(blen);
@@ -366,7 +366,7 @@ impl<'r> ZigzagDecoder<'r> {
                 );
             }
             if step.range.len() >= MIN_FEEDBACK_CHUNK && observed.len() == img.samples.len() {
-                v.feedback_with(&observed, img, exp, &sym_fn, pool);
+                v.feedback_with(&observed, img, exp, &sym_fn, pool, kernel);
             }
             pool.put(observed);
         }
@@ -443,7 +443,7 @@ impl<'r> ZigzagDecoder<'r> {
         pkts: &[PktState],
         ws: &mut Scratch,
     ) {
-        let Scratch { pool, image, .. } = ws;
+        let Scratch { pool, image, kernel, .. } = ws;
         for c in 0..collisions.len() {
             for q in 0..pkts.len() {
                 if views[c][q].is_none()
@@ -499,7 +499,7 @@ impl<'r> ZigzagDecoder<'r> {
                 let blen = residuals[c].len();
                 for r in plan.decoded(q).ranges() {
                     let exp = r.start.saturating_sub(m2)..(r.end + m2).min(decided.len());
-                    new_view.synthesize_into(exp, &sym_fn, pool, image);
+                    new_view.synthesize_into(exp, &sym_fn, pool, kernel, image);
                     let span = image.first.min(blen)..image.range().end.min(blen);
                     for (k, p) in span.enumerate() {
                         let new_val = image.samples[k];
@@ -576,7 +576,7 @@ impl<'r> ZigzagDecoder<'r> {
                 if let Some(base_view) = views[c][q].as_ref() {
                     // rebuild "this packet + noise": residual with q's own
                     // accumulated image added back
-                    let Scratch { pool, chunk, .. } = ws;
+                    let Scratch { pool, chunk, kernel, .. } = ws;
                     let mut buf = pool.take();
                     buf.extend_from_slice(&residuals[c]);
                     for (p, b) in buf.iter_mut().enumerate() {
@@ -589,6 +589,7 @@ impl<'r> ZigzagDecoder<'r> {
                         &st.layout,
                         Direction::Backward,
                         pool,
+                        kernel,
                         chunk,
                     );
                     pool.put(buf);
@@ -643,7 +644,7 @@ impl<'r> ZigzagDecoder<'r> {
         let refs: Vec<(&[Complex], f64)> =
             streams.iter().map(|(s, w)| (s.as_slice(), *w)).collect();
         let mut combined = ws.pool.take();
-        combine_weighted_into(&refs, &mut combined);
+        ws.kernel.combine_weighted_into(&refs, &mut combined);
         let body_start = st.layout.body_start();
         let mut scrambled_bits = Vec::new();
         for (n, &s) in combined.iter().enumerate().skip(body_start) {

@@ -82,20 +82,16 @@ impl Fir {
         }
         y.resize(x.len(), ZERO);
         for (n, out) in y.iter_mut().enumerate() {
-            let mut acc = ZERO;
-            for (l, &t) in self.taps.iter().enumerate() {
-                // input index n + delay − l
-                let idx = n as isize + self.delay as isize - l as isize;
-                if idx >= 0 && (idx as usize) < x.len() {
-                    acc += t * x[idx as usize];
-                }
-            }
-            *out = acc;
+            *out = self.tap_sum(x, n);
         }
     }
 
-    /// Filters a single output sample at position `n` of signal `x`.
-    pub fn apply_at(&self, x: &[Complex], n: usize) -> Complex {
+    /// The shared tap-accumulation loop: output sample `n` is
+    /// `Σ_l taps[l]·x[n + delay − l]` with out-of-range inputs as zero.
+    /// Both [`Fir::apply_into`] and [`Fir::apply_at`] (the equalizer's
+    /// single-sample path) go through this, so they cannot drift apart.
+    #[inline]
+    fn tap_sum(&self, x: &[Complex], n: usize) -> Complex {
         let mut acc = ZERO;
         for (l, &t) in self.taps.iter().enumerate() {
             let idx = n as isize + self.delay as isize - l as isize;
@@ -104,6 +100,11 @@ impl Fir {
             }
         }
         acc
+    }
+
+    /// Filters a single output sample at position `n` of signal `x`.
+    pub fn apply_at(&self, x: &[Complex], n: usize) -> Complex {
+        self.tap_sum(x, n)
     }
 
     /// Convolves this filter with another, composing their effects

@@ -32,8 +32,9 @@ pub fn sinc(x: f64) -> f64 {
 }
 
 /// Hann window of half-width `w` evaluated at offset `x ∈ [−w, w]`.
+/// Shared with the optimized kernel backend's cached-tap resampler.
 #[inline]
-fn hann(x: f64, w: f64) -> f64 {
+pub(crate) fn hann(x: f64, w: f64) -> f64 {
     let t = (x / w).clamp(-1.0, 1.0);
     0.5 * (1.0 + (std::f64::consts::PI * t).cos())
 }

@@ -1,0 +1,586 @@
+//! Pluggable compute backends for the phy hot loops.
+//!
+//! The receiver spends essentially all of its cycles in four primitives
+//! (§4.2, §4.6): the sliding preamble **correlation** that detects and
+//! aligns collisions, the **FIR** convolution that applies/undoes ISI,
+//! the windowed-sinc **resampling** that moves chunks between sampling
+//! grids, and the **MRC** combiner of the forward/backward passes. This
+//! module puts those four behind a [`Backend`] trait with two
+//! implementations:
+//!
+//! * [`Scalar`] — delegates to the original loops in [`crate::correlate`],
+//!   [`crate::filter`], [`crate::interp`] and [`crate::mrc`]. It is the
+//!   numerical reference the differential tests compare against.
+//! * [`Optimized`] — structure-of-arrays (`re`/`im` split `f64` slices)
+//!   loops that the compiler can autovectorize, plus the algorithmic
+//!   wins: the correlation pre-derotates the reference once per scan
+//!   instead of paying a sin/cos per inner-loop sample, the FIR runs a
+//!   bounds-check-free per-tap interior sweep, and the resampler caches
+//!   the sinc·hann tap vector per distinct fractional offset.
+//!
+//! A [`Kernel`] bundles a backend choice with its [`KernelScratch`]
+//! temporaries; one lives in every `zigzag-core` scratch arena, so the
+//! backend is selected once per engine/work unit and the SoA staging
+//! buffers are reused across calls. A future `std::simd` or GPU backend
+//! is one more `impl Backend` — the decode logic never changes.
+
+use crate::complex::{Complex, ZERO};
+use crate::filter::Fir;
+use crate::interp::{hann, sinc, DEFAULT_HALF_WIDTH};
+use std::ops::Range;
+
+/// Which backend a [`Kernel`] dispatches to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The original scalar loops (numerical reference).
+    Scalar,
+    /// SoA autovectorization-friendly loops with phasor/tap precomputation.
+    Optimized,
+}
+
+impl BackendKind {
+    /// Backend selected by the `ZIGZAG_BACKEND` environment variable
+    /// (`scalar` or `optimized`); defaults to [`BackendKind::Optimized`].
+    /// The variable is read once per process.
+    pub fn from_env() -> Self {
+        use std::sync::OnceLock;
+        static KIND: OnceLock<BackendKind> = OnceLock::new();
+        *KIND.get_or_init(|| match std::env::var("ZIGZAG_BACKEND").as_deref() {
+            Ok("scalar") => BackendKind::Scalar,
+            _ => BackendKind::Optimized,
+        })
+    }
+
+    /// Parses a backend name (`"scalar"` / `"optimized"`), as accepted on
+    /// the command line by the debug examples.
+    pub fn from_arg(arg: &str) -> Option<Self> {
+        match arg {
+            "scalar" => Some(BackendKind::Scalar),
+            "optimized" => Some(BackendKind::Optimized),
+            _ => None,
+        }
+    }
+
+    /// The backend implementation this kind names.
+    pub fn backend(self) -> &'static dyn Backend {
+        match self {
+            BackendKind::Scalar => &Scalar,
+            BackendKind::Optimized => &Optimized,
+        }
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        self.backend().name()
+    }
+}
+
+impl Default for BackendKind {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Reusable staging buffers for a backend (SoA copies of the operands,
+/// accumulators, the cached resampling tap vector). Contents between
+/// calls are unspecified; only capacity is retained.
+#[derive(Debug, Default)]
+pub struct KernelScratch {
+    // SoA image of the long operand (receive buffer / input signal).
+    a_re: Vec<f64>,
+    a_im: Vec<f64>,
+    // SoA image of the short operand (derotated reference, FIR taps).
+    b_re: Vec<f64>,
+    b_im: Vec<f64>,
+    // SoA output accumulators.
+    c_re: Vec<f64>,
+    c_im: Vec<f64>,
+    // Per-position MRC weight sums.
+    den: Vec<f64>,
+    // Cached windowed-sinc taps for the fractional offset `taps_frac`.
+    taps: Vec<f64>,
+    taps_frac: f64,
+    taps_j_lo: isize,
+    taps_valid: bool,
+}
+
+fn split_soa(x: &[Complex], re: &mut Vec<f64>, im: &mut Vec<f64>) {
+    re.clear();
+    im.clear();
+    re.extend(x.iter().map(|c| c.re));
+    im.extend(x.iter().map(|c| c.im));
+}
+
+/// One implementation of the four phy hot-loop primitives.
+///
+/// All methods are semantically identical across backends: the
+/// differential property tests (`crates/phy/tests/backend_diff.rs`) pin
+/// every implementation to [`Scalar`] within 1e-9 over random inputs, and
+/// the FIR/resample/MRC kernels are bit-identical by construction (same
+/// operations in the same order, only the memory layout differs).
+pub trait Backend: std::fmt::Debug + Send + Sync {
+    /// Stable display name (`"scalar"`, `"optimized"`).
+    fn name(&self) -> &'static str;
+
+    /// Frequency-compensated sliding correlation, as
+    /// [`crate::correlate::scan_into`]: fills `out` (cleared first) with
+    /// `Γ'(Δ) = Σ_k s*[k]·y[Δ+k]·e^{−jωk}` for each `Δ` in `positions`.
+    fn scan_into(
+        &self,
+        ws: &mut KernelScratch,
+        y: &[Complex],
+        s: &[Complex],
+        omega: f64,
+        positions: Range<usize>,
+        out: &mut Vec<Complex>,
+    );
+
+    /// FIR filtering, as [`Fir::apply_into`]: fills `y` (cleared first)
+    /// with the filtered signal, same length as `x`, zero-padded edges.
+    fn fir_apply_into(
+        &self,
+        ws: &mut KernelScratch,
+        fir: &Fir,
+        x: &[Complex],
+        y: &mut Vec<Complex>,
+    );
+
+    /// Windowed-sinc resampling, as [`crate::interp::resample_into`]:
+    /// fills `out` (cleared first) with interpolations at
+    /// `start + k·step` for `k = 0..n`.
+    fn resample_into(
+        &self,
+        ws: &mut KernelScratch,
+        samples: &[Complex],
+        start: f64,
+        step: f64,
+        n: usize,
+        out: &mut Vec<Complex>,
+    );
+
+    /// Weighted MRC, as [`crate::mrc::combine_weighted_into`]: fills
+    /// `out` (cleared first) with `Σ wᵢ·sᵢ / Σ wᵢ` per symbol position.
+    fn combine_weighted_into(
+        &self,
+        ws: &mut KernelScratch,
+        streams: &[(&[Complex], f64)],
+        out: &mut Vec<Complex>,
+    );
+}
+
+/// The original scalar loops — the numerical reference backend.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Scalar;
+
+impl Backend for Scalar {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn scan_into(
+        &self,
+        _ws: &mut KernelScratch,
+        y: &[Complex],
+        s: &[Complex],
+        omega: f64,
+        positions: Range<usize>,
+        out: &mut Vec<Complex>,
+    ) {
+        crate::correlate::scan_into(y, s, omega, positions, out);
+    }
+
+    fn fir_apply_into(
+        &self,
+        _ws: &mut KernelScratch,
+        fir: &Fir,
+        x: &[Complex],
+        y: &mut Vec<Complex>,
+    ) {
+        fir.apply_into(x, y);
+    }
+
+    fn resample_into(
+        &self,
+        _ws: &mut KernelScratch,
+        samples: &[Complex],
+        start: f64,
+        step: f64,
+        n: usize,
+        out: &mut Vec<Complex>,
+    ) {
+        crate::interp::resample_into(samples, start, step, n, out);
+    }
+
+    fn combine_weighted_into(
+        &self,
+        _ws: &mut KernelScratch,
+        streams: &[(&[Complex], f64)],
+        out: &mut Vec<Complex>,
+    ) {
+        crate::mrc::combine_weighted_into(streams, out);
+    }
+}
+
+/// SoA loops with phasor/tap precomputation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Optimized;
+
+impl Backend for Optimized {
+    fn name(&self) -> &'static str {
+        "optimized"
+    }
+
+    fn scan_into(
+        &self,
+        ws: &mut KernelScratch,
+        y: &[Complex],
+        s: &[Complex],
+        omega: f64,
+        positions: Range<usize>,
+        out: &mut Vec<Complex>,
+    ) {
+        out.clear();
+        // Hoist the frequency-offset rotation out of the O(N·L) loop:
+        // s*[k]·e^{−jωk} does not depend on Δ, so the sin/cos pair is paid
+        // L times per scan instead of N·L times.
+        let l = s.len();
+        ws.b_re.clear();
+        ws.b_im.clear();
+        for (k, &sk) in s.iter().enumerate() {
+            let r = sk.conj() * Complex::cis(-omega * k as f64);
+            ws.b_re.push(r.re);
+            ws.b_im.push(r.im);
+        }
+        split_soa(y, &mut ws.a_re, &mut ws.a_im);
+        out.reserve(positions.len());
+        for d in positions {
+            let end = l.min(y.len().saturating_sub(d));
+            if end == 0 {
+                out.push(ZERO);
+                continue;
+            }
+            let (sr, si) = (&ws.b_re[..end], &ws.b_im[..end]);
+            let (yr, yi) = (&ws.a_re[d..d + end], &ws.a_im[d..d + end]);
+            // Four independent accumulator pairs: the serial FP-add chain,
+            // not the multiplies, bounds the scalar throughput here.
+            let mut acc = [0.0f64; 8];
+            let mut k = 0;
+            while k + 4 <= end {
+                for u in 0..4 {
+                    acc[2 * u] += sr[k + u] * yr[k + u] - si[k + u] * yi[k + u];
+                    acc[2 * u + 1] += sr[k + u] * yi[k + u] + si[k + u] * yr[k + u];
+                }
+                k += 4;
+            }
+            while k < end {
+                acc[0] += sr[k] * yr[k] - si[k] * yi[k];
+                acc[1] += sr[k] * yi[k] + si[k] * yr[k];
+                k += 1;
+            }
+            out.push(Complex::new(
+                (acc[0] + acc[2]) + (acc[4] + acc[6]),
+                (acc[1] + acc[3]) + (acc[5] + acc[7]),
+            ));
+        }
+    }
+
+    fn fir_apply_into(
+        &self,
+        ws: &mut KernelScratch,
+        fir: &Fir,
+        x: &[Complex],
+        y: &mut Vec<Complex>,
+    ) {
+        y.clear();
+        if fir.is_identity() {
+            y.extend_from_slice(x);
+            return;
+        }
+        let n = x.len();
+        split_soa(x, &mut ws.a_re, &mut ws.a_im);
+        ws.c_re.clear();
+        ws.c_re.resize(n, 0.0);
+        ws.c_im.clear();
+        ws.c_im.resize(n, 0.0);
+        // Per-tap interior sweep: tap l reads x[n − shift] with
+        // shift = l − delay, valid exactly for n ∈ [max(0, shift),
+        // min(n, n + shift)) — clamping the range once replaces the
+        // per-sample isize-cast bounds tests of the scalar loop, and the
+        // resulting element-wise saxpy has no reduction to block
+        // vectorization. Taps are visited in ascending l, so every output
+        // accumulates its contributions in the scalar loop's order and
+        // the result is bit-identical.
+        let delay = fir.delay() as isize;
+        for (l, &tap) in fir.taps().iter().enumerate() {
+            let shift = l as isize - delay;
+            let n_lo = shift.max(0) as usize;
+            let n_hi = (n as isize + shift).clamp(0, n as isize) as usize;
+            if n_lo >= n_hi {
+                continue;
+            }
+            let (tr, ti) = (tap.re, tap.im);
+            let x_lo = (n_lo as isize - shift) as usize;
+            let len = n_hi - n_lo;
+            let xr = &ws.a_re[x_lo..x_lo + len];
+            let xi = &ws.a_im[x_lo..x_lo + len];
+            let cr = &mut ws.c_re[n_lo..n_hi];
+            let ci = &mut ws.c_im[n_lo..n_hi];
+            for k in 0..len {
+                cr[k] += tr * xr[k] - ti * xi[k];
+                ci[k] += tr * xi[k] + ti * xr[k];
+            }
+        }
+        y.extend(ws.c_re.iter().zip(ws.c_im.iter()).map(|(&re, &im)| Complex::new(re, im)));
+    }
+
+    fn resample_into(
+        &self,
+        ws: &mut KernelScratch,
+        samples: &[Complex],
+        start: f64,
+        step: f64,
+        n: usize,
+        out: &mut Vec<Complex>,
+    ) {
+        out.clear();
+        // No SoA staging here: a chunk decoder calls this once per small
+        // block with the *full* residual buffer as `samples`, so an
+        // up-front whole-buffer copy would cost more than the 17-tap
+        // window reads it feeds. The win is the cached tap vector; the
+        // AoS reads below are just as sequential.
+        let w = DEFAULT_HALF_WIDTH as f64;
+        ws.taps_valid = false;
+        out.reserve(n);
+        for k in 0..n {
+            let t = start + k as f64 * step;
+            let f = t.floor();
+            if !f.is_finite() {
+                out.push(ZERO);
+                continue;
+            }
+            let frac = t - f;
+            // The sinc·hann tap vector depends only on the fractional
+            // part of t. On the receiver's step = 1 grids the fraction is
+            // constant over the whole call, so the 17 sin/cos evaluations
+            // per output collapse to one cache fill per scan.
+            if !ws.taps_valid || ws.taps_frac != frac {
+                ws.taps.clear();
+                let j_lo = (frac - w).ceil() as isize;
+                let j_hi = (frac + w).floor() as isize;
+                for j in j_lo..=j_hi {
+                    let d = frac - j as f64;
+                    ws.taps.push(sinc(d) * hann(d, w + 1.0));
+                }
+                ws.taps_frac = frac;
+                ws.taps_j_lo = j_lo;
+                ws.taps_valid = true;
+            }
+            let base = f as isize + ws.taps_j_lo;
+            let i_lo = base.clamp(0, samples.len() as isize) as usize;
+            let i_hi = (base + ws.taps.len() as isize).clamp(0, samples.len() as isize) as usize;
+            if i_lo >= i_hi {
+                out.push(ZERO);
+                continue;
+            }
+            let mut acc_re = 0.0;
+            let mut acc_im = 0.0;
+            let j0 = (i_lo as isize - base) as usize;
+            for (v, &tap) in samples[i_lo..i_hi].iter().zip(&ws.taps[j0..]) {
+                acc_re += v.re * tap;
+                acc_im += v.im * tap;
+            }
+            out.push(Complex::new(acc_re, acc_im));
+        }
+    }
+
+    fn combine_weighted_into(
+        &self,
+        ws: &mut KernelScratch,
+        streams: &[(&[Complex], f64)],
+        out: &mut Vec<Complex>,
+    ) {
+        assert!(!streams.is_empty(), "MRC needs at least one stream");
+        out.clear();
+        // Every accumulation below mirrors the scalar loop's order and
+        // operations exactly (weighted terms in stream order added to a
+        // zero accumulator, then one real division), so the result is
+        // bit-identical to the reference.
+        match *streams {
+            // The receiver only ever combines one stream (forward-only
+            // decode) or two (forward + backward, the two faulty capture
+            // versions); these run single-pass with no staging arrays.
+            [(s, w)] => {
+                out.extend(s.iter().map(|&v| if w > 0.0 { v.scale(w) / w } else { ZERO }));
+            }
+            [(s1, w1), (s2, w2)] => {
+                let both = s1.len().min(s2.len());
+                let dw = w1 + w2;
+                out.reserve(s1.len().max(s2.len()));
+                for k in 0..both {
+                    let re = s1[k].re * w1 + s2[k].re * w2;
+                    let im = s1[k].im * w1 + s2[k].im * w2;
+                    out.push(if dw > 0.0 { Complex::new(re / dw, im / dw) } else { ZERO });
+                }
+                let (tail, w) = if s1.len() > both { (&s1[both..], w1) } else { (&s2[both..], w2) };
+                out.extend(tail.iter().map(|&v| if w > 0.0 { v.scale(w) / w } else { ZERO }));
+            }
+            _ => {
+                let n = streams.iter().map(|(s, _)| s.len()).max().unwrap_or(0);
+                ws.c_re.clear();
+                ws.c_re.resize(n, 0.0);
+                ws.c_im.clear();
+                ws.c_im.resize(n, 0.0);
+                ws.den.clear();
+                ws.den.resize(n, 0.0);
+                for &(s, weight) in streams {
+                    for (k, &v) in s.iter().enumerate() {
+                        ws.c_re[k] += v.re * weight;
+                        ws.c_im[k] += v.im * weight;
+                        ws.den[k] += weight;
+                    }
+                }
+                out.extend((0..n).map(|k| {
+                    if ws.den[k] > 0.0 {
+                        Complex::new(ws.c_re[k], ws.c_im[k]) / ws.den[k]
+                    } else {
+                        ZERO
+                    }
+                }));
+            }
+        }
+    }
+}
+
+/// A backend choice bundled with its reusable scratch buffers — the
+/// object the decode engine threads through its hot loops.
+#[derive(Debug, Default)]
+pub struct Kernel {
+    kind: BackendKind,
+    ws: KernelScratch,
+}
+
+impl Kernel {
+    /// A kernel dispatching to the given backend.
+    pub fn new(kind: BackendKind) -> Self {
+        Self { kind, ws: KernelScratch::default() }
+    }
+
+    /// The backend this kernel dispatches to.
+    pub fn kind(&self) -> BackendKind {
+        self.kind
+    }
+
+    /// See [`Backend::scan_into`].
+    pub fn scan_into(
+        &mut self,
+        y: &[Complex],
+        s: &[Complex],
+        omega: f64,
+        positions: Range<usize>,
+        out: &mut Vec<Complex>,
+    ) {
+        self.kind.backend().scan_into(&mut self.ws, y, s, omega, positions, out);
+    }
+
+    /// See [`Backend::fir_apply_into`].
+    pub fn fir_apply_into(&mut self, fir: &Fir, x: &[Complex], y: &mut Vec<Complex>) {
+        self.kind.backend().fir_apply_into(&mut self.ws, fir, x, y);
+    }
+
+    /// See [`Backend::resample_into`].
+    pub fn resample_into(
+        &mut self,
+        samples: &[Complex],
+        start: f64,
+        step: f64,
+        n: usize,
+        out: &mut Vec<Complex>,
+    ) {
+        self.kind.backend().resample_into(&mut self.ws, samples, start, step, n, out);
+    }
+
+    /// See [`Backend::combine_weighted_into`].
+    pub fn combine_weighted_into(&mut self, streams: &[(&[Complex], f64)], out: &mut Vec<Complex>) {
+        self.kind.backend().combine_weighted_into(&mut self.ws, streams, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(n: usize, seed: u64) -> Vec<Complex> {
+        (0..n)
+            .map(|k| {
+                let t = (k as u64).wrapping_mul(seed.wrapping_add(1)) as f64;
+                Complex::cis(0.13 * t).scale(1.0 + 0.2 * ((k % 7) as f64))
+            })
+            .collect()
+    }
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64, what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+        for (k, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!((*x - *y).abs() < tol, "{what}[{k}]: {x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_scan() {
+        let y = sig(300, 3);
+        let s = sig(32, 7);
+        for omega in [0.0, 0.043, -0.12] {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            Kernel::new(BackendKind::Scalar).scan_into(&y, &s, omega, 0..y.len(), &mut a);
+            Kernel::new(BackendKind::Optimized).scan_into(&y, &s, omega, 0..y.len(), &mut b);
+            assert_close(&a, &b, 1e-9, "scan");
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_fir_bit_exact() {
+        let x = sig(128, 5);
+        let fir = Fir::new(
+            vec![Complex::new(0.1, 0.02), Complex::real(1.0), Complex::new(0.2, -0.06)],
+            1,
+        );
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        Kernel::new(BackendKind::Scalar).fir_apply_into(&fir, &x, &mut a);
+        Kernel::new(BackendKind::Optimized).fir_apply_into(&fir, &x, &mut b);
+        assert_eq!(a, b, "FIR backends must be bit-identical");
+    }
+
+    #[test]
+    fn backends_agree_on_resample_bit_exact() {
+        let x = sig(256, 11);
+        for (start, step) in [(0.37, 1.0), (-3.2, 1.0), (5.0, 1.0005), (250.9, 1.0)] {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            Kernel::new(BackendKind::Scalar).resample_into(&x, start, step, 300, &mut a);
+            Kernel::new(BackendKind::Optimized).resample_into(&x, start, step, 300, &mut b);
+            assert_eq!(a, b, "resample backends must be bit-identical at {start}+k*{step}");
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_mrc_bit_exact() {
+        let s1 = sig(40, 1);
+        let s2 = sig(25, 2);
+        let s3 = sig(33, 3);
+        let streams: Vec<(&[Complex], f64)> = vec![(&s1, 2.0), (&s2, 0.5), (&s3, 0.0)];
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        Kernel::new(BackendKind::Scalar).combine_weighted_into(&streams, &mut a);
+        Kernel::new(BackendKind::Optimized).combine_weighted_into(&streams, &mut b);
+        assert_eq!(a, b, "MRC backends must be bit-identical");
+    }
+
+    #[test]
+    fn kind_names_and_dispatch() {
+        assert_eq!(BackendKind::Scalar.name(), "scalar");
+        assert_eq!(BackendKind::Optimized.name(), "optimized");
+        assert_eq!(Kernel::new(BackendKind::Optimized).kind(), BackendKind::Optimized);
+    }
+}

@@ -20,6 +20,8 @@
 //! * [`correlate`] — frequency-compensated sliding correlation (§4.2.1's
 //!   collision detector primitive).
 //! * [`interp`] — windowed-sinc fractional interpolation (§4.2.3b).
+//! * [`kernel`] — pluggable scalar/optimized compute backends for the
+//!   four hot-loop primitives (correlate/fir/interp/mrc).
 //! * [`filter`] / [`equalize`] / [`linalg`] — ISI channels, least-squares
 //!   channel estimation and zero-forcing equalizers (§3.1.3, §4.2.4d).
 //! * [`sync`] — frequency estimation, decision-directed phase tracking and
@@ -42,6 +44,7 @@ pub mod equalize;
 pub mod filter;
 pub mod frame;
 pub mod interp;
+pub mod kernel;
 pub mod linalg;
 pub mod modulation;
 pub mod mrc;
@@ -52,5 +55,6 @@ pub mod sync;
 pub use complex::Complex;
 pub use filter::Fir;
 pub use frame::{AirFrame, Frame, PlcpHeader};
+pub use kernel::{Backend, BackendKind, Kernel};
 pub use modulation::Modulation;
 pub use preamble::Preamble;

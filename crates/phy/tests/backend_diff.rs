@@ -1,0 +1,190 @@
+//! Differential harness for the kernel backends: for every hot-loop
+//! primitive (correlate, fir, interp, mrc), the `Optimized` backend must
+//! match the `Scalar` reference within 1e-9 across random lengths, taps
+//! and frequency offsets — including the edge cases (empty input, scan
+//! offset at the buffer end, ω = 0, identity filter). This is the
+//! numerical-equivalence bar that lets the decode engine switch backends
+//! without bit-level decode divergence.
+
+use proptest::prelude::*;
+use zigzag_phy::complex::Complex;
+use zigzag_phy::filter::Fir;
+use zigzag_phy::kernel::{BackendKind, Kernel};
+
+fn to_complex(raw: &[(f64, f64)]) -> Vec<Complex> {
+    raw.iter().map(|&(re, im)| Complex::new(re, im)).collect()
+}
+
+fn assert_close(a: &[Complex], b: &[Complex], tol: f64, what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch {} vs {}", a.len(), b.len());
+    for (k, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert!((*x - *y).abs() < tol, "{what}[{k}]: {x:?} vs {y:?} (err {})", (*x - *y).abs());
+    }
+}
+
+fn kernels() -> (Kernel, Kernel) {
+    (Kernel::new(BackendKind::Scalar), Kernel::new(BackendKind::Optimized))
+}
+
+proptest! {
+    #[test]
+    fn scan_matches_scalar(
+        y_raw in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 0..300),
+        s_raw in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 0..80),
+        omega in -0.5f64..0.5,
+    ) {
+        let y = to_complex(&y_raw);
+        let s = to_complex(&s_raw);
+        let (mut scalar, mut optimized) = kernels();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        // positions deliberately run past the buffer end: offsets with a
+        // partial (or empty) overlap must agree too
+        let positions = 0..y.len() + 4;
+        scalar.scan_into(&y, &s, omega, positions.clone(), &mut a);
+        optimized.scan_into(&y, &s, omega, positions, &mut b);
+        assert_close(&a, &b, 1e-9, "scan");
+    }
+
+    #[test]
+    fn fir_matches_scalar(
+        x_raw in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 0..200),
+        taps_raw in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..12),
+        delay_pick in 0usize..12,
+    ) {
+        let x = to_complex(&x_raw);
+        let taps = to_complex(&taps_raw);
+        let fir = Fir::new(taps.clone(), delay_pick % taps.len());
+        let (mut scalar, mut optimized) = kernels();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        scalar.fir_apply_into(&fir, &x, &mut a);
+        optimized.fir_apply_into(&fir, &x, &mut b);
+        assert_close(&a, &b, 1e-9, "fir");
+    }
+
+    #[test]
+    fn resample_matches_scalar(
+        x_raw in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 0..200),
+        start in -20.0f64..220.0,
+        drift in -0.01f64..0.01,
+        n in 0usize..250,
+        integer_step in 0u8..2,
+    ) {
+        let x = to_complex(&x_raw);
+        // step = 1 exercises the cached-tap fast path; step = 1 + drift
+        // the per-output cache-miss path
+        let step = if integer_step == 1 { 1.0 } else { 1.0 + drift };
+        let (mut scalar, mut optimized) = kernels();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        scalar.resample_into(&x, start, step, n, &mut a);
+        optimized.resample_into(&x, start, step, n, &mut b);
+        assert_close(&a, &b, 1e-9, "resample");
+    }
+
+    #[test]
+    fn mrc_matches_scalar(
+        s1_raw in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 0..120),
+        s2_raw in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 0..120),
+        s3_raw in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 0..120),
+        w1 in 0.0f64..10.0,
+        w2 in 0.0f64..10.0,
+        w3 in 0.0f64..10.0,
+    ) {
+        let (s1, s2, s3) = (to_complex(&s1_raw), to_complex(&s2_raw), to_complex(&s3_raw));
+        let streams: Vec<(&[Complex], f64)> = vec![(&s1, w1), (&s2, w2), (&s3, w3)];
+        let (mut scalar, mut optimized) = kernels();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        scalar.combine_weighted_into(&streams, &mut a);
+        optimized.combine_weighted_into(&streams, &mut b);
+        assert_close(&a, &b, 1e-9, "mrc");
+    }
+}
+
+#[test]
+fn scan_edge_cases() {
+    let y: Vec<Complex> = (0..64).map(|k| Complex::cis(0.21 * k as f64)).collect();
+    let s: Vec<Complex> = (0..16).map(|k| Complex::cis(-0.4 * k as f64)).collect();
+    let (mut scalar, mut optimized) = kernels();
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    for omega in [0.0, 0.1] {
+        // empty received buffer
+        scalar.scan_into(&[], &s, omega, 0..4, &mut a);
+        optimized.scan_into(&[], &s, omega, 0..4, &mut b);
+        assert_close(&a, &b, 1e-12, "scan empty y");
+        // empty reference sequence
+        scalar.scan_into(&y, &[], omega, 0..y.len(), &mut a);
+        optimized.scan_into(&y, &[], omega, 0..y.len(), &mut b);
+        assert_close(&a, &b, 1e-12, "scan empty s");
+        // δ exactly at / one past the buffer end (zero-sample overlap)
+        scalar.scan_into(&y, &s, omega, y.len() - 1..y.len() + 1, &mut a);
+        optimized.scan_into(&y, &s, omega, y.len() - 1..y.len() + 1, &mut b);
+        assert_close(&a, &b, 1e-9, "scan at buffer end");
+        // empty position range
+        scalar.scan_into(&y, &s, omega, 5..5, &mut a);
+        optimized.scan_into(&y, &s, omega, 5..5, &mut b);
+        assert!(a.is_empty() && b.is_empty());
+    }
+}
+
+#[test]
+fn fir_identity_and_empty() {
+    let x: Vec<Complex> = (0..32).map(|k| Complex::new(k as f64, -(k as f64))).collect();
+    let (mut scalar, mut optimized) = kernels();
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    // identity filter takes the pass-through shortcut on both backends
+    scalar.fir_apply_into(&Fir::identity(), &x, &mut a);
+    optimized.fir_apply_into(&Fir::identity(), &x, &mut b);
+    assert_eq!(a, x);
+    assert_eq!(b, x);
+    // empty input
+    let f = Fir::from_real(&[0.2, 1.0, -0.1], 1);
+    scalar.fir_apply_into(&f, &[], &mut a);
+    optimized.fir_apply_into(&f, &[], &mut b);
+    assert!(a.is_empty() && b.is_empty());
+    // single-tap non-identity (delay 0 edge)
+    let f1 = Fir::from_real(&[-0.7], 0);
+    scalar.fir_apply_into(&f1, &x, &mut a);
+    optimized.fir_apply_into(&f1, &x, &mut b);
+    assert_close(&a, &b, 1e-12, "single tap");
+}
+
+#[test]
+fn resample_edge_cases() {
+    let x: Vec<Complex> = (0..40).map(|k| Complex::cis(0.07 * k as f64)).collect();
+    let (mut scalar, mut optimized) = kernels();
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    // empty input buffer, and n = 0
+    scalar.resample_into(&[], 0.3, 1.0, 8, &mut a);
+    optimized.resample_into(&[], 0.3, 1.0, 8, &mut b);
+    assert_close(&a, &b, 1e-12, "resample empty buffer");
+    scalar.resample_into(&x, 0.3, 1.0, 0, &mut a);
+    optimized.resample_into(&x, 0.3, 1.0, 0, &mut b);
+    assert!(a.is_empty() && b.is_empty());
+    // positions entirely out of range on both sides
+    for start in [-1e4, 1e4] {
+        scalar.resample_into(&x, start, 1.0, 8, &mut a);
+        optimized.resample_into(&x, start, 1.0, 8, &mut b);
+        assert_close(&a, &b, 1e-12, "resample out of range");
+    }
+    // exactly integer positions (the sinc(0) = 1 special case)
+    scalar.resample_into(&x, 0.0, 1.0, x.len(), &mut a);
+    optimized.resample_into(&x, 0.0, 1.0, x.len(), &mut b);
+    assert_close(&a, &b, 1e-12, "resample integer grid");
+}
+
+#[test]
+fn mrc_edge_cases() {
+    let s: Vec<Complex> = (0..8).map(|k| Complex::real(k as f64)).collect();
+    let (mut scalar, mut optimized) = kernels();
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    // all-zero weights must yield zeros, not NaNs, on both backends
+    let streams: Vec<(&[Complex], f64)> = vec![(&s, 0.0), (&s, 0.0)];
+    scalar.combine_weighted_into(&streams, &mut a);
+    optimized.combine_weighted_into(&streams, &mut b);
+    assert_eq!(a, b);
+    assert!(a.iter().all(|v| *v == Complex::default()));
+    // empty streams
+    let empty: Vec<(&[Complex], f64)> = vec![(&[], 1.0)];
+    scalar.combine_weighted_into(&empty, &mut a);
+    optimized.combine_weighted_into(&empty, &mut b);
+    assert!(a.is_empty() && b.is_empty());
+}
