@@ -188,9 +188,19 @@ impl LinkProfile {
     /// A benign link for unit tests: no ISI, no drift, no phase noise,
     /// small fixed oscillator offset.
     pub fn clean(snr_db: f64) -> Self {
+        Self::clean_with_omega(snr_db, 0.02)
+    }
+
+    /// A benign link with an explicit oscillator offset. Multi-sender
+    /// receiver scenarios need this: the AP tells clients apart by their
+    /// frequency-compensated correlations (§4.2.1), so every sender in a
+    /// k-way workload must sit at a distinct ω — [`LinkProfile::clean`]
+    /// pins all clients to the same oscillator, which makes them
+    /// physically indistinguishable to the detector.
+    pub fn clean_with_omega(snr_db: f64, omega_nominal: f64) -> Self {
         Self {
             snr_db,
-            omega_nominal: 0.02,
+            omega_nominal,
             omega_jitter: 0.0,
             isi: Fir::identity(),
             sampling_drift: 0.0,

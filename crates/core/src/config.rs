@@ -42,7 +42,10 @@ pub struct DecoderConfig {
     /// Sub-block size (symbols) between timing re-interpolations.
     pub block: usize,
     /// How many recent unmatched collisions the AP stores (§4.2.2: "it is
-    /// sufficient to store the few most recent collisions").
+    /// sufficient to store the few most recent collisions"). A k-sender
+    /// match set needs k−1 stored collisions, so this bounds the largest
+    /// decodable sender count at `collision_store + 1` — raise it for
+    /// deployments expecting more simultaneous hidden senders.
     pub collision_store: usize,
     /// Which phy kernel backend the decode hot loops run on
     /// (`zigzag_phy::kernel`). Defaults to the optimized SoA backend;

@@ -9,7 +9,11 @@
 //!   Zigzag → Store) over a shared [`ReceiverCore`], replacing the old
 //!   monolithic `ZigzagReceiver::process` control flow with an
 //!   inspectable, reorderable [`Pipeline`] that emits the same
-//!   [`ReceiverEvent`](crate::receiver::ReceiverEvent)s.
+//!   [`ReceiverEvent`](crate::receiver::ReceiverEvent)s. The match/store
+//!   stages run the k-way [`crate::matchset`] layer: collisions
+//!   accumulate in a client-set-keyed [`CollisionStore`] until a
+//!   decodable k×k [`MatchSet`] exists, so §4.5's k-sender story runs
+//!   end-to-end through [`ReceiverCore::receive`].
 //! * **[`batch`]** — a [`BatchEngine`] that fans independent work units
 //!   (buffers from distinct clients/APs, matched collision pairs,
 //!   Monte-Carlo rounds) across a scoped thread pool with deterministic
@@ -34,10 +38,10 @@ pub mod batch;
 pub mod scratch;
 pub mod stage;
 
+pub use crate::matchset::{CollisionStore, MatchSet, StoredCollision};
 pub use batch::{decode_batch, unit_seed, BatchEngine, DecodeUnit};
 pub use scratch::{BufPool, Scratch};
 pub use stage::{
     CaptureStage, DecodePlan, DecodeStage, DetectStage, Flow, MatchStage, MatchedCollision,
-    Pipeline, PlanStage, ReceiverCore, StandardDecodeStage, StoreStage, StoredCollision, UnitCtx,
-    ZigzagStage,
+    Pipeline, PlanStage, ReceiverCore, StandardDecodeStage, StoreStage, UnitCtx, ZigzagStage,
 };

@@ -18,33 +18,23 @@ use crate::capture::{mrc_combine_retry, subtract_decoded_with};
 use crate::config::{ClientRegistry, DecoderConfig};
 use crate::detect::{detect_packets_with, Detection};
 use crate::engine::scratch::Scratch;
-use crate::matcher::is_match;
+use crate::matchset::{find_match_set, CollisionStore, MatchSet};
 use crate::receiver::{DecodePath, ReceiverEvent};
 use crate::standard::{decode_single_with, SingleDecode};
 use crate::zigzag::{CollisionSpec, PacketSpec, ZigzagDecoder};
-use std::collections::{HashSet, VecDeque};
+use std::collections::HashSet;
 use zigzag_phy::complex::Complex;
 use zigzag_phy::preamble::Preamble;
 
-/// A stored unmatched collision (§4.2.2: "the AP stores recent unmatched
-/// collisions (i.e., stores the received complex samples)").
-#[derive(Clone, Debug)]
-pub struct StoredCollision {
-    /// The raw receive buffer.
-    pub buffer: Vec<Complex>,
-    /// The detections found in it.
-    pub detections: Vec<Detection>,
-}
-
 /// The receiver's long-lived state, shared by every stage: configuration,
-/// association registry, the unmatched-collision store, the faulty-weak-
-/// version store for cross-collision MRC, the delivery dedup set, and the
-/// hot-path [`Scratch`].
+/// association registry, the indexed unmatched-collision store, the
+/// faulty-weak-version store for cross-collision MRC, the delivery dedup
+/// set, and the hot-path [`Scratch`].
 pub struct ReceiverCore {
     pub(crate) cfg: DecoderConfig,
     pub(crate) registry: ClientRegistry,
     pub(crate) preamble: Preamble,
-    pub(crate) store: VecDeque<StoredCollision>,
+    pub(crate) store: CollisionStore,
     pub(crate) weak_versions: Vec<(u16, SingleDecode)>,
     pub(crate) delivered: HashSet<(u16, u16)>,
     pub(crate) scratch: Scratch,
@@ -54,15 +44,29 @@ impl ReceiverCore {
     /// Fresh state with the given configuration and registry.
     pub fn new(cfg: DecoderConfig, registry: ClientRegistry) -> Self {
         let scratch = Scratch::with_backend(cfg.backend);
+        let store = CollisionStore::new(cfg.collision_store);
         Self {
             cfg,
             registry,
             preamble: Preamble::default_len(),
-            store: VecDeque::new(),
+            store,
             weak_versions: Vec::new(),
             delivered: HashSet::new(),
             scratch,
         }
+    }
+
+    /// Runs one receive buffer through `pipeline` against this state —
+    /// the full-stack entry point the front end
+    /// ([`ZigzagReceiver::process`](crate::receiver::ZigzagReceiver::process))
+    /// and batch drivers use.
+    pub fn receive(&mut self, pipeline: &Pipeline, buffer: &[Complex]) -> Vec<ReceiverEvent> {
+        pipeline.run(self, buffer)
+    }
+
+    /// Read access to the unmatched-collision store.
+    pub fn store(&self) -> &CollisionStore {
+        &self.store
     }
 
     /// Emits a `Delivered` event unless this `(src, seq)` was already
@@ -80,34 +84,56 @@ impl ReceiverCore {
             self.delivered.clear(); // bounded memory; seq spaces recycle
         }
     }
+
+    /// §4.2.2 fallback, shared by [`StoreStage`] and the legacy flow:
+    /// store the unmatched collision (keyed by its client set, bounded,
+    /// oldest-first eviction) for a future match.
+    pub(crate) fn store_unmatched(
+        &mut self,
+        buffer: &[Complex],
+        detections: &[Detection],
+        out: &mut Vec<ReceiverEvent>,
+    ) {
+        self.store.insert(buffer.to_vec(), detections.to_vec());
+        out.push(ReceiverEvent::CollisionStored);
+    }
 }
 
-/// A matched pair of collisions ready for ZigZag. The stored collision
-/// stays **in the receiver's store** until a consuming stage (the
-/// [`ZigzagStage`]) removes it — so dropping or reordering stages can
+/// A matched set of collisions ready for ZigZag. The matched store
+/// entries stay **in the receiver's store** until a consuming stage (the
+/// [`ZigzagStage`]) removes them — so dropping or reordering stages can
 /// never destroy collision data.
 #[derive(Clone, Debug)]
 pub struct MatchedCollision {
-    /// Index of the matched collision in the receiver's store.
-    pub store_index: usize,
-    /// The stored collision's detections at match time; consumers
-    /// re-validate these against the store entry before using the index
-    /// (a custom stage may have mutated the store in between).
-    pub stored_detections: Vec<Detection>,
-    /// `(current, stored)` detections per packet, first-starting current
-    /// packet first.
-    pub pairing: [(Detection, Detection); 2],
+    /// The k-way alignment of the current collision with the matched
+    /// store entries.
+    pub set: MatchSet,
+    /// Each member's detections at match time, in `set.members` order;
+    /// consumers re-validate these against the store entries before using
+    /// the ids (a custom stage may have mutated the store in between).
+    pub member_detections: Vec<Vec<Detection>>,
 }
 
 /// The chunk-scheduling inputs planned for the ZigZag executor.
 #[derive(Clone, Debug)]
 pub struct DecodePlan {
-    /// `(packet index, start sample)` in the current buffer.
-    pub current_placements: Vec<(usize, usize)>,
-    /// `(packet index, start sample)` in the stored buffer.
-    pub stored_placements: Vec<(usize, usize)>,
+    /// `(packet index, start sample)` per collision: entry 0 is the
+    /// current buffer, entries `1..` the matched store members in
+    /// [`MatchSet::members`] order.
+    pub placements: Vec<Vec<(usize, usize)>>,
     /// Per-packet specs (client ids).
     pub packets: Vec<PacketSpec>,
+}
+
+impl DecodePlan {
+    /// The executor layout of a match set (§4.5): one placement list per
+    /// collision, one packet spec per matched client.
+    pub fn from_set(set: &MatchSet) -> Self {
+        Self {
+            placements: (0..set.collisions()).map(|j| set.placements(j)).collect(),
+            packets: set.clients().into_iter().map(|client| PacketSpec { client }).collect(),
+        }
+    }
 }
 
 /// Per-buffer working context flowing through the pipeline.
@@ -206,24 +232,46 @@ impl Pipeline {
     }
 }
 
-/// Pairs the detections of two collisions by client id, requiring the
-/// same client set and different relative offsets (Δ₁ ≠ Δ₂ would be
-/// undecodable anyway). Returns `[(current, stored); 2]` with the
-/// first-starting current packet first.
-pub(crate) fn pair_collisions(
-    current: &[Detection],
-    stored: &[Detection],
-) -> Option<[(Detection, Detection); 2]> {
-    if current.len() < 2 || stored.len() < 2 {
-        return None;
+/// Executes the ZigZag decode of a matched collision set, shared by the
+/// [`ZigzagStage`] and the legacy monolithic flow: assembles the
+/// [`CollisionSpec`]s (current buffer first, then the matched store
+/// members), runs the §4.2.3/§4.5 executor, **consumes** the matched
+/// store entries (decode attempted — regardless of whether any frame
+/// CRC'd), and delivers recovered frames.
+pub(crate) fn zigzag_decode_match(
+    rx: &mut ReceiverCore,
+    buffer: &[Complex],
+    plan: &DecodePlan,
+    members: &[u64],
+    events: &mut Vec<ReceiverEvent>,
+) {
+    let result = {
+        let ReceiverCore { cfg, registry, preamble, scratch, store, .. } = &mut *rx;
+        let mut specs = Vec::with_capacity(plan.placements.len());
+        specs.push(CollisionSpec { buffer, placements: plan.placements[0].clone() });
+        for (j, &id) in members.iter().enumerate() {
+            let entry = store.get(id).expect("matched store entry re-validated by caller");
+            specs.push(CollisionSpec {
+                buffer: &entry.buffer,
+                placements: plan.placements[j + 1].clone(),
+            });
+        }
+        let dec = ZigzagDecoder::with_preamble(cfg.clone(), registry, preamble.clone());
+        dec.decode_with(&specs, &plan.packets, scratch)
+    };
+    for &id in members {
+        rx.store.remove(id);
     }
-    let (c1, c2) = (current[0], current[1]);
-    let s1 = stored.iter().find(|d| d.client == c1.client)?;
-    let s2 = stored.iter().find(|d| d.client == c2.client)?;
-    if s1.pos == s2.pos && c1.pos == c2.pos {
-        return None;
+    let mut any = false;
+    for p in result.packets {
+        if let Some(f) = p.frame {
+            rx.deliver(f, DecodePath::Zigzag, events);
+            any = true;
+        }
     }
-    Some([(c1, *s1), (c2, *s2)])
+    if !any {
+        events.push(ReceiverEvent::DecodeFailed);
+    }
 }
 
 /// §4.2.1: scan the buffer for packet starts from every associated client.
@@ -405,7 +453,9 @@ impl DecodeStage for CaptureStage {
     }
 }
 
-/// §4.2.2: match the collision against the unmatched-collision store.
+/// §4.2.2/§4.5: match the collision against the unmatched-collision
+/// store — pairwise for two distinct clients, k-way match sets for
+/// three or more (see [`find_match_set`]).
 pub struct MatchStage;
 
 impl DecodeStage for MatchStage {
@@ -422,31 +472,23 @@ impl DecodeStage for MatchStage {
         if unit.detections.len() < 2 {
             return Flow::Continue;
         }
-        let mut matched_idx = None;
-        for (i, stored) in rx.store.iter().enumerate() {
-            if let Some(pairing) = pair_collisions(&unit.detections, &stored.detections) {
-                // verify sample-level match on the second packet
-                let (cur2, old2) = pairing[1];
-                if is_match(unit.buffer, cur2.pos, &stored.buffer, old2.pos) {
-                    matched_idx = Some((i, pairing));
-                    break;
-                }
-            }
-        }
-        if let Some((i, pairing)) = matched_idx {
-            // non-destructive: the store entry stays until the consuming
-            // stage (ZigzagStage) removes it
-            unit.matched = Some(MatchedCollision {
-                store_index: i,
-                stored_detections: rx.store[i].detections.clone(),
-                pairing,
-            });
+        if let Some(set) =
+            find_match_set(unit.buffer, &unit.detections, &rx.store, &rx.registry, &rx.preamble)
+        {
+            // non-destructive: the store entries stay until the consuming
+            // stage (ZigzagStage) removes them
+            let member_detections = set
+                .members
+                .iter()
+                .map(|&id| rx.store.get(id).expect("matched id").detections.clone())
+                .collect();
+            unit.matched = Some(MatchedCollision { set, member_detections });
         }
         Flow::Continue
     }
 }
 
-/// §4.5: turn a matched pair into the executor's collision layout.
+/// §4.5: turn a matched collision set into the executor's layout.
 pub struct PlanStage;
 
 impl DecodeStage for PlanStage {
@@ -460,24 +502,14 @@ impl DecodeStage for PlanStage {
         unit: &mut UnitCtx<'_>,
         _events: &mut Vec<ReceiverEvent>,
     ) -> Flow {
-        let Some(m) = &unit.matched else {
-            return Flow::Continue;
-        };
-        unit.plan = Some(DecodePlan {
-            current_placements: m
-                .pairing
-                .iter()
-                .enumerate()
-                .map(|(q, (c, _))| (q, c.pos))
-                .collect(),
-            stored_placements: m.pairing.iter().enumerate().map(|(q, (_, s))| (q, s.pos)).collect(),
-            packets: m.pairing.iter().map(|(c, _)| PacketSpec { client: c.client }).collect(),
-        });
+        if let Some(m) = &unit.matched {
+            unit.plan = Some(DecodePlan::from_set(&m.set));
+        }
         Flow::Continue
     }
 }
 
-/// §4.2.3: chunk-by-chunk decode of the matched collision pair.
+/// §4.2.3: chunk-by-chunk decode of the matched collision set.
 pub struct ZigzagStage;
 
 impl DecodeStage for ZigzagStage {
@@ -491,43 +523,23 @@ impl DecodeStage for ZigzagStage {
         unit: &mut UnitCtx<'_>,
         events: &mut Vec<ReceiverEvent>,
     ) -> Flow {
-        let (Some(m), Some(plan)) = (&unit.matched, &unit.plan) else {
+        if unit.matched.is_none() || unit.plan.is_none() {
             return Flow::Continue;
-        };
-        let result = {
-            let ReceiverCore { cfg, registry, preamble, scratch, store, .. } = &mut *rx;
-            // re-validate the match against the store: a custom stage may
-            // have mutated it since MatchStage ran
-            let Some(stored) = store.get(m.store_index) else {
-                return Flow::Continue;
-            };
-            if stored.detections != m.stored_detections {
-                return Flow::Continue;
-            }
-            let specs = [
-                CollisionSpec { buffer: unit.buffer, placements: plan.current_placements.clone() },
-                CollisionSpec {
-                    buffer: &stored.buffer,
-                    placements: plan.stored_placements.clone(),
-                },
-            ];
-            let dec = ZigzagDecoder::with_preamble(cfg.clone(), registry, preamble.clone());
-            dec.decode_with(&specs, &plan.packets, scratch)
-        };
-        // consume the matched stored collision (decode attempted, like the
-        // legacy flow — regardless of whether any frame CRC'd)
-        let idx = unit.matched.take().map(|m| m.store_index).unwrap();
-        rx.store.remove(idx);
-        let mut any = false;
-        for p in result.packets {
-            if let Some(f) = p.frame {
-                rx.deliver(f, DecodePath::Zigzag, events);
-                any = true;
+        }
+        {
+            // re-validate every member against the store: a custom stage
+            // may have mutated it since MatchStage ran
+            let m = unit.matched.as_ref().unwrap();
+            for (&id, snap) in m.set.members.iter().zip(m.member_detections.iter()) {
+                match rx.store.get(id) {
+                    Some(entry) if entry.detections == *snap => {}
+                    _ => return Flow::Continue,
+                }
             }
         }
-        if !any {
-            events.push(ReceiverEvent::DecodeFailed);
-        }
+        let m = unit.matched.take().unwrap();
+        let plan = unit.plan.as_ref().unwrap();
+        zigzag_decode_match(rx, unit.buffer, plan, &m.set.members, events);
         Flow::Done
     }
 }
@@ -546,14 +558,7 @@ impl DecodeStage for StoreStage {
         unit: &mut UnitCtx<'_>,
         events: &mut Vec<ReceiverEvent>,
     ) -> Flow {
-        rx.store.push_back(StoredCollision {
-            buffer: unit.buffer.to_vec(),
-            detections: unit.detections.clone(),
-        });
-        while rx.store.len() > rx.cfg.collision_store {
-            rx.store.pop_front();
-        }
-        events.push(ReceiverEvent::CollisionStored);
+        rx.store_unmatched(unit.buffer, &unit.detections, events);
         Flow::Done
     }
 }

@@ -12,7 +12,9 @@
 //!    frequency-compensated preamble correlation (§4.2.1).
 //! 2. [`standard`] — try the ordinary single-packet decode first; ZigZag
 //!    adds nothing when there is no collision.
-//! 3. [`matcher`] — match a new collision against stored ones (§4.2.2).
+//! 3. [`matcher`] — the §4.2.2 correlation metric, and [`matchset`] —
+//!    the k-way collision store and match layer built on it (§4.2.2
+//!    generalized to §4.5's k senders / k collisions).
 //! 4. [`schedule`] — plan interference-free chunks greedily (§4.5; also
 //!    powers the Fig 4-7 Monte Carlo through [`schedule::decodable`]).
 //! 5. [`zigzag`] — execute: decode → re-encode → subtract across
@@ -41,6 +43,7 @@ pub mod detect;
 pub mod engine;
 pub mod intervals;
 pub mod matcher;
+pub mod matchset;
 pub mod receiver;
 pub mod schedule;
 pub mod standard;
@@ -49,5 +52,6 @@ pub mod zigzag;
 
 pub use config::{ClientInfo, ClientRegistry, DecoderConfig};
 pub use engine::{decode_batch, unit_seed, BatchEngine, DecodeUnit, Pipeline, Scratch};
+pub use matchset::{CollisionStore, MatchSet, StoredCollision};
 pub use receiver::{ReceiverEvent, ZigzagReceiver};
 pub use zigzag::{CollisionSpec, PacketSpec, ZigzagDecoder, ZigzagOutput};

@@ -36,6 +36,23 @@ pub fn match_metric(
     start_b: usize,
     window: usize,
 ) -> f64 {
+    match_metric_with_step(buf_a, start_a, buf_b, start_b, window, 0.25)
+}
+
+/// Coarser sub-sample search for high-volume alignment scoring (the
+/// k-way matcher evaluates thousands of candidate alignments per
+/// buffer): same normalized metric, τ stepped at `tau_step` instead of
+/// the full metric's 0.25. At step 0.5 the worst-case residual
+/// misalignment is 0.25 samples — a ≲10% sinc attenuation that
+/// alignment prefilters and coarse scans absorb in their margins.
+pub fn match_metric_with_step(
+    buf_a: &[Complex],
+    start_a: usize,
+    buf_b: &[Complex],
+    start_b: usize,
+    window: usize,
+    tau_step: f64,
+) -> f64 {
     let n =
         window.min(buf_a.len().saturating_sub(start_a)).min(buf_b.len().saturating_sub(start_b));
     if n == 0 {
@@ -57,7 +74,7 @@ pub fn match_metric(
         if ea > 0.0 && eb > 0.0 {
             best = best.max(acc.abs() / (ea * eb).sqrt());
         }
-        tau += 0.25;
+        tau += tau_step;
     }
     best
 }

@@ -1,0 +1,878 @@
+//! The k-way collision store and match layer (§4.2.2 generalized to §4.5).
+//!
+//! The paper's §4.2.2 matcher answers "did the AP receive two matching
+//! collisions?" — enough for the two-sender ZigZag of Fig 1-2. Its §4.5
+//! story, however, scales to k senders across k collisions, and the
+//! executor/scheduler ([`crate::zigzag`], [`crate::schedule`]) already
+//! solve the general k×k system. This module closes the gap at the
+//! receiver front end:
+//!
+//! * [`CollisionStore`] — the unmatched-collision store as an *indexed*
+//!   structure: entries carry a client-set key (the sorted distinct
+//!   clients detected in the buffer) and a stable id, are bounded by
+//!   `DecoderConfig::collision_store`, and evict oldest-first. Collisions
+//!   accumulate here until a decodable k×k system exists.
+//! * [`MatchSet`] — the alignment of the *current* collision with m−1
+//!   stored collisions over the same k clients: which detection of which
+//!   collision belongs to which packet. [`DecodePlan`](crate::engine::stage::DecodePlan)
+//!   and the ZigZag executor consume it directly.
+//! * [`find_match_set`] — the single matching entry point shared by the
+//!   pipeline's `MatchStage` and the legacy receiver flow. Two senders
+//!   take the paper-exact pairwise path ([`pair_collisions`] + sample
+//!   confirmation on the second packet); three or more take the k-way
+//!   path: same-client-set candidates are aligned by *validated
+//!   correlation shifts* (detection labels are unreliable in k-packet
+//!   collisions, positions and cross-buffer correlation are not),
+//!   members whose packet starts were never detected are completed by
+//!   direct correlation scan, packet starts are fixed by consensus +
+//!   local preamble matched-filter peaks under a cross-buffer shift
+//!   vote, clients are attributed by the best one-to-one assignment of
+//!   preamble-correlation evidence summed over all k collisions, and
+//!   the assembled k×k system must pass the
+//!   [`schedule::decodable`](crate::schedule::decodable) gate before it
+//!   reaches the executor.
+
+use crate::config::ClientRegistry;
+use crate::detect::Detection;
+use crate::matcher::{is_match, match_metric, match_metric_with_step, MATCH_WINDOW};
+use crate::schedule::{min_coverage_lens, CollisionLayout, Placement};
+use std::collections::VecDeque;
+use zigzag_phy::complex::Complex;
+use zigzag_phy::correlate::corr_at;
+use zigzag_phy::preamble::Preamble;
+
+/// A stored unmatched collision (§4.2.2: "the AP stores recent unmatched
+/// collisions (i.e., stores the received complex samples)").
+#[derive(Clone, Debug)]
+pub struct StoredCollision {
+    /// Stable id, unique within the owning [`CollisionStore`] lifetime.
+    pub id: u64,
+    /// Index key: the sorted distinct clients detected in the buffer.
+    pub key: Vec<u16>,
+    /// The raw receive buffer.
+    pub buffer: Vec<Complex>,
+    /// The detections found in it.
+    pub detections: Vec<Detection>,
+}
+
+/// The sorted distinct clients of a detection list — the store/lookup key
+/// for k-way matching.
+pub fn client_key(detections: &[Detection]) -> Vec<u16> {
+    let mut key: Vec<u16> = detections.iter().map(|d| d.client).collect();
+    key.sort_unstable();
+    key.dedup();
+    key
+}
+
+/// The indexed unmatched-collision store: insertion-ordered, keyed by
+/// client set, bounded with oldest-first eviction.
+#[derive(Clone, Debug, Default)]
+pub struct CollisionStore {
+    entries: VecDeque<StoredCollision>,
+    cap: usize,
+    next_id: u64,
+}
+
+impl CollisionStore {
+    /// An empty store holding at most `cap` collisions.
+    pub fn new(cap: usize) -> Self {
+        Self { entries: VecDeque::new(), cap, next_id: 0 }
+    }
+
+    /// Number of stored collisions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of stored collisions.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Drops every stored collision.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Stores a collision, evicting oldest entries beyond capacity.
+    /// Returns the entry's stable id.
+    pub fn insert(&mut self, buffer: Vec<Complex>, detections: Vec<Detection>) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let key = client_key(&detections);
+        self.entries.push_back(StoredCollision { id, key, buffer, detections });
+        while self.entries.len() > self.cap {
+            self.entries.pop_front();
+        }
+        id
+    }
+
+    /// Looks up an entry by id.
+    pub fn get(&self, id: u64) -> Option<&StoredCollision> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    /// Removes an entry by id, returning it.
+    pub fn remove(&mut self, id: u64) -> Option<StoredCollision> {
+        let idx = self.entries.iter().position(|e| e.id == id)?;
+        self.entries.remove(idx)
+    }
+
+    /// All entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &StoredCollision> {
+        self.entries.iter()
+    }
+
+    /// Entries whose client set equals `key`, oldest first — the k-way
+    /// matcher's candidate list.
+    pub fn candidates<'a>(&'a self, key: &'a [u16]) -> impl Iterator<Item = &'a StoredCollision> {
+        self.entries.iter().filter(move |e| e.key == key)
+    }
+}
+
+/// A k-way match: the current collision aligned with m−1 stored
+/// collisions over the same k packets.
+///
+/// `alignment[q][j]` is packet `q`'s detection in collision `j`, where
+/// collision 0 is the *current* buffer and collisions `1..` are the store
+/// entries listed (in the same order) in `members`. Packets are ordered
+/// by their start position in the current buffer, earliest first.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatchSet {
+    /// Per-packet detections across collisions: k rows × m columns.
+    pub alignment: Vec<Vec<Detection>>,
+    /// Store ids of the matched collisions (columns `1..` of
+    /// `alignment`), oldest first.
+    pub members: Vec<u64>,
+}
+
+impl MatchSet {
+    /// Number of packets in the system.
+    pub fn packets(&self) -> usize {
+        self.alignment.len()
+    }
+
+    /// Number of collisions (current + matched store entries).
+    pub fn collisions(&self) -> usize {
+        1 + self.members.len()
+    }
+
+    /// The clients of the matched packets, in packet order.
+    pub fn clients(&self) -> Vec<u16> {
+        self.alignment.iter().map(|row| row[0].client).collect()
+    }
+
+    /// `(packet, start)` placements for collision `j` (0 = current).
+    pub fn placements(&self, j: usize) -> Vec<(usize, usize)> {
+        self.alignment.iter().enumerate().map(|(q, row)| (q, row[j].pos)).collect()
+    }
+}
+
+/// Pairs the detections of two collisions by client id, requiring the
+/// same clients on both sides. Returns `[(current, stored); 2]` with the
+/// first-starting current packet first.
+///
+/// Rejects *pure time-shift* alignments: if both matched packets align
+/// with the same shift `Δ = current.pos − stored.pos`, the stored
+/// collision is the same linear equation as the current one (identical
+/// relative offsets), which the chunk scheduler cannot decode (§4.5's
+/// Δ₁ = Δ₂ failure condition) — previously only the fully-overlapped
+/// special case `c₁.pos = c₂.pos ∧ s₁.pos = s₂.pos` was rejected.
+pub fn pair_collisions(
+    current: &[Detection],
+    stored: &[Detection],
+) -> Option<[(Detection, Detection); 2]> {
+    if current.len() < 2 || stored.len() < 2 {
+        return None;
+    }
+    let (c1, c2) = (current[0], current[1]);
+    let s1 = stored.iter().find(|d| d.client == c1.client)?;
+    let s2 = stored.iter().find(|d| d.client == c2.client)?;
+    if is_pure_shift(&[c1, c2], &[*s1, *s2]) {
+        return None;
+    }
+    Some([(c1, *s1), (c2, *s2)])
+}
+
+/// `true` if `b` is `a` shifted by one constant offset — a duplicate
+/// linear equation, useless to the scheduler.
+fn is_pure_shift(a: &[Detection], b: &[Detection]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut shift = None;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let d = x.pos as i64 - y.pos as i64;
+        match shift {
+            None => shift = Some(d),
+            Some(s) if s != d => return false,
+            _ => {}
+        }
+    }
+    true
+}
+
+/// The single matching entry point (§4.2.2 / §4.5): aligns the current
+/// collision against the store and returns a [`MatchSet`] once a
+/// decodable system exists.
+///
+/// Dispatch is on the number of *distinct* clients detected: two take
+/// the pairwise path (bit-identical to the historical two-sender
+/// receiver, modulo the pure-shift rejection documented on
+/// [`pair_collisions`]); three or more take the k-way path. A k-sender
+/// collision is never degraded to a pairwise match — until the full
+/// k-collision set has accumulated, the buffer is left for the store.
+pub fn find_match_set(
+    buffer: &[Complex],
+    detections: &[Detection],
+    store: &CollisionStore,
+    registry: &ClientRegistry,
+    preamble: &Preamble,
+) -> Option<MatchSet> {
+    if detections.len() < 2 {
+        return None;
+    }
+    if client_key(detections).len() >= 3 {
+        find_kway_match(buffer, detections, store, registry, preamble)
+    } else {
+        find_pair_match(buffer, detections, store)
+    }
+}
+
+/// Pairwise (§4.2.2) matching: first stored entry whose detections pair
+/// with the current ones *and* whose samples confirm on the second
+/// packet (the paper aligns the collisions where P₂ and P₂′ start).
+fn find_pair_match(
+    buffer: &[Complex],
+    detections: &[Detection],
+    store: &CollisionStore,
+) -> Option<MatchSet> {
+    for entry in store.iter() {
+        // Entries with ≥3 distinct clients belong to a pending k-way
+        // system: a 2-client current collision (e.g. one start missed by
+        // detection) would otherwise pairwise-match the shared packets'
+        // genuine correlation, run a doomed 2×2 decode over k-packet
+        // buffers, and *consume* a member the k×k set still needs. In a
+        // pure two-sender workload no such entries exist, so the
+        // historical pairwise behaviour is unchanged.
+        if entry.key.len() >= 3 {
+            continue;
+        }
+        if let Some(pairing) = pair_collisions(detections, &entry.detections) {
+            let (cur2, old2) = pairing[1];
+            if is_match(buffer, cur2.pos, &entry.buffer, old2.pos) {
+                return Some(MatchSet {
+                    alignment: pairing.iter().map(|&(c, s)| vec![c, s]).collect(),
+                    members: vec![entry.id],
+                });
+            }
+        }
+    }
+    None
+}
+
+/// One validated shift anchor: `(current start, stored start, metric)`.
+type Anchor = (usize, usize, f64);
+
+/// One validated alignment of the current collision with one stored
+/// collision: per shared packet, one [`Anchor`].
+struct MemberAlignment {
+    id: u64,
+    packets: Vec<Anchor>,
+}
+
+/// Largest k the k-way matcher attempts (the client-attribution step is a
+/// brute-force assignment over k! permutations). Reaching a given k also
+/// requires `DecoderConfig::collision_store ≥ k − 1`, checked per match
+/// attempt — the default store of 4 supports up to 5 senders.
+const MAX_KWAY: usize = 6;
+
+/// Aligns the current collision with one stored collision by *validated
+/// shifts* — the §4.2.2 correlation trick, generalized.
+///
+/// In a k-packet collision the per-detection client labels are unreliable
+/// (an interferer's data sidelobe can out-score the true client's
+/// compensation), so alignment uses positions only: every
+/// `(current, stored)` detection-position pair proposes a shift, pairs
+/// are bucketed by shift (±2 samples — sub-sample search inside
+/// [`match_metric`] absorbs the residue), each bucket is confirmed by
+/// sample correlation, and a confirmed bucket's packet start is located
+/// by [`anchor_for_shift`]'s rising-edge test. A packet's data sidelobes
+/// recur at the *same content offset* in every collision, so they
+/// propose the packet's own shift and fold into its bucket instead of
+/// faking extra packets. Returns up to k validated
+/// `(current start, stored start, metric)` anchors, strongest first
+/// when over-full; pure time-shift duplicates collapse into a single
+/// bucket and leave the list short, which the caller treats as an
+/// incomplete member.
+fn align_by_shifts(
+    buffer: &[Complex],
+    cur_pos: &[usize],
+    entry: &StoredCollision,
+    k: usize,
+) -> Vec<Anchor> {
+    let mut pairs: Vec<(i64, usize, usize)> = Vec::new();
+    for &p in cur_pos {
+        for d in &entry.detections {
+            pairs.push((p as i64 - d.pos as i64, p, d.pos));
+        }
+    }
+    pairs.sort_unstable();
+
+    // bucket by shift (±2), then confirm each bucket at its earliest pair
+    let mut validated: Vec<Anchor> = Vec::new();
+    let mut i = 0;
+    while i < pairs.len() {
+        let mut j = i + 1;
+        while j < pairs.len() && pairs[j].0 - pairs[j - 1].0 <= 2 {
+            j += 1;
+        }
+        let mut bucket: Vec<(usize, usize)> = pairs[i..j].iter().map(|&(_, p, q)| (p, q)).collect();
+        bucket.sort_unstable();
+        // Score the earliest pairs of the bucket; the bucket is real if
+        // any reaches full correlation strength.
+        let scored: Vec<Anchor> = bucket
+            .iter()
+            .take(8)
+            .map(|&(p, q)| {
+                (p, q, match_metric_with_step(buffer, p, &entry.buffer, q, MATCH_WINDOW / 2, 0.5))
+            })
+            .collect();
+        let max = scored.iter().map(|s| s.2).fold(0.0f64, f64::max);
+        i = j;
+        if max <= crate::matcher::MATCH_THRESHOLD {
+            continue;
+        }
+        let &(bp, bq, _) = scored.iter().max_by(|a, b| a.2.total_cmp(&b.2)).expect("non-empty");
+        let shift = bp as i64 - bq as i64;
+        if let Some(v) = anchor_for_shift(buffer, &entry.buffer, shift, cur_pos) {
+            validated.push(v);
+        }
+    }
+    if std::env::var_os("ZIGZAG_DEBUG").is_some() {
+        eprintln!(
+            "  align: cur {:?} vs stored {:?} -> validated {validated:?}",
+            cur_pos,
+            entry.detections.iter().map(|d| d.pos).collect::<Vec<_>>()
+        );
+    }
+    // adjacent shift buckets can re-anchor onto the same packet start —
+    // keep the strongest per start, then the k strongest overall, back
+    // in current-start order
+    validated.sort_by(|a, b| a.0.cmp(&b.0).then(b.2.total_cmp(&a.2)));
+    validated.dedup_by_key(|v| v.0);
+    validated.sort_by(|a, b| b.2.total_cmp(&a.2));
+    validated.truncate(k);
+    validated.sort_unstable_by_key(|v| v.0);
+    validated
+}
+
+/// Locates the packet *start* of a validated shift: the earliest
+/// detected current position showing the start's rising edge — strong
+/// aligned correlation after it, none in the aligned window before it.
+///
+/// With the shift pinned, the stored side needs no detection of its own
+/// (its preamble may be immersed under k−1 interferers). Neither raw
+/// recipe works alone: "earliest pair above threshold" mis-anchors on
+/// pre-start positions whose window partially overlaps the packet, and
+/// "strongest pair" mis-anchors on late sidelobe alignments, whose
+/// metric is often *higher* than the start's because interference thins
+/// out along the buffer. The edge test rejects both: pre-start positions
+/// have no correlation in their trailing half-window, sidelobes have
+/// full correlation in their leading one.
+fn anchor_for_shift(
+    buffer: &[Complex],
+    stored: &[Complex],
+    shift: i64,
+    cur_pos: &[usize],
+) -> Option<(usize, usize, f64)> {
+    let mut best: Option<(usize, usize, f64, f64)> = None;
+    for &p in cur_pos {
+        let q = p as i64 - shift;
+        if q < 0 {
+            continue;
+        }
+        let q = q as usize;
+        // coarse prefilter (half window, 0.5-step τ) before the full
+        // metric: most position/shift combinations reject here at a
+        // sixth of the cost
+        if match_metric_with_step(buffer, p, stored, q, MATCH_WINDOW / 2, 0.5)
+            <= 0.8 * crate::matcher::MATCH_THRESHOLD
+        {
+            continue;
+        }
+        let m_post = match_metric(buffer, p, stored, q, MATCH_WINDOW);
+        if m_post <= crate::matcher::MATCH_THRESHOLD {
+            continue;
+        }
+        let edge = start_edge(buffer, stored, p, q);
+        if best.is_none_or(|(_, _, _, b)| edge > b) {
+            best = Some((p, q, m_post, edge));
+        }
+    }
+    best.map(|(p, q, m, _)| (p, q, m))
+}
+
+/// The rising-edge statistic of a packet start at an aligned position
+/// pair: short-window correlation just after minus just before. Peaks at
+/// the true start; flat-high inside the packet, flat-low outside.
+fn start_edge(buffer: &[Complex], stored: &[Complex], p: usize, q: usize) -> f64 {
+    const EDGE_WINDOW: usize = 128;
+    let m_lead = match_metric_with_step(buffer, p, stored, q, EDGE_WINDOW, 0.5);
+    let avail = p.min(q).min(EDGE_WINDOW);
+    let m_trail = if avail >= 64 {
+        match_metric_with_step(buffer, p - avail, stored, q - avail, avail, 0.5)
+    } else {
+        0.0
+    };
+    m_lead - m_trail
+}
+
+/// Locates the stored-buffer counterpart of the current-buffer packet
+/// starting at `p` by scanning the whole stored buffer with the §4.2.2
+/// correlation — the recovery path for packets whose preamble was never
+/// *detected* in a stored collision (immersed under k−1 interferers, a
+/// detection miss gets likelier with every extra sender). A coarse
+/// half-window scan at stride 2 finds the neighbourhood; the full metric
+/// refines it.
+fn scan_for_counterpart(
+    buffer: &[Complex],
+    p: usize,
+    stored: &[Complex],
+    excluded_shifts: &[i64],
+) -> Option<(usize, f64)> {
+    let mut best = (0usize, 0.0f64);
+    let mut q = 0;
+    while q + MATCH_WINDOW / 4 < stored.len() {
+        if excluded_shifts.iter().any(|&s| (p as i64 - q as i64 - s).abs() <= 8) {
+            q += 2;
+            continue;
+        }
+        let m = match_metric_with_step(buffer, p, stored, q, MATCH_WINDOW / 2, 0.5);
+        if m > best.1 {
+            best = (q, m);
+        }
+        q += 2;
+    }
+    let mut refined: Option<(usize, f64)> = None;
+    for q in best.0.saturating_sub(2)..=(best.0 + 2).min(stored.len().saturating_sub(1)) {
+        let m = match_metric(buffer, p, stored, q, MATCH_WINDOW);
+        if m > crate::matcher::MATCH_THRESHOLD && refined.is_none_or(|(_, r)| m > r) {
+            refined = Some((q, m));
+        }
+    }
+    refined
+}
+
+/// k-way (§4.5) matching for k ≥ 3 distinct clients: accumulates k−1
+/// same-client-set store entries, each aligned by validated shifts
+/// ([`align_by_shifts`]), joins the per-member alignments into k packet
+/// clusters, attributes clients by preamble-correlation evidence summed
+/// over all k collisions (best assignment over client permutations), and
+/// gates the assembled k×k system on
+/// [`schedule::decodable`](crate::schedule::decodable) with upper-bound
+/// packet lengths. Pure time-shift duplicates are rejected per member
+/// (their pairs collapse into one shift bucket) and duplicated member
+/// equations by the decodability gate.
+fn find_kway_match(
+    buffer: &[Complex],
+    detections: &[Detection],
+    store: &CollisionStore,
+    registry: &ClientRegistry,
+    preamble: &Preamble,
+) -> Option<MatchSet> {
+    let key = client_key(detections);
+    let k = key.len();
+    // A k-way set needs k−1 stored members, so a store smaller than that
+    // can never accumulate one — bail before doing any signal work (the
+    // operator must raise `DecoderConfig::collision_store` for such
+    // k-sender deployments; the receiver otherwise stores and churns).
+    if k > MAX_KWAY || k - 1 > store.capacity() {
+        return None;
+    }
+    // Cheap candidate count before the expensive shift alignment: the
+    // first k−2 collisions of every k-sender set land here with too few
+    // same-key entries.
+    if store.candidates(&key).count() < k - 1 {
+        return None;
+    }
+    let cur_pos: Vec<usize> = detections.iter().map(|d| d.pos).collect();
+
+    let debug = std::env::var_os("ZIGZAG_DEBUG").is_some();
+    let radius = preamble.len() / 2;
+
+    // Phase A: shift-align every same-key candidate (lists may be
+    // partial or carry a mis-anchored entry — consensus sorts that out).
+    let cands: Vec<(u64, Vec<Anchor>)> =
+        store.candidates(&key).map(|e| (e.id, align_by_shifts(buffer, &cur_pos, e, k))).collect();
+    if cands.len() < k - 1 {
+        return None;
+    }
+
+    // Phase B: consensus packet starts in the current buffer. Anchors
+    // from all candidates are clustered by position; true starts recur
+    // across members (each member aligned the same shared packets) while
+    // a mis-anchored sidelobe is member-specific — rank by support, then
+    // by accumulated metric, and keep the top k.
+    struct Cluster {
+        rep: usize,
+        rep_metric: f64,
+        support: usize,
+        metric_sum: f64,
+    }
+    let mut clusters: Vec<Cluster> = Vec::new();
+    for (_, anchors) in &cands {
+        for &(p, _, m) in anchors {
+            if let Some(c) = clusters.iter_mut().find(|c| c.rep.abs_diff(p) <= radius) {
+                c.support += 1;
+                c.metric_sum += m;
+                if m > c.rep_metric {
+                    c.rep = p;
+                    c.rep_metric = m;
+                }
+            } else {
+                clusters.push(Cluster { rep: p, rep_metric: m, support: 1, metric_sum: m });
+            }
+        }
+    }
+    if clusters.len() < k {
+        if debug {
+            eprintln!("kway: only {} start clusters, need {k}", clusters.len());
+        }
+        return None;
+    }
+    clusters.sort_by(|a, b| b.support.cmp(&a.support).then(b.metric_sum.total_cmp(&a.metric_sum)));
+    clusters.truncate(k);
+    let mut starts: Vec<usize> = clusters.iter().map(|c| c.rep).collect();
+    starts.sort_unstable();
+
+    // Phase C: complete each candidate against the k consensus starts,
+    // oldest first. A start the candidate's detections never proposed
+    // (preamble immersed under k−1 interferers) is located by direct
+    // correlation scan, excluding the shifts already owned by the
+    // member's other packets — in overlap regions the scan would
+    // otherwise latch onto a *different* shared packet's alignment.
+    let mut members: Vec<MemberAlignment> = Vec::new();
+    for (id, anchors) in &cands {
+        if members.len() == k - 1 {
+            break;
+        }
+        let entry = store.get(*id).expect("candidate id still stored");
+        let mut row: Vec<Option<Anchor>> = starts
+            .iter()
+            .map(|&s| anchors.iter().find(|a| a.0.abs_diff(s) <= radius).copied())
+            .collect();
+        while row.iter().any(|r| r.is_none()) {
+            let taken: Vec<i64> =
+                row.iter().flatten().map(|&(p, q, _)| p as i64 - q as i64).collect();
+            let idx = row.iter().position(|r| r.is_none()).expect("checked non-complete");
+            let p = starts[idx];
+            match scan_for_counterpart(buffer, p, &entry.buffer, &taken) {
+                Some((q, m)) => {
+                    if debug {
+                        eprintln!("kway: member {id} scan found {p} -> {q} ({m:.3})");
+                    }
+                    row[idx] = Some((p, q, m));
+                }
+                None => break,
+            }
+        }
+        if let Some(packets) = row.into_iter().collect::<Option<Vec<_>>>() {
+            members.push(MemberAlignment { id: *id, packets });
+        }
+    }
+    if members.len() < k - 1 {
+        if debug {
+            eprintln!("kway: only {}/{} members completed", members.len(), k - 1);
+        }
+        return None;
+    }
+    // (current start, per-member stored starts), in start order
+    let clusters: Vec<(usize, Vec<usize>)> = starts
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, members.iter().map(|m| m.packets[i].1).collect()))
+        .collect();
+
+    // Refinement + client attribution. The shift alignment locates every
+    // start only to within a few samples (sidelobe anchors, stride-2
+    // scans), but the executor needs sample-exact starts — its channel
+    // views estimate from the preamble at the given position. The
+    // preamble matched filter is that instrument: per packet, per
+    // candidate client ω, take the *local* preamble-correlation argmax
+    // around the coarse start in every buffer independently. The peak
+    // magnitudes double as attribution evidence: one collision's data
+    // sidelobe can out-score the true client's compensation, the sum
+    // over all k collisions rarely does. Clients are then assigned by
+    // the best one-to-one permutation, and each buffer's start snaps to
+    // the assigned client's local peak.
+    let omegas: Vec<f64> = key.iter().map(|&c| registry.get(c).map_or(0.0, |i| i.omega)).collect();
+    // peaks[q][j] = per-buffer (position, correlation): [current, members...]
+    let mut peaks: Vec<Vec<Vec<(usize, Complex)>>> = Vec::with_capacity(k);
+    let mut scores = vec![vec![0.0f64; key.len()]; k];
+    for (q, (p, qs)) in clusters.iter().enumerate() {
+        let mut per_client = Vec::with_capacity(key.len());
+        for (j, &omega) in omegas.iter().enumerate() {
+            let cur = preamble_peak(buffer, preamble, *p, omega, 24);
+            scores[q][j] += cur.1.abs();
+            let mut row = vec![cur];
+            for (m, &sq) in members.iter().zip(qs.iter()) {
+                let entry = store.get(m.id).expect("member id still stored");
+                let peak = preamble_peak(&entry.buffer, preamble, sq, omega, 24);
+                scores[q][j] += peak.1.abs();
+                row.push(peak);
+            }
+            per_client.push(row);
+        }
+        peaks.push(per_client);
+    }
+    let assign = best_assignment(&scores)?;
+
+    // Cross-buffer consistency vote. A single buffer's local preamble
+    // peak can lose to a data artifact under heavy interference, but the
+    // validated shifts tie all k buffers' starts together — each
+    // buffer's refined peak casts a vote for the current-buffer start,
+    // the majority wins, and every buffer then re-snaps to its matched-
+    // filter peak within ±3 of the shift-consistent position.
+    let mut final_rows: Vec<Vec<(usize, Complex)>> = Vec::with_capacity(k);
+    for (q, (_, _)) in clusters.iter().enumerate() {
+        let j = assign[q];
+        let omega = omegas[j];
+        let shifts: Vec<i64> =
+            members.iter().map(|m| m.packets[q].0 as i64 - m.packets[q].1 as i64).collect();
+        let mut votes = vec![peaks[q][j][0].0 as i64];
+        for (mi, &s) in shifts.iter().enumerate() {
+            votes.push(peaks[q][j][mi + 1].0 as i64 + s);
+        }
+        let star = vote_mode(&votes).max(0) as usize;
+        let mut row = vec![preamble_peak(buffer, preamble, star, omega, 3)];
+        for (mi, &s) in shifts.iter().enumerate() {
+            let entry = store.get(members[mi].id).expect("member id still stored");
+            let target = (star as i64 - s).max(0) as usize;
+            row.push(preamble_peak(&entry.buffer, preamble, target, omega, 3));
+        }
+        if debug && votes.iter().any(|&v| (v - star as i64).abs() > 2) {
+            eprintln!("kway: packet {q} start votes {votes:?} -> {star}");
+        }
+        final_rows.push(row);
+    }
+
+    // decodability gate on the full system with tight length estimates
+    let layouts: Vec<CollisionLayout> = (0..members.len() + 1)
+        .map(|col| {
+            let len = if col == 0 {
+                buffer.len()
+            } else {
+                store.get(members[col - 1].id).expect("member id still stored").buffer.len()
+            };
+            CollisionLayout {
+                placements: (0..k)
+                    .map(|q| Placement { packet: q, start: final_rows[q][col].0 })
+                    .collect(),
+                len,
+            }
+        })
+        .collect();
+    let lens = min_coverage_lens(k, &layouts);
+    if !crate::schedule::decodable(&lens, &layouts) {
+        if debug {
+            eprintln!("kway: assembled system not decodable: {layouts:?}");
+        }
+        return None;
+    }
+
+    let alignment = (0..k)
+        .map(|q| {
+            let client = key[assign[q]];
+            final_rows[q]
+                .iter()
+                .map(|&(pos, corr)| Detection { pos, client, corr, score: 1.0 })
+                .collect()
+        })
+        .collect();
+    Some(MatchSet { alignment, members: members.iter().map(|m| m.id).collect() })
+}
+
+/// Local preamble matched-filter peak: the position within ±`radius`
+/// samples of `near` maximizing the ω-compensated preamble correlation,
+/// with the correlation value there. Sample-exact where the coarse
+/// shift/scan alignment is only approximate (a sidelobe anchor can sit a
+/// couple of dozen samples past an undetected true start).
+fn preamble_peak(
+    buffer: &[Complex],
+    preamble: &Preamble,
+    near: usize,
+    omega: f64,
+    radius: usize,
+) -> (usize, Complex) {
+    let lo = near.saturating_sub(radius);
+    let hi = (near + radius).min(buffer.len().saturating_sub(1));
+    let mut best = (near.min(hi), corr_at(buffer, preamble.symbols(), near.min(hi), omega));
+    for p in lo..=hi {
+        let c = corr_at(buffer, preamble.symbols(), p, omega);
+        if c.abs() > best.1.abs() {
+            best = (p, c);
+        }
+    }
+    best
+}
+
+/// The value of the largest ±2 cluster among `votes` (ties go to the
+/// earlier vote — the current buffer's own peak).
+fn vote_mode(votes: &[i64]) -> i64 {
+    let mut best = (0usize, votes[0]);
+    for &v in votes {
+        let n = votes.iter().filter(|&&w| (w - v).abs() <= 2).count();
+        if n > best.0 {
+            best = (n, v);
+        }
+    }
+    best.1
+}
+
+/// Brute-force best one-to-one assignment of columns (clients) to rows
+/// (packets) maximizing the summed score — k ≤ [`MAX_KWAY`], so k!
+/// stays trivial.
+fn best_assignment(scores: &[Vec<f64>]) -> Option<Vec<usize>> {
+    let k = scores.len();
+    let mut perm: Vec<usize> = (0..k).collect();
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    permute(&mut perm, 0, &mut |p| {
+        let total: f64 = p.iter().enumerate().map(|(q, &j)| scores[q][j]).sum();
+        if best.as_ref().is_none_or(|(b, _)| total > *b) {
+            best = Some((total, p.to_vec()));
+        }
+    });
+    best.map(|(_, p)| p)
+}
+
+/// Heap's-style permutation enumeration by prefix swaps.
+fn permute(items: &mut [usize], at: usize, visit: &mut impl FnMut(&[usize])) {
+    if at == items.len() {
+        visit(items);
+        return;
+    }
+    for i in at..items.len() {
+        items.swap(at, i);
+        permute(items, at + 1, visit);
+        items.swap(at, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(client: u16, pos: usize) -> Detection {
+        Detection { pos, client, corr: Complex::real(1.0), score: 1.5 }
+    }
+
+    #[test]
+    fn store_bounds_and_evicts_oldest() {
+        let mut store = CollisionStore::new(2);
+        let a = store.insert(vec![], vec![det(1, 0)]);
+        let b = store.insert(vec![], vec![det(2, 0)]);
+        let c = store.insert(vec![], vec![det(3, 0)]);
+        assert_eq!(store.len(), 2);
+        assert!(store.get(a).is_none(), "oldest entry must be evicted");
+        assert!(store.get(b).is_some() && store.get(c).is_some());
+    }
+
+    #[test]
+    fn store_ids_are_stable_across_eviction() {
+        let mut store = CollisionStore::new(1);
+        let a = store.insert(vec![], vec![det(1, 0)]);
+        let b = store.insert(vec![], vec![det(1, 5)]);
+        assert_ne!(a, b);
+        assert_eq!(store.get(b).unwrap().detections[0].pos, 5);
+    }
+
+    #[test]
+    fn candidates_filter_by_client_set() {
+        let mut store = CollisionStore::new(8);
+        store.insert(vec![], vec![det(1, 0), det(2, 10)]);
+        store.insert(vec![], vec![det(2, 3), det(1, 40)]); // same set, other order
+        store.insert(vec![], vec![det(1, 0), det(3, 10)]);
+        store.insert(vec![], vec![det(1, 0), det(2, 10), det(3, 20)]);
+        assert_eq!(store.candidates(&[1, 2]).count(), 2);
+        assert_eq!(store.candidates(&[1, 3]).count(), 1);
+        assert_eq!(store.candidates(&[1, 2, 3]).count(), 1);
+        assert_eq!(store.candidates(&[2, 3]).count(), 0);
+    }
+
+    #[test]
+    fn client_key_sorts_and_dedups() {
+        assert_eq!(client_key(&[det(5, 0), det(2, 10), det(5, 90)]), vec![2, 5]);
+        assert!(client_key(&[]).is_empty());
+    }
+
+    #[test]
+    fn pair_rejects_any_equal_shift_alignment() {
+        // Regression for the degenerate-offset fix: Δ₁ = Δ₂ ≠ 0 used to
+        // slip through (only the fully-overlapped c₁=c₂ ∧ s₁=s₂ case was
+        // rejected) and sent the executor into a guaranteed-Stuck decode.
+        let current = [det(1, 100), det(2, 130)];
+        let stored = [det(1, 0), det(2, 30)]; // same relative offset 30
+        assert_eq!(pair_collisions(&current, &stored), None);
+        // the historical special case stays rejected
+        let overlapped_cur = [det(1, 50), det(2, 50)];
+        let overlapped_old = [det(1, 80), det(2, 80)];
+        assert_eq!(pair_collisions(&overlapped_cur, &overlapped_old), None);
+        // distinct relative offsets still pair
+        let good_stored = [det(1, 0), det(2, 95)];
+        let pairing = pair_collisions(&current, &good_stored).expect("decodable pair");
+        assert_eq!(pairing[0].0.client, 1);
+        assert_eq!(pairing[1].1.pos, 95);
+    }
+
+    #[test]
+    fn pure_shift_detection() {
+        assert!(is_pure_shift(&[det(1, 10), det(2, 40)], &[det(1, 0), det(2, 30)]));
+        assert!(!is_pure_shift(&[det(1, 10), det(2, 40)], &[det(1, 0), det(2, 31)]));
+        assert!(is_pure_shift(&[det(1, 7)], &[det(1, 2)]));
+    }
+
+    #[test]
+    fn pairwise_match_never_consumes_kway_store_entries() {
+        // A stored collision with ≥3 distinct clients is a member of a
+        // pending k-way system. A later 2-distinct-client collision (one
+        // start missed by detection) must not pairwise-match it — even
+        // when the shared packets' samples genuinely correlate — or the
+        // 2×2 decode would consume a member the k×k set still needs.
+        use rand::prelude::*;
+        let mut rng = rand::StdRng::seed_from_u64(9);
+        let noise = |rng: &mut rand::StdRng, n: usize| -> Vec<Complex> {
+            (0..n)
+                .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect()
+        };
+        let a = noise(&mut rng, 1200);
+        let b = noise(&mut rng, 1200);
+        // current: A@0 + B@100; stored: A@50 + B@120 (plus a third,
+        // unrelated client detected) — B's alignment (100 vs 120)
+        // correlates strongly, and the shifts differ, so the pairwise
+        // matcher *would* accept this entry if it looked at it.
+        let mut cur = vec![Complex::default(); 1400];
+        let mut old = vec![Complex::default(); 1400];
+        for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+            cur[i] += x;
+            cur[i + 100] += y;
+            old[i + 50] += x;
+            old[i + 120] += y;
+        }
+        assert!(is_match(&cur, 100, &old, 120), "construction must correlate");
+        let mut store = CollisionStore::new(4);
+        store.insert(old, vec![det(1, 50), det(2, 120), det(3, 500)]);
+        let cur_dets = vec![det(1, 0), det(2, 100)];
+        let reg = crate::config::ClientRegistry::new();
+        let pre = zigzag_phy::preamble::Preamble::default_len();
+        assert!(
+            find_match_set(&cur, &cur_dets, &store, &reg, &pre).is_none(),
+            "2-client collision must leave the 3-client store entry for the k-way system"
+        );
+        assert_eq!(store.len(), 1);
+    }
+}

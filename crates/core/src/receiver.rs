@@ -22,10 +22,9 @@
 use crate::capture::mrc_combine_retry;
 use crate::config::{ClientInfo, ClientRegistry, DecoderConfig};
 use crate::detect::detect_packets;
-use crate::engine::stage::{pair_collisions, Pipeline, ReceiverCore, StoredCollision};
-use crate::matcher::is_match;
+use crate::engine::stage::{zigzag_decode_match, DecodePlan, Pipeline, ReceiverCore};
+use crate::matchset::find_match_set;
 use crate::standard::decode_single;
-use crate::zigzag::{CollisionSpec, PacketSpec, ZigzagDecoder};
 use zigzag_phy::complex::Complex;
 use zigzag_phy::frame::Frame;
 
@@ -117,7 +116,7 @@ impl ZigzagReceiver {
     /// Processes one receive buffer through the stage pipeline and
     /// returns what happened.
     pub fn process(&mut self, buffer: &[Complex]) -> Vec<ReceiverEvent> {
-        self.pipeline.run(&mut self.core, buffer)
+        self.core.receive(&self.pipeline, buffer)
     }
 
     /// The pre-engine monolithic control flow, kept verbatim as a
@@ -240,57 +239,23 @@ impl ZigzagReceiver {
             }
         }
 
-        // --- match against stored collisions & ZigZag ---
-        let mut matched_idx = None;
-        for (i, stored) in self.core.store.iter().enumerate() {
-            if let Some(pairing) = pair_collisions(&detections, &stored.detections) {
-                let (cur2, old2) = pairing[1];
-                if is_match(buffer, cur2.pos, &stored.buffer, old2.pos) {
-                    matched_idx = Some((i, pairing));
-                    break;
-                }
-            }
-        }
-
-        if let Some((i, pairing)) = matched_idx {
-            let stored = self.core.store.remove(i).unwrap();
-            let specs = [
-                CollisionSpec {
-                    buffer,
-                    placements: pairing.iter().enumerate().map(|(q, (c, _))| (q, c.pos)).collect(),
-                },
-                CollisionSpec {
-                    buffer: &stored.buffer,
-                    placements: pairing.iter().enumerate().map(|(q, (_, s))| (q, s.pos)).collect(),
-                },
-            ];
-            let packets: Vec<PacketSpec> =
-                pairing.iter().map(|(c, _)| PacketSpec { client: c.client }).collect();
-            let dec = ZigzagDecoder::with_preamble(
-                self.core.cfg.clone(),
-                &self.core.registry,
-                self.core.preamble.clone(),
-            );
-            let result = dec.decode(&specs, &packets);
-            let mut any = false;
-            for p in result.packets {
-                if let Some(f) = p.frame {
-                    self.core.deliver(f, DecodePath::Zigzag, &mut out);
-                    any = true;
-                }
-            }
-            if !any {
-                out.push(ReceiverEvent::DecodeFailed);
-            }
+        // --- match against the stored-collision index & ZigZag ---
+        // One call site with the pipeline: the same find_match_set /
+        // zigzag_decode_match pair MatchStage and ZigzagStage run.
+        if let Some(set) = find_match_set(
+            buffer,
+            &detections,
+            &self.core.store,
+            &self.core.registry,
+            &self.core.preamble,
+        ) {
+            let plan = DecodePlan::from_set(&set);
+            zigzag_decode_match(&mut self.core, buffer, &plan, &set.members, &mut out);
             return out;
         }
 
         // --- store for a future match ---
-        self.core.store.push_back(StoredCollision { buffer: buffer.to_vec(), detections });
-        while self.core.store.len() > self.core.cfg.collision_store {
-            self.core.store.pop_front();
-        }
-        out.push(ReceiverEvent::CollisionStored);
+        self.core.store_unmatched(buffer, &detections, &mut out);
         out
     }
 }

@@ -194,6 +194,42 @@ impl PlanState {
     }
 }
 
+/// The `buffer end − start` coverage spans of packet `q`, one per
+/// collision containing it — the raw material for both length bounds
+/// below.
+fn coverage_spans<'a>(
+    q: usize,
+    collisions: &'a [CollisionLayout],
+) -> impl Iterator<Item = usize> + 'a {
+    collisions.iter().filter_map(move |c| {
+        c.placements.iter().find(|p| p.packet == q).map(|p| c.len.saturating_sub(p.start))
+    })
+}
+
+/// Upper-bound symbol lengths for `n_packets` packets before any PLCP is
+/// decoded: each packet may extend to the end of the longest collision
+/// buffer it appears in. The ZigZag executor starts its plan from this
+/// bound and revises downward once a packet's PLCP parses. Do **not**
+/// use it for the matcher's decodability gate — see
+/// [`min_coverage_lens`] for why the phantom tails deadlock peeling.
+pub fn upper_bound_lens(n_packets: usize, collisions: &[CollisionLayout]) -> Vec<usize> {
+    (0..n_packets).map(|q| coverage_spans(q, collisions).max().unwrap_or(0)).collect()
+}
+
+/// Tightest length estimate consistent with the layouts: each packet is
+/// assumed fully contained in *every* collision it appears in, so its
+/// length is at most the smallest `buffer end − start` across them. The
+/// k-way matcher's decodability gate uses this: the upper bound of
+/// [`upper_bound_lens`] pads every packet with a phantom tail out to the
+/// longest buffer end, and those phantom symbols (which overlap every
+/// other packet's tail) deadlock the peeling test on systems the
+/// executor — which shrinks lengths as soon as a PLCP header parses —
+/// decodes without trouble. A slightly optimistic gate only costs a
+/// failed decode attempt; a pessimistic one starves the receiver.
+pub fn min_coverage_lens(n_packets: usize, collisions: &[CollisionLayout]) -> Vec<usize> {
+    (0..n_packets).map(|q| coverage_spans(q, collisions).min().unwrap_or(0)).collect()
+}
+
 /// Fast decodability test by position-wise peeling.
 ///
 /// Equivalent to running [`PlanState::plan_all`] and checking for

@@ -122,22 +122,6 @@ impl<'r> ZigzagDecoder<'r> {
         let n_pkts = packets.len();
         let n_cols = collisions.len();
 
-        // upper-bound packet lengths: to the end of the longest buffer
-        let max_lens: Vec<usize> = (0..n_pkts)
-            .map(|q| {
-                collisions
-                    .iter()
-                    .filter_map(|c| {
-                        c.placements
-                            .iter()
-                            .find(|(p, _)| *p == q)
-                            .map(|(_, s)| c.buffer.len().saturating_sub(*s))
-                    })
-                    .max()
-                    .unwrap_or(0)
-            })
-            .collect();
-
         let layouts: Vec<CollisionLayout> = collisions
             .iter()
             .map(|c| CollisionLayout {
@@ -149,6 +133,8 @@ impl<'r> ZigzagDecoder<'r> {
                 len: c.buffer.len(),
             })
             .collect();
+        // upper-bound packet lengths: to the end of the longest buffer
+        let max_lens = crate::schedule::upper_bound_lens(n_pkts, &layouts);
 
         let mut plan = PlanState::new(max_lens.clone(), layouts);
         let mut residuals: Vec<Vec<Complex>> =

@@ -369,6 +369,166 @@ pub fn run_pairs(
     engine.map(scenarios, |_, s| run_pair(&s.link_a, &s.link_b, s.p_sense, cfg, s.seed))
 }
 
+/// One k-sender scenario for the full-stack receiver flow: `k` saturated
+/// senders (one link each), a carrier-sense probability, and a seed.
+///
+/// Where [`PairScenario`]/[`run_pair`] compare the three schemes with a
+/// hand-rolled decode flow, a `SetScenario` drives every receive buffer
+/// through the *actual* receiver pipeline
+/// ([`ZigzagReceiver::process`](zigzag_core::ZigzagReceiver::process), i.e.
+/// `ReceiverCore::receive`): collisions accumulate in the keyed store
+/// until a decodable k×k match set exists, then ZigZag recovers all k
+/// frames. This is the generalization `run_pairs` was the k=2 shadow of.
+#[derive(Clone, Debug)]
+pub struct SetScenario {
+    /// Per-sender links to the AP (sender `i` gets client id `i+1`).
+    /// Clients must sit at distinct oscillator offsets — that is what
+    /// the AP tells them apart by (§4.2.1).
+    pub links: Vec<LinkProfile>,
+    /// Probability the senders hear each other per round (0 = hidden).
+    pub p_sense: f64,
+    /// Per-scenario RNG seed (deterministic regardless of scheduling).
+    pub seed: u64,
+}
+
+/// Per-sender outcome of one k-sender full-stack run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SetOutcome {
+    /// Packets delivered per sender.
+    pub delivered: Vec<usize>,
+    /// Packets offered per sender (delivered or dropped at retry limit).
+    pub offered: Vec<usize>,
+    /// Airtime consumed, in packet durations.
+    pub airtime: f64,
+    /// How many collisions the receiver stored unmatched.
+    pub collisions_stored: usize,
+    /// Deliveries that took the matched-collision ZigZag path.
+    pub zigzag_delivered: usize,
+}
+
+impl SetOutcome {
+    /// Per-sender normalized throughput.
+    pub fn throughput(&self, sender: usize) -> f64 {
+        if self.airtime <= 0.0 {
+            0.0
+        } else {
+            self.delivered[sender] as f64 / self.airtime
+        }
+    }
+
+    /// Aggregate normalized throughput of the set.
+    pub fn total_throughput(&self) -> f64 {
+        (0..self.delivered.len()).map(|s| self.throughput(s)).sum()
+    }
+}
+
+/// Runs one saturated k-sender scenario end-to-end through the receiver
+/// pipeline. Each contention round either resolves by carrier sense
+/// (clean slots, one per sender) or all k senders collide with fresh
+/// MAC jitter; every receive buffer goes through
+/// `ZigzagReceiver::process`, so delivery happens exactly when the
+/// pipeline's detect/match/plan/zigzag stages recover a frame.
+pub fn run_set(scenario: &SetScenario, cfg: &ExperimentConfig) -> SetOutcome {
+    let k = scenario.links.len();
+    let mut rng = StdRng::seed_from_u64(scenario.seed ^ 0x5E7);
+    let ids: Vec<(u16, &LinkProfile)> =
+        scenario.links.iter().enumerate().map(|(i, l)| (i as u16 + 1, l)).collect();
+    let reg = registry_for(&ids);
+    let mut rx = zigzag_core::ZigzagReceiver::new(cfg.decoder.clone(), reg);
+    let mut tx: Vec<TxState> = (0..k)
+        .map(|s| TxState::new(s as u16 + 1, 0, cfg.payload, &scenario.links[s], &mut rng))
+        .collect();
+    let mut out =
+        SetOutcome { delivered: vec![0; k], offered: vec![0; k], ..SetOutcome::default() };
+    let policy = Backoff::Exponential;
+
+    let mut round = 0usize;
+    while round < cfg.rounds {
+        let mut got = vec![false; k];
+        if rng.gen_bool(scenario.p_sense.clamp(0.0, 1.0)) {
+            // carrier sense worked: k clean slots, still through the
+            // full receiver pipeline
+            for s in 0..k {
+                let sc = synth_collision(
+                    &[PlacedTx { air: &tx[s].air, base: &tx[s].chan, start: 0 }],
+                    1.0,
+                    &mut rng,
+                );
+                for ev in rx.process(&sc.buffer) {
+                    record_event(&ev, &tx, &mut got, &mut out);
+                }
+                out.airtime += 1.0;
+                round += 1;
+            }
+        } else {
+            // all k collide with fresh jitter
+            let jitters: Vec<u32> =
+                (0..k).map(|s| policy.draw(&cfg.mac, tx[s].retries, &mut rng)).collect();
+            let m = *jitters.iter().min().expect("k >= 1");
+            let placed: Vec<PlacedTx<'_>> = (0..k)
+                .map(|s| PlacedTx {
+                    air: &tx[s].air,
+                    base: &tx[s].chan,
+                    start: cfg.mac.slots_to_symbols(jitters[s] - m),
+                })
+                .collect();
+            let sc = synth_collision(&placed, 1.0, &mut rng);
+            for ev in rx.process(&sc.buffer) {
+                record_event(&ev, &tx, &mut got, &mut out);
+            }
+            out.airtime += 1.0;
+            round += 1;
+        }
+        for s in 0..k {
+            if got[s] {
+                out.delivered[s] += 1;
+                out.offered[s] += 1;
+                tx[s].advance(s as u16 + 1, cfg.payload, &scenario.links[s], &mut rng);
+            } else {
+                tx[s].retries += 1;
+                if tx[s].retries > cfg.mac.retry_limit {
+                    out.offered[s] += 1; // dropped
+                    tx[s].advance(s as u16 + 1, cfg.payload, &scenario.links[s], &mut rng);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Scores one receiver event against the senders' in-flight frames.
+fn record_event(
+    ev: &zigzag_core::ReceiverEvent,
+    tx: &[TxState],
+    got: &mut [bool],
+    out: &mut SetOutcome,
+) {
+    use zigzag_core::receiver::DecodePath;
+    match ev {
+        zigzag_core::ReceiverEvent::Delivered { frame, path } => {
+            let s = frame.src as usize;
+            if s >= 1 && s <= tx.len() && frame.seq == tx[s - 1].seq {
+                got[s - 1] = true;
+                if *path == DecodePath::Zigzag {
+                    out.zigzag_delivered += 1;
+                }
+            }
+        }
+        zigzag_core::ReceiverEvent::CollisionStored => out.collisions_stored += 1,
+        zigzag_core::ReceiverEvent::DecodeFailed => {}
+    }
+}
+
+/// Runs many k-sender scenarios across the [`BatchEngine`]; results are
+/// in scenario order and independent of the engine's thread count.
+pub fn run_sets(
+    engine: &BatchEngine,
+    scenarios: &[SetScenario],
+    cfg: &ExperimentConfig,
+) -> Vec<SetOutcome> {
+    engine.map(scenarios, |_, s| run_set(s, cfg))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,6 +588,55 @@ mod tests {
         let lb = LinkProfile::typical(16.0, &mut rng);
         let run = run_pair(&la, &lb, 0.0, &quick_cfg(), 45);
         assert!(run.cfs.total_throughput() > 0.85, "{}", run.cfs.total_throughput());
+    }
+
+    fn omega_spread_links(k: usize, snr: f64) -> Vec<LinkProfile> {
+        let omegas = [-0.08, 0.02, 0.09, -0.03];
+        (0..k).map(|s| LinkProfile::clean_with_omega(snr, omegas[s])).collect()
+    }
+
+    #[test]
+    fn three_hidden_senders_deliver_through_kway_store() {
+        // The tentpole flow at testbed level: three hidden senders, every
+        // buffer through the receiver pipeline; collisions accumulate in
+        // the keyed store until a 3×3 match set decodes.
+        let scenarios: Vec<SetScenario> = (0..4)
+            .map(|i| SetScenario {
+                links: omega_spread_links(3, 17.0),
+                p_sense: 0.0,
+                seed: 900 + i,
+            })
+            .collect();
+        let cfg = ExperimentConfig { payload: 150, rounds: 18, ..Default::default() };
+        let outs = run_sets(&BatchEngine::single_threaded(), &scenarios, &cfg);
+        let zigzag: usize = outs.iter().map(|o| o.zigzag_delivered).sum();
+        assert!(zigzag > 0, "the k-way matched-collision path must fire: {outs:?}");
+        for o in &outs {
+            assert!(o.total_throughput() > 0.3, "{o:?}");
+            assert!(o.collisions_stored > 0, "hidden senders must produce stored collisions");
+        }
+    }
+
+    #[test]
+    fn two_sender_set_reduces_to_pair_flow() {
+        // k = 2 through run_sets exercises the same pairwise match path
+        // run_pairs always used.
+        let s = SetScenario { links: omega_spread_links(2, 16.0), p_sense: 0.0, seed: 901 };
+        let cfg = ExperimentConfig { payload: 150, rounds: 16, ..Default::default() };
+        let out = run_set(&s, &cfg);
+        assert!(out.total_throughput() > 0.4, "{out:?}");
+        assert!(out.zigzag_delivered > 0, "{out:?}");
+    }
+
+    #[test]
+    fn batched_sets_match_sequential_runs() {
+        let scenarios: Vec<SetScenario> = (0..3)
+            .map(|i| SetScenario { links: omega_spread_links(3, 16.0), p_sense: 0.2, seed: 70 + i })
+            .collect();
+        let cfg = ExperimentConfig { payload: 120, rounds: 9, ..Default::default() };
+        let seq = run_sets(&BatchEngine::single_threaded(), &scenarios, &cfg);
+        let par = run_sets(&BatchEngine::new(3), &scenarios, &cfg);
+        assert_eq!(seq, par, "run_sets must be thread-count invariant");
     }
 
     #[test]

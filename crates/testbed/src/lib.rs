@@ -16,6 +16,9 @@ pub mod experiment;
 pub mod metrics;
 pub mod topology;
 
-pub use experiment::{registry_for, run_pair, run_pairs, ExperimentConfig, PairRun, PairScenario};
+pub use experiment::{
+    registry_for, run_pair, run_pairs, run_set, run_sets, ExperimentConfig, PairRun, PairScenario,
+    SetOutcome, SetScenario,
+};
 pub use metrics::{delivered, Samples, SchemeOutcome, DELIVERY_BER};
 pub use topology::Testbed;

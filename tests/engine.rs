@@ -4,13 +4,14 @@
 
 use rand::prelude::*;
 use zigzag::channel::fading::LinkProfile;
-use zigzag::channel::scenario::{clean_reception, hidden_pair};
+use zigzag::channel::scenario::{clean_reception, hidden_pair, synth_collision, PlacedTx};
 use zigzag::core::config::{ClientInfo, ClientRegistry, DecoderConfig};
 use zigzag::core::engine::{
     decode_batch, unit_seed, BatchEngine, CaptureStage, DecodeUnit, DetectStage, MatchStage,
-    Pipeline, StandardDecodeStage, StoreStage,
+    Pipeline, ReceiverCore, StandardDecodeStage, StoreStage,
 };
-use zigzag::core::receiver::{ReceiverEvent, ZigzagReceiver};
+use zigzag::core::receiver::{DecodePath, ReceiverEvent, ZigzagReceiver};
+use zigzag::core::zigzag::{CollisionSpec, PacketSpec, ZigzagDecoder};
 use zigzag::phy::complex::Complex;
 use zigzag::phy::frame::{encode_frame, Frame};
 use zigzag::phy::modulation::Modulation;
@@ -167,6 +168,78 @@ fn custom_pipeline_without_zigzag_keeps_stored_collisions() {
     assert!(ev2.contains(&ReceiverEvent::CollisionStored), "{ev2:?}");
     // the matched stored collision was put back alongside the new one
     assert_eq!(rx.stored_collisions(), 2, "matched stored collision must not be lost");
+}
+
+/// The k-way tentpole: a 3-sender/3-collision workload decodes all three
+/// frames end-to-end through `ReceiverCore::receive` — the first two
+/// collisions accumulate in the keyed store, the third completes a
+/// decodable 3×3 match set — with frames identical to the hand-driven
+/// executor/scheduler path, and the legacy flow agreeing event-for-event.
+#[test]
+fn three_sender_collisions_decode_through_pipeline() {
+    let mut rng = StdRng::seed_from_u64(3);
+    // Distinct oscillator offsets per client: the AP tells senders apart
+    // by frequency-compensated correlation (§4.2.1), so a k-way workload
+    // needs separated ω's to be physically resolvable.
+    let omegas = [-0.08, 0.02, 0.09];
+    let links: Vec<LinkProfile> =
+        (0..3).map(|i| LinkProfile::clean_with_omega(18.0, omegas[i])).collect();
+    let airs: Vec<zigzag::phy::frame::AirFrame> =
+        (0..3).map(|i| air(i as u16 + 1, i as u16, 150)).collect();
+    let chans: Vec<_> = links.iter().map(|l| l.draw(&mut rng)).collect();
+    // three collisions with distinct offset structure (decodable 3×3)
+    let offs = [[0usize, 310, 620], [0, 620, 310], [100, 0, 450]];
+    let buffers: Vec<Vec<Complex>> = offs
+        .iter()
+        .map(|o| {
+            let placed: Vec<PlacedTx<'_>> =
+                (0..3).map(|i| PlacedTx { air: &airs[i], base: &chans[i], start: o[i] }).collect();
+            synth_collision(&placed, 1.0, &mut rng).buffer
+        })
+        .collect();
+    let reg = registry(&[(1, &links[0]), (2, &links[1]), (3, &links[2])]);
+
+    // --- hand-driven executor path (ground-truth placements) ---
+    let dec = ZigzagDecoder::new(DecoderConfig::default(), &reg);
+    let specs: Vec<CollisionSpec<'_>> = buffers
+        .iter()
+        .zip(offs.iter())
+        .map(|(b, o)| CollisionSpec { buffer: b, placements: (0..3).map(|i| (i, o[i])).collect() })
+        .collect();
+    let exec = dec.decode(
+        &specs,
+        &[PacketSpec { client: 1 }, PacketSpec { client: 2 }, PacketSpec { client: 3 }],
+    );
+    let exec_frames: Vec<Frame> = exec.packets.iter().filter_map(|p| p.frame.clone()).collect();
+    assert_eq!(exec_frames.len(), 3, "executor path must recover all three frames");
+
+    // --- full-stack pipeline path: ReceiverCore::receive ---
+    let pipeline = Pipeline::standard();
+    let mut core = ReceiverCore::new(DecoderConfig::default(), reg.clone());
+    let ev1 = core.receive(&pipeline, &buffers[0]);
+    assert!(matches!(&ev1[..], [ReceiverEvent::CollisionStored]), "{ev1:?}");
+    let ev2 = core.receive(&pipeline, &buffers[1]);
+    assert!(matches!(&ev2[..], [ReceiverEvent::CollisionStored]), "{ev2:?}");
+    assert_eq!(core.store().len(), 2, "both collisions must accumulate in the store");
+    let ev3 = core.receive(&pipeline, &buffers[2]);
+    let delivered: Vec<&Frame> = ev3
+        .iter()
+        .filter_map(|e| match e {
+            ReceiverEvent::Delivered { frame, path: DecodePath::Zigzag } => Some(frame),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(delivered.len(), 3, "events: {ev3:?}");
+    for f in &exec_frames {
+        assert!(delivered.contains(&f), "pipeline must deliver the executor-path frame {f:?}");
+    }
+    assert_eq!(core.store().len(), 0, "matched members must be consumed");
+
+    // --- legacy flow: identical events buffer-for-buffer ---
+    let mut legacy = ZigzagReceiver::new(DecoderConfig::default(), reg);
+    assert_eq!(legacy.process_legacy(&buffers[0]), ev1);
+    assert_eq!(legacy.process_legacy(&buffers[1]), ev2);
+    assert_eq!(legacy.process_legacy(&buffers[2]), ev3);
 }
 
 /// Per-unit scratch reuse must not leak state between buffers: decoding
