@@ -19,15 +19,67 @@ use std::fmt::Write as _;
 use zigzag_bench::airframe;
 use zigzag_channel::fading::LinkProfile;
 use zigzag_channel::scenario::{hidden_pair, synth_collision, PlacedTx};
-use zigzag_core::config::DecoderConfig;
-use zigzag_core::engine::{decode_batch, unit_seed, BatchEngine, DecodeUnit};
+use zigzag_core::config::{ClientInfo, ClientRegistry, DecoderConfig, ShardConfig};
+use zigzag_core::engine::{
+    decode_batch, unit_seed, BatchEngine, DecodeUnit, Pipeline, ReceiverCore, ShardedReceiver,
+};
 use zigzag_core::receiver::DecodePath;
 use zigzag_core::zigzag::{CollisionSpec, PacketSpec, ZigzagDecoder};
 use zigzag_core::ReceiverEvent;
+use zigzag_phy::complex::Complex;
 use zigzag_phy::frame::Frame;
 use zigzag_phy::kernel::BackendKind;
 
 const UNITS: usize = 64;
+
+/// The shard workload's client-set plan: four disjoint hidden pairs
+/// behind one AP, every client at its own oscillator offset (that is how
+/// the AP tells clients apart, §4.2.1 — and what keeps one set's
+/// preambles out of another set's detections).
+const SHARD_OMEGA: [f64; 8] = [-0.13, 0.14, -0.08, 0.02, 0.09, -0.18, 0.19, -0.03];
+const SHARD_IDS: [[u16; 2]; 4] = [[1, 2], [3, 4], [5, 6], [7, 8]];
+
+/// Per-set retransmission-group seeds, pre-screened (like `K3_SEEDS`) so
+/// every group's pair decodes through the full receiver under the
+/// 8-client registry — §5.3a false positives from *other sets'* clients
+/// can otherwise leave a group stored-unmatched, which is a valid outcome
+/// but a poor throughput anchor.
+const SHARD_SEEDS: [[u64; 4]; 4] = [[0, 6, 11, 12], [1, 11, 16, 22], [2, 5, 9, 10], [2, 6, 16, 19]];
+
+/// Builds the sharded-receiver workload: four disjoint client sets, four
+/// retransmission groups each, interleaved round-robin into one buffer
+/// stream (as the air would deliver them to one AP).
+fn build_shard_stream() -> (ClientRegistry, Vec<Vec<Complex>>) {
+    let link = |id: u16| LinkProfile::clean_with_omega(17.0, SHARD_OMEGA[(id - 1) as usize]);
+    let mut registry = ClientRegistry::new();
+    for id in 1u16..=8 {
+        let l = link(id);
+        registry.associate(
+            id,
+            ClientInfo { omega: l.association_omega(), snr_db: l.snr_db, taps: l.isi.clone() },
+        );
+    }
+    let group = |ids: [u16; 2], seed: u64| -> [Vec<Complex>; 2] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (la, lb) = (link(ids[0]), link(ids[1]));
+        let a = airframe(ids[0], seed as u16, 200, 60_000 + seed * 7 + ids[0] as u64 * 101);
+        let b = airframe(ids[1], seed as u16, 200, 61_000 + seed * 11 + ids[1] as u64 * 101);
+        let offsets = [(420, 140), (300, 120), (420, 180), (360, 150)][seed as usize % 4];
+        let hp = hidden_pair(&a, &b, &la, &lb, offsets.0, offsets.1, &mut rng);
+        [hp.collision1.buffer, hp.collision2.buffer]
+    };
+    let mut stream = Vec::new();
+    // group-major interleave: every set contributes its g-th group's two
+    // collisions before any set starts group g+1, as the air would
+    for g in 0..SHARD_SEEDS[0].len() {
+        for (ids, seeds) in SHARD_IDS.iter().zip(SHARD_SEEDS.iter()) {
+            let [c1, c2] = group(*ids, seeds[g]);
+            stream.push(c1);
+            stream.push(c2);
+        }
+    }
+    (registry, stream)
+}
 
 /// Per-unit seeds for the k=3 workload, pre-screened so both the
 /// ground-truth executor and the full receiver pipeline recover all
@@ -190,8 +242,84 @@ fn bench_batch_decode(c: &mut Criterion) {
         "k3: {k3_delivered} frames via the k-way store/match path, identical to the executor path"
     );
 
+    // --- shard workload: one AP, four disjoint client sets, sharded ---
+    let (shard_registry, shard_stream) = build_shard_stream();
+    // The multi-set stream runs the shared-AP config (windowed client-set
+    // keys); the k3 identity check keeps the default config its units were
+    // pre-screened with. Identity only needs both sides to agree.
+    let run_single = |cfg: &DecoderConfig, registry: &ClientRegistry, stream: &[Vec<Complex>]| {
+        let pipeline = Pipeline::standard();
+        let mut core = ReceiverCore::new(cfg.clone(), registry.clone());
+        stream.iter().map(|b| core.receive(&pipeline, b)).collect::<Vec<_>>()
+    };
+    let run_sharded =
+        |cfg: &DecoderConfig, registry: &ClientRegistry, stream: &[Vec<Complex>], shards: usize| {
+            let mut rx = ShardedReceiver::new(
+                cfg.clone(),
+                ShardConfig { shards, queue_depth: 8 },
+                registry.clone(),
+            );
+            rx.process_batch(stream)
+        };
+    let shared_cfg = DecoderConfig::shared_ap();
+    let default_cfg = DecoderConfig::default();
+    println!(
+        "shard: {} buffers / {} client sets through one AP; {} shards",
+        shard_stream.len(),
+        SHARD_IDS.len(),
+        multi.threads()
+    );
+    c.bench_function("shard_single_core", |b| {
+        b.iter(|| run_single(&shared_cfg, &shard_registry, &shard_stream))
+    });
+    timings.push(("shard_single_core".into(), c.last_ns));
+    c.bench_function("shard_sharded", |b| {
+        b.iter(|| run_sharded(&shared_cfg, &shard_registry, &shard_stream, 0))
+    });
+    timings.push(("shard_sharded".into(), c.last_ns));
+
+    // Identity gates: the sharded receiver's merged event stream equals
+    // the single ReceiverCore's at 1, 2, and 4 shards — on the k=2
+    // multi-set stream, and on the k=3 workload (each k3 unit is one
+    // 3-client set; its buffers all route to one shard — the degenerate
+    // case, which must still be exact).
+    let shard_reference = run_single(&shared_cfg, &shard_registry, &shard_stream);
+    for shards in [1, 2, 4] {
+        assert_eq!(
+            shard_reference,
+            run_sharded(&shared_cfg, &shard_registry, &shard_stream, shards),
+            "sharded decode at {shards} shards must be bit-identical to a single ReceiverCore"
+        );
+    }
+    for unit in k3_units.iter().take(4) {
+        let reference = run_single(&default_cfg, &unit.registry, &unit.buffers);
+        for shards in [1, 2, 4] {
+            assert_eq!(
+                reference,
+                run_sharded(&default_cfg, &unit.registry, &unit.buffers, shards),
+                "[k3] sharded decode at {shards} shards must be bit-identical"
+            );
+        }
+    }
+    let shard_delivered = shard_reference
+        .iter()
+        .flatten()
+        .filter(|e| matches!(e, ReceiverEvent::Delivered { .. }))
+        .count();
+    println!(
+        "shard: {shard_delivered} frames delivered, identical across 1/2/4 shards and the single core"
+    );
+
     let ns = |name: &str| timings.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap();
-    let row_buffers = |name: &str| if name.contains("_k3_") { k3_buffers } else { n_buffers };
+    let row_buffers = |name: &str| {
+        if name.contains("_k3_") {
+            k3_buffers
+        } else if name.starts_with("shard_") {
+            shard_stream.len()
+        } else {
+            n_buffers
+        }
+    };
     for (name, v) in &timings {
         println!(
             "{name:<42} {:>8.1} ms ({:.1} buffers/s)",
@@ -205,8 +333,9 @@ fn bench_batch_decode(c: &mut Criterion) {
         ns("batch_decode_single_thread/scalar") / ns("batch_decode_single_thread/optimized");
     let combined =
         ns("batch_decode_single_thread/scalar") / ns("batch_decode_multi_thread/optimized");
+    let shard_speedup = ns("shard_single_core") / ns("shard_sharded");
     println!(
-        "speedups: threads {thread_speedup:.2}x, backend {backend_speedup:.2}x, combined {combined:.2}x   frames delivered: {delivered} (identical across backends and thread counts)"
+        "speedups: threads {thread_speedup:.2}x, backend {backend_speedup:.2}x, combined {combined:.2}x, shard {shard_speedup:.2}x   frames delivered: {delivered} (identical across backends and thread counts)"
     );
 
     // JSON perf trajectory at the repo root.
@@ -235,8 +364,18 @@ fn bench_batch_decode(c: &mut Criterion) {
         ns("batch_decode_k3_single_thread/optimized") / 1e6,
         ns("batch_decode_k3_multi_thread/optimized") / 1e6
     );
+    let _ = writeln!(
+        s,
+        "  \"shard\": {{\"buffers\": {}, \"client_sets\": {}, \"shards\": {}, \"frames_delivered\": {shard_delivered}, \"ms_single_core\": {:.2}, \"ms_sharded\": {:.2}, \"speedup\": {shard_speedup:.2}}},",
+        shard_stream.len(),
+        SHARD_IDS.len(),
+        multi.threads(),
+        ns("shard_single_core") / 1e6,
+        ns("shard_sharded") / 1e6
+    );
     let _ = writeln!(s, "  \"speedup_threads\": {thread_speedup:.2},");
     let _ = writeln!(s, "  \"speedup_backend\": {backend_speedup:.2},");
+    let _ = writeln!(s, "  \"speedup_shard\": {shard_speedup:.2},");
     let _ = writeln!(s, "  \"speedup_combined\": {combined:.2}");
     s.push_str("}\n");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
@@ -258,6 +397,11 @@ fn bench_batch_decode(c: &mut Criterion) {
             assert!(
                 thread_speedup >= 2.0,
                 "multi-threaded BatchEngine must be >= 2x single-threaded on {} threads, got {thread_speedup:.2}x",
+                multi.threads()
+            );
+            assert!(
+                shard_speedup >= 1.5,
+                "ShardedReceiver must be >= 1.5x a single ReceiverCore on {} shards, got {shard_speedup:.2}x",
                 multi.threads()
             );
         }

@@ -8,6 +8,7 @@
 //! estimate, both also learnable from any clean packet).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use zigzag_phy::filter::Fir;
 use zigzag_phy::kernel::BackendKind;
 
@@ -41,12 +42,31 @@ pub struct DecoderConfig {
     pub mm_gain: f64,
     /// Sub-block size (symbols) between timing re-interpolations.
     pub block: usize,
-    /// How many recent unmatched collisions the AP stores (§4.2.2: "it is
-    /// sufficient to store the few most recent collisions"). A k-sender
-    /// match set needs k−1 stored collisions, so this bounds the largest
-    /// decodable sender count at `collision_store + 1` — raise it for
-    /// deployments expecting more simultaneous hidden senders.
+    /// How many recent unmatched collisions the AP stores **per
+    /// client-set key** (§4.2.2: "it is sufficient to store the few most
+    /// recent collisions"). A k-sender match set needs k−1 stored
+    /// collisions, so this bounds the largest decodable sender count at
+    /// `collision_store + 1` — raise it for deployments expecting more
+    /// simultaneous hidden senders.
     pub collision_store: usize,
+    /// Samples past the *earliest* detection within which a detection
+    /// can still open a collision's client-set key (the store/match/
+    /// routing index). True packet starts cluster at the front of a
+    /// collision — their spread is the MAC backoff jitter (§4.2.2's Δ) —
+    /// while a §5.3a false positive from an interferer's data sidelobe
+    /// can spike anywhere; with several client sets associated at one
+    /// AP, an un-windowed key absorbs those spurious *foreign* clients
+    /// and sends two-sender collisions down the k-way path. Matching and
+    /// decoding still see every detection; the window only gates set
+    /// membership.
+    ///
+    /// Defaults to `usize::MAX` (off): with a single client set
+    /// associated, every detection is evidence of a set member — even a
+    /// far-tail sidelobe — and filtering it would discard real presence
+    /// information. Multi-set deployments (the sharded receiver's whole
+    /// reason to exist) should use [`DecoderConfig::shared_ap`] or set
+    /// this to roughly the MAC's backoff spread (≈1024 samples).
+    pub key_window: usize,
     /// Which phy kernel backend the decode hot loops run on
     /// (`zigzag_phy::kernel`). Defaults to the optimized SoA backend;
     /// `ZIGZAG_BACKEND=scalar` selects the scalar reference process-wide.
@@ -78,6 +98,7 @@ impl Default for DecoderConfig {
             mm_gain: 0.3,
             block: 128,
             collision_store: 4,
+            key_window: usize::MAX,
             backend: BackendKind::default(),
         }
     }
@@ -88,6 +109,15 @@ impl DecoderConfig {
     /// (differential testing, benchmarks).
     pub fn with_backend(backend: BackendKind) -> Self {
         Self { backend, ..Self::default() }
+    }
+
+    /// Configuration for an AP serving *several* client sets at once —
+    /// the sharded-receiver deployment: bounds the client-set key window
+    /// to the MAC backoff spread so another set's data-sidelobe false
+    /// positives (§5.3a) don't pollute this set's store/match/routing
+    /// key.
+    pub fn shared_ap() -> Self {
+        Self { key_window: 1024, ..Self::default() }
     }
 }
 
@@ -169,6 +199,86 @@ impl ClientRegistry {
     }
 }
 
+/// A read-mostly shared handle to the association registry.
+///
+/// The registry is written at association time and read on every buffer,
+/// by every receiver shard — the classic read-mostly shape. The handle is
+/// an `Arc` with copy-on-write semantics: clones are pointer copies (what
+/// the [`ShardedReceiver`](crate::engine::shard::ShardedReceiver) hands
+/// each shard), reads deref straight to the registry with no locking, and
+/// [`Self::associate`]/[`Self::update_omega`] clone the underlying table
+/// only when other handles are still alive (`Arc::make_mut`).
+#[derive(Clone, Debug, Default)]
+pub struct SharedRegistry {
+    inner: Arc<ClientRegistry>,
+}
+
+impl SharedRegistry {
+    /// Wraps a registry for shared read-mostly access.
+    pub fn new(registry: ClientRegistry) -> Self {
+        Self { inner: Arc::new(registry) }
+    }
+
+    /// Registers (or updates) a client — copy-on-write if other handles
+    /// exist.
+    pub fn associate(&mut self, id: u16, info: ClientInfo) {
+        Arc::make_mut(&mut self.inner).associate(id, info);
+    }
+
+    /// Updates a client's frequency estimate — copy-on-write if other
+    /// handles exist.
+    pub fn update_omega(&mut self, id: u16, omega: f64) {
+        Arc::make_mut(&mut self.inner).update_omega(id, omega);
+    }
+
+    /// `true` if `other` is a handle to the same registry allocation
+    /// (i.e. writes through one are visible to the other's next clone).
+    pub fn shares_with(&self, other: &SharedRegistry) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl std::ops::Deref for SharedRegistry {
+    type Target = ClientRegistry;
+
+    fn deref(&self) -> &ClientRegistry {
+        &self.inner
+    }
+}
+
+impl From<ClientRegistry> for SharedRegistry {
+    fn from(registry: ClientRegistry) -> Self {
+        Self::new(registry)
+    }
+}
+
+/// Shape of the sharded multi-core receiver
+/// ([`ShardedReceiver`](crate::engine::shard::ShardedReceiver)): how many
+/// receiver shards run and how deep each shard's bounded ingest queue is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Number of receiver shards (one `ReceiverCore` each); `0` means one
+    /// per available CPU.
+    pub shards: usize,
+    /// Bounded depth of each shard's ingest queue. Ingestion *blocks*
+    /// when a queue is full (backpressure — buffers are never dropped),
+    /// so the depth bounds how far detection runs ahead of decode.
+    pub queue_depth: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self { shards: 0, queue_depth: 32 }
+    }
+}
+
+impl ShardConfig {
+    /// A config pinned to an explicit shard count.
+    pub fn with_shards(shards: usize) -> Self {
+        Self { shards, ..Self::default() }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +299,30 @@ mod tests {
         assert!(!i.use_isi_filter && i.track_phase);
         let f = DecoderConfig::forward_only();
         assert!(!f.backward && f.track_phase);
+    }
+
+    #[test]
+    fn shared_registry_is_copy_on_write() {
+        let mut reg = ClientRegistry::new();
+        reg.associate(1, ClientInfo { omega: 0.01, snr_db: 12.0, taps: Fir::identity() });
+        let mut a = SharedRegistry::new(reg);
+        let b = a.clone();
+        assert!(a.shares_with(&b), "clones are pointer copies");
+        a.associate(2, ClientInfo { omega: 0.05, snr_db: 14.0, taps: Fir::identity() });
+        assert!(!a.shares_with(&b), "a write with live readers must copy, not mutate in place");
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 1, "existing handles keep their snapshot");
+        a.update_omega(1, 0.03);
+        assert!((a.get(1).unwrap().omega - 0.03).abs() < 1e-12);
+        assert!((b.get(1).unwrap().omega - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shard_config_defaults() {
+        let c = ShardConfig::default();
+        assert_eq!(c.shards, 0, "0 = one shard per available CPU");
+        assert!(c.queue_depth >= 1);
+        assert_eq!(ShardConfig::with_shards(3).shards, 3);
     }
 
     #[test]

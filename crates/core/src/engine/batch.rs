@@ -59,20 +59,44 @@ impl BatchEngine {
         O: Send,
         F: Fn(usize, &T) -> O + Sync,
     {
+        self.map_with(items, || (), |_, i, t| f(i, t))
+    }
+
+    /// [`Self::map`] with reusable worker-local state: `init` builds one
+    /// `S` per worker thread, and `f` receives it mutably for every item
+    /// that worker claims. This is how per-thread [`Scratch`]
+    /// (crate::engine::Scratch) arenas ride a fan-out without either
+    /// sharing (they are `!Sync` by design) or re-allocating per item —
+    /// e.g. the sharded receiver's parallel detect pre-pass.
+    ///
+    /// `f` must not let `S` carry information *between* items that
+    /// changes outputs (scratch buffers are fine, accumulators are not),
+    /// or determinism across thread counts is lost.
+    pub fn map_with<T, O, S, I, F>(&self, items: &[T], init: I, f: F) -> Vec<O>
+    where
+        T: Sync,
+        O: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> O + Sync,
+    {
         if self.threads <= 1 || items.len() <= 1 {
-            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            let mut state = init();
+            return items.iter().enumerate().map(|(i, t)| f(&mut state, i, t)).collect();
         }
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<O>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..self.threads.min(items.len()) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
+                scope.spawn(|| {
+                    let mut state = init();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let out = f(&mut state, i, &items[i]);
+                        *slots[i].lock().expect("result slot poisoned") = Some(out);
                     }
-                    let out = f(i, &items[i]);
-                    *slots[i].lock().expect("result slot poisoned") = Some(out);
                 });
             }
         });

@@ -29,18 +29,31 @@
 //!   compute backend every phy hot loop dispatches to, selected once per
 //!   decode context via `DecoderConfig::backend`.
 //!
-//! Future scaling work (sharding receivers across cores, async buffer
-//! ingestion, alternative compute backends) plugs in here: a backend is a
-//! `Pipeline` variant, a sharding policy is a `BatchEngine` work-unit
-//! partition.
+//! * **[`shard`]** — the multi-core receiver: N `ReceiverCore` shards on
+//!   the scoped pool behind a bounded-queue ingestion front end
+//!   ([`IngestQueue`]). Buffers are routed by detected-client-set hash
+//!   (a detect-only pre-pass whose detections the shard pipeline
+//!   reuses), each shard owns its own `CollisionStore` + `Scratch`,
+//!   shards share only the association registry behind the read-mostly
+//!   [`SharedRegistry`](crate::config::SharedRegistry) handle, and a
+//!   deterministic merge reorders per-shard event streams by buffer
+//!   sequence — so multi-shard output is bit-identical to a single
+//!   `ReceiverCore`.
+//!
+//! Remaining scaling work (alternative compute backends, NUMA-aware
+//! shard pinning, cross-shard match-set migration) plugs in here: a
+//! backend is a `Pipeline` variant, a sharding policy is a routing
+//! function over detected client sets.
 
 pub mod batch;
 pub mod scratch;
+pub mod shard;
 pub mod stage;
 
 pub use crate::matchset::{CollisionStore, MatchSet, StoredCollision};
 pub use batch::{decode_batch, unit_seed, BatchEngine, DecodeUnit};
 pub use scratch::{BufPool, Scratch};
+pub use shard::{route_shard, IngestQueue, ShardedReceiver};
 pub use stage::{
     CaptureStage, DecodePlan, DecodeStage, DetectStage, Flow, MatchStage, MatchedCollision,
     Pipeline, PlanStage, ReceiverCore, StandardDecodeStage, StoreStage, UnitCtx, ZigzagStage,

@@ -15,7 +15,7 @@
 //! equal-power-only deployments, or inserting instrumentation stages.
 
 use crate::capture::{mrc_combine_retry, subtract_decoded_with};
-use crate::config::{ClientRegistry, DecoderConfig};
+use crate::config::{ClientRegistry, DecoderConfig, SharedRegistry};
 use crate::detect::{detect_packets_with, Detection};
 use crate::engine::scratch::Scratch;
 use crate::matchset::{find_match_set, CollisionStore, MatchSet};
@@ -27,12 +27,13 @@ use zigzag_phy::complex::Complex;
 use zigzag_phy::preamble::Preamble;
 
 /// The receiver's long-lived state, shared by every stage: configuration,
-/// association registry, the indexed unmatched-collision store, the
-/// faulty-weak-version store for cross-collision MRC, the delivery dedup
-/// set, and the hot-path [`Scratch`].
+/// a read-mostly handle to the association registry (shard-shareable, see
+/// [`SharedRegistry`]), the shard-*owned* indexed unmatched-collision
+/// store, the faulty-weak-version store for cross-collision MRC, the
+/// delivery dedup set, and the hot-path [`Scratch`].
 pub struct ReceiverCore {
     pub(crate) cfg: DecoderConfig,
-    pub(crate) registry: ClientRegistry,
+    pub(crate) registry: SharedRegistry,
     pub(crate) preamble: Preamble,
     pub(crate) store: CollisionStore,
     pub(crate) weak_versions: Vec<(u16, SingleDecode)>,
@@ -43,8 +44,14 @@ pub struct ReceiverCore {
 impl ReceiverCore {
     /// Fresh state with the given configuration and registry.
     pub fn new(cfg: DecoderConfig, registry: ClientRegistry) -> Self {
+        Self::with_registry(cfg, SharedRegistry::new(registry))
+    }
+
+    /// Fresh state over an existing shared registry handle — what the
+    /// sharded receiver uses so all shards read one association table.
+    pub fn with_registry(cfg: DecoderConfig, registry: SharedRegistry) -> Self {
         let scratch = Scratch::with_backend(cfg.backend);
-        let store = CollisionStore::new(cfg.collision_store);
+        let store = CollisionStore::with_key_window(cfg.collision_store, cfg.key_window);
         Self {
             cfg,
             registry,
@@ -56,6 +63,12 @@ impl ReceiverCore {
         }
     }
 
+    /// Replaces this core's registry handle (after the owning front end
+    /// updated associations through its own handle).
+    pub fn set_registry(&mut self, registry: SharedRegistry) {
+        self.registry = registry;
+    }
+
     /// Runs one receive buffer through `pipeline` against this state —
     /// the full-stack entry point the front end
     /// ([`ZigzagReceiver::process`](crate::receiver::ZigzagReceiver::process))
@@ -64,9 +77,32 @@ impl ReceiverCore {
         pipeline.run(self, buffer)
     }
 
+    /// [`Self::receive`] with the detections already computed (the
+    /// sharded receiver's router runs the detect pre-pass to pick a
+    /// shard; re-scanning in [`DetectStage`] would double the detection
+    /// cost). `detect_packets_with` is deterministic, so the events are
+    /// identical to an in-pipeline scan.
+    pub fn receive_detected(
+        &mut self,
+        pipeline: &Pipeline,
+        buffer: &[Complex],
+        detections: Vec<Detection>,
+    ) -> Vec<ReceiverEvent> {
+        let mut unit = UnitCtx::with_detections(buffer, detections);
+        pipeline.run_unit(self, &mut unit)
+    }
+
     /// Read access to the unmatched-collision store.
     pub fn store(&self) -> &CollisionStore {
         &self.store
+    }
+
+    /// Forgets delivery history, stored collisions, and weak versions
+    /// (between experiment runs).
+    pub fn reset_history(&mut self) {
+        self.delivered.clear();
+        self.store.clear();
+        self.weak_versions.clear();
     }
 
     /// Emits a `Delivered` event unless this `(src, seq)` was already
@@ -140,8 +176,12 @@ impl DecodePlan {
 pub struct UnitCtx<'a> {
     /// The receive buffer being processed.
     pub buffer: &'a [Complex],
-    /// Detections (filled by [`DetectStage`]).
+    /// Detections (filled by [`DetectStage`], or pre-filled by a routing
+    /// front end — see [`UnitCtx::with_detections`]).
     pub detections: Vec<Detection>,
+    /// `true` once `detections` holds a completed scan's result;
+    /// [`DetectStage`] skips its own scan then.
+    pub detections_ready: bool,
     /// Matched stored collision (filled by [`MatchStage`]).
     pub matched: Option<MatchedCollision>,
     /// ZigZag inputs (filled by [`PlanStage`]).
@@ -151,7 +191,13 @@ pub struct UnitCtx<'a> {
 impl<'a> UnitCtx<'a> {
     /// A fresh context over a receive buffer.
     pub fn new(buffer: &'a [Complex]) -> Self {
-        Self { buffer, detections: Vec::new(), matched: None, plan: None }
+        Self { buffer, detections: Vec::new(), detections_ready: false, matched: None, plan: None }
+    }
+
+    /// A context whose detections were already computed (e.g. by the
+    /// sharded receiver's detect-only routing pre-pass).
+    pub fn with_detections(buffer: &'a [Complex], detections: Vec<Detection>) -> Self {
+        Self { buffer, detections, detections_ready: true, matched: None, plan: None }
     }
 }
 
@@ -222,9 +268,14 @@ impl Pipeline {
     /// Runs one receive buffer through the pipeline.
     pub fn run(&self, rx: &mut ReceiverCore, buffer: &[Complex]) -> Vec<ReceiverEvent> {
         let mut unit = UnitCtx::new(buffer);
+        self.run_unit(rx, &mut unit)
+    }
+
+    /// Runs a (possibly pre-seeded) unit context through the pipeline.
+    pub fn run_unit(&self, rx: &mut ReceiverCore, unit: &mut UnitCtx<'_>) -> Vec<ReceiverEvent> {
         let mut events = Vec::new();
         for stage in &self.stages {
-            if stage.run(rx, &mut unit, &mut events) == Flow::Done {
+            if stage.run(rx, unit, &mut events) == Flow::Done {
                 break;
             }
         }
@@ -288,8 +339,11 @@ impl DecodeStage for DetectStage {
         unit: &mut UnitCtx<'_>,
         events: &mut Vec<ReceiverEvent>,
     ) -> Flow {
-        let ReceiverCore { cfg, registry, preamble, scratch, .. } = rx;
-        unit.detections = detect_packets_with(unit.buffer, preamble, registry, cfg, scratch);
+        if !unit.detections_ready {
+            let ReceiverCore { cfg, registry, preamble, scratch, .. } = rx;
+            unit.detections = detect_packets_with(unit.buffer, preamble, registry, cfg, scratch);
+            unit.detections_ready = true;
+        }
         if unit.detections.is_empty() {
             events.push(ReceiverEvent::DecodeFailed);
             return Flow::Done;

@@ -50,8 +50,11 @@ pub mod standard;
 pub mod view;
 pub mod zigzag;
 
-pub use config::{ClientInfo, ClientRegistry, DecoderConfig};
-pub use engine::{decode_batch, unit_seed, BatchEngine, DecodeUnit, Pipeline, Scratch};
+pub use config::{ClientInfo, ClientRegistry, DecoderConfig, ShardConfig, SharedRegistry};
+pub use engine::{
+    decode_batch, unit_seed, BatchEngine, DecodeUnit, IngestQueue, Pipeline, Scratch,
+    ShardedReceiver,
+};
 pub use matchset::{CollisionStore, MatchSet, StoredCollision};
 pub use receiver::{ReceiverEvent, ZigzagReceiver};
 pub use zigzag::{CollisionSpec, PacketSpec, ZigzagDecoder, ZigzagOutput};

@@ -9,9 +9,15 @@
 //!
 //! * [`CollisionStore`] — the unmatched-collision store as an *indexed*
 //!   structure: entries carry a client-set key (the sorted distinct
-//!   clients detected in the buffer) and a stable id, are bounded by
-//!   `DecoderConfig::collision_store`, and evict oldest-first. Collisions
-//!   accumulate here until a decodable k×k system exists.
+//!   clients detected in the buffer) and a stable id, are bounded **per
+//!   key** by `DecoderConfig::collision_store`, and evict the stalest
+//!   entry of the overflowing key. Collisions accumulate here until a
+//!   decodable k×k system exists. Eviction used to be global
+//!   oldest-first, which let a burst from one client set flush every
+//!   other set's stored members and permanently starve their
+//!   nearly-complete match sets; keyed eviction makes sets independent —
+//!   which is also what lets a sharded receiver split the store by
+//!   client set without changing behaviour.
 //! * [`MatchSet`] — the alignment of the *current* collision with m−1
 //!   stored collisions over the same k clients: which detection of which
 //!   collision belongs to which packet. [`DecodePlan`](crate::engine::stage::DecodePlan)
@@ -36,7 +42,7 @@ use crate::config::ClientRegistry;
 use crate::detect::Detection;
 use crate::matcher::{is_match, match_metric, match_metric_with_step, MATCH_WINDOW};
 use crate::schedule::{min_coverage_lens, CollisionLayout, Placement};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use zigzag_phy::complex::Complex;
 use zigzag_phy::correlate::corr_at;
 use zigzag_phy::preamble::Preamble;
@@ -56,30 +62,86 @@ pub struct StoredCollision {
 }
 
 /// The sorted distinct clients of a detection list — the store/lookup key
-/// for k-way matching.
+/// for k-way matching. Equivalent to [`collision_key`] with an unbounded
+/// window.
 pub fn client_key(detections: &[Detection]) -> Vec<u16> {
-    let mut key: Vec<u16> = detections.iter().map(|d| d.client).collect();
+    collision_key(detections, usize::MAX)
+}
+
+/// The client-set key of a collision, windowed: only detections within
+/// `window` samples of the **earliest** detection contribute. True packet
+/// starts cluster at the front of a collision (their spread is the MAC
+/// backoff jitter); a spurious data-sidelobe detection of an *unrelated*
+/// associated client spikes anywhere in the buffer, and letting it into
+/// the key would mis-dispatch a two-sender collision down the k-way path
+/// and split the store index. The earliest detection is a safe anchor:
+/// sidelobes always trail the packet start that produced them.
+pub fn collision_key(detections: &[Detection], window: usize) -> Vec<u16> {
+    let Some(first) = detections.iter().map(|d| d.pos).min() else {
+        return Vec::new();
+    };
+    let mut key: Vec<u16> =
+        detections.iter().filter(|d| d.pos - first <= window).map(|d| d.client).collect();
     key.sort_unstable();
     key.dedup();
     key
 }
 
-/// The indexed unmatched-collision store: insertion-ordered, keyed by
-/// client set, bounded with oldest-first eviction.
-#[derive(Clone, Debug, Default)]
+/// How many distinct client-set keys the store tracks before the global
+/// safety valve kicks in: total entries are bounded by
+/// `cap × MAX_TRACKED_KEYS`, evicting the stalest entry of the
+/// most-populous key on overflow. Real deployments see a handful of
+/// concurrently-active hidden-terminal sets per shard; the valve only
+/// matters under a key-cardinality flood (e.g. detection misattributing
+/// clients at very low SNR).
+const MAX_TRACKED_KEYS: usize = 16;
+
+/// The indexed unmatched-collision store: keyed by client set, with O(1)
+/// id lookup/removal, insertion order preserved per key, and **per-key**
+/// bounding — each client set keeps at most `cap` collisions, and a key
+/// that overflows evicts its own stalest entry.
+///
+/// Keyed eviction is the starvation fix: with the old global FIFO bound,
+/// a burst of unmatched collisions from one client set flushed every
+/// other set's stored members, so a nearly-complete k-way match set
+/// could be starved forever by an unrelated chatty set. It is also what
+/// makes the store *shard-decomposable*: entries of different keys never
+/// affect each other, so a receiver shard holding only its own keys
+/// behaves bit-identically to one store holding all of them.
+#[derive(Clone, Debug)]
 pub struct CollisionStore {
-    entries: VecDeque<StoredCollision>,
+    /// id → entry: the O(1) lookup the k-way match loop leans on.
+    entries: HashMap<u64, StoredCollision>,
+    /// key → ids in insertion order (oldest first). Deques are bounded
+    /// by `cap`, so in-deque scans are O(cap), not O(len).
+    by_key: HashMap<Vec<u16>, VecDeque<u64>>,
     cap: usize,
+    key_window: usize,
     next_id: u64,
 }
 
 impl CollisionStore {
-    /// An empty store holding at most `cap` collisions.
+    /// An empty store holding at most `cap` collisions **per client-set
+    /// key** (and at most `cap × 16` in total, see [`MAX_TRACKED_KEYS`]),
+    /// with an unbounded key window (every detection opens the key).
     pub fn new(cap: usize) -> Self {
-        Self { entries: VecDeque::new(), cap, next_id: 0 }
+        Self::with_key_window(cap, usize::MAX)
     }
 
-    /// Number of stored collisions.
+    /// An empty store whose entry keys are computed with
+    /// [`collision_key`] over `key_window` — what
+    /// `DecoderConfig::key_window` configures, so spurious far-tail
+    /// detections of unrelated clients don't split the index.
+    pub fn with_key_window(cap: usize, key_window: usize) -> Self {
+        Self { entries: HashMap::new(), by_key: HashMap::new(), cap, key_window, next_id: 0 }
+    }
+
+    /// The key window entry keys (and lookups against this store) use.
+    pub fn key_window(&self) -> usize {
+        self.key_window
+    }
+
+    /// Number of stored collisions, over all keys.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
@@ -89,49 +151,103 @@ impl CollisionStore {
         self.entries.is_empty()
     }
 
-    /// Maximum number of stored collisions.
+    /// Maximum number of stored collisions per client-set key.
     pub fn capacity(&self) -> usize {
         self.cap
+    }
+
+    /// Number of stored collisions whose client set equals `key`.
+    pub fn key_len(&self, key: &[u16]) -> usize {
+        self.by_key.get(key).map_or(0, VecDeque::len)
     }
 
     /// Drops every stored collision.
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.by_key.clear();
     }
 
-    /// Stores a collision, evicting oldest entries beyond capacity.
-    /// Returns the entry's stable id.
+    /// Stores a collision under its client-set key, evicting the key's
+    /// stalest entries beyond the per-key capacity (other keys are never
+    /// touched). Returns the entry's stable id.
     pub fn insert(&mut self, buffer: Vec<Complex>, detections: Vec<Detection>) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
-        let key = client_key(&detections);
-        self.entries.push_back(StoredCollision { id, key, buffer, detections });
-        while self.entries.len() > self.cap {
-            self.entries.pop_front();
+        let key = collision_key(&detections, self.key_window);
+        // entry goes in before any eviction runs, so a zero-capacity
+        // store evicts the entry it just admitted instead of corrupting
+        // the id index
+        self.entries.insert(id, StoredCollision { id, key: key.clone(), buffer, detections });
+        let order = self.by_key.entry(key.clone()).or_default();
+        order.push_back(id);
+        while order.len() > self.cap {
+            let stale = order.pop_front().expect("over-capacity deque is non-empty");
+            self.entries.remove(&stale);
+        }
+        if order.is_empty() {
+            self.by_key.remove(&key);
+        }
+        // Safety valve against unbounded key cardinality: evict the
+        // stalest entry of the most-populous key (deterministic
+        // tie-break: the key owning the oldest id).
+        while self.entries.len() > self.cap * MAX_TRACKED_KEYS {
+            let victim = self
+                .by_key
+                .iter()
+                .max_by(|(_, a), (_, b)| a.len().cmp(&b.len()).then(b.front().cmp(&a.front())))
+                .map(|(k, _)| k.clone())
+                .expect("over-capacity store has keys");
+            let order = self.by_key.get_mut(&victim).expect("victim key present");
+            let stale = order.pop_front().expect("victim key is non-empty");
+            self.entries.remove(&stale);
+            if order.is_empty() {
+                self.by_key.remove(&victim);
+            }
         }
         id
     }
 
-    /// Looks up an entry by id.
+    /// Looks up an entry by id — O(1).
     pub fn get(&self, id: u64) -> Option<&StoredCollision> {
-        self.entries.iter().find(|e| e.id == id)
+        self.entries.get(&id)
     }
 
-    /// Removes an entry by id, returning it.
+    /// Removes an entry by id, returning it. O(1) in the total entry
+    /// count (the key's order deque holds at most `cap` ids).
     pub fn remove(&mut self, id: u64) -> Option<StoredCollision> {
-        let idx = self.entries.iter().position(|e| e.id == id)?;
-        self.entries.remove(idx)
+        let entry = self.entries.remove(&id)?;
+        if let Some(order) = self.by_key.get_mut(&entry.key) {
+            order.retain(|&i| i != id);
+            if order.is_empty() {
+                self.by_key.remove(&entry.key);
+            }
+        }
+        Some(entry)
     }
 
-    /// All entries, oldest first.
+    /// All entries, oldest first (ids are monotone, so id order is
+    /// insertion order). Diagnostic/test path — the match loops use the
+    /// keyed [`Self::candidates`] lookup instead.
     pub fn iter(&self) -> impl Iterator<Item = &StoredCollision> {
-        self.entries.iter()
+        let mut all: Vec<&StoredCollision> = self.entries.values().collect();
+        all.sort_unstable_by_key(|e| e.id);
+        all.into_iter()
     }
 
-    /// Entries whose client set equals `key`, oldest first — the k-way
-    /// matcher's candidate list.
+    /// Entries whose client set equals `key`, oldest first — the
+    /// matchers' candidate list, O(1) to locate.
     pub fn candidates<'a>(&'a self, key: &'a [u16]) -> impl Iterator<Item = &'a StoredCollision> {
-        self.entries.iter().filter(move |e| e.key == key)
+        self.by_key
+            .get(key)
+            .into_iter()
+            .flatten()
+            .map(move |id| self.entries.get(id).expect("order deque ids are stored"))
+    }
+}
+
+impl Default for CollisionStore {
+    fn default() -> Self {
+        Self::new(0)
     }
 }
 
@@ -177,6 +293,14 @@ impl MatchSet {
 /// same clients on both sides. Returns `[(current, stored); 2]` with the
 /// first-starting current packet first.
 ///
+/// The second packet is the earliest current detection of a *different*
+/// client than the first — not blindly `current[1]`: a §5.3a false
+/// positive from the first packet's own data sidelobe sorts between the
+/// two true starts often enough to matter (it always trails its packet's
+/// start, so the earliest detection per client is the start), and the
+/// old `current[1]` choice degenerated such pairs into a same-client
+/// "alignment" that could never match.
+///
 /// Rejects *pure time-shift* alignments: if both matched packets align
 /// with the same shift `Δ = current.pos − stored.pos`, the stored
 /// collision is the same linear equation as the current one (identical
@@ -190,7 +314,8 @@ pub fn pair_collisions(
     if current.len() < 2 || stored.len() < 2 {
         return None;
     }
-    let (c1, c2) = (current[0], current[1]);
+    let c1 = current[0];
+    let c2 = *current.iter().find(|d| d.client != c1.client)?;
     let s1 = stored.iter().find(|d| d.client == c1.client)?;
     let s2 = stored.iter().find(|d| d.client == c2.client)?;
     if is_pure_shift(&[c1, c2], &[*s1, *s2]) {
@@ -235,32 +360,38 @@ pub fn find_match_set(
     if detections.len() < 2 {
         return None;
     }
-    if client_key(detections).len() >= 3 {
-        find_kway_match(buffer, detections, store, registry, preamble)
+    // Dispatch and candidate lookup use the store's windowed key, so the
+    // current collision and the stored entries are indexed identically.
+    let key = collision_key(detections, store.key_window());
+    if key.len() >= 3 {
+        find_kway_match(buffer, detections, &key, store, registry, preamble)
     } else {
-        find_pair_match(buffer, detections, store)
+        find_pair_match(buffer, detections, &key, store)
     }
 }
 
-/// Pairwise (§4.2.2) matching: first stored entry whose detections pair
-/// with the current ones *and* whose samples confirm on the second
-/// packet (the paper aligns the collisions where P₂ and P₂′ start).
+/// Pairwise (§4.2.2) matching: oldest same-client-set stored entry whose
+/// detections pair with the current ones *and* whose samples confirm on
+/// the second packet (the paper aligns the collisions where P₂ and P₂′
+/// start).
+///
+/// Candidates come from the keyed index, so only entries with the *same*
+/// detected client set are examined. This subsumes the earlier guard
+/// against consuming a pending k-way system's members (an entry with ≥3
+/// distinct clients has a different key), is O(candidates) instead of
+/// O(store), and keeps the match local to one key — the invariant the
+/// sharded receiver's client-set routing relies on. Entries whose set
+/// strictly contains the current one (a detection-missed start on either
+/// side) never genuinely share *both* packets anyway: `pair_collisions`
+/// would pair one stored detection twice and the sample confirmation
+/// rejects it.
 fn find_pair_match(
     buffer: &[Complex],
     detections: &[Detection],
+    key: &[u16],
     store: &CollisionStore,
 ) -> Option<MatchSet> {
-    for entry in store.iter() {
-        // Entries with ≥3 distinct clients belong to a pending k-way
-        // system: a 2-client current collision (e.g. one start missed by
-        // detection) would otherwise pairwise-match the shared packets'
-        // genuine correlation, run a doomed 2×2 decode over k-packet
-        // buffers, and *consume* a member the k×k set still needs. In a
-        // pure two-sender workload no such entries exist, so the
-        // historical pairwise behaviour is unchanged.
-        if entry.key.len() >= 3 {
-            continue;
-        }
+    for entry in store.candidates(key) {
         if let Some(pairing) = pair_collisions(detections, &entry.detections) {
             let (cur2, old2) = pairing[1];
             if is_match(buffer, cur2.pos, &entry.buffer, old2.pos) {
@@ -480,11 +611,11 @@ fn scan_for_counterpart(
 fn find_kway_match(
     buffer: &[Complex],
     detections: &[Detection],
+    key: &[u16],
     store: &CollisionStore,
     registry: &ClientRegistry,
     preamble: &Preamble,
 ) -> Option<MatchSet> {
-    let key = client_key(detections);
     let k = key.len();
     // A k-way set needs k−1 stored members, so a store smaller than that
     // can never accumulate one — bail before doing any signal work (the
@@ -496,7 +627,7 @@ fn find_kway_match(
     // Cheap candidate count before the expensive shift alignment: the
     // first k−2 collisions of every k-sender set land here with too few
     // same-key entries.
-    if store.candidates(&key).count() < k - 1 {
+    if store.key_len(key) < k - 1 {
         return None;
     }
     let cur_pos: Vec<usize> = detections.iter().map(|d| d.pos).collect();
@@ -507,7 +638,7 @@ fn find_kway_match(
     // Phase A: shift-align every same-key candidate (lists may be
     // partial or carry a mis-anchored entry — consensus sorts that out).
     let cands: Vec<(u64, Vec<Anchor>)> =
-        store.candidates(&key).map(|e| (e.id, align_by_shifts(buffer, &cur_pos, e, k))).collect();
+        store.candidates(key).map(|e| (e.id, align_by_shifts(buffer, &cur_pos, e, k))).collect();
     if cands.len() < k - 1 {
         return None;
     }
@@ -771,14 +902,81 @@ mod tests {
     }
 
     #[test]
-    fn store_bounds_and_evicts_oldest() {
+    fn store_bounds_per_key_and_evicts_key_stalest() {
         let mut store = CollisionStore::new(2);
-        let a = store.insert(vec![], vec![det(1, 0)]);
-        let b = store.insert(vec![], vec![det(2, 0)]);
-        let c = store.insert(vec![], vec![det(3, 0)]);
-        assert_eq!(store.len(), 2);
-        assert!(store.get(a).is_none(), "oldest entry must be evicted");
+        let a = store.insert(vec![], vec![det(1, 0), det(2, 5)]);
+        let b = store.insert(vec![], vec![det(1, 9), det(2, 3)]);
+        let c = store.insert(vec![], vec![det(1, 7), det(2, 1)]);
+        assert_eq!(store.key_len(&[1, 2]), 2);
+        assert!(store.get(a).is_none(), "the overflowing key's stalest entry must be evicted");
         assert!(store.get(b).is_some() && store.get(c).is_some());
+    }
+
+    #[test]
+    fn eviction_starvation_regression_other_keys_survive_a_burst() {
+        // Regression for the global-FIFO eviction bug: a burst of
+        // unmatched collisions from one client set used to flush every
+        // other set's stored members, permanently starving their
+        // nearly-complete k-way match sets. Eviction is per key now.
+        let mut store = CollisionStore::new(4);
+        let survivor = store.insert(vec![], vec![det(3, 0), det(4, 50)]);
+        let mut burst = Vec::new();
+        for i in 0..8 {
+            burst.push(store.insert(vec![], vec![det(1, i), det(2, i + 40)]));
+        }
+        assert!(
+            store.get(survivor).is_some(),
+            "a {{1,2}} burst must never evict the stored {{3,4}} member"
+        );
+        assert_eq!(store.key_len(&[1, 2]), 4, "the bursting key evicts its own stalest entries");
+        for stale in &burst[..4] {
+            assert!(store.get(*stale).is_none());
+        }
+        for live in &burst[4..] {
+            assert!(store.get(*live).is_some());
+        }
+        assert_eq!(store.len(), 5);
+    }
+
+    #[test]
+    fn store_total_safety_valve_evicts_most_populous_key() {
+        // Under a key-cardinality flood the total bound (cap × 16) holds,
+        // shedding the stalest entry of the most-populous key.
+        let mut store = CollisionStore::new(1);
+        for c in 0..16u16 {
+            store.insert(vec![], vec![det(c, 0)]);
+        }
+        assert_eq!(store.len(), 16);
+        let first = store.iter().next().expect("non-empty").id;
+        store.insert(vec![], vec![det(99, 0)]);
+        assert_eq!(store.len(), 16, "total bound must hold");
+        assert!(store.get(first).is_none(), "stalest entry of a most-populous key is shed");
+    }
+
+    #[test]
+    fn zero_capacity_store_accepts_and_discards() {
+        // Regression: inserting into a cap-0 store (the `Default`) used
+        // to evict the id before the entry existed, corrupting the index
+        // and panicking in the safety valve.
+        let mut store = CollisionStore::default();
+        let a = store.insert(vec![], vec![det(1, 0), det(2, 7)]);
+        assert!(store.is_empty());
+        assert!(store.get(a).is_none());
+        assert_eq!(store.key_len(&[1, 2]), 0);
+    }
+
+    #[test]
+    fn store_remove_unindexes_and_allows_reinsert() {
+        let mut store = CollisionStore::new(2);
+        let a = store.insert(vec![], vec![det(1, 0), det(2, 9)]);
+        let b = store.insert(vec![], vec![det(1, 4), det(2, 2)]);
+        let removed = store.remove(a).expect("present");
+        assert_eq!(removed.id, a);
+        assert_eq!(store.key_len(&[1, 2]), 1);
+        assert!(store.remove(a).is_none(), "double remove is a no-op");
+        let c = store.insert(vec![], vec![det(1, 1), det(2, 8)]);
+        let ids: Vec<u64> = store.candidates(&[1, 2]).map(|e| e.id).collect();
+        assert_eq!(ids, vec![b, c], "candidates stay oldest-first after remove/reinsert");
     }
 
     #[test]

@@ -108,9 +108,7 @@ impl ZigzagReceiver {
 
     /// Forgets delivery history (between experiment runs).
     pub fn reset_history(&mut self) {
-        self.core.delivered.clear();
-        self.core.store.clear();
-        self.core.weak_versions.clear();
+        self.core.reset_history();
     }
 
     /// Processes one receive buffer through the stage pipeline and
@@ -387,7 +385,7 @@ mod tests {
     }
 
     #[test]
-    fn store_is_bounded() {
+    fn store_is_bounded_per_client_set() {
         let mut rng = StdRng::seed_from_u64(5);
         let la = LinkProfile::typical(12.0, &mut rng);
         let lb = LinkProfile::typical(12.0, &mut rng);
@@ -398,7 +396,89 @@ mod tests {
             let hp = hidden_pair(&a, &b, &la, &lb, 300, 100, &mut rng);
             let _ = rx.process(&hp.collision1.buffer);
         }
-        assert!(rx.stored_collisions() <= rx.config().collision_store);
+        assert!(rx.stored_collisions() > 0, "workload must store collisions");
+        for entry in rx.core.store().iter() {
+            assert!(
+                rx.core.store().key_len(&entry.key) <= rx.config().collision_store,
+                "key {:?} exceeds the per-key bound",
+                entry.key
+            );
+        }
+    }
+
+    #[test]
+    fn burst_from_one_client_set_never_starves_another() {
+        // Regression for the eviction-starvation bug: under the old
+        // global-FIFO store bound, a burst of unmatched collisions from
+        // set {1,2} flushed set {3,4}'s stored member, so {3,4}'s
+        // retransmission found nothing to match — forever, as long as
+        // the chatty set kept colliding. With keyed eviction the burst
+        // only recycles {1,2}'s own entries.
+        use zigzag_channel::scenario::{synth_collision, PlacedTx};
+        // starved set {1,2}: the known-good hidden-pair scenario
+        let mut rng = StdRng::seed_from_u64(5);
+        let la = LinkProfile::typical(16.0, &mut rng);
+        let lb = LinkProfile::typical(16.0, &mut rng);
+        let a = air(1, 7, 300);
+        let b = air(2, 9, 300);
+        let hp = hidden_pair(&a, &b, &la, &lb, 420, 140, &mut rng);
+        // bursting set {3,4}, at oscillator offsets far from {1,2}'s
+        let lc = LinkProfile::clean_with_omega(16.0, -0.11);
+        let ld = LinkProfile::clean_with_omega(16.0, 0.12);
+        // two client sets on one AP: the shared-AP config windows the
+        // client-set keys so one set's data sidelobes (§5.3a false
+        // positives) can't pollute the other's store index
+        let mut rx = ZigzagReceiver::new(DecoderConfig::shared_ap(), ClientRegistry::new());
+        for (id, l) in [(1u16, &la), (2, &lb), (3, &lc), (4, &ld)] {
+            rx.associate(
+                id,
+                ClientInfo { omega: l.association_omega(), snr_db: l.snr_db, taps: l.isi.clone() },
+            );
+        }
+
+        let ev = rx.process(&hp.collision1.buffer);
+        assert!(ev.contains(&ReceiverEvent::CollisionStored), "{ev:?}");
+
+        // {3,4} bursts with *identical* offsets every round (pure time
+        // shifts never match each other — §4.5's Δ₁ = Δ₂ failure
+        // condition — so every collision lands in the store)
+        let mut rng2 = StdRng::seed_from_u64(77);
+        for i in 0..(2 * rx.config().collision_store) as u16 {
+            let c = air(3, 100 + i, 200);
+            let d = air(4, 140 + i, 200);
+            let chans = [lc.draw(&mut rng2), ld.draw(&mut rng2)];
+            let sc = synth_collision(
+                &[
+                    PlacedTx { air: &c, base: &chans[0], start: 0 },
+                    PlacedTx { air: &d, base: &chans[1], start: 260 },
+                ],
+                1.0,
+                &mut rng2,
+            );
+            let _ = rx.process(&sc.buffer);
+        }
+        // With the old global-FIFO bound the store could never exceed
+        // `collision_store` in total, so the burst had flushed {1,2}'s
+        // member by now; the keyed store holds the burst *and* it.
+        assert!(
+            rx.stored_collisions() > rx.config().collision_store,
+            "burst must overflow the old global bound (stored {})",
+            rx.stored_collisions()
+        );
+
+        // set {1,2}'s matching retransmission arrives: with FIFO
+        // eviction its stored member is long gone; with keyed eviction
+        // the 2×2 system completes and both frames deliver via ZigZag.
+        let ev = rx.process(&hp.collision2.buffer);
+        let delivered: Vec<&Frame> = ev
+            .iter()
+            .filter_map(|e| match e {
+                ReceiverEvent::Delivered { frame, path: DecodePath::Zigzag } => Some(frame),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered.len(), 2, "starved set must still decode, got {ev:?}");
+        assert!(delivered.contains(&&a.frame) && delivered.contains(&&b.frame));
     }
 
     #[test]

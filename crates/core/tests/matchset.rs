@@ -24,8 +24,11 @@ fn dets_from(raw: &[(u16, usize)]) -> Vec<Detection> {
 }
 
 /// The historical `pair_collisions` semantics (pre-refactor), with the
-/// sanctioned degenerate-offset fix applied: reject equal-shift
-/// alignments instead of only the fully-overlapped special case.
+/// two sanctioned fixes applied: reject equal-shift alignments instead
+/// of only the fully-overlapped special case, and take the earliest
+/// *distinct-client* current detection as the second packet (a
+/// same-client data-sidelobe detection between the true starts used to
+/// degenerate the pairing).
 fn reference_pair(
     current: &[Detection],
     stored: &[Detection],
@@ -33,7 +36,8 @@ fn reference_pair(
     if current.len() < 2 || stored.len() < 2 {
         return None;
     }
-    let (c1, c2) = (current[0], current[1]);
+    let c1 = current[0];
+    let c2 = *current.iter().find(|d| d.client != c1.client)?;
     let s1 = stored.iter().find(|d| d.client == c1.client)?;
     let s2 = stored.iter().find(|d| d.client == c2.client)?;
     if c1.pos as i64 - s1.pos as i64 == c2.pos as i64 - s2.pos as i64 {

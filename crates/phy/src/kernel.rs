@@ -40,25 +40,42 @@ pub enum BackendKind {
 
 impl BackendKind {
     /// Backend selected by the `ZIGZAG_BACKEND` environment variable
-    /// (`scalar` or `optimized`); defaults to [`BackendKind::Optimized`].
-    /// The variable is read once per process.
+    /// (`scalar` or `optimized`, case-insensitive); defaults to
+    /// [`BackendKind::Optimized`] when unset. The variable is read once
+    /// per process.
+    ///
+    /// An unrecognized value **panics** with the accepted names: the old
+    /// behaviour silently fell back to `Optimized`, so a typo (`Scalar`,
+    /// `simd`, …) ran the whole differential suite against the backend it
+    /// was supposed to cross-check.
     pub fn from_env() -> Self {
         use std::sync::OnceLock;
         static KIND: OnceLock<BackendKind> = OnceLock::new();
-        *KIND.get_or_init(|| match std::env::var("ZIGZAG_BACKEND").as_deref() {
-            Ok("scalar") => BackendKind::Scalar,
-            _ => BackendKind::Optimized,
+        *KIND.get_or_init(|| match std::env::var("ZIGZAG_BACKEND") {
+            Err(_) => BackendKind::Optimized,
+            Ok(v) => Self::from_name(&v).unwrap_or_else(|| {
+                panic!(
+                    "unrecognized ZIGZAG_BACKEND value {v:?}: expected \"scalar\" or \"optimized\""
+                )
+            }),
         })
     }
 
-    /// Parses a backend name (`"scalar"` / `"optimized"`), as accepted on
-    /// the command line by the debug examples.
-    pub fn from_arg(arg: &str) -> Option<Self> {
-        match arg {
+    /// Parses a backend name, case-insensitively: `"scalar"` /
+    /// `"optimized"`. The single parser behind [`Self::from_env`] and
+    /// [`Self::from_arg`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
             "scalar" => Some(BackendKind::Scalar),
             "optimized" => Some(BackendKind::Optimized),
             _ => None,
         }
+    }
+
+    /// Parses a backend name, as accepted on the command line by the
+    /// debug examples.
+    pub fn from_arg(arg: &str) -> Option<Self> {
+        Self::from_name(arg)
     }
 
     /// The backend implementation this kind names.
@@ -522,6 +539,29 @@ mod tests {
         assert_eq!(a.len(), b.len(), "{what}: length mismatch");
         for (k, (x, y)) in a.iter().zip(b.iter()).enumerate() {
             assert!((*x - *y).abs() < tol, "{what}[{k}]: {x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn backend_names_parse_case_insensitively() {
+        for s in ["scalar", "Scalar", "SCALAR"] {
+            assert_eq!(BackendKind::from_name(s), Some(BackendKind::Scalar), "{s}");
+            assert_eq!(BackendKind::from_arg(s), Some(BackendKind::Scalar), "{s}");
+        }
+        for s in ["optimized", "Optimized", "OPTIMIZED"] {
+            assert_eq!(BackendKind::from_name(s), Some(BackendKind::Optimized), "{s}");
+        }
+    }
+
+    #[test]
+    fn unknown_backend_names_are_rejected() {
+        // Regression: `from_env` used to treat every unrecognized value
+        // (`simd`, typos, wrong case) as `Optimized`, silently running
+        // differential jobs on the wrong backend. The shared parser must
+        // reject them so `from_env` can fail loudly.
+        for s in ["simd", "gpu", "scalarr", "optimised", "", " scalar"] {
+            assert_eq!(BackendKind::from_name(s), None, "{s:?} must not parse");
+            assert_eq!(BackendKind::from_arg(s), None, "{s:?} must not parse");
         }
     }
 

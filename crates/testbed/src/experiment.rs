@@ -26,6 +26,7 @@ use zigzag_core::standard::decode_single;
 use zigzag_core::zigzag::{CollisionSpec, PacketSpec, ZigzagDecoder};
 use zigzag_mac::{Backoff, MacParams};
 use zigzag_phy::bits::bit_error_rate;
+use zigzag_phy::complex::Complex;
 use zigzag_phy::frame::{encode_frame, AirFrame, Frame};
 use zigzag_phy::modulation::Modulation;
 use zigzag_phy::preamble::Preamble;
@@ -529,6 +530,173 @@ pub fn run_sets(
     engine.map(scenarios, |_, s| run_set(s, cfg))
 }
 
+/// Outcome of a [`run_sharded_sets`] run: per-set §5.1f outcomes plus
+/// how the router spread the buffers over shards.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardedRun {
+    /// One [`SetOutcome`] per input set, in input order.
+    pub outcomes: Vec<SetOutcome>,
+    /// Buffers each shard decoded (`ShardedReceiver::loads`).
+    pub shard_loads: Vec<u64>,
+}
+
+/// Drives several *disjoint* saturated client sets through **one**
+/// sharded AP receiver — the multi-client-set scenario the
+/// client-set-hash routing exists for.
+///
+/// Set `j`'s sender `i` gets the global client id `base_j + i + 1`
+/// (bases are cumulative set sizes), and every set's links must sit at
+/// globally distinct oscillator offsets — the AP-wide registry tells
+/// clients apart by ω (§4.2.1). Each contention round, every set either
+/// resolves by carrier sense (k clean slots) or collides with fresh MAC
+/// jitter, exactly as in [`run_set`]; the round's buffers from *all*
+/// sets are then interleaved into one batch through
+/// [`ShardedReceiver::process_batch`], so collisions of different sets
+/// land on (and accumulate in) their owning shard's store concurrently.
+///
+/// Deterministic for a given scenario list and config at **any** shard
+/// count — that is the sharding contract, pinned by the testbed tests.
+pub fn run_sharded_sets(
+    scenarios: &[SetScenario],
+    cfg: &ExperimentConfig,
+    shard: zigzag_core::ShardConfig,
+) -> ShardedRun {
+    let bases: Vec<u16> = scenarios
+        .iter()
+        .scan(0u16, |acc, s| {
+            let base = *acc;
+            *acc += s.links.len() as u16;
+            Some(base)
+        })
+        .collect();
+    let mut registry = ClientRegistry::new();
+    for (s, base) in scenarios.iter().zip(&bases) {
+        for (i, l) in s.links.iter().enumerate() {
+            registry.associate(
+                base + i as u16 + 1,
+                ClientInfo { omega: l.association_omega(), snr_db: l.snr_db, taps: l.isi.clone() },
+            );
+        }
+    }
+    let mut rx = zigzag_core::ShardedReceiver::new(cfg.decoder.clone(), shard, registry);
+    let policy = Backoff::Exponential;
+
+    let mut rngs: Vec<StdRng> =
+        scenarios.iter().map(|s| StdRng::seed_from_u64(s.seed ^ 0x5A4D)).collect();
+    let mut txs: Vec<Vec<TxState>> = scenarios
+        .iter()
+        .zip(&bases)
+        .zip(&mut rngs)
+        .map(|((s, base), rng)| {
+            (0..s.links.len())
+                .map(|i| TxState::new(base + i as u16 + 1, 0, cfg.payload, &s.links[i], rng))
+                .collect()
+        })
+        .collect();
+    let mut outcomes: Vec<SetOutcome> = scenarios
+        .iter()
+        .map(|s| SetOutcome {
+            delivered: vec![0; s.links.len()],
+            offered: vec![0; s.links.len()],
+            ..SetOutcome::default()
+        })
+        .collect();
+
+    for _ in 0..cfg.rounds {
+        // Every set contributes this round's buffers; tags remember the
+        // owning set of each batch slot.
+        let mut batch: Vec<Vec<Complex>> = Vec::new();
+        let mut tags: Vec<usize> = Vec::new();
+        for (j, s) in scenarios.iter().enumerate() {
+            let k = s.links.len();
+            let rng = &mut rngs[j];
+            if rng.gen_bool(s.p_sense.clamp(0.0, 1.0)) {
+                // carrier sense worked: k clean slots
+                for tx in txs[j].iter() {
+                    let sc = synth_collision(
+                        &[PlacedTx { air: &tx.air, base: &tx.chan, start: 0 }],
+                        1.0,
+                        rng,
+                    );
+                    batch.push(sc.buffer);
+                    tags.push(j);
+                }
+                outcomes[j].airtime += k as f64;
+            } else {
+                // all k of the set collide with fresh jitter
+                let jitters: Vec<u32> =
+                    txs[j].iter().map(|tx| policy.draw(&cfg.mac, tx.retries, rng)).collect();
+                let m = *jitters.iter().min().expect("k >= 1");
+                let placed: Vec<PlacedTx<'_>> = txs[j]
+                    .iter()
+                    .zip(&jitters)
+                    .map(|(tx, &jit)| PlacedTx {
+                        air: &tx.air,
+                        base: &tx.chan,
+                        start: cfg.mac.slots_to_symbols(jit - m),
+                    })
+                    .collect();
+                let sc = synth_collision(&placed, 1.0, rng);
+                batch.push(sc.buffer);
+                tags.push(j);
+                outcomes[j].airtime += 1.0;
+            }
+        }
+
+        let events = rx.process_batch(&batch);
+        let mut got: Vec<Vec<bool>> =
+            scenarios.iter().map(|s| vec![false; s.links.len()]).collect();
+        for (evs, &j) in events.iter().zip(&tags) {
+            for ev in evs {
+                record_set_event(ev, bases[j], &txs[j], &mut got[j], &mut outcomes[j]);
+            }
+        }
+        for (j, s) in scenarios.iter().enumerate() {
+            let rng = &mut rngs[j];
+            for (i, tx) in txs[j].iter_mut().enumerate() {
+                let src = bases[j] + i as u16 + 1;
+                if got[j][i] {
+                    outcomes[j].delivered[i] += 1;
+                    outcomes[j].offered[i] += 1;
+                    tx.advance(src, cfg.payload, &s.links[i], rng);
+                } else {
+                    tx.retries += 1;
+                    if tx.retries > cfg.mac.retry_limit {
+                        outcomes[j].offered[i] += 1; // dropped
+                        tx.advance(src, cfg.payload, &s.links[i], rng);
+                    }
+                }
+            }
+        }
+    }
+    ShardedRun { outcomes, shard_loads: rx.loads().to_vec() }
+}
+
+/// Scores one receiver event against a set's in-flight frames, with the
+/// set's global client-id base.
+fn record_set_event(
+    ev: &zigzag_core::ReceiverEvent,
+    base: u16,
+    tx: &[TxState],
+    got: &mut [bool],
+    out: &mut SetOutcome,
+) {
+    use zigzag_core::receiver::DecodePath;
+    match ev {
+        zigzag_core::ReceiverEvent::Delivered { frame, path } => {
+            let s = frame.src.wrapping_sub(base) as usize;
+            if s >= 1 && s <= tx.len() && frame.seq == tx[s - 1].seq {
+                got[s - 1] = true;
+                if *path == DecodePath::Zigzag {
+                    out.zigzag_delivered += 1;
+                }
+            }
+        }
+        zigzag_core::ReceiverEvent::CollisionStored => out.collisions_stored += 1,
+        zigzag_core::ReceiverEvent::DecodeFailed => {}
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -626,6 +794,50 @@ mod tests {
         let out = run_set(&s, &cfg);
         assert!(out.total_throughput() > 0.4, "{out:?}");
         assert!(out.zigzag_delivered > 0, "{out:?}");
+    }
+
+    #[test]
+    fn sharded_multi_set_run_is_shard_count_invariant() {
+        // Two disjoint hidden client sets (a k=2 pair and a k=3 triple)
+        // saturating one sharded AP: outcomes must be bit-identical at
+        // every shard count — the sharding contract — and the router
+        // must actually spread the sets over shards.
+        let scenarios = vec![
+            SetScenario {
+                links: vec![
+                    LinkProfile::clean_with_omega(17.0, -0.13),
+                    LinkProfile::clean_with_omega(17.0, 0.14),
+                ],
+                p_sense: 0.0,
+                seed: 1201,
+            },
+            SetScenario { links: omega_spread_links(3, 17.0), p_sense: 0.0, seed: 1202 },
+        ];
+        let cfg = ExperimentConfig {
+            payload: 150,
+            rounds: 10,
+            decoder: DecoderConfig::shared_ap(),
+            ..Default::default()
+        };
+        let r1 = run_sharded_sets(&scenarios, &cfg, zigzag_core::ShardConfig::with_shards(1));
+        let r2 = run_sharded_sets(&scenarios, &cfg, zigzag_core::ShardConfig::with_shards(2));
+        let r4 = run_sharded_sets(
+            &scenarios,
+            &cfg,
+            zigzag_core::ShardConfig { shards: 4, queue_depth: 2 },
+        );
+        assert_eq!(r1.outcomes, r2.outcomes, "2-shard run diverged from single-shard");
+        assert_eq!(r1.outcomes, r4.outcomes, "4-shard run diverged from single-shard");
+        let zigzag: usize = r1.outcomes.iter().map(|o| o.zigzag_delivered).sum();
+        assert!(zigzag > 0, "matched-collision decoding must fire: {:?}", r1.outcomes);
+        for o in &r1.outcomes {
+            assert!(o.collisions_stored > 0, "hidden sets must store collisions: {o:?}");
+        }
+        assert!(
+            r4.shard_loads.iter().filter(|&&l| l > 0).count() >= 2,
+            "multi-set traffic must exercise routing: {:?}",
+            r4.shard_loads
+        );
     }
 
     #[test]
