@@ -19,7 +19,7 @@ use std::fmt::Write as _;
 use zigzag_bench::airframe;
 use zigzag_channel::fading::LinkProfile;
 use zigzag_channel::scenario::{hidden_pair, synth_collision, PlacedTx};
-use zigzag_core::config::{ClientInfo, ClientRegistry, DecoderConfig, ShardConfig};
+use zigzag_core::config::{ClientInfo, ClientRegistry, DecoderConfig, RecoveryConfig, ShardConfig};
 use zigzag_core::engine::{
     decode_batch, unit_seed, BatchEngine, DecodeUnit, Pipeline, ReceiverCore, ShardedReceiver,
 };
@@ -73,6 +73,57 @@ fn build_shard_stream() -> (ClientRegistry, Vec<Vec<Complex>>) {
     // collisions before any set starts group g+1, as the air would
     for g in 0..SHARD_SEEDS[0].len() {
         for (ids, seeds) in SHARD_IDS.iter().zip(SHARD_SEEDS.iter()) {
+            let [c1, c2] = group(*ids, seeds[g]);
+            stream.push(c1);
+            stream.push(c2);
+        }
+    }
+    (registry, stream)
+}
+
+/// Per-set equal-offset retransmission-group seeds for the recovery
+/// workload, pre-screened (like `SHARD_SEEDS`) so every group's joint
+/// algebraic solve recovers both frames under the 8-client registry.
+const RECOVERY_SEEDS: [[u64; 2]; 4] = [[28, 43], [19, 22], [15, 29], [20, 31]];
+
+/// Builds the algebraic-recovery workload: the shard workload's four
+/// disjoint client sets, but every retransmission pair collides at
+/// **identical** relative offsets (§4.5's Δ₁ = Δ₂ failure case) — the
+/// zigzag-only pipeline provably decodes nothing from this stream, the
+/// recovery-enabled one decodes every frame.
+fn build_recovery_stream() -> (ClientRegistry, Vec<Vec<Complex>>) {
+    let link = |id: u16| LinkProfile::clean_with_omega(17.0, SHARD_OMEGA[(id - 1) as usize]);
+    let mut registry = ClientRegistry::new();
+    for id in 1u16..=8 {
+        let l = link(id);
+        registry.associate(
+            id,
+            ClientInfo { omega: l.association_omega(), snr_db: l.snr_db, taps: l.isi.clone() },
+        );
+    }
+    let group = |ids: [u16; 2], seed: u64| -> [Vec<Complex>; 2] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (la, lb) = (link(ids[0]), link(ids[1]));
+        let a = airframe(ids[0], seed as u16, 120, 80_000 + seed * 7 + ids[0] as u64 * 101);
+        let b = airframe(ids[1], seed as u16, 120, 81_000 + seed * 11 + ids[1] as u64 * 101);
+        let delta = 280 + 20 * (seed as usize % 3);
+        let (ca, cb) = (la.draw(&mut rng), lb.draw(&mut rng));
+        let mk = |rng: &mut StdRng| {
+            synth_collision(
+                &[
+                    PlacedTx { air: &a, base: &ca, start: 0 },
+                    PlacedTx { air: &b, base: &cb, start: delta },
+                ],
+                1.0,
+                rng,
+            )
+            .buffer
+        };
+        [mk(&mut rng), mk(&mut rng)]
+    };
+    let mut stream = Vec::new();
+    for g in 0..RECOVERY_SEEDS[0].len() {
+        for (ids, seeds) in SHARD_IDS.iter().zip(RECOVERY_SEEDS.iter()) {
             let [c1, c2] = group(*ids, seeds[g]);
             stream.push(c1);
             stream.push(c2);
@@ -310,12 +361,69 @@ fn bench_batch_decode(c: &mut Criterion) {
         "shard: {shard_delivered} frames delivered, identical across 1/2/4 shards and the single core"
     );
 
+    // --- recovery workload: equal-offset collision groups (Δ₁ = Δ₂) ---
+    // The stream the zigzag-only receiver provably cannot decode; the
+    // algebraic batch-recovery path must decode ALL of it, identically
+    // at 1/2/4 shards and on a single core.
+    let (rec_registry, rec_stream) = build_recovery_stream();
+    let rec_cfg = DecoderConfig {
+        key_window: 1024,
+        recovery: RecoveryConfig::on(),
+        ..DecoderConfig::default()
+    };
+    println!(
+        "recovery: {} buffers / {} client sets of equal-offset collisions",
+        rec_stream.len(),
+        SHARD_IDS.len()
+    );
+    c.bench_function("recovery_single_core", |b| {
+        b.iter(|| run_single(&rec_cfg, &rec_registry, &rec_stream))
+    });
+    timings.push(("recovery_single_core".into(), c.last_ns));
+
+    // capability gate: zigzag-only delivers nothing from this stream
+    let zigzag_only = run_single(&shared_cfg, &rec_registry, &rec_stream);
+    let zigzag_only_delivered = zigzag_only
+        .iter()
+        .flatten()
+        .filter(|e| matches!(e, ReceiverEvent::Delivered { .. }))
+        .count();
+    assert_eq!(
+        zigzag_only_delivered, 0,
+        "the equal-offset stream must be undecodable without recovery"
+    );
+    // identity gates: recovered frames are CRC-gated, recovered-path-
+    // tagged, and bit-identical across 1/2/4 shards
+    let rec_reference = run_single(&rec_cfg, &rec_registry, &rec_stream);
+    let recovery_delivered = rec_reference
+        .iter()
+        .flatten()
+        .filter(|e| matches!(e, ReceiverEvent::Delivered { path: DecodePath::Recovered, .. }))
+        .count();
+    assert_eq!(
+        recovery_delivered,
+        rec_stream.len(),
+        "every pre-screened group must recover both frames"
+    );
+    for shards in [1, 2, 4] {
+        assert_eq!(
+            rec_reference,
+            run_sharded(&rec_cfg, &rec_registry, &rec_stream, shards),
+            "recovery decode at {shards} shards must be bit-identical to a single ReceiverCore"
+        );
+    }
+    println!(
+        "recovery: {recovery_delivered} frames decoded that the zigzag-only pipeline cannot ({zigzag_only_delivered}), identical across 1/2/4 shards"
+    );
+
     let ns = |name: &str| timings.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap();
     let row_buffers = |name: &str| {
         if name.contains("_k3_") {
             k3_buffers
         } else if name.starts_with("shard_") {
             shard_stream.len()
+        } else if name.starts_with("recovery_") {
+            rec_stream.len()
         } else {
             n_buffers
         }
@@ -372,6 +480,13 @@ fn bench_batch_decode(c: &mut Criterion) {
         multi.threads(),
         ns("shard_single_core") / 1e6,
         ns("shard_sharded") / 1e6
+    );
+    let _ = writeln!(
+        s,
+        "  \"recovery\": {{\"buffers\": {}, \"client_sets\": {}, \"frames_recovered\": {recovery_delivered}, \"zigzag_only_delivered\": {zigzag_only_delivered}, \"ms_single_core\": {:.2}}},",
+        rec_stream.len(),
+        SHARD_IDS.len(),
+        ns("recovery_single_core") / 1e6
     );
     let _ = writeln!(s, "  \"speedup_threads\": {thread_speedup:.2},");
     let _ = writeln!(s, "  \"speedup_backend\": {backend_speedup:.2},");

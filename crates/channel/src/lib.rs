@@ -9,8 +9,8 @@
 //! cancellation at very high SNR; see DESIGN.md §2).
 //!
 //! * [`noise`] — AWGN and dB helpers (unit-noise convention).
-//! * [`fading`] — [`ChannelParams`](fading::ChannelParams) (one packet's
-//!   channel realisation) and [`LinkProfile`](fading::LinkProfile) (what is
+//! * [`fading`] — [`fading::ChannelParams`] (one packet's
+//!   channel realisation) and [`fading::LinkProfile`] (what is
 //!   quasi-static per link vs re-drawn per packet).
 //! * [`mixer`] — overlaying transmissions into one receive buffer
 //!   (collision synthesis, §3's `y = yA + yB + w`).

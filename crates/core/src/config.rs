@@ -71,6 +71,72 @@ pub struct DecoderConfig {
     /// (`zigzag_phy::kernel`). Defaults to the optimized SoA backend;
     /// `ZIGZAG_BACKEND=scalar` selects the scalar reference process-wide.
     pub backend: BackendKind,
+    /// The algebraic batch-recovery subsystem
+    /// ([`crate::recovery`]): joint Gaussian elimination over collision
+    /// groups the chunk scheduler cannot peel. Off by default — see
+    /// [`RecoveryConfig::enabled`] and [`DecoderConfig::with_recovery`].
+    pub recovery: RecoveryConfig,
+}
+
+/// Knobs of the algebraic batch-recovery subsystem ([`crate::recovery`]).
+///
+/// Recovery takes the match sets `schedule::decodable` rejects as
+/// under-determined — plus collisions evicted from the store — and solves
+/// them *jointly* as a linear system over demodulated symbols, instead of
+/// evicting them as loss. This decodes scenarios the paper's iterative
+/// decoder provably cannot (e.g. Δ₁ = Δ₂ duplicate-offset collisions,
+/// §4.5), at the cost of extra memory (the salvage pool) and solver time
+/// on otherwise-dead buffers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveryConfig {
+    /// Master switch. `false` (the default) keeps the receiver
+    /// bit-identical to the pre-recovery pipeline: rejected alignments
+    /// and evictions are dropped exactly as before.
+    pub enabled: bool,
+    /// Salvage-pool capacity **per client-set key** (evicted collisions
+    /// retained for future joint solves; same keyed-bounding discipline
+    /// as the collision store).
+    pub pool: usize,
+    /// Solver window width, in symbols per packet: how many undecided
+    /// symbols of each packet enter one joint least-squares solve.
+    pub window: usize,
+    /// Symbols committed (sliced and subtracted) per window advance; the
+    /// remainder of the window provides look-ahead context. Must be
+    /// `≤ window`.
+    pub commit: usize,
+    /// Most collision buffers jointly solved in one group (each extra
+    /// buffer adds equations — and solver rows).
+    pub max_collisions: usize,
+    /// Tikhonov regularisation of the per-window normal equations,
+    /// relative to the mean observation energy. Keeps barely-observed
+    /// look-ahead symbols from destabilising the solve.
+    pub lambda: f64,
+    /// Observation gate: a symbol is only committed when its equation
+    /// energy (the normal-matrix diagonal) reaches this fraction of the
+    /// window's strongest symbol — under-observed symbols wait for the
+    /// window to slide instead of committing garbage.
+    pub min_observation: f64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            pool: 4,
+            window: 32,
+            commit: 16,
+            max_collisions: 4,
+            lambda: 1e-4,
+            min_observation: 0.25,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// The default knobs with the subsystem switched on.
+    pub fn on() -> Self {
+        Self { enabled: true, ..Self::default() }
+    }
 }
 
 impl Default for DecoderConfig {
@@ -100,6 +166,7 @@ impl Default for DecoderConfig {
             collision_store: 4,
             key_window: usize::MAX,
             backend: BackendKind::default(),
+            recovery: RecoveryConfig::default(),
         }
     }
 }
@@ -118,6 +185,13 @@ impl DecoderConfig {
     /// key.
     pub fn shared_ap() -> Self {
         Self { key_window: 1024, ..Self::default() }
+    }
+
+    /// The default configuration with algebraic batch recovery enabled
+    /// ([`crate::recovery`]): undecodable match sets and store evictions
+    /// are jointly solved instead of dropped.
+    pub fn with_recovery() -> Self {
+        Self { recovery: RecoveryConfig::on(), ..Self::default() }
     }
 }
 

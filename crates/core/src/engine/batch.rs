@@ -64,8 +64,8 @@ impl BatchEngine {
 
     /// [`Self::map`] with reusable worker-local state: `init` builds one
     /// `S` per worker thread, and `f` receives it mutably for every item
-    /// that worker claims. This is how per-thread [`Scratch`]
-    /// (crate::engine::Scratch) arenas ride a fan-out without either
+    /// that worker claims. This is how per-thread
+    /// [`Scratch`](crate::engine::Scratch) arenas ride a fan-out without either
     /// sharing (they are `!Sync` by design) or re-allocating per item —
     /// e.g. the sharded receiver's parallel detect pre-pass.
     ///

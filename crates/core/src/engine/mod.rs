@@ -6,7 +6,7 @@
 //!
 //! * **[`stage`]** — the §5.1d receiver flow as a trait-based pipeline of
 //!   [`DecodeStage`]s (Detect → StandardDecode → Capture → Match → Plan →
-//!   Zigzag → Store) over a shared [`ReceiverCore`], replacing the old
+//!   Zigzag → Recover → Store) over a shared [`ReceiverCore`], replacing the old
 //!   monolithic `ZigzagReceiver::process` control flow with an
 //!   inspectable, reorderable [`Pipeline`] that emits the same
 //!   [`ReceiverEvent`](crate::receiver::ReceiverEvent)s. The match/store
@@ -56,5 +56,6 @@ pub use scratch::{BufPool, Scratch};
 pub use shard::{route_shard, IngestQueue, ShardedReceiver};
 pub use stage::{
     CaptureStage, DecodePlan, DecodeStage, DetectStage, Flow, MatchStage, MatchedCollision,
-    Pipeline, PlanStage, ReceiverCore, StandardDecodeStage, StoreStage, UnitCtx, ZigzagStage,
+    Pipeline, PlanStage, ReceiverCore, RecoverStage, StandardDecodeStage, StoreStage, UnitCtx,
+    ZigzagStage,
 };

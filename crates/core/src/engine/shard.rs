@@ -196,6 +196,31 @@ impl<T> Drop for CloseOnDrop<'_, T> {
 /// The sharded AP receiver: one [`ReceiverCore`] per shard on
 /// [`BatchEngine`]'s scoped thread pool, fed through bounded
 /// [`IngestQueue`]s by a client-set-hash router.
+///
+/// # Example
+///
+/// Process a batch of buffers across two shards; events come back in
+/// input order, bit-identical to a single receiver core:
+///
+/// ```
+/// use zigzag_core::config::{ClientRegistry, DecoderConfig, ShardConfig};
+/// use zigzag_core::engine::ShardedReceiver;
+/// use zigzag_core::ReceiverEvent;
+/// use zigzag_phy::complex::Complex;
+///
+/// let mut rx = ShardedReceiver::new(
+///     DecoderConfig::shared_ap(),
+///     ShardConfig { shards: 2, queue_depth: 4 },
+///     ClientRegistry::new(),
+/// );
+/// let buffers: Vec<Vec<Complex>> = (0..4).map(|_| vec![Complex::real(0.01); 256]).collect();
+/// let events = rx.process_batch(&buffers);
+/// assert_eq!(events.len(), buffers.len(), "one event list per buffer, in input order");
+/// // no clients associated, so every buffer fails cleanly
+/// for ev in &events {
+///     assert_eq!(ev[..], [ReceiverEvent::DecodeFailed]);
+/// }
+/// ```
 pub struct ShardedReceiver {
     cfg: DecoderConfig,
     shard_cfg: ShardConfig,

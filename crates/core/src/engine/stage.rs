@@ -18,8 +18,12 @@ use crate::capture::{mrc_combine_retry, subtract_decoded_with};
 use crate::config::{ClientRegistry, DecoderConfig, SharedRegistry};
 use crate::detect::{detect_packets_with, Detection};
 use crate::engine::scratch::Scratch;
-use crate::matchset::{find_match_set, CollisionStore, MatchSet};
+use crate::matchset::{
+    classify_match, collision_key, find_match_set, CollisionStore, MatchOutcome, MatchSet,
+    RejectedSet,
+};
 use crate::receiver::{DecodePath, ReceiverEvent};
+use crate::recovery::{group_from_pool, group_from_rejected, solve_group, SalvagePool};
 use crate::standard::{decode_single_with, SingleDecode};
 use crate::zigzag::{CollisionSpec, PacketSpec, ZigzagDecoder};
 use std::collections::HashSet;
@@ -29,13 +33,31 @@ use zigzag_phy::preamble::Preamble;
 /// The receiver's long-lived state, shared by every stage: configuration,
 /// a read-mostly handle to the association registry (shard-shareable, see
 /// [`SharedRegistry`]), the shard-*owned* indexed unmatched-collision
-/// store, the faulty-weak-version store for cross-collision MRC, the
-/// delivery dedup set, and the hot-path [`Scratch`].
+/// store, the salvage pool of evicted collisions (recovery feed), the
+/// faulty-weak-version store for cross-collision MRC, the delivery dedup
+/// set, and the hot-path [`Scratch`].
+///
+/// # Example
+///
+/// Drive one receive buffer through the standard pipeline:
+///
+/// ```
+/// use zigzag_core::config::{ClientRegistry, DecoderConfig};
+/// use zigzag_core::engine::{Pipeline, ReceiverCore};
+/// use zigzag_phy::complex::Complex;
+///
+/// let mut core = ReceiverCore::new(DecoderConfig::default(), ClientRegistry::new());
+/// let pipeline = Pipeline::standard();
+/// // no clients associated, so a noise buffer fails cleanly
+/// let events = core.receive(&pipeline, &vec![Complex::real(0.01); 256]);
+/// assert_eq!(events, vec![zigzag_core::ReceiverEvent::DecodeFailed]);
+/// ```
 pub struct ReceiverCore {
     pub(crate) cfg: DecoderConfig,
     pub(crate) registry: SharedRegistry,
     pub(crate) preamble: Preamble,
     pub(crate) store: CollisionStore,
+    pub(crate) salvage: SalvagePool,
     pub(crate) weak_versions: Vec<(u16, SingleDecode)>,
     pub(crate) delivered: HashSet<(u16, u16)>,
     pub(crate) scratch: Scratch,
@@ -51,12 +73,18 @@ impl ReceiverCore {
     /// sharded receiver uses so all shards read one association table.
     pub fn with_registry(cfg: DecoderConfig, registry: SharedRegistry) -> Self {
         let scratch = Scratch::with_backend(cfg.backend);
-        let store = CollisionStore::with_key_window(cfg.collision_store, cfg.key_window);
+        let mut store = CollisionStore::with_key_window(cfg.collision_store, cfg.key_window);
+        // With recovery on, store evictions are retained and absorbed
+        // into the salvage pool (see `store_unmatched`) instead of
+        // dropped — the eviction path becomes signal.
+        let pool_cap = if cfg.recovery.enabled { cfg.recovery.pool } else { 0 };
+        store.set_evicted_capacity(pool_cap);
         Self {
             cfg,
             registry,
             preamble: Preamble::default_len(),
             store,
+            salvage: SalvagePool::new(pool_cap),
             weak_versions: Vec::new(),
             delivered: HashSet::new(),
             scratch,
@@ -97,11 +125,19 @@ impl ReceiverCore {
         &self.store
     }
 
-    /// Forgets delivery history, stored collisions, and weak versions
-    /// (between experiment runs).
+    /// Read access to the salvage pool (evicted collisions awaiting a
+    /// joint algebraic solve; empty unless `DecoderConfig::recovery` is
+    /// enabled).
+    pub fn salvage(&self) -> &SalvagePool {
+        &self.salvage
+    }
+
+    /// Forgets delivery history, stored collisions, salvaged collisions,
+    /// and weak versions (between experiment runs).
     pub fn reset_history(&mut self) {
         self.delivered.clear();
         self.store.clear();
+        self.salvage.clear();
         self.weak_versions.clear();
     }
 
@@ -131,6 +167,10 @@ impl ReceiverCore {
         out: &mut Vec<ReceiverEvent>,
     ) {
         self.store.insert(buffer.to_vec(), detections.to_vec());
+        // eviction → salvage: a no-op unless recovery retention is on
+        for evicted in self.store.take_evicted() {
+            self.salvage.absorb(evicted);
+        }
         out.push(ReceiverEvent::CollisionStored);
     }
 }
@@ -184,6 +224,9 @@ pub struct UnitCtx<'a> {
     pub detections_ready: bool,
     /// Matched stored collision (filled by [`MatchStage`]).
     pub matched: Option<MatchedCollision>,
+    /// A confirmed alignment whose system the chunk scheduler cannot
+    /// decode (filled by [`MatchStage`], consumed by [`RecoverStage`]).
+    pub rejected: Option<RejectedSet>,
     /// ZigZag inputs (filled by [`PlanStage`]).
     pub plan: Option<DecodePlan>,
 }
@@ -191,13 +234,27 @@ pub struct UnitCtx<'a> {
 impl<'a> UnitCtx<'a> {
     /// A fresh context over a receive buffer.
     pub fn new(buffer: &'a [Complex]) -> Self {
-        Self { buffer, detections: Vec::new(), detections_ready: false, matched: None, plan: None }
+        Self {
+            buffer,
+            detections: Vec::new(),
+            detections_ready: false,
+            matched: None,
+            rejected: None,
+            plan: None,
+        }
     }
 
     /// A context whose detections were already computed (e.g. by the
     /// sharded receiver's detect-only routing pre-pass).
     pub fn with_detections(buffer: &'a [Complex], detections: Vec<Detection>) -> Self {
-        Self { buffer, detections, detections_ready: true, matched: None, plan: None }
+        Self {
+            buffer,
+            detections,
+            detections_ready: true,
+            matched: None,
+            rejected: None,
+            plan: None,
+        }
     }
 }
 
@@ -230,7 +287,9 @@ pub struct Pipeline {
 
 impl Pipeline {
     /// The §5.1d flow: Detect → StandardDecode → Capture → Match → Plan →
-    /// Zigzag → Store.
+    /// Zigzag → Recover → Store. The recover stage is a no-op unless
+    /// `DecoderConfig::recovery` is enabled, so the default configuration
+    /// reproduces the historical pipeline event-for-event.
     pub fn standard() -> Self {
         Self {
             stages: vec![
@@ -240,6 +299,7 @@ impl Pipeline {
                 Box::new(MatchStage),
                 Box::new(PlanStage),
                 Box::new(ZigzagStage),
+                Box::new(RecoverStage),
                 Box::new(StoreStage),
             ],
         }
@@ -526,17 +586,37 @@ impl DecodeStage for MatchStage {
         if unit.detections.len() < 2 {
             return Flow::Continue;
         }
-        if let Some(set) =
-            find_match_set(unit.buffer, &unit.detections, &rx.store, &rx.registry, &rx.preamble)
-        {
-            // non-destructive: the store entries stay until the consuming
-            // stage (ZigzagStage) removes them
-            let member_detections = set
-                .members
-                .iter()
-                .map(|&id| rx.store.get(id).expect("matched id").detections.clone())
-                .collect();
-            unit.matched = Some(MatchedCollision { set, member_detections });
+        // Full classification (confirming and explaining undecodable
+        // alignments) only pays off with a recovery consumer downstream;
+        // otherwise take the historical fast path, which skips that
+        // signal work entirely.
+        let outcome = if rx.cfg.recovery.enabled {
+            classify_match(unit.buffer, &unit.detections, &rx.store, &rx.registry, &rx.preamble)
+        } else {
+            match find_match_set(
+                unit.buffer,
+                &unit.detections,
+                &rx.store,
+                &rx.registry,
+                &rx.preamble,
+            ) {
+                Some(set) => MatchOutcome::Matched(set),
+                None => MatchOutcome::NoMatch,
+            }
+        };
+        match outcome {
+            MatchOutcome::Matched(set) => {
+                // non-destructive: the store entries stay until the
+                // consuming stage (ZigzagStage) removes them
+                let member_detections = set
+                    .members
+                    .iter()
+                    .map(|&id| rx.store.get(id).expect("matched id").detections.clone())
+                    .collect();
+                unit.matched = Some(MatchedCollision { set, member_detections });
+            }
+            MatchOutcome::Undecodable(rejected) => unit.rejected = Some(rejected),
+            MatchOutcome::NoMatch => {}
         }
         Flow::Continue
     }
@@ -595,6 +675,90 @@ impl DecodeStage for ZigzagStage {
         let plan = unit.plan.as_ref().unwrap();
         zigzag_decode_match(rx, unit.buffer, plan, &m.set.members, events);
         Flow::Done
+    }
+}
+
+/// Algebraic batch recovery ([`crate::recovery`]): jointly solves
+/// collision groups the chunk scheduler cannot peel — confirmed-but-
+/// undecodable match sets (e.g. §4.5's Δ₁ = Δ₂ duplicate offsets) and
+/// groups recruited from the salvage pool of store evictions. Runs after
+/// [`ZigzagStage`] (only buffers ZigZag could not consume reach it), is
+/// shard-local (pool and store are keyed by client set), and no-ops
+/// unless `DecoderConfig::recovery` is enabled.
+pub struct RecoverStage;
+
+impl RecoverStage {
+    /// Solves `group` and delivers every CRC-verified frame. The
+    /// `(src, seq)` dedup inside [`ReceiverCore::deliver`] makes emission
+    /// idempotent, so a packet that already arrived through another path
+    /// is never double-emitted. Returns `true` only when **every** packet
+    /// of the group resolved — the caller may then consume the group's
+    /// buffers. On a partial solve (one packet CRC'd, another did not)
+    /// the survivors are delivered but the group's evidence must be
+    /// kept: the unresolved packet's equations are still needed, and a
+    /// future retransmission can form a better-determined system with
+    /// them.
+    fn solve_and_deliver(
+        rx: &mut ReceiverCore,
+        group: &crate::recovery::RecoveryGroup,
+        events: &mut Vec<ReceiverEvent>,
+    ) -> bool {
+        let recovered = {
+            let ReceiverCore { cfg, registry, preamble, scratch, .. } = &mut *rx;
+            solve_group(group, registry, preamble, cfg, scratch)
+        };
+        let all = !recovered.is_empty() && recovered.iter().all(|p| p.frame.is_some());
+        for packet in recovered {
+            if let Some(frame) = packet.frame {
+                rx.deliver(frame, DecodePath::Recovered, events);
+            }
+        }
+        all
+    }
+}
+
+impl DecodeStage for RecoverStage {
+    fn name(&self) -> &'static str {
+        "recover"
+    }
+
+    fn run(
+        &self,
+        rx: &mut ReceiverCore,
+        unit: &mut UnitCtx<'_>,
+        events: &mut Vec<ReceiverEvent>,
+    ) -> Flow {
+        if !rx.cfg.recovery.enabled || unit.detections.len() < 2 {
+            return Flow::Continue;
+        }
+        // Path (a): the matcher confirmed an alignment whose system
+        // peeling cannot decode — solve it jointly across the aligned
+        // buffers instead of throwing the confirmation away.
+        if let Some(rejected) = unit.rejected.take() {
+            if let Some(group) = group_from_rejected(unit.buffer, &rejected, &rx.store) {
+                if Self::solve_and_deliver(rx, &group, events) {
+                    // the group is decoded: consume its store members
+                    for &id in &rejected.set.members {
+                        rx.store.remove(id);
+                    }
+                    return Flow::Done;
+                }
+            }
+        }
+        // Path (b): recruit evicted same-key collisions from the salvage
+        // pool — the store already lost them, but their equations still
+        // combine with the current buffer's into a solvable system.
+        let key = collision_key(&unit.detections, rx.store.key_window());
+        let max_members = rx.cfg.recovery.max_collisions.saturating_sub(1);
+        if let Some((group, used)) =
+            group_from_pool(unit.buffer, &unit.detections, &key, &rx.salvage, max_members)
+        {
+            if Self::solve_and_deliver(rx, &group, events) {
+                rx.salvage.consume(&key, &used);
+                return Flow::Done;
+            }
+        }
+        Flow::Continue
     }
 }
 

@@ -22,7 +22,11 @@
 //!    MRC (§4.2.3, §4.2.4, §4.3).
 //! 6. [`capture`] — capture effect, single-collision interference
 //!    cancellation, cross-collision MRC, ANC mode (Fig 4-1d/e).
-//! 7. [`receiver`] — the AP front-end tying it all together, with the
+//! 7. [`recovery`] — algebraic batch recovery: joint Gaussian
+//!    elimination over collision groups the chunk scheduler cannot peel
+//!    (§4.5's Δ₁ = Δ₂ failure case among them), fed by rejected match
+//!    sets and the salvage pool of store evictions.
+//! 8. [`receiver`] — the AP front-end tying it all together, with the
 //!    unmatched-collision store.
 //!
 //! The steps above execute as a trait-based stage pipeline inside
@@ -45,16 +49,20 @@ pub mod intervals;
 pub mod matcher;
 pub mod matchset;
 pub mod receiver;
+pub mod recovery;
 pub mod schedule;
 pub mod standard;
 pub mod view;
 pub mod zigzag;
 
-pub use config::{ClientInfo, ClientRegistry, DecoderConfig, ShardConfig, SharedRegistry};
+pub use config::{
+    ClientInfo, ClientRegistry, DecoderConfig, RecoveryConfig, ShardConfig, SharedRegistry,
+};
 pub use engine::{
     decode_batch, unit_seed, BatchEngine, DecodeUnit, IngestQueue, Pipeline, Scratch,
     ShardedReceiver,
 };
-pub use matchset::{CollisionStore, MatchSet, StoredCollision};
+pub use matchset::{CollisionStore, MatchOutcome, MatchSet, RejectedSet, StoredCollision};
 pub use receiver::{ReceiverEvent, ZigzagReceiver};
+pub use recovery::{RecoveredPacket, RecoveryGroup, SalvagePool};
 pub use zigzag::{CollisionSpec, PacketSpec, ZigzagDecoder, ZigzagOutput};

@@ -37,11 +37,19 @@
 //!   the assembled k×k system must pass the
 //!   [`schedule::decodable`](crate::schedule::decodable) gate before it
 //!   reaches the executor.
+//! * [`classify_match`] — the full verdict behind `find_match_set`: an
+//!   alignment the sample correlation *confirms* but the decodability
+//!   gate rejects is reported as [`MatchOutcome::Undecodable`] (with the
+//!   [`Decodability`] reason) instead of being collapsed into "no
+//!   match" — the feed of the algebraic batch recovery in
+//!   [`crate::recovery`]. Likewise, entries the bounded store evicts can
+//!   be retained ([`CollisionStore::set_evicted_capacity`] /
+//!   [`CollisionStore::take_evicted`]) and salvaged instead of dropped.
 
 use crate::config::ClientRegistry;
 use crate::detect::Detection;
 use crate::matcher::{is_match, match_metric, match_metric_with_step, MATCH_WINDOW};
-use crate::schedule::{min_coverage_lens, CollisionLayout, Placement};
+use crate::schedule::{min_coverage_lens, CollisionLayout, Decodability, Placement};
 use std::collections::{HashMap, VecDeque};
 use zigzag_phy::complex::Complex;
 use zigzag_phy::correlate::corr_at;
@@ -118,11 +126,18 @@ pub struct CollisionStore {
     cap: usize,
     key_window: usize,
     next_id: u64,
+    /// Evicted entries awaiting reclamation (oldest first), bounded by
+    /// `evicted_cap`. Zero capacity (the default) drops evictions
+    /// immediately — the historical behaviour; the recovery subsystem's
+    /// salvage pool raises it so eviction becomes signal, not loss.
+    evicted: VecDeque<StoredCollision>,
+    evicted_cap: usize,
 }
 
 impl CollisionStore {
     /// An empty store holding at most `cap` collisions **per client-set
-    /// key** (and at most `cap × 16` in total, see [`MAX_TRACKED_KEYS`]),
+    /// key** (and at most `cap × 16` in total — the tracked-key safety
+    /// valve),
     /// with an unbounded key window (every detection opens the key).
     pub fn new(cap: usize) -> Self {
         Self::with_key_window(cap, usize::MAX)
@@ -133,7 +148,45 @@ impl CollisionStore {
     /// `DecoderConfig::key_window` configures, so spurious far-tail
     /// detections of unrelated clients don't split the index.
     pub fn with_key_window(cap: usize, key_window: usize) -> Self {
-        Self { entries: HashMap::new(), by_key: HashMap::new(), cap, key_window, next_id: 0 }
+        Self {
+            entries: HashMap::new(),
+            by_key: HashMap::new(),
+            cap,
+            key_window,
+            next_id: 0,
+            evicted: VecDeque::new(),
+            evicted_cap: 0,
+        }
+    }
+
+    /// Retains up to `cap` evicted entries for reclamation through
+    /// [`Self::take_evicted`] instead of dropping them. When the retained
+    /// backlog itself overflows, its oldest entries are dropped for good
+    /// (the bound keeps a non-draining caller from leaking buffers).
+    pub fn set_evicted_capacity(&mut self, cap: usize) {
+        self.evicted_cap = cap;
+        while self.evicted.len() > cap {
+            self.evicted.pop_front();
+        }
+    }
+
+    /// Drains the entries evicted since the last call (oldest first) —
+    /// the store-eviction feed of the recovery subsystem's salvage pool.
+    /// Empty unless [`Self::set_evicted_capacity`] raised the retention
+    /// bound above its default of zero.
+    pub fn take_evicted(&mut self) -> Vec<StoredCollision> {
+        self.evicted.drain(..).collect()
+    }
+
+    /// Parks an evicted entry for reclamation (respecting the bound).
+    fn retain_evicted(&mut self, entry: StoredCollision) {
+        if self.evicted_cap == 0 {
+            return;
+        }
+        self.evicted.push_back(entry);
+        while self.evicted.len() > self.evicted_cap {
+            self.evicted.pop_front();
+        }
     }
 
     /// The key window entry keys (and lookups against this store) use.
@@ -161,10 +214,11 @@ impl CollisionStore {
         self.by_key.get(key).map_or(0, VecDeque::len)
     }
 
-    /// Drops every stored collision.
+    /// Drops every stored collision, including any retained evictions.
     pub fn clear(&mut self) {
         self.entries.clear();
         self.by_key.clear();
+        self.evicted.clear();
     }
 
     /// Stores a collision under its client-set key, evicting the key's
@@ -180,12 +234,17 @@ impl CollisionStore {
         self.entries.insert(id, StoredCollision { id, key: key.clone(), buffer, detections });
         let order = self.by_key.entry(key.clone()).or_default();
         order.push_back(id);
+        let mut stale_ids = Vec::new();
         while order.len() > self.cap {
-            let stale = order.pop_front().expect("over-capacity deque is non-empty");
-            self.entries.remove(&stale);
+            stale_ids.push(order.pop_front().expect("over-capacity deque is non-empty"));
         }
         if order.is_empty() {
             self.by_key.remove(&key);
+        }
+        for stale in stale_ids {
+            if let Some(entry) = self.entries.remove(&stale) {
+                self.retain_evicted(entry);
+            }
         }
         // Safety valve against unbounded key cardinality: evict the
         // stalest entry of the most-populous key (deterministic
@@ -199,9 +258,11 @@ impl CollisionStore {
                 .expect("over-capacity store has keys");
             let order = self.by_key.get_mut(&victim).expect("victim key present");
             let stale = order.pop_front().expect("victim key is non-empty");
-            self.entries.remove(&stale);
             if order.is_empty() {
                 self.by_key.remove(&victim);
+            }
+            if let Some(entry) = self.entries.remove(&stale) {
+                self.retain_evicted(entry);
             }
         }
         id
@@ -311,6 +372,23 @@ pub fn pair_collisions(
     current: &[Detection],
     stored: &[Detection],
 ) -> Option<[(Detection, Detection); 2]> {
+    let (pairing, pure_shift) = pair_alignment(current, stored)?;
+    if pure_shift {
+        return None;
+    }
+    Some(pairing)
+}
+
+/// [`pair_collisions`] without the pure-shift filter: pairs the two
+/// collisions' detections by client and reports whether the alignment is
+/// a pure time shift (§4.5's Δ₁ = Δ₂ case, which the chunk scheduler
+/// cannot decode but the algebraic recovery of [`crate::recovery`] can —
+/// the two receptions carry independent channel coefficients, so the
+/// per-position 2×2 systems stay invertible).
+pub fn pair_alignment(
+    current: &[Detection],
+    stored: &[Detection],
+) -> Option<([(Detection, Detection); 2], bool)> {
     if current.len() < 2 || stored.len() < 2 {
         return None;
     }
@@ -318,10 +396,8 @@ pub fn pair_collisions(
     let c2 = *current.iter().find(|d| d.client != c1.client)?;
     let s1 = stored.iter().find(|d| d.client == c1.client)?;
     let s2 = stored.iter().find(|d| d.client == c2.client)?;
-    if is_pure_shift(&[c1, c2], &[*s1, *s2]) {
-        return None;
-    }
-    Some([(c1, *s1), (c2, *s2)])
+    let pure_shift = is_pure_shift(&[c1, c2], &[*s1, *s2]);
+    Some(([(c1, *s1), (c2, *s2)], pure_shift))
 }
 
 /// `true` if `b` is `a` shifted by one constant offset — a duplicate
@@ -338,6 +414,42 @@ fn is_pure_shift(a: &[Detection], b: &[Detection]) -> bool {
         }
     }
     true
+}
+
+/// An alignment that was confirmed by sample correlation but whose joint
+/// system the chunk scheduler cannot decode. The aligned collisions still
+/// contribute valid linear equations over their packets' symbols — the
+/// input of the algebraic batch recovery in [`crate::recovery`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RejectedSet {
+    /// The confirmed (but peeling-undecodable) alignment, in the same
+    /// shape a decodable [`MatchSet`] would have.
+    pub set: MatchSet,
+    /// Why peeling fails on the assembled system.
+    pub reason: Decodability,
+}
+
+/// What [`classify_match`] concluded about the current collision.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MatchOutcome {
+    /// A decodable system exists — run the ZigZag executor on it.
+    Matched(MatchSet),
+    /// An alignment was confirmed, but its system is under-determined
+    /// (pure time shifts, insufficient coverage). ZigZag cannot use it;
+    /// algebraic recovery can.
+    Undecodable(RejectedSet),
+    /// No stored candidate aligns with the current collision.
+    NoMatch,
+}
+
+impl MatchOutcome {
+    /// The decodable match, if that is what this outcome is.
+    pub fn into_matched(self) -> Option<MatchSet> {
+        match self {
+            MatchOutcome::Matched(set) => Some(set),
+            _ => None,
+        }
+    }
 }
 
 /// The single matching entry point (§4.2.2 / §4.5): aligns the current
@@ -357,8 +469,45 @@ pub fn find_match_set(
     registry: &ClientRegistry,
     preamble: &Preamble,
 ) -> Option<MatchSet> {
+    match_collision(buffer, detections, store, registry, preamble, false).into_matched()
+}
+
+/// [`find_match_set`] with the full verdict: a confirmed-but-undecodable
+/// alignment is reported as [`MatchOutcome::Undecodable`] instead of
+/// being silently collapsed into "no match" — the distinction feeds the
+/// algebraic recovery path ([`crate::recovery`]), which can jointly
+/// solve systems the chunk scheduler provably cannot (e.g. §4.5's
+/// Δ₁ = Δ₂ duplicate-offset collisions).
+///
+/// Classification does extra signal work on undecodable candidates
+/// (sample confirmation of pure-shift alignments, a decodability peel
+/// for the reason) that is wasted without a recovery consumer —
+/// callers with recovery disabled should use [`find_match_set`], which
+/// skips it and is cost-identical to the historical matcher.
+pub fn classify_match(
+    buffer: &[Complex],
+    detections: &[Detection],
+    store: &CollisionStore,
+    registry: &ClientRegistry,
+    preamble: &Preamble,
+) -> MatchOutcome {
+    match_collision(buffer, detections, store, registry, preamble, true)
+}
+
+/// Shared matcher body: `classify` selects whether undecodable
+/// alignments are worth confirming and explaining (recovery on) or can
+/// be skipped before any sample work (recovery off — the historical
+/// fast path).
+fn match_collision(
+    buffer: &[Complex],
+    detections: &[Detection],
+    store: &CollisionStore,
+    registry: &ClientRegistry,
+    preamble: &Preamble,
+    classify: bool,
+) -> MatchOutcome {
     if detections.len() < 2 {
-        return None;
+        return MatchOutcome::NoMatch;
     }
     // Dispatch and candidate lookup use the store's windowed key, so the
     // current collision and the stored entries are indexed identically.
@@ -366,7 +515,7 @@ pub fn find_match_set(
     if key.len() >= 3 {
         find_kway_match(buffer, detections, &key, store, registry, preamble)
     } else {
-        find_pair_match(buffer, detections, &key, store)
+        find_pair_match(buffer, detections, &key, store, classify)
     }
 }
 
@@ -390,19 +539,62 @@ fn find_pair_match(
     detections: &[Detection],
     key: &[u16],
     store: &CollisionStore,
-) -> Option<MatchSet> {
+    classify: bool,
+) -> MatchOutcome {
+    let mut rejected: Option<RejectedSet> = None;
     for entry in store.candidates(key) {
-        if let Some(pairing) = pair_collisions(detections, &entry.detections) {
-            let (cur2, old2) = pairing[1];
-            if is_match(buffer, cur2.pos, &entry.buffer, old2.pos) {
-                return Some(MatchSet {
-                    alignment: pairing.iter().map(|&(c, s)| vec![c, s]).collect(),
-                    members: vec![entry.id],
-                });
+        if let Some((pairing, pure_shift)) = pair_alignment(detections, &entry.detections) {
+            if pure_shift && (!classify || rejected.is_some()) {
+                // Without a recovery consumer (or with a confirmed
+                // reject already in hand) a pure-shift candidate is not
+                // worth the sample correlation — skip before any signal
+                // work, exactly like the historical matcher.
+                continue;
             }
+            let (cur2, old2) = pairing[1];
+            if !is_match(buffer, cur2.pos, &entry.buffer, old2.pos) {
+                continue;
+            }
+            let set = MatchSet {
+                alignment: pairing.iter().map(|&(c, s)| vec![c, s]).collect(),
+                members: vec![entry.id],
+            };
+            if !pure_shift {
+                return MatchOutcome::Matched(set);
+            }
+            // A confirmed pure-shift alignment: the §4.5 Δ₁ = Δ₂ failure
+            // case. Keep scanning for a decodable candidate — an older
+            // entry at a different offset beats salvage — but remember
+            // the oldest confirmed reject for the recovery path.
+            let layouts = pair_layouts_for(buffer.len(), &entry.buffer, &set);
+            let lens = min_coverage_lens(2, &layouts);
+            let reason = crate::schedule::decodability(&lens, &layouts);
+            rejected = Some(RejectedSet { set, reason });
         }
     }
-    None
+    match rejected {
+        Some(r) => MatchOutcome::Undecodable(r),
+        None => MatchOutcome::NoMatch,
+    }
+}
+
+/// The [`CollisionLayout`]s of a confirmed pairwise alignment (current
+/// buffer first), for the decodability verdict on a rejected pair.
+fn pair_layouts_for(
+    current_len: usize,
+    stored: &[Complex],
+    set: &MatchSet,
+) -> Vec<CollisionLayout> {
+    (0..set.collisions())
+        .map(|j| CollisionLayout {
+            placements: set
+                .placements(j)
+                .into_iter()
+                .map(|(packet, start)| Placement { packet, start })
+                .collect(),
+            len: if j == 0 { current_len } else { stored.len() },
+        })
+        .collect()
 }
 
 /// One validated shift anchor: `(current start, stored start, metric)`.
@@ -615,20 +807,20 @@ fn find_kway_match(
     store: &CollisionStore,
     registry: &ClientRegistry,
     preamble: &Preamble,
-) -> Option<MatchSet> {
+) -> MatchOutcome {
     let k = key.len();
     // A k-way set needs k−1 stored members, so a store smaller than that
     // can never accumulate one — bail before doing any signal work (the
     // operator must raise `DecoderConfig::collision_store` for such
     // k-sender deployments; the receiver otherwise stores and churns).
     if k > MAX_KWAY || k - 1 > store.capacity() {
-        return None;
+        return MatchOutcome::NoMatch;
     }
     // Cheap candidate count before the expensive shift alignment: the
     // first k−2 collisions of every k-sender set land here with too few
     // same-key entries.
     if store.key_len(key) < k - 1 {
-        return None;
+        return MatchOutcome::NoMatch;
     }
     let cur_pos: Vec<usize> = detections.iter().map(|d| d.pos).collect();
 
@@ -640,7 +832,7 @@ fn find_kway_match(
     let cands: Vec<(u64, Vec<Anchor>)> =
         store.candidates(key).map(|e| (e.id, align_by_shifts(buffer, &cur_pos, e, k))).collect();
     if cands.len() < k - 1 {
-        return None;
+        return MatchOutcome::NoMatch;
     }
 
     // Phase B: consensus packet starts in the current buffer. Anchors
@@ -673,7 +865,7 @@ fn find_kway_match(
         if debug {
             eprintln!("kway: only {} start clusters, need {k}", clusters.len());
         }
-        return None;
+        return MatchOutcome::NoMatch;
     }
     clusters.sort_by(|a, b| b.support.cmp(&a.support).then(b.metric_sum.total_cmp(&a.metric_sum)));
     clusters.truncate(k);
@@ -719,7 +911,7 @@ fn find_kway_match(
         if debug {
             eprintln!("kway: only {}/{} members completed", members.len(), k - 1);
         }
-        return None;
+        return MatchOutcome::NoMatch;
     }
     // (current start, per-member stored starts), in start order
     let clusters: Vec<(usize, Vec<usize>)> = starts
@@ -760,7 +952,9 @@ fn find_kway_match(
         }
         peaks.push(per_client);
     }
-    let assign = best_assignment(&scores)?;
+    let Some(assign) = best_assignment(&scores) else {
+        return MatchOutcome::NoMatch;
+    };
 
     // Cross-buffer consistency vote. A single buffer's local preamble
     // peak can lose to a data artifact under heavy interference, but the
@@ -807,14 +1001,6 @@ fn find_kway_match(
             }
         })
         .collect();
-    let lens = min_coverage_lens(k, &layouts);
-    if !crate::schedule::decodable(&lens, &layouts) {
-        if debug {
-            eprintln!("kway: assembled system not decodable: {layouts:?}");
-        }
-        return None;
-    }
-
     let alignment = (0..k)
         .map(|q| {
             let client = key[assign[q]];
@@ -824,7 +1010,20 @@ fn find_kway_match(
                 .collect()
         })
         .collect();
-    Some(MatchSet { alignment, members: members.iter().map(|m| m.id).collect() })
+    let set = MatchSet { alignment, members: members.iter().map(|m| m.id).collect() };
+    let lens = min_coverage_lens(k, &layouts);
+    let reason = crate::schedule::decodability(&lens, &layouts);
+    if !reason.is_decodable() {
+        if debug {
+            eprintln!("kway: assembled system not decodable ({reason:?}): {layouts:?}");
+        }
+        // The alignment itself was confirmed by correlation across all k
+        // collisions — only the system is under-determined. Report it so
+        // the recovery subsystem can accumulate its equations instead of
+        // the receiver pretending nothing aligned.
+        return MatchOutcome::Undecodable(RejectedSet { set, reason });
+    }
+    MatchOutcome::Matched(set)
 }
 
 /// Local preamble matched-filter peak: the position within ±`radius`
@@ -1031,6 +1230,87 @@ mod tests {
         assert!(is_pure_shift(&[det(1, 10), det(2, 40)], &[det(1, 0), det(2, 30)]));
         assert!(!is_pure_shift(&[det(1, 10), det(2, 40)], &[det(1, 0), det(2, 31)]));
         assert!(is_pure_shift(&[det(1, 7)], &[det(1, 2)]));
+    }
+
+    #[test]
+    fn evicted_entries_are_reclaimable_when_retention_is_enabled() {
+        let mut store = CollisionStore::new(1);
+        assert!(store.take_evicted().is_empty());
+        store.insert(vec![], vec![det(1, 0), det(2, 5)]);
+        store.insert(vec![], vec![det(1, 9), det(2, 3)]);
+        assert!(store.take_evicted().is_empty(), "default retention is zero: evictions drop");
+        store.set_evicted_capacity(2);
+        let b = store.insert(vec![], vec![det(1, 7), det(2, 1)]);
+        let c = store.insert(vec![], vec![det(1, 2), det(2, 8)]);
+        let d = store.insert(vec![], vec![det(1, 4), det(2, 6)]);
+        let reclaimed = store.take_evicted();
+        assert_eq!(
+            reclaimed.iter().map(|e| e.id).collect::<Vec<_>>(),
+            vec![b, c],
+            "evicted entries surface oldest first, with ids and detections intact"
+        );
+        assert!(store.take_evicted().is_empty(), "drain is destructive");
+        assert_eq!(store.len(), 1);
+        assert!(store.get(d).is_some());
+    }
+
+    #[test]
+    fn evicted_backlog_is_bounded() {
+        let mut store = CollisionStore::new(1);
+        store.set_evicted_capacity(2);
+        for i in 0..6 {
+            store.insert(vec![], vec![det(1, i), det(2, i + 40)]);
+        }
+        let reclaimed = store.take_evicted();
+        assert_eq!(reclaimed.len(), 2, "a non-draining caller must not leak evictions");
+        // the two *newest* evictions survive (oldest dropped for good)
+        assert!(reclaimed.iter().all(|e| e.detections[0].pos >= 2));
+    }
+
+    #[test]
+    fn confirmed_pure_shift_pair_classifies_as_undecodable() {
+        // Two collisions of the same two packets at the SAME relative
+        // offset: §4.5's Δ₁ = Δ₂ failure. The alignment confirms by
+        // correlation, so classify_match must report Undecodable (the
+        // algebraic-recovery feed), not silently NoMatch — while
+        // find_match_set keeps its historical None.
+        use rand::prelude::*;
+        let mut rng = rand::StdRng::seed_from_u64(11);
+        let noise = |rng: &mut rand::StdRng, n: usize| -> Vec<Complex> {
+            (0..n)
+                .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect()
+        };
+        let a = noise(&mut rng, 1000);
+        let b = noise(&mut rng, 1000);
+        // both collisions: A@x, B@x+100 (pure shift between them)
+        let mut cur = vec![Complex::default(); 1300];
+        let mut old = vec![Complex::default(); 1300];
+        for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+            cur[i] += x;
+            cur[i + 100] += y;
+            old[i + 40] += x;
+            old[i + 140] += y;
+        }
+        let mut store = CollisionStore::new(4);
+        store.insert(old, vec![det(1, 40), det(2, 140)]);
+        let cur_dets = vec![det(1, 0), det(2, 100)];
+        let reg = crate::config::ClientRegistry::new();
+        let pre = zigzag_phy::preamble::Preamble::default_len();
+        match classify_match(&cur, &cur_dets, &store, &reg, &pre) {
+            MatchOutcome::Undecodable(r) => {
+                assert_eq!(r.set.members.len(), 1);
+                assert_eq!(r.set.packets(), 2);
+                assert!(
+                    matches!(r.reason, Decodability::Stalled { .. }),
+                    "pure shift must stall peeling, got {:?}",
+                    r.reason
+                );
+            }
+            other => panic!("expected Undecodable, got {other:?}"),
+        }
+        assert!(find_match_set(&cur, &cur_dets, &store, &reg, &pre).is_none());
+        assert_eq!(store.len(), 1, "classification must not consume the store entry");
     }
 
     #[test]

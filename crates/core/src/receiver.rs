@@ -43,6 +43,10 @@ pub enum DecodePath {
     /// Two faulty capture residues MRC-combined across collisions
     /// (Fig 4-1d).
     MrcRetry,
+    /// Recovered by the algebraic batch solver ([`crate::recovery`]):
+    /// joint Gaussian elimination over a collision group the chunk
+    /// scheduler could not peel.
+    Recovered,
 }
 
 /// Events emitted while processing a receive buffer.
@@ -120,7 +124,9 @@ impl ZigzagReceiver {
     /// The pre-engine monolithic control flow, kept verbatim as a
     /// reference implementation. The pipeline-vs-legacy equivalence test
     /// in `tests/engine.rs` checks `process` against this on identical
-    /// buffer sequences.
+    /// buffer sequences. (Algebraic recovery is pipeline-only: the
+    /// legacy flow predates it, and the equivalence holds for the
+    /// default configuration, where the `RecoverStage` is a no-op.)
     #[doc(hidden)]
     pub fn process_legacy(&mut self, buffer: &[Complex]) -> Vec<ReceiverEvent> {
         let detections =
@@ -496,7 +502,7 @@ mod tests {
         let rx = receiver_with(&[]);
         assert_eq!(
             rx.pipeline().stage_names(),
-            ["detect", "standard-decode", "capture", "match", "plan", "zigzag", "store"]
+            ["detect", "standard-decode", "capture", "match", "plan", "zigzag", "recover", "store"]
         );
     }
 }

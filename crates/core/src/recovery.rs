@@ -1,0 +1,870 @@
+//! Algebraic batch collision recovery — joint Gaussian elimination over
+//! collision groups the chunk scheduler cannot peel.
+//!
+//! ZigZag (§4.2.3/§4.5) decodes one interference-free chunk at a time, so
+//! a match set with no usable chunk boundary is dead weight to it: the
+//! §4.5 failure case Δ₁ = Δ₂ (two collisions with identical relative
+//! offsets) is *provably* undecodable by peeling, because both collisions
+//! are the same combinatorial equation. But they are **not** the same
+//! linear equation over the air: each reception carries its own channel
+//! coefficients (fresh carrier phase, fractional timing, gain), so the
+//! per-symbol systems
+//!
+//! ```text
+//!   y₁[p] = H₁ᴬ·a[n] + H₁ᴮ·b[n−Δ] + w₁
+//!   y₂[p] = H₂ᴬ·a[n] + H₂ᴮ·b[n−Δ] + w₂
+//! ```
+//!
+//! stay invertible — the "Collision Helps" observation (arXiv:1001.1948)
+//! that jointly solving *many* collisions as one linear system recovers
+//! packets no single collision can yield, and the shift-structure-as-
+//! erasure-code view of zigzag-decodable fountain codes (arXiv:1605.09125).
+//!
+//! This module is that joint solver, grown on the receiver's existing
+//! machinery:
+//!
+//! * **Inputs** — a [`RecoveryGroup`]: m collision buffers over the same
+//!   k packets, assembled from (a) the alignments
+//!   [`classify_match`](crate::matchset::classify_match) confirms but
+//!   [`schedule::decodability`](crate::schedule::decodability) rejects
+//!   as under-determined, and (b) the [`SalvagePool`] of collisions the
+//!   bounded store evicted — eviction becomes signal instead of loss.
+//! * **Equations** — extracted from per-(collision × packet)
+//!   [`ChannelView`]s, exactly the estimation the ZigZag executor uses:
+//!   each unknown symbol's coefficient column is the view's synthesized
+//!   unit-impulse image (gain, phase ramp, fractional timing, ISI taps —
+//!   all rendered through the pluggable
+//!   [`kernel::Backend`](zigzag_phy::kernel), so equation extraction
+//!   rides the same scalar/optimized seam as the rest of the phy).
+//! * **Solver** — a sliding window of per-packet frontier symbols is
+//!   solved by regularised least squares (Gaussian elimination on the
+//!   normal equations, [`zigzag_phy::linalg::lstsq`]); well-observed
+//!   symbols are sliced to their constellation, committed, their images
+//!   delta-subtracted from every buffer (with the executor's
+//!   reconstruction-tracking feedback), and the window advances. This is
+//!   block Gaussian elimination with decision feedback: peelable regions
+//!   cost one well-conditioned triangular solve, and regions peeling
+//!   cannot touch (duplicate offsets) are carried by the cross-collision
+//!   channel diversity.
+//! * **Output** — per-packet frames, emitted **only** when the CRC-32
+//!   checks out ([`decode_mpdu`]); the receiver's `(src, seq)` delivery
+//!   dedup makes emission idempotent across the zigzag and recovery
+//!   paths.
+//!
+//! The pipeline hosts this as
+//! [`RecoverStage`](crate::engine::stage::RecoverStage) (after the
+//! ZigZag stage, shard-local so the sharded receiver stays
+//! bit-deterministic); [`solve_groups`] batches independent groups
+//! across a [`BatchEngine`](crate::engine::BatchEngine) for the bench
+//! and testbed drivers.
+
+use crate::config::{ClientRegistry, DecoderConfig};
+use crate::detect::Detection;
+use crate::engine::scratch::Scratch;
+use crate::matcher::is_match;
+use crate::matchset::{pair_alignment, RejectedSet, StoredCollision};
+use crate::schedule::min_coverage_lens;
+use crate::view::{ChannelView, PacketLayout};
+use std::collections::{HashMap, VecDeque};
+use zigzag_phy::bits::bits_to_bytes;
+use zigzag_phy::complex::{Complex, ZERO};
+use zigzag_phy::frame::{decode_mpdu, Frame, PlcpHeader, PLCP_SYMBOLS};
+use zigzag_phy::linalg::lstsq;
+use zigzag_phy::modulation::Modulation;
+use zigzag_phy::preamble::Preamble;
+
+/// How many distinct client-set keys the salvage pool tracks before the
+/// global safety valve sheds the oldest entry (same discipline as the
+/// collision store's valve).
+const MAX_TRACKED_KEYS: usize = 16;
+
+/// A collision buffer the bounded store evicted, retained for joint
+/// solves instead of dropped.
+#[derive(Clone, Debug)]
+pub struct SalvagedCollision {
+    /// The client-set key it was stored under.
+    pub key: Vec<u16>,
+    /// The raw receive buffer.
+    pub buffer: Vec<Complex>,
+    /// The detections found in it at store time.
+    pub detections: Vec<Detection>,
+    /// Monotone admission stamp (pool-local; the global valve's age
+    /// order).
+    stamp: u64,
+}
+
+/// The keyed, bounded pool of salvaged collisions: what the receiver
+/// keeps of buffers the [`CollisionStore`](crate::matchset::CollisionStore)
+/// evicted, so a later retransmission can still recruit their equations.
+///
+/// Bounding mirrors the store: at most `cap` entries per client-set key
+/// (oldest dropped first — for good, this is the last stop), plus a
+/// `cap × 16` global valve against key floods. Keys never interact, so
+/// the pool is shard-decomposable exactly like the store — the property
+/// the sharded receiver's bit-determinism rests on.
+#[derive(Clone, Debug, Default)]
+pub struct SalvagePool {
+    by_key: HashMap<Vec<u16>, VecDeque<SalvagedCollision>>,
+    cap: usize,
+    next_stamp: u64,
+    total: usize,
+}
+
+impl SalvagePool {
+    /// An empty pool holding at most `cap` salvaged collisions per
+    /// client-set key.
+    pub fn new(cap: usize) -> Self {
+        Self { by_key: HashMap::new(), cap, next_stamp: 0, total: 0 }
+    }
+
+    /// Number of salvaged collisions, over all keys.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// `true` if nothing is pooled.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of salvaged collisions under `key`.
+    pub fn key_len(&self, key: &[u16]) -> usize {
+        self.by_key.get(key).map_or(0, VecDeque::len)
+    }
+
+    /// Drops every pooled collision.
+    pub fn clear(&mut self) {
+        self.by_key.clear();
+        self.total = 0;
+    }
+
+    /// Absorbs a store eviction under its existing key.
+    pub fn absorb(&mut self, evicted: StoredCollision) {
+        let StoredCollision { key, buffer, detections, .. } = evicted;
+        self.push(SalvagedCollision { key, buffer, detections, stamp: 0 });
+    }
+
+    fn push(&mut self, mut entry: SalvagedCollision) {
+        if self.cap == 0 {
+            return;
+        }
+        entry.stamp = self.next_stamp;
+        self.next_stamp += 1;
+        let order = self.by_key.entry(entry.key.clone()).or_default();
+        order.push_back(entry);
+        if order.len() > self.cap {
+            order.pop_front();
+            self.total = self.total.wrapping_sub(1);
+        }
+        self.total += 1;
+        // global valve: shed the oldest entry anywhere (deterministic —
+        // stamps are totally ordered)
+        while self.total > self.cap * MAX_TRACKED_KEYS {
+            let victim = self
+                .by_key
+                .iter()
+                .filter_map(|(k, v)| v.front().map(|e| (e.stamp, k.clone())))
+                .min()
+                .map(|(_, k)| k)
+                .expect("over-capacity pool has entries");
+            let order = self.by_key.get_mut(&victim).expect("victim key present");
+            order.pop_front();
+            if order.is_empty() {
+                self.by_key.remove(&victim);
+            }
+            self.total -= 1;
+        }
+    }
+
+    /// Pooled collisions under `key`, oldest first.
+    pub fn candidates<'a>(
+        &'a self,
+        key: &[u16],
+    ) -> impl Iterator<Item = &'a SalvagedCollision> + 'a {
+        self.by_key.get(key).into_iter().flatten()
+    }
+
+    /// Removes the entries at `indices` (into the oldest-first candidate
+    /// order) under `key` — what a successful joint solve consumes.
+    pub fn consume(&mut self, key: &[u16], indices: &[usize]) {
+        let Some(order) = self.by_key.get_mut(key) else {
+            return;
+        };
+        let mut sorted: Vec<usize> = indices.to_vec();
+        sorted.sort_unstable();
+        for &i in sorted.iter().rev() {
+            if i < order.len() {
+                order.remove(i);
+                self.total -= 1;
+            }
+        }
+        if order.is_empty() {
+            self.by_key.remove(key);
+        }
+    }
+}
+
+/// One jointly-solvable unit: `m` collision buffers over the same `k`
+/// packets, with every packet's start known in every buffer.
+///
+/// Collision 0 is conventionally the *current* receive buffer; the rest
+/// come from the store (via a rejected
+/// [`MatchSet`](crate::matchset::MatchSet)) and/or the [`SalvagePool`].
+#[derive(Clone, Debug)]
+pub struct RecoveryGroup {
+    /// The collision buffers (owned — group assembly copies them out of
+    /// the store/pool so the solve is self-contained).
+    pub buffers: Vec<Vec<Complex>>,
+    /// `(packet index, start sample)` placements per collision, aligned
+    /// with `buffers`.
+    pub placements: Vec<Vec<(usize, usize)>>,
+    /// Client id of each packet.
+    pub clients: Vec<u16>,
+}
+
+impl RecoveryGroup {
+    /// Number of packets in the system.
+    pub fn packets(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Number of collision buffers.
+    pub fn collisions(&self) -> usize {
+        self.buffers.len()
+    }
+}
+
+/// Result of the joint solve for one packet.
+#[derive(Clone, Debug)]
+pub struct RecoveredPacket {
+    /// The packet's sender.
+    pub client: u16,
+    /// The recovered frame, if its CRC-32 checked out.
+    pub frame: Option<Frame>,
+    /// Best-effort scrambled MPDU bits (BER scoring even when the CRC
+    /// fails).
+    pub scrambled_bits: Vec<u8>,
+    /// `true` if every symbol up to the learned length was committed.
+    pub complete: bool,
+}
+
+/// Assembles a group from a confirmed-but-undecodable match set, pulling
+/// the member buffers out of the store by id. Returns `None` if any
+/// member id has since left the store (a custom stage consumed it).
+pub fn group_from_rejected(
+    buffer: &[Complex],
+    rejected: &RejectedSet,
+    store: &crate::matchset::CollisionStore,
+) -> Option<RecoveryGroup> {
+    let set = &rejected.set;
+    let mut buffers = Vec::with_capacity(set.collisions());
+    buffers.push(buffer.to_vec());
+    for &id in &set.members {
+        buffers.push(store.get(id)?.buffer.clone());
+    }
+    let placements = (0..set.collisions()).map(|j| set.placements(j)).collect();
+    Some(RecoveryGroup { buffers, placements, clients: set.clients() })
+}
+
+/// Assembles a group from the salvage pool: pairs the current collision's
+/// detections against each same-key pooled entry by client, confirms the
+/// alignment by sample correlation on **every** packet, and admits up to
+/// `max_members` members. Returns the group plus the candidate indices it
+/// used (so a successful solve can [`SalvagePool::consume`] them).
+///
+/// Pure-shift members are admitted on purpose — cross-collision channel
+/// diversity is exactly what the joint solver exploits.
+pub fn group_from_pool(
+    buffer: &[Complex],
+    detections: &[Detection],
+    key: &[u16],
+    pool: &SalvagePool,
+    max_members: usize,
+) -> Option<(RecoveryGroup, Vec<usize>)> {
+    if key.len() != 2 || max_members == 0 {
+        // k ≥ 3 pool assembly would need the k-way consensus machinery;
+        // rejected k-way sets already reach recovery through
+        // `group_from_rejected`.
+        return None;
+    }
+    let mut buffers = vec![buffer.to_vec()];
+    let mut placements: Vec<Vec<(usize, usize)>> = Vec::new();
+    let mut clients: Vec<u16> = Vec::new();
+    let mut used = Vec::new();
+    for (i, cand) in pool.candidates(key).enumerate() {
+        if placements.len() > max_members {
+            break;
+        }
+        let Some((pairing, _pure_shift)) = pair_alignment(detections, &cand.detections) else {
+            continue;
+        };
+        if !pairing.iter().all(|&(c, s)| is_match(buffer, c.pos, &cand.buffer, s.pos)) {
+            continue;
+        }
+        if placements.is_empty() {
+            // first member fixes the packet order (current-buffer starts)
+            placements.push(pairing.iter().enumerate().map(|(q, &(c, _))| (q, c.pos)).collect());
+            clients = pairing.iter().map(|&(c, _)| c.client).collect();
+        }
+        // subsequent members must agree on the current-buffer pairing
+        if pairing.iter().map(|&(c, _)| (c.client, c.pos)).collect::<Vec<_>>()
+            != clients
+                .iter()
+                .zip(placements[0].iter())
+                .map(|(&cl, &(_, p))| (cl, p))
+                .collect::<Vec<_>>()
+        {
+            continue;
+        }
+        buffers.push(cand.buffer.clone());
+        placements.push(pairing.iter().enumerate().map(|(q, &(_, s))| (q, s.pos)).collect());
+        used.push(i);
+    }
+    if used.is_empty() {
+        return None;
+    }
+    Some((RecoveryGroup { buffers, placements, clients }, used))
+}
+
+/// Jointly solves one group: sliding-window regularised least squares
+/// over [`ChannelView`]-extracted equations, decision commits, image
+/// subtraction with tracking feedback, PLCP learning, CRC gate. See the
+/// module docs for the algorithm.
+pub fn solve_group(
+    group: &RecoveryGroup,
+    registry: &ClientRegistry,
+    preamble: &Preamble,
+    cfg: &DecoderConfig,
+    ws: &mut Scratch,
+) -> Vec<RecoveredPacket> {
+    Solver::new(group, registry, preamble, cfg).map_or_else(
+        || {
+            group
+                .clients
+                .iter()
+                .map(|&client| RecoveredPacket {
+                    client,
+                    frame: None,
+                    scrambled_bits: Vec::new(),
+                    complete: false,
+                })
+                .collect()
+        },
+        |mut s| s.run(ws),
+    )
+}
+
+/// Solves many independent groups across a
+/// [`BatchEngine`](crate::engine::BatchEngine): the batched entry point
+/// the bench's `recovery` workload and offline reprocessing drivers use.
+/// Results are in group order and thread-count invariant (each group's
+/// solve is self-contained; workers only share the read-only registry).
+pub fn solve_groups(
+    engine: &crate::engine::BatchEngine,
+    groups: &[RecoveryGroup],
+    registry: &ClientRegistry,
+    preamble: &Preamble,
+    cfg: &DecoderConfig,
+) -> Vec<Vec<RecoveredPacket>> {
+    engine.map_with(
+        groups,
+        || Scratch::with_backend(cfg.backend),
+        |ws, _, g| solve_group(g, registry, preamble, cfg, ws),
+    )
+}
+
+/// The per-group solver state.
+struct Solver<'a> {
+    group: &'a RecoveryGroup,
+    preamble: &'a Preamble,
+    cfg: &'a DecoderConfig,
+    /// Per-(collision × packet) channel views; `None` when the packet is
+    /// not placed in that collision.
+    views: Vec<Vec<Option<ChannelView>>>,
+    /// Start of packet `q` in collision `c` (usize::MAX when absent).
+    starts: Vec<Vec<usize>>,
+    layouts: Vec<PacketLayout>,
+    plcp: Vec<Option<PlcpHeader>>,
+    lens: Vec<usize>,
+    decided: Vec<Vec<Option<Complex>>>,
+    frontier: Vec<usize>,
+    residuals: Vec<Vec<Complex>>,
+    /// Accumulated synthesized image per (collision, packet) — the
+    /// executor's delta-subtraction invariant
+    /// `residual[c] = buffer[c] − Σ_q acc[c][q]`.
+    img_acc: Vec<Vec<Vec<Complex>>>,
+    debug: bool,
+}
+
+/// Minimum committed chunk length for reconstruction feedback to fire
+/// (mirrors the executor's `MIN_FEEDBACK_CHUNK`).
+const MIN_FEEDBACK_CHUNK: usize = 16;
+
+impl<'a> Solver<'a> {
+    /// Estimates views and seeds the known preambles. Returns `None` when
+    /// a required view cannot be estimated (start too close to a buffer
+    /// end) or the group has no solvable shape.
+    fn new(
+        group: &'a RecoveryGroup,
+        registry: &ClientRegistry,
+        preamble: &'a Preamble,
+        cfg: &'a DecoderConfig,
+    ) -> Option<Solver<'a>> {
+        let k = group.packets();
+        let m = group.collisions();
+        if k == 0 || m == 0 {
+            return None;
+        }
+        let layouts_sched: Vec<crate::schedule::CollisionLayout> = group
+            .placements
+            .iter()
+            .zip(group.buffers.iter())
+            .map(|(pl, buf)| crate::schedule::CollisionLayout {
+                placements: pl
+                    .iter()
+                    .map(|&(packet, start)| crate::schedule::Placement { packet, start })
+                    .collect(),
+                len: buf.len(),
+            })
+            .collect();
+        let lens = min_coverage_lens(k, &layouts_sched);
+        if lens.iter().any(|&l| l <= preamble.len() + PLCP_SYMBOLS) {
+            return None;
+        }
+
+        let mut starts = vec![vec![usize::MAX; k]; m];
+        for (c, pl) in group.placements.iter().enumerate() {
+            for &(q, s) in pl {
+                starts[c][q] = s;
+            }
+        }
+
+        // Per-(c, q) views, estimated on the raw buffers exactly like the
+        // executor's `make_view`: association ω and ISI taps, channel
+        // gain/phase/µ from the (possibly immersed) preamble correlation.
+        let mut views: Vec<Vec<Option<ChannelView>>> = vec![Vec::new(); m];
+        for c in 0..m {
+            for q in 0..k {
+                let s = starts[c][q];
+                if s == usize::MAX {
+                    views[c].push(None);
+                    continue;
+                }
+                let info = registry.get(group.clients[q]);
+                let clean = preamble_clean(&starts[c], &lens, q, preamble.len());
+                let v = ChannelView::estimate(
+                    &group.buffers[c],
+                    s,
+                    preamble.symbols(),
+                    info.map(|i| i.omega),
+                    info.map(|i| i.taps.clone()).as_ref(),
+                    clean,
+                    cfg,
+                )?;
+                views[c].push(Some(v));
+            }
+        }
+
+        let layouts: Vec<PacketLayout> = (0..k)
+            .map(|q| PacketLayout::unknown(preamble.symbols().to_vec(), PLCP_SYMBOLS, lens[q]))
+            .collect();
+        let mut decided: Vec<Vec<Option<Complex>>> = lens.iter().map(|&l| vec![None; l]).collect();
+        for (q, layout) in layouts.iter().enumerate() {
+            for (n, slot) in decided[q].iter_mut().enumerate().take(preamble.len()) {
+                *slot = layout.known_symbol(n);
+            }
+        }
+
+        Some(Solver {
+            group,
+            preamble,
+            cfg,
+            views,
+            starts,
+            layouts,
+            plcp: vec![None; k],
+            lens,
+            decided,
+            frontier: vec![preamble.len(); k],
+            residuals: group.buffers.clone(),
+            img_acc: group
+                .buffers
+                .iter()
+                .map(|b| (0..k).map(|_| vec![ZERO; b.len()]).collect())
+                .collect(),
+            debug: std::env::var_os("ZIGZAG_DEBUG").is_some(),
+        })
+    }
+
+    /// The sample reach of one symbol through ISI taps + the sinc
+    /// interpolation skirt (matching the synthesis margin).
+    fn reach(&self) -> usize {
+        let taps = self.views.iter().flatten().flatten().map(|v| v.taps.len()).max().unwrap_or(1);
+        taps + 10
+    }
+
+    /// Runs the sliding-window joint solve to completion or stall.
+    fn run(&mut self, ws: &mut Scratch) -> Vec<RecoveredPacket> {
+        let k = self.group.packets();
+        // subtract the known preambles from every buffer first
+        for q in 0..k {
+            let range = 0..self.preamble.len().min(self.lens[q]);
+            self.subtract_packet(q, range, ws);
+        }
+
+        loop {
+            if (0..k).all(|q| self.frontier[q] >= self.lens[q]) {
+                break;
+            }
+            if !self.solve_window(ws) {
+                break;
+            }
+        }
+
+        (0..k).map(|q| self.finalize(q)).collect()
+    }
+
+    /// One window: assemble equations, least-squares solve, commit the
+    /// well-observed frontier symbols. Returns `false` on stall.
+    fn solve_window(&mut self, ws: &mut Scratch) -> bool {
+        let k = self.group.packets();
+        let m = self.group.collisions();
+        let window = self.cfg.recovery.window.max(2);
+        let commit = self.cfg.recovery.commit.clamp(1, window);
+        let reach = self.reach();
+
+        // unknown columns: per packet, the next `window` undecided symbols
+        let mut cols: Vec<(usize, usize)> = Vec::new();
+        let mut col_of: HashMap<(usize, usize), usize> = HashMap::new();
+        for q in 0..k {
+            let hi = (self.frontier[q] + window).min(self.lens[q]);
+            for n in self.frontier[q]..hi {
+                col_of.insert((q, n), cols.len());
+                cols.push((q, n));
+            }
+        }
+        if cols.is_empty() {
+            return false;
+        }
+
+        // per-collision equation windows: a position is usable once every
+        // symbol its sample can touch is either decided or in the window
+        let mut spans: Vec<std::ops::Range<usize>> = Vec::with_capacity(m);
+        for c in 0..m {
+            let mut lo = usize::MAX;
+            let mut hi = self.group.buffers[c].len();
+            let mut any_active = false;
+            for q in 0..k {
+                let s = self.starts[c][q];
+                if s == usize::MAX || self.frontier[q] >= self.lens[q] {
+                    continue;
+                }
+                any_active = true;
+                lo = lo.min((s + self.frontier[q]).saturating_sub(reach));
+                // samples may not touch symbols beyond q's window — unless
+                // the window already reaches q's end, where there is
+                // nothing beyond to protect
+                let w_end = self.frontier[q] + window;
+                if w_end < self.lens[q] {
+                    hi = hi.min((s + w_end).saturating_sub(reach));
+                } else {
+                    hi = hi.min(s + self.lens[q] + reach);
+                }
+            }
+            if !any_active || lo >= hi {
+                spans.push(0..0);
+            } else {
+                spans.push(lo..hi);
+            }
+        }
+        let n_rows: usize = spans.iter().map(|s| s.len()).sum();
+        if n_rows == 0 {
+            return self.force_skip_uncovered(commit);
+        }
+
+        // assemble A and b: coefficient columns are unit-impulse images
+        // through the views (gain · phase ramp · ISI · sinc resample, all
+        // on the kernel backend)
+        let mut rows = vec![vec![ZERO; cols.len()]; n_rows];
+        let mut b = vec![ZERO; n_rows];
+        let mut row_base = vec![0usize; m];
+        {
+            let mut acc = 0;
+            for c in 0..m {
+                row_base[c] = acc;
+                acc += spans[c].len();
+                for (i, p) in spans[c].clone().enumerate() {
+                    b[row_base[c] + i] = self.residuals[c][p];
+                }
+            }
+        }
+        let Scratch { pool, image, kernel, .. } = ws;
+        for (j, &(q, n)) in cols.iter().enumerate() {
+            for c in 0..m {
+                let Some(view) = self.views[c][q].as_ref() else {
+                    continue;
+                };
+                if spans[c].is_empty() {
+                    continue;
+                }
+                let margin = view.taps.len() + 9;
+                let lo_sym = n.saturating_sub(margin);
+                let hi_sym = (n + margin + 1).min(self.lens[q]);
+                let unit = |i: usize| (i == n).then(|| Complex::real(1.0));
+                view.synthesize_into(lo_sym..hi_sym, &unit, pool, kernel, image);
+                let first = image.first;
+                for (s_idx, &sample) in image.samples.iter().enumerate() {
+                    let p = first + s_idx;
+                    if spans[c].contains(&p) {
+                        rows[row_base[c] + (p - spans[c].start)][j] = sample;
+                    }
+                }
+            }
+        }
+
+        // observation energies (normal-matrix diagonal) gate the commits
+        let diag: Vec<f64> =
+            (0..cols.len()).map(|j| rows.iter().map(|r| r[j].norm_sq()).sum::<f64>()).collect();
+        let diag_max = diag.iter().fold(0.0f64, |a, &b| a.max(b));
+        if diag_max <= 0.0 {
+            return self.force_skip_uncovered(commit);
+        }
+        let mean_diag = diag.iter().sum::<f64>() / diag.len() as f64;
+        let lambda = self.cfg.recovery.lambda * mean_diag.max(1e-12);
+        let Some(x) = lstsq(&rows, &b, lambda) else {
+            return self.force_skip_uncovered(commit);
+        };
+        let threshold = self.cfg.recovery.min_observation * diag_max;
+
+        // commit contiguously from each packet's frontier
+        let mut committed_any = false;
+        for q in 0..k {
+            let start = self.frontier[q];
+            let end = (start + commit).min(self.lens[q]);
+            let mut n = start;
+            while n < end {
+                let j = col_of[&(q, n)];
+                if diag[j] < threshold {
+                    break;
+                }
+                let soft = x[j];
+                let point = match self.layouts[q].known_symbol(n) {
+                    Some(kp) => kp,
+                    None => self.layouts[q].modulation_at(n).decide(soft).1,
+                };
+                self.decided[q][n] = Some(point);
+                n += 1;
+            }
+            if n > start {
+                committed_any = true;
+                self.frontier[q] = n;
+                self.subtract_packet(q, start..n, ws);
+                self.try_parse_plcp(q);
+                if self.debug {
+                    eprintln!("recover: q{q} committed {start}..{n} of {}", self.lens[q]);
+                }
+            }
+        }
+        if !committed_any {
+            return self.force_skip_uncovered(commit);
+        }
+        true
+    }
+
+    /// Stall breaker: symbols no buffer covers can never be solved —
+    /// commit them as erasures (zero) so the frontier keeps moving (the
+    /// packet will fail its CRC, exactly like the executor's livelock
+    /// guard). Returns `false` when nothing could be skipped either —
+    /// the genuine stall.
+    fn force_skip_uncovered(&mut self, commit: usize) -> bool {
+        let mut skipped = false;
+        for q in 0..self.group.packets() {
+            let mut n = self.frontier[q];
+            let end = (n + commit).min(self.lens[q]);
+            while n < end && !self.covered(q, n) {
+                self.decided[q][n] = Some(ZERO);
+                n += 1;
+                skipped = true;
+            }
+            self.frontier[q] = n;
+        }
+        if self.debug && !skipped {
+            eprintln!("recover: stalled at frontiers {:?} of {:?}", self.frontier, self.lens);
+        }
+        skipped
+    }
+
+    /// `true` if any buffer contains a sample of symbol `n` of packet `q`.
+    fn covered(&self, q: usize, n: usize) -> bool {
+        (0..self.group.collisions()).any(|c| {
+            let s = self.starts[c][q];
+            s != usize::MAX && s + n < self.group.buffers[c].len()
+        })
+    }
+
+    /// Delta-subtracts packet `q`'s image over `range` from every buffer
+    /// containing it, maintaining the accumulated-image invariant, and
+    /// runs the executor's reconstruction-tracking feedback.
+    fn subtract_packet(&mut self, q: usize, range: std::ops::Range<usize>, ws: &mut Scratch) {
+        if range.is_empty() {
+            return;
+        }
+        let Scratch { pool, image, kernel, .. } = ws;
+        for c in 0..self.group.collisions() {
+            let Some(view) = self.views[c][q].as_mut() else {
+                continue;
+            };
+            let decided = &self.decided[q];
+            let sym_fn = |n: usize| decided.get(n).copied().flatten();
+            let m2 = view.taps.len() + 9;
+            let exp = range.start.saturating_sub(m2)..(range.end + m2).min(decided.len());
+            view.synthesize_into(exp.clone(), &sym_fn, pool, kernel, image);
+            let blen = self.residuals[c].len();
+            let span = image.first.min(blen)..image.range().end.min(blen);
+            let mut observed = pool.take();
+            observed.extend(span.clone().map(|p| self.residuals[c][p] + self.img_acc[c][q][p]));
+            for (i, p) in span.clone().enumerate() {
+                let new_val = image.samples[i];
+                self.residuals[c][p] -= new_val - self.img_acc[c][q][p];
+                self.img_acc[c][q][p] = new_val;
+            }
+            if range.len() >= MIN_FEEDBACK_CHUNK && observed.len() == image.samples.len() {
+                view.feedback_with(&observed, image, exp, &sym_fn, pool, kernel);
+            }
+            pool.put(observed);
+        }
+    }
+
+    /// Parses the PLCP once its symbols are all committed; on success
+    /// learns the packet's real length and body modulation (mirrors the
+    /// executor's `try_parse_plcp`).
+    fn try_parse_plcp(&mut self, q: usize) {
+        if self.plcp[q].is_some() {
+            return;
+        }
+        let pre = self.preamble.len();
+        let span = pre..pre + PLCP_SYMBOLS;
+        if span.end > self.decided[q].len() || !span.clone().all(|n| self.decided[q][n].is_some()) {
+            return;
+        }
+        let bits: Vec<u8> =
+            span.flat_map(|n| Modulation::Bpsk.decide(self.decided[q][n].unwrap()).0).collect();
+        let Some(plcp) = PlcpHeader::from_bytes(&bits_to_bytes(&bits)) else {
+            return;
+        };
+        let body_syms = plcp.modulation.symbols_for_bits(plcp.mpdu_len as usize * 8);
+        let total = pre + PLCP_SYMBOLS + body_syms;
+        self.plcp[q] = Some(plcp);
+        self.layouts[q].payload_mod = plcp.modulation;
+        if total <= self.layouts[q].total_syms {
+            self.layouts[q].total_syms = total;
+            self.lens[q] = total;
+            self.decided[q].truncate(total);
+            self.frontier[q] = self.frontier[q].min(total);
+        }
+        if self.debug {
+            eprintln!("recover: q{q} PLCP parsed, len {} mod {:?}", total, plcp.modulation);
+        }
+    }
+
+    /// Slices the committed symbols to bits and CRC-checks the frame.
+    fn finalize(&self, q: usize) -> RecoveredPacket {
+        let complete = self.frontier[q] >= self.lens[q] && self.plcp[q].is_some();
+        let body_start = self.layouts[q].body_start();
+        let mut scrambled_bits = Vec::new();
+        for n in body_start..self.lens[q] {
+            let point = self.decided[q].get(n).copied().flatten().unwrap_or(ZERO);
+            scrambled_bits.extend(self.layouts[q].modulation_at(n).decide(point).0);
+        }
+        let mut frame = None;
+        if let Some(plcp) = self.plcp[q] {
+            let want_bits = plcp.mpdu_len as usize * 8;
+            if scrambled_bits.len() >= want_bits {
+                frame = decode_mpdu(&scrambled_bits[..want_bits], plcp.seed);
+            }
+        }
+        RecoveredPacket { client: self.group.clients[q], frame, scrambled_bits, complete }
+    }
+}
+
+/// `true` if packet `q`'s preamble region is free of other packets'
+/// *live* signal in a collision with the given starts (nothing is
+/// decoded yet when views are estimated, so overlap alone decides).
+fn preamble_clean(starts: &[usize], lens: &[usize], q: usize, pre_len: usize) -> bool {
+    let s_q = starts[q];
+    if s_q == usize::MAX {
+        return false;
+    }
+    let pre = s_q..s_q + pre_len;
+    starts.iter().enumerate().all(|(p, &s)| {
+        if p == q || s == usize::MAX {
+            return true;
+        }
+        let lo = pre.start.max(s);
+        let hi = pre.end.min(s + lens[p]);
+        lo >= hi
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(client: u16, pos: usize) -> Detection {
+        Detection { pos, client, corr: Complex::real(1.0), score: 1.5 }
+    }
+
+    fn salvaged(client_a: u16, client_b: u16, pos: usize) -> StoredCollision {
+        StoredCollision {
+            id: 0,
+            key: vec![client_a.min(client_b), client_a.max(client_b)],
+            buffer: vec![],
+            detections: vec![det(client_a, pos), det(client_b, pos + 40)],
+        }
+    }
+
+    #[test]
+    fn pool_bounds_per_key_oldest_first() {
+        let mut pool = SalvagePool::new(2);
+        pool.absorb(salvaged(1, 2, 0));
+        pool.absorb(salvaged(1, 2, 10));
+        pool.absorb(salvaged(1, 2, 20));
+        assert_eq!(pool.key_len(&[1, 2]), 2);
+        let positions: Vec<usize> = pool.candidates(&[1, 2]).map(|e| e.detections[0].pos).collect();
+        assert_eq!(positions, vec![10, 20], "the key's oldest entry is dropped for good");
+        pool.absorb(salvaged(3, 4, 0));
+        assert_eq!(pool.len(), 3);
+    }
+
+    #[test]
+    fn pool_consume_removes_by_candidate_index() {
+        let mut pool = SalvagePool::new(4);
+        for i in 0..4 {
+            pool.absorb(salvaged(1, 2, i * 10));
+        }
+        pool.consume(&[1, 2], &[0, 2]);
+        let positions: Vec<usize> = pool.candidates(&[1, 2]).map(|e| e.detections[0].pos).collect();
+        assert_eq!(positions, vec![10, 30]);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn pool_global_valve_sheds_oldest_stamp() {
+        let mut pool = SalvagePool::new(1);
+        for c in 0..MAX_TRACKED_KEYS as u16 {
+            pool.absorb(salvaged(c * 2 + 1, c * 2 + 2, 0));
+        }
+        assert_eq!(pool.len(), MAX_TRACKED_KEYS);
+        pool.absorb(salvaged(101, 102, 0));
+        assert_eq!(pool.len(), MAX_TRACKED_KEYS, "global valve must hold");
+        assert_eq!(pool.key_len(&[1, 2]), 0, "the globally oldest entry is shed");
+        assert_eq!(pool.key_len(&[101, 102]), 1);
+    }
+
+    #[test]
+    fn zero_capacity_pool_discards() {
+        let mut pool = SalvagePool::new(0);
+        pool.absorb(salvaged(1, 2, 0));
+        assert!(pool.is_empty());
+    }
+}

@@ -230,14 +230,65 @@ pub fn min_coverage_lens(n_packets: usize, collisions: &[CollisionLayout]) -> Ve
     (0..n_packets).map(|q| coverage_spans(q, collisions).min().unwrap_or(0)).collect()
 }
 
+/// Why position-wise peeling cannot decode a system — the reason behind
+/// a `false` from [`decodable`].
+///
+/// Callers used to get a bare bool and could not tell a *phantom tail*
+/// (a symbol no collision covers, typically from an over-estimated
+/// packet length) from *insufficient equations* (every symbol is covered
+/// but peeling stalls, e.g. §4.5's Δ₁ = Δ₂ duplicate-equation failure).
+/// The distinction matters downstream: an uncovered symbol can never be
+/// recovered by any decoder, while a stalled system still contributes
+/// equations that the algebraic batch-recovery subsystem
+/// ([`crate::recovery`]) can jointly solve with other collisions of the
+/// same packets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decodability {
+    /// Peeling completes: every symbol of every packet decodes.
+    Decodable,
+    /// Some symbol appears in **no** collision — the length estimate
+    /// overhangs every buffer that contains the packet (phantom tail), or
+    /// the coverage is genuinely truncated. No decoder can recover it.
+    Uncovered {
+        /// The first uncovered packet (lowest index).
+        packet: usize,
+        /// Its first uncovered symbol.
+        symbol: usize,
+    },
+    /// Every symbol is covered but peeling stalls: no interference-free
+    /// position remains while `undecoded` of `total` symbols are still
+    /// unknown. The surviving positions are still valid linear equations
+    /// over the undecoded symbols — raw material for algebraic recovery.
+    Stalled {
+        /// Symbols peeling could not reach.
+        undecoded: usize,
+        /// Total symbols in the system.
+        total: usize,
+    },
+}
+
+impl Decodability {
+    /// `true` for [`Decodability::Decodable`].
+    pub fn is_decodable(self) -> bool {
+        matches!(self, Decodability::Decodable)
+    }
+}
+
 /// Fast decodability test by position-wise peeling.
 ///
 /// Equivalent to running [`PlanState::plan_all`] and checking for
 /// [`PlanOutcome::Complete`], but O(total positions) — suitable for the
-/// Fig 4-7 Monte Carlo. Uses the classic count/XOR peeling trick: each
-/// buffer position keeps the number of undecoded symbols covering it plus
-/// XOR accumulators identifying the survivor once the count reaches one.
+/// Fig 4-7 Monte Carlo. See [`decodability`] for the reason an
+/// undecodable system fails.
 pub fn decodable(lens: &[usize], collisions: &[CollisionLayout]) -> bool {
+    decodability(lens, collisions).is_decodable()
+}
+
+/// [`decodable`] with the failure reason: position-wise peeling using the
+/// classic count/XOR trick — each buffer position keeps the number of
+/// undecoded symbols covering it plus XOR accumulators identifying the
+/// survivor once the count reaches one.
+pub fn decodability(lens: &[usize], collisions: &[CollisionLayout]) -> Decodability {
     // global symbol ids
     let base: Vec<usize> = {
         let mut b = Vec::with_capacity(lens.len());
@@ -250,7 +301,7 @@ pub fn decodable(lens: &[usize], collisions: &[CollisionLayout]) -> bool {
     };
     let total_syms: usize = lens.iter().sum();
     if total_syms == 0 {
-        return true;
+        return Decodability::Decodable;
     }
 
     // per collision: count + xor of covering undecoded symbol ids
@@ -277,8 +328,9 @@ pub fn decodable(lens: &[usize], collisions: &[CollisionLayout]) -> bool {
     }
 
     // any symbol not covered by any collision can never be decoded
-    if appearances.iter().any(|a| a.is_empty()) {
-        return false;
+    if let Some(sid) = appearances.iter().position(|a| a.is_empty()) {
+        let packet = base.iter().rposition(|&b| b <= sid).unwrap_or(0);
+        return Decodability::Uncovered { packet, symbol: sid - base[packet] };
     }
 
     let mut decoded = vec![false; total_syms];
@@ -309,7 +361,11 @@ pub fn decodable(lens: &[usize], collisions: &[CollisionLayout]) -> bool {
             }
         }
     }
-    n_decoded == total_syms
+    if n_decoded == total_syms {
+        Decodability::Decodable
+    } else {
+        Decodability::Stalled { undecoded: total_syms - n_decoded, total: total_syms }
+    }
 }
 
 /// Convenience: layouts for the canonical retransmission pair of Fig 1-2
@@ -498,6 +554,39 @@ mod tests {
             vec![CollisionLayout { placements: vec![Placement { packet: 0, start: 0 }], len: 50 }];
         assert!(!decodable(&[100], &collisions));
         assert!(decodable(&[50], &collisions));
+    }
+
+    #[test]
+    fn decodability_reports_uncovered_phantom_tail() {
+        // packet 1's length overhangs every buffer containing it: the
+        // first uncovered symbol is exactly where coverage ends.
+        let collisions = vec![CollisionLayout {
+            placements: vec![Placement { packet: 0, start: 0 }, Placement { packet: 1, start: 30 }],
+            len: 100,
+        }];
+        assert_eq!(
+            decodability(&[50, 100], &collisions),
+            Decodability::Uncovered { packet: 1, symbol: 70 }
+        );
+        // a bare-bool caller sees the same verdict
+        assert!(!decodable(&[50, 100], &collisions));
+    }
+
+    #[test]
+    fn decodability_reports_stall_on_duplicate_equations() {
+        // Δ₁ = Δ₂: full coverage, but the two collisions are one
+        // equation (§4.5) — peeling stalls with the overlap undecoded.
+        let collisions = pair_layouts(100, 100, 20, 20);
+        match decodability(&[100, 100], &collisions) {
+            Decodability::Stalled { undecoded, total } => {
+                assert_eq!(total, 200);
+                assert!(undecoded > 0 && undecoded <= total, "undecoded {undecoded}");
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+        assert_eq!(decodability(&[100, 100], &pair_layouts(100, 100, 30, 10)), {
+            Decodability::Decodable
+        });
     }
 
     #[test]

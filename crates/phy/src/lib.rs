@@ -8,7 +8,7 @@
 //!
 //! ## Layout
 //!
-//! * [`complex`] — the [`Complex`](complex::Complex) sample type and signal
+//! * [`complex`] — the [`complex::Complex`] sample type and signal
 //!   arithmetic.
 //! * [`bits`] — bit/byte packing and BER computation.
 //! * [`crc`] / [`scramble`] — CRC-32 frame check and 802.11-style data

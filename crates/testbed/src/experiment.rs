@@ -405,6 +405,10 @@ pub struct SetOutcome {
     pub collisions_stored: usize,
     /// Deliveries that took the matched-collision ZigZag path.
     pub zigzag_delivered: usize,
+    /// Deliveries that took the algebraic batch-recovery path
+    /// (`zigzag_core::recovery`) — collisions the chunk scheduler could
+    /// not peel, solved jointly instead of dropped.
+    pub recovered_delivered: usize,
 }
 
 impl SetOutcome {
@@ -513,11 +517,93 @@ fn record_event(
                 if *path == DecodePath::Zigzag {
                     out.zigzag_delivered += 1;
                 }
+                if *path == DecodePath::Recovered {
+                    out.recovered_delivered += 1;
+                }
             }
         }
         zigzag_core::ReceiverEvent::CollisionStored => out.collisions_stored += 1,
         zigzag_core::ReceiverEvent::DecodeFailed => {}
     }
+}
+
+/// A degenerate-backoff hidden-sender scenario: every collision round
+/// places the senders at the **same** relative offsets.
+///
+/// This models the pathological-but-real regime the paper's §4.5 calls
+/// out as ZigZag's failure condition (Δ₁ = Δ₂): stations whose backoff
+/// counters froze in lockstep (e.g. both deafened through the same busy
+/// period) retransmit with identical spacing, so every collision is the
+/// same combinatorial equation and the chunk scheduler never finds an
+/// interference-free boundary. The iterative receiver stores such
+/// collisions forever; the algebraic recovery path
+/// (`DecoderConfig::with_recovery`) jointly solves consecutive ones —
+/// [`run_recovery_set`] measures exactly that difference.
+#[derive(Clone, Debug)]
+pub struct RecoveryScenario {
+    /// Per-sender links to the AP (sender `i` gets client id `i+1`), at
+    /// distinct oscillator offsets.
+    pub links: Vec<LinkProfile>,
+    /// Fixed start offset of each sender in every collision round.
+    pub offsets: Vec<usize>,
+    /// Per-scenario RNG seed.
+    pub seed: u64,
+}
+
+/// Runs one degenerate-backoff scenario end-to-end through the receiver
+/// pipeline: every round all senders collide at the scenario's fixed
+/// offsets, and each buffer goes through `ZigzagReceiver::process`.
+/// With recovery disabled the outcome is (by §4.5) zero deliveries; with
+/// recovery enabled, consecutive collisions jointly solve.
+pub fn run_recovery_set(scenario: &RecoveryScenario, cfg: &ExperimentConfig) -> SetOutcome {
+    let k = scenario.links.len();
+    assert_eq!(k, scenario.offsets.len(), "one fixed offset per sender");
+    let mut rng = StdRng::seed_from_u64(scenario.seed ^ 0x41EC);
+    let ids: Vec<(u16, &LinkProfile)> =
+        scenario.links.iter().enumerate().map(|(i, l)| (i as u16 + 1, l)).collect();
+    let reg = registry_for(&ids);
+    let mut rx = zigzag_core::ZigzagReceiver::new(cfg.decoder.clone(), reg);
+    let mut tx: Vec<TxState> = (0..k)
+        .map(|s| TxState::new(s as u16 + 1, 0, cfg.payload, &scenario.links[s], &mut rng))
+        .collect();
+    let mut out =
+        SetOutcome { delivered: vec![0; k], offered: vec![0; k], ..SetOutcome::default() };
+
+    for _round in 0..cfg.rounds {
+        let placed: Vec<PlacedTx<'_>> = (0..k)
+            .map(|s| PlacedTx { air: &tx[s].air, base: &tx[s].chan, start: scenario.offsets[s] })
+            .collect();
+        let sc = synth_collision(&placed, 1.0, &mut rng);
+        let mut got = vec![false; k];
+        for ev in rx.process(&sc.buffer) {
+            record_event(&ev, &tx, &mut got, &mut out);
+        }
+        out.airtime += 1.0;
+        for s in 0..k {
+            if got[s] {
+                out.delivered[s] += 1;
+                out.offered[s] += 1;
+                tx[s].advance(s as u16 + 1, cfg.payload, &scenario.links[s], &mut rng);
+            } else {
+                tx[s].retries += 1;
+                if tx[s].retries > cfg.mac.retry_limit {
+                    out.offered[s] += 1; // dropped
+                    tx[s].advance(s as u16 + 1, cfg.payload, &scenario.links[s], &mut rng);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs many degenerate-backoff scenarios across the [`BatchEngine`];
+/// results are in scenario order and thread-count invariant.
+pub fn run_recovery_sets(
+    engine: &BatchEngine,
+    scenarios: &[RecoveryScenario],
+    cfg: &ExperimentConfig,
+) -> Vec<SetOutcome> {
+    engine.map(scenarios, |_, s| run_recovery_set(s, cfg))
 }
 
 /// Runs many k-sender scenarios across the [`BatchEngine`]; results are
@@ -551,7 +637,7 @@ pub struct ShardedRun {
 /// resolves by carrier sense (k clean slots) or collides with fresh MAC
 /// jitter, exactly as in [`run_set`]; the round's buffers from *all*
 /// sets are then interleaved into one batch through
-/// [`ShardedReceiver::process_batch`], so collisions of different sets
+/// [`ShardedReceiver::process_batch`](zigzag_core::ShardedReceiver::process_batch), so collisions of different sets
 /// land on (and accumulate in) their owning shard's store concurrently.
 ///
 /// Deterministic for a given scenario list and config at **any** shard
@@ -690,6 +776,9 @@ fn record_set_event(
                 if *path == DecodePath::Zigzag {
                     out.zigzag_delivered += 1;
                 }
+                if *path == DecodePath::Recovered {
+                    out.recovered_delivered += 1;
+                }
             }
         }
         zigzag_core::ReceiverEvent::CollisionStored => out.collisions_stored += 1,
@@ -783,6 +872,65 @@ mod tests {
             assert!(o.total_throughput() > 0.3, "{o:?}");
             assert!(o.collisions_stored > 0, "hidden senders must produce stored collisions");
         }
+    }
+
+    #[test]
+    fn degenerate_backoff_delivers_only_with_recovery() {
+        // §4.5's Δ₁ = Δ₂ regime at testbed level: every round the two
+        // hidden senders collide at identical offsets. The zigzag-only
+        // receiver provably delivers nothing; the algebraic recovery
+        // path decodes CRC-verified packets out of the same air.
+        let scenario = RecoveryScenario {
+            links: vec![
+                LinkProfile::clean_with_omega(17.0, -0.08),
+                LinkProfile::clean_with_omega(17.0, 0.09),
+            ],
+            offsets: vec![0, 300],
+            seed: 224,
+        };
+        let cfg = ExperimentConfig { payload: 120, rounds: 8, ..Default::default() };
+        let plain = run_recovery_set(&scenario, &cfg);
+        assert_eq!(
+            plain.delivered.iter().sum::<usize>(),
+            0,
+            "zigzag-only must deliver nothing under degenerate backoff: {plain:?}"
+        );
+        assert_eq!(plain.recovered_delivered, 0);
+        assert!(plain.collisions_stored > 0);
+
+        let cfg_rec = ExperimentConfig { decoder: DecoderConfig::with_recovery(), ..cfg.clone() };
+        let rec = run_recovery_set(&scenario, &cfg_rec);
+        assert!(
+            rec.recovered_delivered >= 2,
+            "recovery must decode packets zigzag cannot: {rec:?}"
+        );
+        assert!(
+            rec.delivered.iter().sum::<usize>() > plain.delivered.iter().sum::<usize>(),
+            "recovery must raise delivered throughput: {rec:?} vs {plain:?}"
+        );
+    }
+
+    #[test]
+    fn recovery_sets_are_thread_count_invariant() {
+        let scenarios: Vec<RecoveryScenario> = (0..3)
+            .map(|i| RecoveryScenario {
+                links: vec![
+                    LinkProfile::clean_with_omega(17.0, -0.08),
+                    LinkProfile::clean_with_omega(17.0, 0.09),
+                ],
+                offsets: vec![0, 280 + 20 * i as usize],
+                seed: 300 + i,
+            })
+            .collect();
+        let cfg = ExperimentConfig {
+            payload: 120,
+            rounds: 6,
+            decoder: DecoderConfig::with_recovery(),
+            ..Default::default()
+        };
+        let seq = run_recovery_sets(&BatchEngine::single_threaded(), &scenarios, &cfg);
+        let par = run_recovery_sets(&BatchEngine::new(3), &scenarios, &cfg);
+        assert_eq!(seq, par, "run_recovery_sets must be thread-count invariant");
     }
 
     #[test]
