@@ -1,7 +1,8 @@
 //! Criterion benches of the receiver's hot phy primitives, run on both
 //! kernel backends (`zigzag_phy::kernel`): the sliding correlation scan,
-//! FIR filtering, windowed-sinc resampling and MRC combining, plus the
-//! equalizer design and Viterbi decoding baselines. These quantify the
+//! FIR filtering, windowed-sinc resampling, MRC combining and the
+//! §4.2.2 match metric (raw and footprint-backed), plus the equalizer
+//! design and Viterbi decoding baselines. These quantify the
 //! per-buffer detection cost the §4.6 complexity discussion treats as
 //! "typical functionality".
 //!
@@ -21,7 +22,7 @@ use zigzag_phy::coding;
 use zigzag_phy::complex::Complex;
 use zigzag_phy::equalize::{design_inverse, estimate_channel_taps};
 use zigzag_phy::filter::Fir;
-use zigzag_phy::kernel::{BackendKind, Kernel};
+use zigzag_phy::kernel::{BackendKind, CorrFootprint, Kernel, MatchScore};
 use zigzag_phy::preamble::Preamble;
 
 const BACKENDS: [BackendKind; 2] = [BackendKind::Scalar, BackendKind::Optimized];
@@ -178,6 +179,65 @@ fn bench_mrc(c: &mut Criterion, r: &mut Results) {
     assert_equivalent(&outputs[0], &outputs[1], "mrc_combine_4096_x2");
 }
 
+/// The §4.2.2 match metric at the matcher's production shape: a
+/// 512-sample window swept over τ ∈ [−1, 1] at 0.25 steps, raw-buffer
+/// and footprint-backed, on both backends. `buf_b` is a shifted, phase-
+/// rotated, noisy copy of `buf_a` so the metric is a realistic match
+/// (≈ the threshold regime the funnel operates in), not a noise floor.
+fn bench_matching(c: &mut Criterion, r: &mut Results) {
+    let window = 512usize;
+    let buf_a = noise(4096, 6);
+    let mut rng = StdRng::seed_from_u64(7);
+    let rot = Complex::cis(0.4);
+    let buf_b: Vec<Complex> = (0..4096)
+        .map(|k| {
+            let src = if k >= 32 { buf_a[k - 32] } else { Complex::default() };
+            src * rot + Complex::new(rng.gen_range(-0.2..0.2), rng.gen_range(-0.2..0.2))
+        })
+        .collect();
+    let (p, q) = (100usize, 132usize); // aligned spans (32-sample shift)
+    let mut fp = CorrFootprint::default();
+    Kernel::new(BackendKind::Optimized).ensure_footprint(&mut fp, &buf_b, 0.25, &mut Vec::new);
+    let mut raw_scores: Vec<MatchScore> = Vec::new();
+    let mut fp_scores: Vec<MatchScore> = Vec::new();
+    for kind in BACKENDS {
+        let mut kernel = Kernel::new(kind);
+        let name = format!("match_score_{window}/{}", kind.name());
+        c.bench_function(&name, |b| {
+            b.iter(|| kernel.match_score(&buf_a, p, &buf_b, q, window, 0.25, None).metric)
+        });
+        r.record(&name, c.last_ns);
+        raw_scores.push(kernel.match_score(&buf_a, p, &buf_b, q, window, 0.25, None));
+
+        let name = format!("match_score_fp_{window}/{}", kind.name());
+        c.bench_function(&name, |b| {
+            b.iter(|| kernel.match_score_fp(&buf_a, p, &fp, q, window, 0.25, None).metric)
+        });
+        r.record(&name, c.last_ns);
+        fp_scores.push(kernel.match_score_fp(&buf_a, p, &fp, q, window, 0.25, None));
+    }
+    for (what, scores) in [("match_score", &raw_scores), ("match_score_fp", &fp_scores)] {
+        assert!(
+            (scores[0].metric - scores[1].metric).abs() < 1e-9
+                && (scores[0].tau - scores[1].tau).abs() < 0.25 + 1e-9,
+            "{what}: scalar {:?} vs optimized {:?} — backend regression",
+            scores[0],
+            scores[1]
+        );
+    }
+    assert!(
+        raw_scores[0].metric > 0.5,
+        "bench operands must be a genuine match, got {}",
+        raw_scores[0].metric
+    );
+    assert!(
+        (raw_scores[0].metric - fp_scores[0].metric).abs() < 1e-9,
+        "footprint path diverged from raw: {} vs {}",
+        raw_scores[0].metric,
+        fp_scores[0].metric
+    );
+}
+
 fn bench_equalizer(c: &mut Criterion, r: &mut Results) {
     let p = Preamble::standard(64);
     let ch =
@@ -206,6 +266,7 @@ fn run(c: &mut Criterion) {
     bench_fir(c, &mut r);
     bench_resample(c, &mut r);
     bench_mrc(c, &mut r);
+    bench_matching(c, &mut r);
     bench_equalizer(c, &mut r);
     bench_viterbi(c, &mut r);
 

@@ -7,11 +7,15 @@
 //! regression gate: decode events must be **identical** at every thread
 //! count AND under both kernel backends (always asserted — this is the
 //! CI smoke check for kernel-backend regressions), the multi-threaded
-//! engine must beat single-threaded by ≥ 2× on ≥ 4 real cores, and the
-//! optimized backend must measurably beat scalar end-to-end. Perf gates
-//! (not the identity asserts) relax under `ZIGZAG_BENCH_RELAXED=1` for
-//! shared/noisy runners. Results land in `BENCH_throughput.json` at the
-//! repo root so the perf trajectory is tracked across PRs.
+//! engine must beat single-threaded by ≥ 2× on ≥ 4 real cores, the
+//! optimized backend must measurably beat scalar end-to-end, and the
+//! staged k-way matcher must beat the frozen exhaustive-interp k=3
+//! baseline ([`K3_BASELINE_MS_SINGLE`]) by ≥ 5×. Perf gates
+//! (never the identity asserts) relax under `ZIGZAG_BENCH_RELAXED=1`;
+//! `ZIGZAG_BENCH_RELAXED=threads` relaxes only the machine-parallelism
+//! gates, keeping the backend and staged-matching ratio gates (the CI
+//! setting). Results land in `BENCH_throughput.json` at the repo root
+//! so the perf trajectory is tracked across PRs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::prelude::*;
@@ -139,6 +143,15 @@ fn build_recovery_stream() -> (ClientRegistry, Vec<Vec<Complex>>) {
 /// that path is covered by the testbed's `run_sets` tests, while this
 /// bench pins the successful-decode path's identity and throughput).
 const K3_SEEDS: [u64; 16] = [0, 1, 2, 3, 4, 9, 12, 14, 15, 16, 17, 18, 19, 20, 25, 26];
+
+/// The k=3 single-thread baseline measured on the reference runner
+/// *before* the staged coarse-to-fine search and cached correlation
+/// footprints landed (the exhaustive interpolate-per-τ matcher). The
+/// quick-mode perf gate requires the current build to beat this by ≥ 5×;
+/// `ZIGZAG_BENCH_RELAXED=1` relaxes the gate (never the identity
+/// asserts) for shared/noisy runners.
+const K3_BASELINE_MS_SINGLE: f64 = 6338.42;
+const K3_BASELINE_BUFFERS_PER_SEC: f64 = 7.6;
 
 /// Builds the k=3 workload: per unit, three 3-sender collisions through
 /// one receiver (store → store → k-way match → zigzag), plus the frames
@@ -292,6 +305,15 @@ fn bench_batch_decode(c: &mut Criterion) {
     println!(
         "k3: {k3_delivered} frames via the k-way store/match path, identical to the executor path"
     );
+    // backend identity on the k=3 workload: the staged matcher's store,
+    // footprint cache and early abandonment must not let the backends
+    // diverge by a single decode event
+    let (k3_scalar_units, _) = build_k3_units(BackendKind::Scalar);
+    assert_eq!(
+        k3_events,
+        decode_batch(&single, &k3_scalar_units),
+        "[k3] scalar and optimized kernel backends must produce identical decode events"
+    );
 
     // --- shard workload: one AP, four disjoint client sets, sharded ---
     let (shard_registry, shard_stream) = build_shard_stream();
@@ -313,7 +335,6 @@ fn bench_batch_decode(c: &mut Criterion) {
             rx.process_batch(stream)
         };
     let shared_cfg = DecoderConfig::shared_ap();
-    let default_cfg = DecoderConfig::default();
     println!(
         "shard: {} buffers / {} client sets through one AP; {} shards",
         shard_stream.len(),
@@ -331,9 +352,9 @@ fn bench_batch_decode(c: &mut Criterion) {
 
     // Identity gates: the sharded receiver's merged event stream equals
     // the single ReceiverCore's at 1, 2, and 4 shards — on the k=2
-    // multi-set stream, and on the k=3 workload (each k3 unit is one
-    // 3-client set; its buffers all route to one shard — the degenerate
-    // case, which must still be exact).
+    // multi-set stream, and on the k=3 workload under BOTH kernel
+    // backends (each k3 unit is one 3-client set; its buffers all route
+    // to one shard — the degenerate case, which must still be exact).
     let shard_reference = run_single(&shared_cfg, &shard_registry, &shard_stream);
     for shards in [1, 2, 4] {
         assert_eq!(
@@ -342,13 +363,14 @@ fn bench_batch_decode(c: &mut Criterion) {
             "sharded decode at {shards} shards must be bit-identical to a single ReceiverCore"
         );
     }
-    for unit in k3_units.iter().take(4) {
-        let reference = run_single(&default_cfg, &unit.registry, &unit.buffers);
+    for unit in k3_units.iter().take(4).chain(k3_scalar_units.iter().take(4)) {
+        let reference = run_single(&unit.cfg, &unit.registry, &unit.buffers);
         for shards in [1, 2, 4] {
             assert_eq!(
                 reference,
-                run_sharded(&default_cfg, &unit.registry, &unit.buffers, shards),
-                "[k3] sharded decode at {shards} shards must be bit-identical"
+                run_sharded(&unit.cfg, &unit.registry, &unit.buffers, shards),
+                "[k3/{}] sharded decode at {shards} shards must be bit-identical",
+                unit.cfg.backend.name()
             );
         }
     }
@@ -442,8 +464,10 @@ fn bench_batch_decode(c: &mut Criterion) {
     let combined =
         ns("batch_decode_single_thread/scalar") / ns("batch_decode_multi_thread/optimized");
     let shard_speedup = ns("shard_single_core") / ns("shard_sharded");
+    let k3_ms = ns("batch_decode_k3_single_thread/optimized") / 1e6;
+    let k3_speedup = K3_BASELINE_MS_SINGLE / k3_ms;
     println!(
-        "speedups: threads {thread_speedup:.2}x, backend {backend_speedup:.2}x, combined {combined:.2}x, shard {shard_speedup:.2}x   frames delivered: {delivered} (identical across backends and thread counts)"
+        "speedups: threads {thread_speedup:.2}x, backend {backend_speedup:.2}x, combined {combined:.2}x, shard {shard_speedup:.2}x, k3-vs-exhaustive {k3_speedup:.1}x   frames delivered: {delivered} (identical across backends and thread counts)"
     );
 
     // JSON perf trajectory at the repo root.
@@ -472,6 +496,19 @@ fn bench_batch_decode(c: &mut Criterion) {
         ns("batch_decode_k3_single_thread/optimized") / 1e6,
         ns("batch_decode_k3_multi_thread/optimized") / 1e6
     );
+    // perf trajectory of the k=3 matcher itself: the frozen pre-staged-
+    // search baseline vs this run
+    let _ = writeln!(s, "  \"k3_history\": [");
+    let _ = writeln!(
+        s,
+        "    {{\"stage\": \"exhaustive-interp-matcher\", \"ms_single\": {K3_BASELINE_MS_SINGLE}, \"buffers_per_sec\": {K3_BASELINE_BUFFERS_PER_SEC}}},"
+    );
+    let _ = writeln!(
+        s,
+        "    {{\"stage\": \"staged-footprint-matcher\", \"ms_single\": {k3_ms:.2}, \"buffers_per_sec\": {:.1}, \"speedup\": {k3_speedup:.1}}}",
+        k3_buffers as f64 / (k3_ms / 1e3)
+    );
+    s.push_str("  ],\n");
     let _ = writeln!(
         s,
         "  \"shard\": {{\"buffers\": {}, \"client_sets\": {}, \"shards\": {}, \"frames_delivered\": {shard_delivered}, \"ms_single_core\": {:.2}, \"ms_sharded\": {:.2}, \"speedup\": {shard_speedup:.2}}},",
@@ -499,27 +536,38 @@ fn bench_batch_decode(c: &mut Criterion) {
     }
     println!("wrote BENCH_throughput.json");
 
-    // Hard perf gates for dedicated hardware with real parallelism; shared
-    // CI runners (SMT vCPUs, noisy neighbors) set ZIGZAG_BENCH_RELAXED=1
-    // and rely on the identity asserts above.
-    let relaxed = std::env::var_os("ZIGZAG_BENCH_RELAXED").is_some();
-    if !relaxed {
+    // Hard perf gates. `ZIGZAG_BENCH_RELAXED=1` (or `all`) relaxes every
+    // perf gate (never the identity asserts above); `=threads` relaxes
+    // only the machine-parallelism gates (thread/shard — SMT vCPUs and
+    // noisy neighbors make wall-clock parallel speedup unreliable on
+    // shared CI runners) while keeping the algorithmic gates: the
+    // backend ratio is measured within this run, and the staged-matching
+    // gate has ~4x headroom over its 5x bar even on slow runners.
+    let relax = std::env::var("ZIGZAG_BENCH_RELAXED").unwrap_or_default();
+    let relax_all = matches!(relax.as_str(), "1" | "all" | "true");
+    let relax_machine = !relax.is_empty();
+    if !relax_all {
         assert!(
             backend_speedup >= 1.2,
             "optimized backend must measurably beat scalar end-to-end, got {backend_speedup:.2}x"
         );
-        if multi.threads() >= 4 {
-            assert!(
-                thread_speedup >= 2.0,
-                "multi-threaded BatchEngine must be >= 2x single-threaded on {} threads, got {thread_speedup:.2}x",
-                multi.threads()
-            );
-            assert!(
-                shard_speedup >= 1.5,
-                "ShardedReceiver must be >= 1.5x a single ReceiverCore on {} shards, got {shard_speedup:.2}x",
-                multi.threads()
-            );
-        }
+        assert!(
+            k3_speedup >= 5.0,
+            "staged k-way matching must be >= 5x the exhaustive-interp baseline \
+             ({K3_BASELINE_MS_SINGLE:.0} ms), got {k3_speedup:.2}x ({k3_ms:.0} ms)"
+        );
+    }
+    if !relax_machine && multi.threads() >= 4 {
+        assert!(
+            thread_speedup >= 2.0,
+            "multi-threaded BatchEngine must be >= 2x single-threaded on {} threads, got {thread_speedup:.2}x",
+            multi.threads()
+        );
+        assert!(
+            shard_speedup >= 1.5,
+            "ShardedReceiver must be >= 1.5x a single ReceiverCore on {} shards, got {shard_speedup:.2}x",
+            multi.threads()
+        );
     }
 }
 

@@ -12,6 +12,27 @@ use std::sync::Arc;
 use zigzag_phy::filter::Fir;
 use zigzag_phy::kernel::BackendKind;
 
+/// How the match layer searches candidate alignments
+/// ([`crate::matchset`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MatchSearch {
+    /// Coarse-to-fine funnel (the default): candidate alignments pass a
+    /// short-window integer-τ prefilter, survivors are promoted to the
+    /// half-sample coarse metric, and only per-bucket winners pay the
+    /// full-window τ=0.25 metric — with mid-accumulation abandonment of
+    /// candidates that provably cannot reach the match threshold. The
+    /// funnel only ever *skips work whose outcome is already decided*
+    /// (prefilter margins are sized so any true match survives; bailed
+    /// metrics are exact whenever they clear the threshold), so it
+    /// selects the same match sets as the exhaustive path.
+    #[default]
+    Staged,
+    /// Evaluate every candidate alignment at full precision with no
+    /// prefilters or early abandonment — the reference the
+    /// staged-vs-exhaustive differential tests compare against.
+    Exhaustive,
+}
+
 /// Tunable knobs of the ZigZag receiver. Defaults reproduce the paper's
 /// configuration; the `false` settings exist for the Table 5.1 ablations.
 #[derive(Clone, Debug)]
@@ -71,6 +92,9 @@ pub struct DecoderConfig {
     /// (`zigzag_phy::kernel`). Defaults to the optimized SoA backend;
     /// `ZIGZAG_BACKEND=scalar` selects the scalar reference process-wide.
     pub backend: BackendKind,
+    /// How the match layer searches candidate alignments: the staged
+    /// coarse-to-fine funnel (default) or the exhaustive reference.
+    pub match_search: MatchSearch,
     /// The algebraic batch-recovery subsystem
     /// ([`crate::recovery`]): joint Gaussian elimination over collision
     /// groups the chunk scheduler cannot peel. Off by default — see
@@ -166,6 +190,7 @@ impl Default for DecoderConfig {
             collision_store: 4,
             key_window: usize::MAX,
             backend: BackendKind::default(),
+            match_search: MatchSearch::default(),
             recovery: RecoveryConfig::default(),
         }
     }

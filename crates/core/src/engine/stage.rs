@@ -19,8 +19,8 @@ use crate::config::{ClientRegistry, DecoderConfig, SharedRegistry};
 use crate::detect::{detect_packets_with, Detection};
 use crate::engine::scratch::Scratch;
 use crate::matchset::{
-    classify_match, collision_key, find_match_set, CollisionStore, MatchOutcome, MatchSet,
-    RejectedSet,
+    classify_match_with, collision_key, find_match_set_with, CollisionStore, MatchOutcome,
+    MatchSet, RejectedSet,
 };
 use crate::receiver::{DecodePath, ReceiverEvent};
 use crate::recovery::{group_from_pool, group_from_rejected, solve_group, SalvagePool};
@@ -569,7 +569,7 @@ impl DecodeStage for CaptureStage {
 
 /// §4.2.2/§4.5: match the collision against the unmatched-collision
 /// store — pairwise for two distinct clients, k-way match sets for
-/// three or more (see [`find_match_set`]).
+/// three or more (see [`crate::matchset::find_match_set`]).
 pub struct MatchStage;
 
 impl DecodeStage for MatchStage {
@@ -590,15 +590,27 @@ impl DecodeStage for MatchStage {
         // alignments) only pays off with a recovery consumer downstream;
         // otherwise take the historical fast path, which skips that
         // signal work entirely.
-        let outcome = if rx.cfg.recovery.enabled {
-            classify_match(unit.buffer, &unit.detections, &rx.store, &rx.registry, &rx.preamble)
-        } else {
-            match find_match_set(
+        let ReceiverCore { cfg, registry, preamble, store, scratch, .. } = rx;
+        let search = cfg.match_search;
+        let outcome = if cfg.recovery.enabled {
+            classify_match_with(
+                search,
+                scratch,
                 unit.buffer,
                 &unit.detections,
-                &rx.store,
-                &rx.registry,
-                &rx.preamble,
+                store,
+                registry,
+                preamble,
+            )
+        } else {
+            match find_match_set_with(
+                search,
+                scratch,
+                unit.buffer,
+                &unit.detections,
+                store,
+                registry,
+                preamble,
             ) {
                 Some(set) => MatchOutcome::Matched(set),
                 None => MatchOutcome::NoMatch,
@@ -750,9 +762,14 @@ impl DecodeStage for RecoverStage {
         // combine with the current buffer's into a solvable system.
         let key = collision_key(&unit.detections, rx.store.key_window());
         let max_members = rx.cfg.recovery.max_collisions.saturating_sub(1);
-        if let Some((group, used)) =
-            group_from_pool(unit.buffer, &unit.detections, &key, &rx.salvage, max_members)
-        {
+        if let Some((group, used)) = group_from_pool(
+            &mut rx.scratch,
+            unit.buffer,
+            &unit.detections,
+            &key,
+            &rx.salvage,
+            max_members,
+        ) {
             if Self::solve_and_deliver(rx, &group, events) {
                 rx.salvage.consume(&key, &used);
                 return Flow::Done;

@@ -15,6 +15,7 @@
 //! and the noise average out.
 
 use zigzag_phy::complex::Complex;
+use zigzag_phy::kernel::Kernel;
 
 /// How many aligned samples to correlate when matching (enough that an
 /// uncorrelated pairing stays far under the matched level).
@@ -29,14 +30,23 @@ pub const MATCH_WINDOW: usize = 512;
 /// (§3.1.2), which at one sample per symbol can decorrelate a raw
 /// integer-aligned product (sinc(Δµ) → 0 as Δµ → 1). The metric therefore
 /// maximises over sub-sample alignments of the second buffer.
+///
+/// The evaluation itself lives behind the kernel [`Backend`] — see
+/// [`zigzag_phy::kernel::Backend::match_score`] — so the matcher honors
+/// `DecoderConfig::backend` / `ZIGZAG_BACKEND` like every other hot
+/// loop. These wrappers keep the §4.2.2 decision layer (window size,
+/// threshold) in one place.
+///
+/// [`Backend`]: zigzag_phy::kernel::Backend
 pub fn match_metric(
+    kernel: &mut Kernel,
     buf_a: &[Complex],
     start_a: usize,
     buf_b: &[Complex],
     start_b: usize,
     window: usize,
 ) -> f64 {
-    match_metric_with_step(buf_a, start_a, buf_b, start_b, window, 0.25)
+    match_metric_with_step(kernel, buf_a, start_a, buf_b, start_b, window, 0.25)
 }
 
 /// Coarser sub-sample search for high-volume alignment scoring (the
@@ -45,7 +55,13 @@ pub fn match_metric(
 /// the full metric's 0.25. At step 0.5 the worst-case residual
 /// misalignment is 0.25 samples — a ≲10% sinc attenuation that
 /// alignment prefilters and coarse scans absorb in their margins.
+///
+/// The τ grid is [`zigzag_phy::kernel::tau_sweep`], which derives the
+/// iteration count from the step instead of accumulating `tau +=
+/// tau_step` — the accumulated form silently skipped the `+1.0`
+/// endpoint for non-dyadic steps (float drift past the loop bound).
 pub fn match_metric_with_step(
+    kernel: &mut Kernel,
     buf_a: &[Complex],
     start_a: usize,
     buf_b: &[Complex],
@@ -53,30 +69,7 @@ pub fn match_metric_with_step(
     window: usize,
     tau_step: f64,
 ) -> f64 {
-    let n =
-        window.min(buf_a.len().saturating_sub(start_a)).min(buf_b.len().saturating_sub(start_b));
-    if n == 0 {
-        return 0.0;
-    }
-    let mut best = 0.0f64;
-    let mut tau = -1.0f64;
-    while tau <= 1.0 {
-        let mut acc = Complex::default();
-        let mut ea = 0.0;
-        let mut eb = 0.0;
-        for k in 0..n {
-            let x = buf_a[start_a + k];
-            let y = zigzag_phy::interp::interp_at(buf_b, start_b as f64 + k as f64 + tau);
-            acc += x * y.conj();
-            ea += x.norm_sq();
-            eb += y.norm_sq();
-        }
-        if ea > 0.0 && eb > 0.0 {
-            best = best.max(acc.abs() / (ea * eb).sqrt());
-        }
-        tau += tau_step;
-    }
-    best
+    kernel.match_score(buf_a, start_a, buf_b, start_b, window, tau_step, None).metric
 }
 
 /// Decision threshold for [`is_match`]: matched packets produce metrics
@@ -86,8 +79,14 @@ pub const MATCH_THRESHOLD: f64 = 0.15;
 
 /// `true` if the packet starting at `start_a` in `buf_a` and the packet
 /// starting at `start_b` in `buf_b` carry the same symbols (§4.2.2).
-pub fn is_match(buf_a: &[Complex], start_a: usize, buf_b: &[Complex], start_b: usize) -> bool {
-    match_metric(buf_a, start_a, buf_b, start_b, MATCH_WINDOW) > MATCH_THRESHOLD
+pub fn is_match(
+    kernel: &mut Kernel,
+    buf_a: &[Complex],
+    start_a: usize,
+    buf_b: &[Complex],
+    start_b: usize,
+) -> bool {
+    match_metric(kernel, buf_a, start_a, buf_b, start_b, MATCH_WINDOW) > MATCH_THRESHOLD
 }
 
 #[cfg(test)]
@@ -107,6 +106,7 @@ mod tests {
 
     #[test]
     fn matching_collisions_spike() {
+        let mut k = Kernel::default();
         let mut rng = StdRng::seed_from_u64(1);
         let la = LinkProfile::typical(12.0, &mut rng);
         let lb = LinkProfile::typical(12.0, &mut rng);
@@ -114,16 +114,25 @@ mod tests {
         let b = air(2, 9, 400);
         let hp = hidden_pair(&a, &b, &la, &lb, 600, 150, &mut rng);
         // align at Bob's starts (600 in c1, 150 in c2)
-        let m = match_metric(&hp.collision1.buffer, 600, &hp.collision2.buffer, 150, MATCH_WINDOW);
+        let m = match_metric(
+            &mut k,
+            &hp.collision1.buffer,
+            600,
+            &hp.collision2.buffer,
+            150,
+            MATCH_WINDOW,
+        );
         assert!(m > MATCH_THRESHOLD, "matched metric {m}");
-        assert!(is_match(&hp.collision1.buffer, 600, &hp.collision2.buffer, 150));
+        assert!(is_match(&mut k, &hp.collision1.buffer, 600, &hp.collision2.buffer, 150));
         // aligning at Alice's starts also matches (same Alice packet)
-        let ma = match_metric(&hp.collision1.buffer, 0, &hp.collision2.buffer, 0, MATCH_WINDOW);
+        let ma =
+            match_metric(&mut k, &hp.collision1.buffer, 0, &hp.collision2.buffer, 0, MATCH_WINDOW);
         assert!(ma > MATCH_THRESHOLD, "alice metric {ma}");
     }
 
     #[test]
     fn different_packets_do_not_match() {
+        let mut k = Kernel::default();
         let mut rng = StdRng::seed_from_u64(2);
         let la = LinkProfile::typical(12.0, &mut rng);
         let lb = LinkProfile::typical(12.0, &mut rng);
@@ -134,36 +143,52 @@ mod tests {
         let hp1 = hidden_pair(&a, &b, &la, &lb, 600, 150, &mut rng);
         let hp2 = hidden_pair(&a, &c, &la, &lc, 500, 220, &mut rng);
         // Bob (in hp1 c1 at 600) vs Charlie (in hp2 c1 at 500): unrelated
-        let m =
-            match_metric(&hp1.collision1.buffer, 600, &hp2.collision1.buffer, 500, MATCH_WINDOW);
+        let m = match_metric(
+            &mut k,
+            &hp1.collision1.buffer,
+            600,
+            &hp2.collision1.buffer,
+            500,
+            MATCH_WINDOW,
+        );
         assert!(m < MATCH_THRESHOLD, "unmatched metric {m}");
     }
 
     #[test]
     fn misaligned_same_packet_does_not_match() {
         // aligning the same packet at the wrong offset decorrelates it
+        let mut k = Kernel::default();
         let mut rng = StdRng::seed_from_u64(3);
         let la = LinkProfile::typical(12.0, &mut rng);
         let lb = LinkProfile::typical(12.0, &mut rng);
         let a = air(1, 5, 400);
         let b = air(2, 9, 400);
         let hp = hidden_pair(&a, &b, &la, &lb, 600, 150, &mut rng);
-        let m = match_metric(&hp.collision1.buffer, 600, &hp.collision2.buffer, 190, MATCH_WINDOW);
+        let m = match_metric(
+            &mut k,
+            &hp.collision1.buffer,
+            600,
+            &hp.collision2.buffer,
+            190,
+            MATCH_WINDOW,
+        );
         assert!(m < MATCH_THRESHOLD, "misaligned metric {m}");
     }
 
     #[test]
     fn empty_windows_yield_zero() {
+        let mut k = Kernel::default();
         let empty: Vec<Complex> = Vec::new();
-        assert_eq!(match_metric(&empty, 0, &empty, 0, 128), 0.0);
+        assert_eq!(match_metric(&mut k, &empty, 0, &empty, 0, 128), 0.0);
         let buf = vec![Complex::real(1.0); 10];
-        assert_eq!(match_metric(&buf, 20, &buf, 0, 128), 0.0);
+        assert_eq!(match_metric(&mut k, &buf, 20, &buf, 0, 128), 0.0);
     }
 
     #[test]
     fn retransmission_with_fresh_carrier_phase_still_matches() {
         // The whole point: per-transmission random carrier phase must not
         // break magnitude-based matching.
+        let mut k = Kernel::default();
         let mut rng = StdRng::seed_from_u64(4);
         let la = LinkProfile::typical(10.0, &mut rng);
         let lb = LinkProfile::typical(10.0, &mut rng);
@@ -173,9 +198,30 @@ mod tests {
             let mut r2 = StdRng::seed_from_u64(100 + seed);
             let hp = hidden_pair(&a, &b, &la, &lb, 400, 100, &mut r2);
             assert!(
-                is_match(&hp.collision1.buffer, 400, &hp.collision2.buffer, 100),
+                is_match(&mut k, &hp.collision1.buffer, 400, &hp.collision2.buffer, 100),
                 "seed {seed}"
             );
         }
+    }
+
+    #[test]
+    fn non_dyadic_tau_step_reaches_the_full_sweep() {
+        // Regression for the float-drift bug: with `tau += 0.2`
+        // accumulation the sweep exited one iteration early and never
+        // evaluated τ = +1.0. A pair where the *only* perfect alignment
+        // is at τ = +1.0 (b delayed by exactly one sample, so reading b
+        // at k + 1.0 reproduces a bit-for-bit) used to top out at the
+        // τ = 0.8 sinc attenuation (≈ 0.95); the fixed sweep hits 1.0.
+        let mut k = Kernel::default();
+        let wave = |t: f64| {
+            Complex::cis(0.05 * t)
+                + Complex::cis(-0.11 * t).scale(0.5)
+                + Complex::cis(0.23 * t).scale(0.25)
+        };
+        let a: Vec<Complex> = (0..300).map(|m| wave(m as f64)).collect();
+        let mut b = vec![Complex::default()];
+        b.extend_from_slice(&a[..299]);
+        let m = match_metric_with_step(&mut k, &a, 40, &b, 40, 200, 0.2);
+        assert!(m > 0.99, "τ = +1.0 must be part of the 0.2-step sweep, got {m}");
     }
 }

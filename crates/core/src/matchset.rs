@@ -46,13 +46,15 @@
 //!   be retained ([`CollisionStore::set_evicted_capacity`] /
 //!   [`CollisionStore::take_evicted`]) and salvaged instead of dropped.
 
-use crate::config::ClientRegistry;
+use crate::config::{ClientRegistry, MatchSearch};
 use crate::detect::Detection;
-use crate::matcher::{is_match, match_metric, match_metric_with_step, MATCH_WINDOW};
+use crate::engine::scratch::Scratch;
+use crate::matcher::{MATCH_THRESHOLD, MATCH_WINDOW};
 use crate::schedule::{min_coverage_lens, CollisionLayout, Decodability, Placement};
+use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use zigzag_phy::complex::Complex;
-use zigzag_phy::correlate::corr_at;
+use zigzag_phy::kernel::CorrFootprint;
 use zigzag_phy::preamble::Preamble;
 
 /// A stored unmatched collision (§4.2.2: "the AP stores recent unmatched
@@ -67,6 +69,18 @@ pub struct StoredCollision {
     pub buffer: Vec<Complex>,
     /// The detections found in it.
     pub detections: Vec<Detection>,
+    /// The cached correlation footprint of `buffer` (sub-sample
+    /// interpolation lanes + energy prefix sums), built lazily by the
+    /// first match evaluation against this entry and reused by every
+    /// later one — a stored collision is *characterized once*, not
+    /// re-interpolated per arrival. The `RefCell` is the interior
+    /// mutability that lazy build needs under the matchers' `&CollisionStore`;
+    /// stores are shard-owned, so no `Sync` is required. The footprint
+    /// rides along wholesale through eviction and salvage
+    /// ([`CollisionStore::take_evicted`] →
+    /// [`SalvagePool`](crate::recovery::SalvagePool)), so salvaged
+    /// members keep their characterization.
+    pub footprint: RefCell<CorrFootprint>,
 }
 
 /// The sorted distinct clients of a detection list — the store/lookup key
@@ -231,7 +245,16 @@ impl CollisionStore {
         // entry goes in before any eviction runs, so a zero-capacity
         // store evicts the entry it just admitted instead of corrupting
         // the id index
-        self.entries.insert(id, StoredCollision { id, key: key.clone(), buffer, detections });
+        self.entries.insert(
+            id,
+            StoredCollision {
+                id,
+                key: key.clone(),
+                buffer,
+                detections,
+                footprint: RefCell::new(CorrFootprint::default()),
+            },
+        );
         let order = self.by_key.entry(key.clone()).or_default();
         order.push_back(id);
         let mut stale_ids = Vec::new();
@@ -452,9 +475,124 @@ impl MatchOutcome {
     }
 }
 
+/// The footprint build step of the staged funnel always covers the
+/// finest τ the matchers use (the full metric's 0.25); coarser sweeps
+/// (0.5, integer) read a subset of its lanes, so one build serves every
+/// stage.
+const FOOTPRINT_STEP: f64 = 0.25;
+
+/// Integer-τ prefilter threshold of the staged funnel, applied to
+/// half-window metrics. A true match at the worst-case sub-sample
+/// misalignment (Δµ = 0.5 between the receptions' sampling grids) keeps
+/// `sinc(0.5) ≈ 0.64` of its correlation on the integer-τ grid, so a
+/// threshold-grade match (metric ≥ [`MATCH_THRESHOLD`]) still scores
+/// ≥ 0.64·0.15 ≈ 0.096 here — above this 0.55·threshold bar — while the
+/// half-window noise floor (max over 3 integer τ of a 256-sample
+/// uncorrelated product) sits near 0.07.
+const PRE_T: f64 = 0.55 * MATCH_THRESHOLD;
+
+/// The §4.2.2 match metric of the current buffer's span at `p` against
+/// the stored buffer's span at `q`, evaluated through the stored side's
+/// cached [`CorrFootprint`] (building it on first use — the
+/// characterize-once seam). All matchset/recovery correlation scoring
+/// funnels through here, so it runs on the configured kernel backend.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn footprint_metric(
+    ws: &mut Scratch,
+    buffer: &[Complex],
+    p: usize,
+    stored_buf: &[Complex],
+    fp_cell: &RefCell<CorrFootprint>,
+    q: usize,
+    window: usize,
+    tau_step: f64,
+    bail: Option<f64>,
+) -> f64 {
+    {
+        let mut fp = fp_cell.borrow_mut();
+        if !fp.covers(stored_buf.len(), FOOTPRINT_STEP) {
+            let Scratch { pool, kernel, .. } = ws;
+            kernel.ensure_footprint(&mut fp, stored_buf, FOOTPRINT_STEP, &mut || pool.take());
+        }
+    }
+    let fp = fp_cell.borrow();
+    ws.kernel.match_score_fp(buffer, p, &fp, q, window, tau_step, bail).metric
+}
+
+/// [`footprint_metric`] against a store entry.
+#[allow(clippy::too_many_arguments)]
+fn entry_metric(
+    ws: &mut Scratch,
+    buffer: &[Complex],
+    p: usize,
+    entry: &StoredCollision,
+    q: usize,
+    window: usize,
+    tau_step: f64,
+    bail: Option<f64>,
+) -> f64 {
+    footprint_metric(ws, buffer, p, &entry.buffer, &entry.footprint, q, window, tau_step, bail)
+}
+
+/// The §4.2.2 pairwise confirmation: does the current packet at `p`
+/// carry the same symbols as the stored packet at `q`? Staged search
+/// runs the integer-τ prefilter first and lets the full metric abandon
+/// hopeless candidates at the threshold; both paths decide identically
+/// (see [`MatchSearch`]).
+fn confirm_pair(
+    search: MatchSearch,
+    ws: &mut Scratch,
+    buffer: &[Complex],
+    p: usize,
+    entry: &StoredCollision,
+    q: usize,
+) -> bool {
+    match search {
+        MatchSearch::Staged => {
+            if entry_metric(ws, buffer, p, entry, q, MATCH_WINDOW / 2, 1.0, Some(PRE_T)) <= PRE_T {
+                return false;
+            }
+            entry_metric(ws, buffer, p, entry, q, MATCH_WINDOW, 0.25, Some(MATCH_THRESHOLD))
+                > MATCH_THRESHOLD
+        }
+        MatchSearch::Exhaustive => {
+            entry_metric(ws, buffer, p, entry, q, MATCH_WINDOW, 0.25, None) > MATCH_THRESHOLD
+        }
+    }
+}
+
+/// The bucket-scoring metric of [`align_by_shifts`]: half window,
+/// τ step 0.5. Downstream only the per-bucket max, its comparison
+/// against `MATCH_THRESHOLD`, and the winning pair matter, so the
+/// staged funnel may zero a prefilter-rejected pair and bail survivors
+/// at the threshold: every value above the threshold is exact (bail
+/// contract), so the winner among >threshold pairs and the bucket
+/// decision are identical to the exhaustive evaluation.
+fn coarse_metric(
+    search: MatchSearch,
+    ws: &mut Scratch,
+    buffer: &[Complex],
+    p: usize,
+    entry: &StoredCollision,
+    q: usize,
+) -> f64 {
+    match search {
+        MatchSearch::Staged => {
+            if entry_metric(ws, buffer, p, entry, q, MATCH_WINDOW / 2, 1.0, Some(PRE_T)) <= PRE_T {
+                return 0.0;
+            }
+            entry_metric(ws, buffer, p, entry, q, MATCH_WINDOW / 2, 0.5, Some(MATCH_THRESHOLD))
+        }
+        MatchSearch::Exhaustive => {
+            entry_metric(ws, buffer, p, entry, q, MATCH_WINDOW / 2, 0.5, None)
+        }
+    }
+}
+
 /// The single matching entry point (§4.2.2 / §4.5): aligns the current
 /// collision against the store and returns a [`MatchSet`] once a
-/// decodable system exists.
+/// decodable system exists. Uses the default staged coarse-to-fine
+/// search — see [`find_match_set_with`] for the explicit choice.
 ///
 /// Dispatch is on the number of *distinct* clients detected: two take
 /// the pairwise path (bit-identical to the historical two-sender
@@ -463,13 +601,29 @@ impl MatchOutcome {
 /// collision is never degraded to a pairwise match — until the full
 /// k-collision set has accumulated, the buffer is left for the store.
 pub fn find_match_set(
+    ws: &mut Scratch,
     buffer: &[Complex],
     detections: &[Detection],
     store: &CollisionStore,
     registry: &ClientRegistry,
     preamble: &Preamble,
 ) -> Option<MatchSet> {
-    match_collision(buffer, detections, store, registry, preamble, false).into_matched()
+    find_match_set_with(MatchSearch::Staged, ws, buffer, detections, store, registry, preamble)
+}
+
+/// [`find_match_set`] with an explicit [`MatchSearch`] strategy
+/// (`DecoderConfig::match_search`): the staged funnel or the exhaustive
+/// reference the differential tests compare it against.
+pub fn find_match_set_with(
+    search: MatchSearch,
+    ws: &mut Scratch,
+    buffer: &[Complex],
+    detections: &[Detection],
+    store: &CollisionStore,
+    registry: &ClientRegistry,
+    preamble: &Preamble,
+) -> Option<MatchSet> {
+    match_collision(search, ws, buffer, detections, store, registry, preamble, false).into_matched()
 }
 
 /// [`find_match_set`] with the full verdict: a confirmed-but-undecodable
@@ -485,20 +639,37 @@ pub fn find_match_set(
 /// callers with recovery disabled should use [`find_match_set`], which
 /// skips it and is cost-identical to the historical matcher.
 pub fn classify_match(
+    ws: &mut Scratch,
     buffer: &[Complex],
     detections: &[Detection],
     store: &CollisionStore,
     registry: &ClientRegistry,
     preamble: &Preamble,
 ) -> MatchOutcome {
-    match_collision(buffer, detections, store, registry, preamble, true)
+    classify_match_with(MatchSearch::Staged, ws, buffer, detections, store, registry, preamble)
+}
+
+/// [`classify_match`] with an explicit [`MatchSearch`] strategy.
+pub fn classify_match_with(
+    search: MatchSearch,
+    ws: &mut Scratch,
+    buffer: &[Complex],
+    detections: &[Detection],
+    store: &CollisionStore,
+    registry: &ClientRegistry,
+    preamble: &Preamble,
+) -> MatchOutcome {
+    match_collision(search, ws, buffer, detections, store, registry, preamble, true)
 }
 
 /// Shared matcher body: `classify` selects whether undecodable
 /// alignments are worth confirming and explaining (recovery on) or can
 /// be skipped before any sample work (recovery off — the historical
 /// fast path).
+#[allow(clippy::too_many_arguments)]
 fn match_collision(
+    search: MatchSearch,
+    ws: &mut Scratch,
     buffer: &[Complex],
     detections: &[Detection],
     store: &CollisionStore,
@@ -513,9 +684,9 @@ fn match_collision(
     // current collision and the stored entries are indexed identically.
     let key = collision_key(detections, store.key_window());
     if key.len() >= 3 {
-        find_kway_match(buffer, detections, &key, store, registry, preamble)
+        find_kway_match(search, ws, buffer, detections, &key, store, registry, preamble)
     } else {
-        find_pair_match(buffer, detections, &key, store, classify)
+        find_pair_match(search, ws, buffer, detections, &key, store, classify)
     }
 }
 
@@ -535,6 +706,8 @@ fn match_collision(
 /// would pair one stored detection twice and the sample confirmation
 /// rejects it.
 fn find_pair_match(
+    search: MatchSearch,
+    ws: &mut Scratch,
     buffer: &[Complex],
     detections: &[Detection],
     key: &[u16],
@@ -552,7 +725,7 @@ fn find_pair_match(
                 continue;
             }
             let (cur2, old2) = pairing[1];
-            if !is_match(buffer, cur2.pos, &entry.buffer, old2.pos) {
+            if !confirm_pair(search, ws, buffer, cur2.pos, entry, old2.pos) {
                 continue;
             }
             let set = MatchSet {
@@ -632,6 +805,8 @@ const MAX_KWAY: usize = 6;
 /// bucket and leave the list short, which the caller treats as an
 /// incomplete member.
 fn align_by_shifts(
+    search: MatchSearch,
+    ws: &mut Scratch,
     buffer: &[Complex],
     cur_pos: &[usize],
     entry: &StoredCollision,
@@ -656,13 +831,15 @@ fn align_by_shifts(
         let mut bucket: Vec<(usize, usize)> = pairs[i..j].iter().map(|&(_, p, q)| (p, q)).collect();
         bucket.sort_unstable();
         // Score the earliest pairs of the bucket; the bucket is real if
-        // any reaches full correlation strength.
+        // any reaches full correlation strength. Only the bucket winner
+        // and the ≤-threshold decision matter downstream, so the staged
+        // funnel can zero prefilter-rejected pairs and let survivors
+        // abandon below the threshold — winners keep exact metrics and
+        // the same argmax as the exhaustive path.
         let scored: Vec<Anchor> = bucket
             .iter()
             .take(8)
-            .map(|&(p, q)| {
-                (p, q, match_metric_with_step(buffer, p, &entry.buffer, q, MATCH_WINDOW / 2, 0.5))
-            })
+            .map(|&(p, q)| (p, q, coarse_metric(search, ws, buffer, p, entry, q)))
             .collect();
         let max = scored.iter().map(|s| s.2).fold(0.0f64, f64::max);
         i = j;
@@ -671,7 +848,7 @@ fn align_by_shifts(
         }
         let &(bp, bq, _) = scored.iter().max_by(|a, b| a.2.total_cmp(&b.2)).expect("non-empty");
         let shift = bp as i64 - bq as i64;
-        if let Some(v) = anchor_for_shift(buffer, &entry.buffer, shift, cur_pos) {
+        if let Some(v) = anchor_for_shift(search, ws, buffer, entry, shift, cur_pos) {
             validated.push(v);
         }
     }
@@ -707,8 +884,10 @@ fn align_by_shifts(
 /// have no correlation in their trailing half-window, sidelobes have
 /// full correlation in their leading one.
 fn anchor_for_shift(
+    search: MatchSearch,
+    ws: &mut Scratch,
     buffer: &[Complex],
-    stored: &[Complex],
+    entry: &StoredCollision,
     shift: i64,
     cur_pos: &[usize],
 ) -> Option<(usize, usize, f64)> {
@@ -719,19 +898,27 @@ fn anchor_for_shift(
             continue;
         }
         let q = q as usize;
-        // coarse prefilter (half window, 0.5-step τ) before the full
-        // metric: most position/shift combinations reject here at a
-        // sixth of the cost
-        if match_metric_with_step(buffer, p, stored, q, MATCH_WINDOW / 2, 0.5)
-            <= 0.8 * crate::matcher::MATCH_THRESHOLD
-        {
+        let pre = 0.8 * crate::matcher::MATCH_THRESHOLD;
+        // Coarse prefilters before the full metric: most position/shift
+        // combinations reject here at a fraction of the cost. Staged
+        // search stacks the cheaper integer-τ stage in front and bails
+        // the survivors' metrics at their respective decision bars.
+        if search == MatchSearch::Staged {
+            if entry_metric(ws, buffer, p, entry, q, MATCH_WINDOW / 2, 1.0, Some(PRE_T)) <= PRE_T {
+                continue;
+            }
+            if entry_metric(ws, buffer, p, entry, q, MATCH_WINDOW / 2, 0.5, Some(pre)) <= pre {
+                continue;
+            }
+        } else if entry_metric(ws, buffer, p, entry, q, MATCH_WINDOW / 2, 0.5, None) <= pre {
             continue;
         }
-        let m_post = match_metric(buffer, p, stored, q, MATCH_WINDOW);
+        let bail = (search == MatchSearch::Staged).then_some(crate::matcher::MATCH_THRESHOLD);
+        let m_post = entry_metric(ws, buffer, p, entry, q, MATCH_WINDOW, 0.25, bail);
         if m_post <= crate::matcher::MATCH_THRESHOLD {
             continue;
         }
-        let edge = start_edge(buffer, stored, p, q);
+        let edge = start_edge(ws, buffer, entry, p, q);
         if best.is_none_or(|(_, _, _, b)| edge > b) {
             best = Some((p, q, m_post, edge));
         }
@@ -742,12 +929,22 @@ fn anchor_for_shift(
 /// The rising-edge statistic of a packet start at an aligned position
 /// pair: short-window correlation just after minus just before. Peaks at
 /// the true start; flat-high inside the packet, flat-low outside.
-fn start_edge(buffer: &[Complex], stored: &[Complex], p: usize, q: usize) -> f64 {
+///
+/// Both terms are *continuous statistics*, not threshold decisions, so
+/// they are always evaluated exactly (no prefilter, no abandonment) —
+/// a bailed value here would corrupt the edge comparison.
+fn start_edge(
+    ws: &mut Scratch,
+    buffer: &[Complex],
+    entry: &StoredCollision,
+    p: usize,
+    q: usize,
+) -> f64 {
     const EDGE_WINDOW: usize = 128;
-    let m_lead = match_metric_with_step(buffer, p, stored, q, EDGE_WINDOW, 0.5);
+    let m_lead = entry_metric(ws, buffer, p, entry, q, EDGE_WINDOW, 0.5, None);
     let avail = p.min(q).min(EDGE_WINDOW);
     let m_trail = if avail >= 64 {
-        match_metric_with_step(buffer, p - avail, stored, q - avail, avail, 0.5)
+        entry_metric(ws, buffer, p - avail, entry, q - avail, avail, 0.5, None)
     } else {
         0.0
     };
@@ -758,32 +955,48 @@ fn start_edge(buffer: &[Complex], stored: &[Complex], p: usize, q: usize) -> f64
 /// starting at `p` by scanning the whole stored buffer with the §4.2.2
 /// correlation — the recovery path for packets whose preamble was never
 /// *detected* in a stored collision (immersed under k−1 interferers, a
-/// detection miss gets likelier with every extra sender). A coarse
-/// half-window scan at stride 2 finds the neighbourhood; the full metric
-/// refines it.
+/// detection miss gets likelier with every extra sender).
+///
+/// Both search modes walk the identical stride-2 grid and refine the
+/// identical coarse argmax — the staged mode differs only in *how much
+/// of each metric it evaluates*: scoring goes through the entry's
+/// cached footprint with `bail` set to the running maximum (coarse
+/// pass) or the decision bar (refinement). By the bail contract a
+/// returned value is exact whenever it is ≥ the bail and guaranteed
+/// below it otherwise, so the strict-greater updates take exactly the
+/// same branches as the exhaustive evaluation: selection is
+/// bit-identical, and the staged pass abandons almost every losing
+/// position a fraction of the way into its accumulation.
 fn scan_for_counterpart(
+    search: MatchSearch,
+    ws: &mut Scratch,
     buffer: &[Complex],
     p: usize,
-    stored: &[Complex],
+    entry: &StoredCollision,
     excluded_shifts: &[i64],
 ) -> Option<(usize, f64)> {
+    let stored_len = entry.buffer.len();
+    let staged = search == MatchSearch::Staged;
     let mut best = (0usize, 0.0f64);
     let mut q = 0;
-    while q + MATCH_WINDOW / 4 < stored.len() {
+    while q + MATCH_WINDOW / 4 < stored_len {
         if excluded_shifts.iter().any(|&s| (p as i64 - q as i64 - s).abs() <= 8) {
             q += 2;
             continue;
         }
-        let m = match_metric_with_step(buffer, p, stored, q, MATCH_WINDOW / 2, 0.5);
+        let bail = staged.then_some(best.1);
+        let m = entry_metric(ws, buffer, p, entry, q, MATCH_WINDOW / 2, 0.5, bail);
         if m > best.1 {
             best = (q, m);
         }
         q += 2;
     }
     let mut refined: Option<(usize, f64)> = None;
-    for q in best.0.saturating_sub(2)..=(best.0 + 2).min(stored.len().saturating_sub(1)) {
-        let m = match_metric(buffer, p, stored, q, MATCH_WINDOW);
-        if m > crate::matcher::MATCH_THRESHOLD && refined.is_none_or(|(_, r)| m > r) {
+    for q in best.0.saturating_sub(2)..=(best.0 + 2).min(stored_len.saturating_sub(1)) {
+        let bail =
+            staged.then_some(refined.map_or(MATCH_THRESHOLD, |(_, r)| r.max(MATCH_THRESHOLD)));
+        let m = entry_metric(ws, buffer, p, entry, q, MATCH_WINDOW, 0.25, bail);
+        if m > MATCH_THRESHOLD && refined.is_none_or(|(_, r)| m > r) {
             refined = Some((q, m));
         }
     }
@@ -800,7 +1013,10 @@ fn scan_for_counterpart(
 /// packet lengths. Pure time-shift duplicates are rejected per member
 /// (their pairs collapse into one shift bucket) and duplicated member
 /// equations by the decodability gate.
+#[allow(clippy::too_many_arguments)]
 fn find_kway_match(
+    search: MatchSearch,
+    ws: &mut Scratch,
     buffer: &[Complex],
     detections: &[Detection],
     key: &[u16],
@@ -829,8 +1045,10 @@ fn find_kway_match(
 
     // Phase A: shift-align every same-key candidate (lists may be
     // partial or carry a mis-anchored entry — consensus sorts that out).
-    let cands: Vec<(u64, Vec<Anchor>)> =
-        store.candidates(key).map(|e| (e.id, align_by_shifts(buffer, &cur_pos, e, k))).collect();
+    let cands: Vec<(u64, Vec<Anchor>)> = store
+        .candidates(key)
+        .map(|e| (e.id, align_by_shifts(search, ws, buffer, &cur_pos, e, k)))
+        .collect();
     if cands.len() < k - 1 {
         return MatchOutcome::NoMatch;
     }
@@ -893,7 +1111,7 @@ fn find_kway_match(
                 row.iter().flatten().map(|&(p, q, _)| p as i64 - q as i64).collect();
             let idx = row.iter().position(|r| r.is_none()).expect("checked non-complete");
             let p = starts[idx];
-            match scan_for_counterpart(buffer, p, &entry.buffer, &taken) {
+            match scan_for_counterpart(search, ws, buffer, p, entry, &taken) {
                 Some((q, m)) => {
                     if debug {
                         eprintln!("kway: member {id} scan found {p} -> {q} ({m:.3})");
@@ -939,12 +1157,12 @@ fn find_kway_match(
     for (q, (p, qs)) in clusters.iter().enumerate() {
         let mut per_client = Vec::with_capacity(key.len());
         for (j, &omega) in omegas.iter().enumerate() {
-            let cur = preamble_peak(buffer, preamble, *p, omega, 24);
+            let cur = preamble_peak(ws, buffer, preamble, *p, omega, 24);
             scores[q][j] += cur.1.abs();
             let mut row = vec![cur];
             for (m, &sq) in members.iter().zip(qs.iter()) {
                 let entry = store.get(m.id).expect("member id still stored");
-                let peak = preamble_peak(&entry.buffer, preamble, sq, omega, 24);
+                let peak = preamble_peak(ws, &entry.buffer, preamble, sq, omega, 24);
                 scores[q][j] += peak.1.abs();
                 row.push(peak);
             }
@@ -973,11 +1191,11 @@ fn find_kway_match(
             votes.push(peaks[q][j][mi + 1].0 as i64 + s);
         }
         let star = vote_mode(&votes).max(0) as usize;
-        let mut row = vec![preamble_peak(buffer, preamble, star, omega, 3)];
+        let mut row = vec![preamble_peak(ws, buffer, preamble, star, omega, 3)];
         for (mi, &s) in shifts.iter().enumerate() {
             let entry = store.get(members[mi].id).expect("member id still stored");
             let target = (star as i64 - s).max(0) as usize;
-            row.push(preamble_peak(&entry.buffer, preamble, target, omega, 3));
+            row.push(preamble_peak(ws, &entry.buffer, preamble, target, omega, 3));
         }
         if debug && votes.iter().any(|&v| (v - star as i64).abs() > 2) {
             eprintln!("kway: packet {q} start votes {votes:?} -> {star}");
@@ -1031,22 +1249,33 @@ fn find_kway_match(
 /// with the correlation value there. Sample-exact where the coarse
 /// shift/scan alignment is only approximate (a sidelobe anchor can sit a
 /// couple of dozen samples past an undetected true start).
+///
+/// The window of correlations comes from one kernel
+/// [`scan_into`](zigzag_phy::kernel::Kernel::scan_into) call (the same
+/// fused primitive as the detect scan) instead of per-position
+/// `corr_at` loops; initialization at `near` and the strict-greater
+/// ascending sweep reproduce the historical argmax exactly.
 fn preamble_peak(
+    ws: &mut Scratch,
     buffer: &[Complex],
     preamble: &Preamble,
     near: usize,
     omega: f64,
     radius: usize,
 ) -> (usize, Complex) {
-    let lo = near.saturating_sub(radius);
     let hi = (near + radius).min(buffer.len().saturating_sub(1));
-    let mut best = (near.min(hi), corr_at(buffer, preamble.symbols(), near.min(hi), omega));
-    for p in lo..=hi {
-        let c = corr_at(buffer, preamble.symbols(), p, omega);
+    // `near` may sit past the buffer end (shift-projected target): clamp
+    // the window start so it still brackets the evaluated position.
+    let lo = near.saturating_sub(radius).min(hi);
+    let mut corr = ws.pool.take();
+    ws.kernel.scan_into(buffer, preamble.symbols(), omega, lo..hi + 1, &mut corr);
+    let mut best = (near.min(hi), corr[near.min(hi) - lo]);
+    for (i, &c) in corr.iter().enumerate() {
         if c.abs() > best.1.abs() {
-            best = (p, c);
+            best = (lo + i, c);
         }
     }
+    ws.pool.put(corr);
     best
 }
 
@@ -1095,6 +1324,7 @@ fn permute(items: &mut [usize], at: usize, visit: &mut impl FnMut(&[usize])) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matcher::is_match;
 
     fn det(client: u16, pos: usize) -> Detection {
         Detection { pos, client, corr: Complex::real(1.0), score: 1.5 }
@@ -1297,7 +1527,8 @@ mod tests {
         let cur_dets = vec![det(1, 0), det(2, 100)];
         let reg = crate::config::ClientRegistry::new();
         let pre = zigzag_phy::preamble::Preamble::default_len();
-        match classify_match(&cur, &cur_dets, &store, &reg, &pre) {
+        let mut ws = Scratch::default();
+        match classify_match(&mut ws, &cur, &cur_dets, &store, &reg, &pre) {
             MatchOutcome::Undecodable(r) => {
                 assert_eq!(r.set.members.len(), 1);
                 assert_eq!(r.set.packets(), 2);
@@ -1309,7 +1540,7 @@ mod tests {
             }
             other => panic!("expected Undecodable, got {other:?}"),
         }
-        assert!(find_match_set(&cur, &cur_dets, &store, &reg, &pre).is_none());
+        assert!(find_match_set(&mut ws, &cur, &cur_dets, &store, &reg, &pre).is_none());
         assert_eq!(store.len(), 1, "classification must not consume the store entry");
     }
 
@@ -1341,14 +1572,15 @@ mod tests {
             old[i + 50] += x;
             old[i + 120] += y;
         }
-        assert!(is_match(&cur, 100, &old, 120), "construction must correlate");
+        let mut ws = Scratch::default();
+        assert!(is_match(&mut ws.kernel, &cur, 100, &old, 120), "construction must correlate");
         let mut store = CollisionStore::new(4);
         store.insert(old, vec![det(1, 50), det(2, 120), det(3, 500)]);
         let cur_dets = vec![det(1, 0), det(2, 100)];
         let reg = crate::config::ClientRegistry::new();
         let pre = zigzag_phy::preamble::Preamble::default_len();
         assert!(
-            find_match_set(&cur, &cur_dets, &store, &reg, &pre).is_none(),
+            find_match_set(&mut ws, &cur, &cur_dets, &store, &reg, &pre).is_none(),
             "2-client collision must leave the 3-client store entry for the k-way system"
         );
         assert_eq!(store.len(), 1);

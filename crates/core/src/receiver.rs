@@ -246,12 +246,14 @@ impl ZigzagReceiver {
         // --- match against the stored-collision index & ZigZag ---
         // One call site with the pipeline: the same find_match_set /
         // zigzag_decode_match pair MatchStage and ZigzagStage run.
+        let core = &mut self.core;
         if let Some(set) = find_match_set(
+            &mut core.scratch,
             buffer,
             &detections,
-            &self.core.store,
-            &self.core.registry,
-            &self.core.preamble,
+            &core.store,
+            &core.registry,
+            &core.preamble,
         ) {
             let plan = DecodePlan::from_set(&set);
             zigzag_decode_match(&mut self.core, buffer, &plan, &set.members, &mut out);

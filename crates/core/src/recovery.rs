@@ -61,10 +61,11 @@
 use crate::config::{ClientRegistry, DecoderConfig};
 use crate::detect::Detection;
 use crate::engine::scratch::Scratch;
-use crate::matcher::is_match;
-use crate::matchset::{pair_alignment, RejectedSet, StoredCollision};
+use crate::matcher::{MATCH_THRESHOLD, MATCH_WINDOW};
+use crate::matchset::{footprint_metric, pair_alignment, RejectedSet, StoredCollision};
 use crate::schedule::min_coverage_lens;
 use crate::view::{ChannelView, PacketLayout};
+use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use zigzag_phy::bits::bits_to_bytes;
 use zigzag_phy::complex::{Complex, ZERO};
@@ -88,6 +89,12 @@ pub struct SalvagedCollision {
     pub buffer: Vec<Complex>,
     /// The detections found in it at store time.
     pub detections: Vec<Detection>,
+    /// The entry's cached correlation footprint, carried over from the
+    /// store so salvage-pool confirmation reuses the characterization a
+    /// member accumulated during its store lifetime instead of
+    /// re-interpolating the buffer (see
+    /// [`StoredCollision::footprint`](crate::matchset::StoredCollision)).
+    pub footprint: RefCell<zigzag_phy::kernel::CorrFootprint>,
     /// Monotone admission stamp (pool-local; the global valve's age
     /// order).
     stamp: u64,
@@ -138,10 +145,12 @@ impl SalvagePool {
         self.total = 0;
     }
 
-    /// Absorbs a store eviction under its existing key.
+    /// Absorbs a store eviction under its existing key. The entry's
+    /// correlation footprint rides along: characterization survives the
+    /// store→pool transition.
     pub fn absorb(&mut self, evicted: StoredCollision) {
-        let StoredCollision { key, buffer, detections, .. } = evicted;
-        self.push(SalvagedCollision { key, buffer, detections, stamp: 0 });
+        let StoredCollision { key, buffer, detections, footprint, .. } = evicted;
+        self.push(SalvagedCollision { key, buffer, detections, footprint, stamp: 0 });
     }
 
     fn push(&mut self, mut entry: SalvagedCollision) {
@@ -275,6 +284,7 @@ pub fn group_from_rejected(
 /// Pure-shift members are admitted on purpose — cross-collision channel
 /// diversity is exactly what the joint solver exploits.
 pub fn group_from_pool(
+    ws: &mut Scratch,
     buffer: &[Complex],
     detections: &[Detection],
     key: &[u16],
@@ -298,7 +308,22 @@ pub fn group_from_pool(
         let Some((pairing, _pure_shift)) = pair_alignment(detections, &cand.detections) else {
             continue;
         };
-        if !pairing.iter().all(|&(c, s)| is_match(buffer, c.pos, &cand.buffer, s.pos)) {
+        // the §4.2.2 confirmation, through the candidate's cached
+        // footprint; above the threshold the bailed metric is exact, so
+        // the decision matches an unbailed `is_match`
+        if !pairing.iter().all(|&(c, s)| {
+            footprint_metric(
+                ws,
+                buffer,
+                c.pos,
+                &cand.buffer,
+                &cand.footprint,
+                s.pos,
+                MATCH_WINDOW,
+                0.25,
+                Some(MATCH_THRESHOLD),
+            ) > MATCH_THRESHOLD
+        }) {
             continue;
         }
         if placements.is_empty() {
@@ -820,6 +845,7 @@ mod tests {
             key: vec![client_a.min(client_b), client_a.max(client_b)],
             buffer: vec![],
             detections: vec![det(client_a, pos), det(client_b, pos + 40)],
+            footprint: RefCell::new(zigzag_phy::kernel::CorrFootprint::default()),
         }
     }
 

@@ -7,9 +7,12 @@ use proptest::prelude::*;
 use rand::prelude::*;
 use zigzag_channel::fading::LinkProfile;
 use zigzag_channel::scenario::{synth_collision, PlacedTx};
-use zigzag_core::config::{ClientInfo, ClientRegistry, DecoderConfig};
+use zigzag_core::config::{ClientInfo, ClientRegistry, DecoderConfig, MatchSearch};
 use zigzag_core::detect::{detect_packets, Detection};
-use zigzag_core::matchset::{client_key, find_match_set, pair_collisions, CollisionStore};
+use zigzag_core::engine::scratch::Scratch;
+use zigzag_core::matchset::{
+    client_key, find_match_set, find_match_set_with, pair_collisions, CollisionStore,
+};
 use zigzag_phy::complex::Complex;
 use zigzag_phy::frame::{encode_frame, Frame};
 use zigzag_phy::modulation::Modulation;
@@ -144,6 +147,89 @@ proptest! {
     }
 }
 
+/// Builds a k-sender collision workload (k buffers, each containing all
+/// k transmissions at the given per-buffer offsets) plus the registry
+/// and per-buffer detection lists, mirroring what the receiver front end
+/// hands the match layer.
+#[allow(clippy::type_complexity)]
+fn synth_workload(
+    k: usize,
+    offs: &[Vec<usize>],
+    seed: u64,
+) -> (Vec<Vec<Complex>>, Vec<Vec<Detection>>, ClientRegistry) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let omegas = [-0.08, 0.02, 0.09];
+    let links: Vec<LinkProfile> =
+        (0..k).map(|i| LinkProfile::clean_with_omega(17.5, omegas[i])).collect();
+    let airs: Vec<_> = (0..k)
+        .map(|i| {
+            let f = Frame::with_random_payload(
+                0,
+                i as u16 + 1,
+                i as u16,
+                80,
+                seed.wrapping_mul(131).wrapping_add(i as u64),
+            );
+            encode_frame(&f, Modulation::Bpsk, &Preamble::default_len())
+        })
+        .collect();
+    let chans: Vec<_> = links.iter().map(|l| l.draw(&mut rng)).collect();
+    let buffers: Vec<Vec<Complex>> = offs
+        .iter()
+        .map(|o| {
+            let placed: Vec<PlacedTx<'_>> =
+                (0..k).map(|i| PlacedTx { air: &airs[i], base: &chans[i], start: o[i] }).collect();
+            synth_collision(&placed, 1.0, &mut rng).buffer
+        })
+        .collect();
+    let mut reg = ClientRegistry::new();
+    for (i, l) in links.iter().enumerate() {
+        reg.associate(
+            i as u16 + 1,
+            ClientInfo { omega: l.association_omega(), snr_db: l.snr_db, taps: l.isi.clone() },
+        );
+    }
+    let cfg = DecoderConfig::default();
+    let pre = Preamble::default_len();
+    let dets: Vec<Vec<Detection>> =
+        buffers.iter().map(|b| detect_packets(b, &pre, &reg, &cfg)).collect();
+    (buffers, dets, reg)
+}
+
+proptest! {
+    /// The staged coarse-to-fine funnel is a pure speedup: on random
+    /// clean k = 2 and k = 3 workloads it selects exactly the match set
+    /// the exhaustive sweep selects — same members, same alignment, and
+    /// the same no-match outcomes (degenerate or undetectable layouts
+    /// must be rejected identically by both paths).
+    #[test]
+    fn staged_search_selects_the_exhaustive_match_set(
+        seed: u64,
+        k_pick in 0u8..2,
+    ) {
+        let k = 2 + k_pick as usize;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A);
+        // k buffers (k − 1 stored + 1 current), each with all k packets
+        // at independent offsets — occasionally degenerate by design
+        let offs: Vec<Vec<usize>> =
+            (0..k).map(|_| (0..k).map(|_| rng.gen_range(0..500)).collect()).collect();
+        let (buffers, dets, reg) = synth_workload(k, &offs, seed);
+        let pre = Preamble::default_len();
+        let mut store = CollisionStore::new(8);
+        for (b, d) in buffers[..k - 1].iter().zip(&dets) {
+            store.insert(b.clone(), d.clone());
+        }
+        let cur = &buffers[k - 1];
+        let cur_dets = &dets[k - 1];
+        let mut ws = Scratch::default();
+        let staged =
+            find_match_set_with(MatchSearch::Staged, &mut ws, cur, cur_dets, &store, &reg, &pre);
+        let exhaustive =
+            find_match_set_with(MatchSearch::Exhaustive, &mut ws, cur, cur_dets, &store, &reg, &pre);
+        prop_assert_eq!(staged, exhaustive);
+    }
+}
+
 /// Signal-level permutation invariance of the k-way matcher: shuffling
 /// the order of a stored entry's detection list (what a different merge
 /// order would produce) must not change the match-set alignment.
@@ -200,7 +286,8 @@ fn kway_match_invariant_under_detection_permutation() {
             }
             store.insert(b.clone(), dets);
         }
-        find_match_set(&buffers[2], &cur_dets, &store, &reg, &pre)
+        let mut ws = Scratch::default();
+        find_match_set(&mut ws, &buffers[2], &cur_dets, &store, &reg, &pre)
             .expect("3-way set must match")
             .alignment
             .iter()

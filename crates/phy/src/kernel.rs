@@ -18,6 +18,19 @@
 //!   bounds-check-free per-tap interior sweep, and the resampler caches
 //!   the sinc·hann tap vector per distinct fractional offset.
 //!
+//! A fifth primitive joined in the k-way matching PR: the normalized
+//! **match metric** of §4.2.2 (`match_score`), the correlation of a span
+//! of one collision buffer against a sub-sample-interpolated span of
+//! another, maximized over a τ sweep. It is the inner product the k-way
+//! alignment path evaluates thousands of times per buffer, so it gets
+//! the same treatment as the scan: the `Optimized` backend hoists the
+//! interpolation out of the τ loop onto pre-built sub-sample *lattices*
+//! ([`SubLattice`]), reuses window energies via prefix sums, and can
+//! abandon a candidate mid-accumulation once a Cauchy–Schwarz bound
+//! proves it cannot reach the caller's decision threshold. A
+//! [`CorrFootprint`] caches those lattices per stored collision so a
+//! buffer is characterized once, not re-interpolated per arrival.
+//!
 //! A [`Kernel`] bundles a backend choice with its [`KernelScratch`]
 //! temporaries; one lives in every `zigzag-core` scratch arena, so the
 //! backend is selected once per engine/work unit and the SoA staging
@@ -98,6 +111,132 @@ impl Default for BackendKind {
     }
 }
 
+/// The τ grid of [`Backend::match_score`]: `-1 + i·tau_step` for
+/// `i = 0..=⌊2/tau_step⌋`, covering `[-1, +1]` inclusive.
+///
+/// The iteration count is derived once from the step (with an epsilon
+/// guard for non-dyadic steps whose quotient rounds to just under an
+/// integer), so the sweep always reaches the `+1.0` endpoint. The
+/// historical `tau += tau_step` accumulation only terminated correctly
+/// for dyadic steps: at step 0.2 the accumulated τ drifted past the
+/// `tau <= 1.0` bound one iteration early and the final alignment was
+/// silently never evaluated. For dyadic steps (1.0, 0.5, 0.25 — all the
+/// decode path uses) the values here are bit-identical to the old
+/// accumulation; non-dyadic steps may carry 1-ulp rounding in the last
+/// values.
+pub fn tau_sweep(tau_step: f64) -> impl Iterator<Item = f64> + Clone {
+    assert!(tau_step > 0.0, "tau_step must be positive, got {tau_step}");
+    let steps = (2.0 / tau_step + 1e-9).floor() as usize;
+    (0..=steps).map(move |i| -1.0 + i as f64 * tau_step)
+}
+
+/// Result of a [`Backend::match_score`] τ sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MatchScore {
+    /// The best normalized correlation over the sweep:
+    /// `max_τ |Σ_k a[sa+k]·conj(b(sb+k+τ))| / √(Σ|a|²·Σ|b(τ)|²)`,
+    /// in `[0, 1]` (0 when the overlap is empty or either side has no
+    /// energy).
+    pub metric: f64,
+    /// The τ achieving the best metric (the earliest such τ on exact
+    /// ties — both backends sweep in ascending τ order).
+    pub tau: f64,
+}
+
+/// One pre-interpolated sub-sample lane of a [`CorrFootprint`]: the
+/// source buffer evaluated at fractional position `m − 1 + frac` for
+/// every integer `m` in `0..len + 2` (one sample of margin each side),
+/// plus energy prefix sums.
+///
+/// Every τ of a sweep decomposes as `n + frac` with `n ∈ {−1, 0, +1}`,
+/// so against a lane the sub-sample interpolation of the match metric
+/// collapses to an integer-shifted dot product, and any window's energy
+/// `Σ|b(τ)|²` is two prefix-sum reads instead of a re-accumulation.
+/// Lanes are built with [`Backend::resample_into`], which is
+/// bit-identical across backends — so a footprint's contents never
+/// depend on which backend built it.
+#[derive(Clone, Debug, Default)]
+pub struct SubLattice {
+    frac: f64,
+    samples: Vec<Complex>,
+    energy: Vec<f64>,
+}
+
+impl SubLattice {
+    /// The fractional offset this lane was interpolated at.
+    pub fn frac(&self) -> f64 {
+        self.frac
+    }
+
+    /// The interpolated samples: `samples[m] = b(m − 1 + frac)`.
+    pub fn samples(&self) -> &[Complex] {
+        &self.samples
+    }
+
+    /// `Σ |samples[m]|²` over `lo..hi` — two prefix-sum reads.
+    pub fn window_energy(&self, lo: usize, hi: usize) -> f64 {
+        self.energy[hi] - self.energy[lo]
+    }
+
+    /// Recomputes the energy prefix sums from `samples`.
+    fn refresh_energy(&mut self) {
+        self.energy.clear();
+        self.energy.reserve(self.samples.len() + 1);
+        let mut acc = 0.0;
+        self.energy.push(acc);
+        for v in &self.samples {
+            acc += v.norm_sq();
+            self.energy.push(acc);
+        }
+    }
+}
+
+/// The cached correlation footprint of a stored collision buffer:
+/// sub-sample interpolation lanes (plus their energy prefix sums) over
+/// the whole buffer, built lazily by [`Kernel::ensure_footprint`] the
+/// first time the buffer is scored and reused for every later arrival.
+///
+/// The k-way matcher re-correlates each stored collision against every
+/// new same-key buffer; without the footprint each of those evaluations
+/// re-ran the 17-tap windowed-sinc interpolation per sample per τ. With
+/// it, a stored collision is characterized **once** and each evaluation
+/// is a handful of dot products.
+#[derive(Clone, Debug, Default)]
+pub struct CorrFootprint {
+    len: usize,
+    lanes: Vec<SubLattice>,
+}
+
+impl CorrFootprint {
+    /// Length of the source buffer the lanes were interpolated from
+    /// (0 until the first [`Kernel::ensure_footprint`]).
+    pub fn source_len(&self) -> usize {
+        self.len
+    }
+
+    /// The lane at exactly this fractional offset, if built.
+    pub fn lane(&self, frac: f64) -> Option<&SubLattice> {
+        self.lanes.iter().find(|l| l.frac == frac)
+    }
+
+    /// All built lanes.
+    pub fn lanes(&self) -> &[SubLattice] {
+        &self.lanes
+    }
+
+    /// `true` once every lane of the τ sweep at `tau_step` is built for
+    /// a buffer of `len` samples.
+    pub fn covers(&self, len: usize, tau_step: f64) -> bool {
+        self.len == len && tau_sweep(tau_step).all(|tau| self.lane(tau - tau.floor()).is_some())
+    }
+
+    /// Drops every lane (e.g. when the source buffer changed).
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.lanes.clear();
+    }
+}
+
 /// Reusable staging buffers for a backend (SoA copies of the operands,
 /// accumulators, the cached resampling tap vector). Contents between
 /// calls are unspecified; only capacity is retained.
@@ -119,6 +258,12 @@ pub struct KernelScratch {
     taps_frac: f64,
     taps_j_lo: isize,
     taps_valid: bool,
+    // a-side energy prefix sums for `match_score` normalization and
+    // early abandonment.
+    ea_prefix: Vec<f64>,
+    // Per-call lattice spans staged by raw-buffer `match_score` calls
+    // (footprint-backed calls use the caller's lanes instead).
+    lanes: Vec<SubLattice>,
 }
 
 fn split_soa(x: &[Complex], re: &mut Vec<f64>, im: &mut Vec<f64>) {
@@ -126,6 +271,128 @@ fn split_soa(x: &[Complex], re: &mut Vec<f64>, im: &mut Vec<f64>) {
     im.clear();
     re.extend(x.iter().map(|c| c.re));
     im.extend(x.iter().map(|c| c.im));
+}
+
+/// Stages the a-side span of a `match_score` call: SoA copies plus the
+/// energy prefix sums the sweep needs for normalization and for the
+/// early-abandonment tail bound.
+fn stage_a_span(ws: &mut KernelScratch, buf_a: &[Complex], start_a: usize, n: usize) {
+    ws.a_re.clear();
+    ws.a_im.clear();
+    ws.ea_prefix.clear();
+    ws.ea_prefix.reserve(n + 1);
+    let mut acc = 0.0;
+    ws.ea_prefix.push(acc);
+    for &v in &buf_a[start_a..start_a + n] {
+        ws.a_re.push(v.re);
+        ws.a_im.push(v.im);
+        acc += v.norm_sq();
+        ws.ea_prefix.push(acc);
+    }
+}
+
+/// Partial correlations are checked against the abandonment bound once
+/// per this many accumulated samples — rarely enough that the check is
+/// noise, often enough that a hopeless candidate dies early.
+const ABANDON_BLOCK: usize = 64;
+
+/// The `Optimized` τ sweep over pre-built lattice lanes, shared by the
+/// raw and footprint-backed `match_score` paths. `ar`/`ai`/`ea_prefix`
+/// are the staged a-span (`n` samples, `n + 1` prefix entries); lane
+/// sample index for alignment `τ = n_int + frac` at span offset `k` is
+/// `base0 + n_int + 1 + k` (`base0 = start_b` for whole-buffer
+/// footprints, 0 for per-call spans).
+///
+/// τ candidates are visited in ascending order with a strict-greater
+/// best update — the same tie-breaking as the `Scalar` reference — and
+/// with `bail` set, a candidate is dropped mid-accumulation when the
+/// Cauchy–Schwarz tail bound `(|acc| + √(ea_rem·eb_rem))/√(ea·eb)`
+/// cannot reach `max(bail, best-so-far)`.
+fn optimized_sweep(
+    ar: &[f64],
+    ai: &[f64],
+    ea_prefix: &[f64],
+    lanes: &[SubLattice],
+    base0: usize,
+    tau_step: f64,
+    bail: Option<f64>,
+) -> MatchScore {
+    let n = ar.len();
+    let ea_tot = ea_prefix[n];
+    let mut best = MatchScore::default();
+    if ea_tot <= 0.0 {
+        return best;
+    }
+    for tau in tau_sweep(tau_step) {
+        let f = tau.floor();
+        let frac = tau - f;
+        let lane = lanes
+            .iter()
+            .find(|l| l.frac == frac)
+            .unwrap_or_else(|| panic!("no lattice lane for τ = {tau} (frac {frac})"));
+        let base = (base0 as isize + f as isize + 1) as usize;
+        let eb_tot = lane.window_energy(base, base + n);
+        if eb_tot <= 0.0 {
+            continue;
+        }
+        let denom = (ea_tot * eb_tot).sqrt();
+        let cutoff = bail.map(|t| t.max(best.metric));
+        let lat = &lane.samples[base..base + n];
+        // Four independent accumulator pairs, as in the scan: the serial
+        // FP-add chain bounds throughput, not the multiplies.
+        let mut acc = [0.0f64; 8];
+        let mut k = 0;
+        let mut abandoned = false;
+        while k < n {
+            let stop = (k + ABANDON_BLOCK).min(n);
+            while k + 4 <= stop {
+                for u in 0..4 {
+                    let (xr, xi) = (ar[k + u], ai[k + u]);
+                    let y = lat[k + u];
+                    // x·conj(y)
+                    acc[2 * u] += xr * y.re + xi * y.im;
+                    acc[2 * u + 1] += xi * y.re - xr * y.im;
+                }
+                k += 4;
+            }
+            while k < stop {
+                let (xr, xi) = (ar[k], ai[k]);
+                let y = lat[k];
+                acc[0] += xr * y.re + xi * y.im;
+                acc[1] += xi * y.re - xr * y.im;
+                k += 1;
+            }
+            if k >= n {
+                break;
+            }
+            if let Some(cut) = cutoff {
+                let re = (acc[0] + acc[2]) + (acc[4] + acc[6]);
+                let im = (acc[1] + acc[3]) + (acc[5] + acc[7]);
+                let part = (re * re + im * im).sqrt();
+                let ea_rem = ea_tot - ea_prefix[k];
+                let eb_rem = lane.window_energy(base + k, base + n);
+                // |Σ_total| ≤ |Σ_partial| + √(Σ_rem|a|²·Σ_rem|b|²); the
+                // 1e-12 slack keeps float rounding in the bound itself
+                // from abandoning a candidate that lands *exactly* on the
+                // cutoff.
+                let ub = (part + (ea_rem * eb_rem).sqrt()) / denom;
+                if ub * (1.0 + 1e-12) < cut {
+                    abandoned = true;
+                    break;
+                }
+            }
+        }
+        if abandoned {
+            continue;
+        }
+        let re = (acc[0] + acc[2]) + (acc[4] + acc[6]);
+        let im = (acc[1] + acc[3]) + (acc[5] + acc[7]);
+        let metric = (re * re + im * im).sqrt() / denom;
+        if metric > best.metric {
+            best = MatchScore { metric, tau };
+        }
+    }
+    best
 }
 
 /// One implementation of the four phy hot-loop primitives.
@@ -183,6 +450,57 @@ pub trait Backend: std::fmt::Debug + Send + Sync {
         streams: &[(&[Complex], f64)],
         out: &mut Vec<Complex>,
     );
+
+    /// §4.2.2's normalized match metric between packet-aligned spans of
+    /// two collision buffers, maximized over the [`tau_sweep`] of
+    /// sub-sample alignments of the second buffer:
+    ///
+    /// `max_τ |Σ_k a[sa+k]·conj(b(sb+k+τ))| / √(Σ_k|a[sa+k]|²·Σ_k|b(sb+k+τ)|²)`
+    ///
+    /// over `k < n` with `n = window` clamped to both buffer tails
+    /// (`b(t)` is the windowed-sinc interpolation of
+    /// [`crate::interp::interp_at`]). Returns the zero score when the
+    /// clamped overlap is empty.
+    ///
+    /// `bail`, when `Some(t)`: the implementation may abandon a τ
+    /// candidate mid-accumulation once a Cauchy–Schwarz bound proves its
+    /// metric cannot reach `max(t, best-so-far)`. The returned metric is
+    /// **exact whenever it is ≥ t**; below `t` it is only guaranteed to
+    /// genuinely be `< t` — callers must treat sub-`t` values as a
+    /// rejection, not as a measurement. `Scalar` ignores `bail` and is
+    /// always exact (it is the reference the differential tests pin the
+    /// `bail: None` behaviour to).
+    #[allow(clippy::too_many_arguments)]
+    fn match_score(
+        &self,
+        ws: &mut KernelScratch,
+        buf_a: &[Complex],
+        start_a: usize,
+        buf_b: &[Complex],
+        start_b: usize,
+        window: usize,
+        tau_step: f64,
+        bail: Option<f64>,
+    ) -> MatchScore;
+
+    /// [`Backend::match_score`] against a pre-built [`CorrFootprint`] of
+    /// the second buffer instead of the raw samples: the τ sweep reads
+    /// the footprint's lanes (integer-shifted dot products, prefix-sum
+    /// energies) and never re-interpolates. The footprint must cover the
+    /// sweep ([`CorrFootprint::covers`] for this `tau_step`) — see
+    /// [`Kernel::ensure_footprint`].
+    #[allow(clippy::too_many_arguments)]
+    fn match_score_fp(
+        &self,
+        ws: &mut KernelScratch,
+        buf_a: &[Complex],
+        start_a: usize,
+        fp: &CorrFootprint,
+        start_b: usize,
+        window: usize,
+        tau_step: f64,
+        bail: Option<f64>,
+    ) -> MatchScore;
 }
 
 /// The original scalar loops — the numerical reference backend.
@@ -235,6 +553,95 @@ impl Backend for Scalar {
         out: &mut Vec<Complex>,
     ) {
         crate::mrc::combine_weighted_into(streams, out);
+    }
+
+    // The historical `matcher::match_metric_with_step` loop: one 17-tap
+    // interpolation per sample per τ, energies re-accumulated per τ.
+    // `bail` is deliberately ignored — Scalar is the always-exact
+    // reference the differential tests (and the staged-vs-exhaustive
+    // matchset proptest) pin the optimized path against.
+    fn match_score(
+        &self,
+        _ws: &mut KernelScratch,
+        buf_a: &[Complex],
+        start_a: usize,
+        buf_b: &[Complex],
+        start_b: usize,
+        window: usize,
+        tau_step: f64,
+        _bail: Option<f64>,
+    ) -> MatchScore {
+        let n = window
+            .min(buf_a.len().saturating_sub(start_a))
+            .min(buf_b.len().saturating_sub(start_b));
+        let mut best = MatchScore::default();
+        if n == 0 {
+            return best;
+        }
+        for tau in tau_sweep(tau_step) {
+            let mut acc = Complex::default();
+            let mut ea = 0.0;
+            let mut eb = 0.0;
+            for k in 0..n {
+                let x = buf_a[start_a + k];
+                let y = crate::interp::interp_at(buf_b, start_b as f64 + k as f64 + tau);
+                acc += x * y.conj();
+                ea += x.norm_sq();
+                eb += y.norm_sq();
+            }
+            if ea > 0.0 && eb > 0.0 {
+                let metric = acc.abs() / (ea * eb).sqrt();
+                if metric > best.metric {
+                    best = MatchScore { metric, tau };
+                }
+            }
+        }
+        best
+    }
+
+    fn match_score_fp(
+        &self,
+        _ws: &mut KernelScratch,
+        buf_a: &[Complex],
+        start_a: usize,
+        fp: &CorrFootprint,
+        start_b: usize,
+        window: usize,
+        tau_step: f64,
+        _bail: Option<f64>,
+    ) -> MatchScore {
+        let n = window
+            .min(buf_a.len().saturating_sub(start_a))
+            .min(fp.source_len().saturating_sub(start_b));
+        let mut best = MatchScore::default();
+        if n == 0 {
+            return best;
+        }
+        for tau in tau_sweep(tau_step) {
+            let f = tau.floor();
+            let frac = tau - f;
+            let lane = fp
+                .lane(frac)
+                .unwrap_or_else(|| panic!("footprint missing lane for τ = {tau} (frac {frac})"));
+            let base = (start_b as isize + f as isize + 1) as usize;
+            let mut acc = Complex::default();
+            let mut ea = 0.0;
+            let mut eb = 0.0;
+            for k in 0..n {
+                let x = buf_a[start_a + k];
+                let y = lane.samples[base + k];
+                acc += x * y.conj();
+                ea += x.norm_sq();
+                eb += y.norm_sq();
+            }
+            if ea > 0.0 && eb > 0.0 {
+                let metric = acc.abs() / (ea * eb).sqrt();
+                if metric > best.metric {
+                    best = MatchScore { metric, tau };
+                }
+            }
+        }
+        best
     }
 }
 
@@ -466,6 +873,85 @@ impl Backend for Optimized {
             }
         }
     }
+
+    fn match_score(
+        &self,
+        ws: &mut KernelScratch,
+        buf_a: &[Complex],
+        start_a: usize,
+        buf_b: &[Complex],
+        start_b: usize,
+        window: usize,
+        tau_step: f64,
+        bail: Option<f64>,
+    ) -> MatchScore {
+        let n = window
+            .min(buf_a.len().saturating_sub(start_a))
+            .min(buf_b.len().saturating_sub(start_b));
+        if n == 0 {
+            return MatchScore::default();
+        }
+        stage_a_span(ws, buf_a, start_a, n);
+        // Hoist the interpolation out of the τ loop: one lattice span per
+        // *distinct fractional offset* of the sweep (a 0.25-step sweep
+        // has 9 τ candidates but only 4 fracs), each built with the
+        // cached-tap resampler — ~17 sin/cos pairs per lane instead of 17
+        // per sample per τ. The spans are taken out of the scratch while
+        // `resample_into` borrows it, then put back so their allocations
+        // persist across calls. Lanes are written into the vector's
+        // prefix, so a stale same-frac lane from an earlier, longer sweep
+        // can never shadow a fresh one in the `find` below.
+        let mut lanes = std::mem::take(&mut ws.lanes);
+        let mut built = 0usize;
+        for tau in tau_sweep(tau_step) {
+            let frac = tau - tau.floor();
+            if lanes[..built].iter().any(|l| l.frac == frac) {
+                continue;
+            }
+            if built == lanes.len() {
+                lanes.push(SubLattice::default());
+            }
+            let lane = &mut lanes[built];
+            lane.frac = frac;
+            // Span lattice: lane.samples[m] = b(start_b − 1 + frac + m) —
+            // the footprint geometry with base0 = 0.
+            self.resample_into(
+                ws,
+                buf_b,
+                start_b as f64 - 1.0 + frac,
+                1.0,
+                n + 2,
+                &mut lane.samples,
+            );
+            lane.refresh_energy();
+            built += 1;
+        }
+        let score =
+            optimized_sweep(&ws.a_re, &ws.a_im, &ws.ea_prefix, &lanes[..built], 0, tau_step, bail);
+        ws.lanes = lanes;
+        score
+    }
+
+    fn match_score_fp(
+        &self,
+        ws: &mut KernelScratch,
+        buf_a: &[Complex],
+        start_a: usize,
+        fp: &CorrFootprint,
+        start_b: usize,
+        window: usize,
+        tau_step: f64,
+        bail: Option<f64>,
+    ) -> MatchScore {
+        let n = window
+            .min(buf_a.len().saturating_sub(start_a))
+            .min(fp.source_len().saturating_sub(start_b));
+        if n == 0 {
+            return MatchScore::default();
+        }
+        stage_a_span(ws, buf_a, start_a, n);
+        optimized_sweep(&ws.a_re, &ws.a_im, &ws.ea_prefix, fp.lanes(), start_b, tau_step, bail)
+    }
 }
 
 /// A backend choice bundled with its reusable scratch buffers — the
@@ -519,6 +1005,89 @@ impl Kernel {
     /// See [`Backend::combine_weighted_into`].
     pub fn combine_weighted_into(&mut self, streams: &[(&[Complex], f64)], out: &mut Vec<Complex>) {
         self.kind.backend().combine_weighted_into(&mut self.ws, streams, out);
+    }
+
+    /// See [`Backend::match_score`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn match_score(
+        &mut self,
+        buf_a: &[Complex],
+        start_a: usize,
+        buf_b: &[Complex],
+        start_b: usize,
+        window: usize,
+        tau_step: f64,
+        bail: Option<f64>,
+    ) -> MatchScore {
+        self.kind.backend().match_score(
+            &mut self.ws,
+            buf_a,
+            start_a,
+            buf_b,
+            start_b,
+            window,
+            tau_step,
+            bail,
+        )
+    }
+
+    /// See [`Backend::match_score_fp`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn match_score_fp(
+        &mut self,
+        buf_a: &[Complex],
+        start_a: usize,
+        fp: &CorrFootprint,
+        start_b: usize,
+        window: usize,
+        tau_step: f64,
+        bail: Option<f64>,
+    ) -> MatchScore {
+        self.kind.backend().match_score_fp(
+            &mut self.ws,
+            buf_a,
+            start_a,
+            fp,
+            start_b,
+            window,
+            tau_step,
+            bail,
+        )
+    }
+
+    /// Builds (or completes) `fp` so it covers every lane of the τ sweep
+    /// at `tau_step` for `buf` — after this, [`Kernel::match_score_fp`]
+    /// can score any span of `buf` at that step (or any coarser step
+    /// whose fracs are a subset, e.g. 0.5 after 0.25) without touching
+    /// the raw samples. Already-built lanes are kept; a length change in
+    /// the source buffer drops them all first.
+    ///
+    /// Lanes are interpolated with [`Backend::resample_into`], which is
+    /// bit-identical across backends, so footprint contents never depend
+    /// on which backend built them. `alloc` supplies the sample vectors
+    /// (the caller's buffer pool — this crate has no allocator seam of
+    /// its own).
+    pub fn ensure_footprint(
+        &mut self,
+        fp: &mut CorrFootprint,
+        buf: &[Complex],
+        tau_step: f64,
+        alloc: &mut dyn FnMut() -> Vec<Complex>,
+    ) {
+        if fp.len != buf.len() {
+            fp.clear();
+            fp.len = buf.len();
+        }
+        for tau in tau_sweep(tau_step) {
+            let frac = tau - tau.floor();
+            if fp.lane(frac).is_some() {
+                continue;
+            }
+            let mut lane = SubLattice { frac, samples: alloc(), energy: Vec::new() };
+            self.resample_into(buf, -1.0 + frac, 1.0, buf.len() + 2, &mut lane.samples);
+            lane.refresh_energy();
+            fp.lanes.push(lane);
+        }
     }
 }
 
@@ -622,5 +1191,119 @@ mod tests {
         assert_eq!(BackendKind::Scalar.name(), "scalar");
         assert_eq!(BackendKind::Optimized.name(), "optimized");
         assert_eq!(Kernel::new(BackendKind::Optimized).kind(), BackendKind::Optimized);
+    }
+
+    #[test]
+    fn tau_sweep_reaches_both_endpoints() {
+        for (step, count) in [(1.0, 3), (0.5, 5), (0.25, 9)] {
+            let taus: Vec<f64> = tau_sweep(step).collect();
+            assert_eq!(taus.len(), count, "step {step}");
+            assert_eq!(taus[0], -1.0);
+            assert_eq!(*taus.last().unwrap(), 1.0, "dyadic steps hit +1 exactly");
+        }
+        // Regression for the float-drift bug: the accumulated `tau +=
+        // 0.2` sweep drifted past the `tau <= 1.0` bound one iteration
+        // early and never evaluated the +1.0 alignment.
+        let taus: Vec<f64> = tau_sweep(0.2).collect();
+        assert_eq!(taus.len(), 11, "0.2 sweep covers all 11 grid points");
+        assert!((taus.last().unwrap() - 1.0).abs() < 1e-9, "last τ ≈ +1.0");
+    }
+
+    /// Two buffers carrying the same band-limited signal, the second one
+    /// delayed by `shift` samples — the matched-collision shape of
+    /// §4.2.2, where the metric should spike near 1 at τ ≈ 0.
+    fn matched_pair(n: usize, shift: f64) -> (Vec<Complex>, Vec<Complex>) {
+        let wave = |t: f64| {
+            Complex::cis(0.05 * t)
+                + Complex::cis(-0.11 * t).scale(0.5)
+                + Complex::cis(0.23 * t).scale(0.25)
+        };
+        let a: Vec<Complex> = (0..n).map(|k| wave(k as f64)).collect();
+        let b: Vec<Complex> = (0..n).map(|k| wave(k as f64 - shift)).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn backends_agree_on_match_score() {
+        let (a, b) = matched_pair(400, 0.3);
+        let (mut s, mut o) =
+            (Kernel::new(BackendKind::Scalar), Kernel::new(BackendKind::Optimized));
+        for step in [0.25, 0.5, 1.0] {
+            let ms = s.match_score(&a, 64, &b, 64, 256, step, None);
+            let mo = o.match_score(&a, 64, &b, 64, 256, step, None);
+            assert!((ms.metric - mo.metric).abs() < 1e-9, "step {step}: {ms:?} vs {mo:?}");
+            assert!((ms.tau - mo.tau).abs() < step + 1e-12, "step {step}: {ms:?} vs {mo:?}");
+        }
+        // the matched pair actually spikes, and the argmax τ cancels the
+        // applied fractional delay (b delayed by 0.3 → reading b at k + τ
+        // with τ ≈ +0.3 re-aligns it; nearest 0.25-grid point is +0.25)
+        let ms = s.match_score(&a, 64, &b, 64, 256, 0.25, None);
+        assert!(ms.metric > 0.9, "matched metric {ms:?}");
+        assert_eq!(ms.tau, 0.25, "argmax τ snaps to the applied delay");
+    }
+
+    #[test]
+    fn footprint_matches_raw_on_both_backends() {
+        let (a, b) = matched_pair(300, 0.4);
+        for kind in [BackendKind::Scalar, BackendKind::Optimized] {
+            let mut k = Kernel::new(kind);
+            let mut fp = CorrFootprint::default();
+            k.ensure_footprint(&mut fp, &b, 0.25, &mut Vec::new);
+            assert!(fp.covers(b.len(), 0.25));
+            assert!(fp.covers(b.len(), 0.5), "0.5 fracs are a subset of 0.25's");
+            assert!(!fp.covers(b.len() + 1, 0.25));
+            for (sa, sb, window) in [(32, 32, 200), (0, 0, 64), (250, 10, 512)] {
+                let raw = k.match_score(&a, sa, &b, sb, window, 0.25, None);
+                let viafp = k.match_score_fp(&a, sa, &fp, sb, window, 0.25, None);
+                assert!(
+                    (raw.metric - viafp.metric).abs() < 1e-9,
+                    "{} ({sa},{sb},{window}): {raw:?} vs {viafp:?}",
+                    kind.name()
+                );
+                assert!((raw.tau - viafp.tau).abs() < 0.25 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn bail_returns_exact_metric_at_or_above_threshold() {
+        let (a, b) = matched_pair(400, 0.2);
+        let mut o = Kernel::new(BackendKind::Optimized);
+        let exact = o.match_score(&a, 50, &b, 50, 300, 0.25, None);
+        assert!(exact.metric > 0.5, "sanity: {exact:?}");
+        // bail below the true metric: the result must be bit-identical
+        let bailed = o.match_score(&a, 50, &b, 50, 300, 0.25, Some(0.15));
+        assert_eq!(exact, bailed, "metric ≥ bail must be exact");
+        // bail above the true metric: only the rejection is guaranteed
+        let over = o.match_score(&a, 50, &b, 50, 300, 0.25, Some(exact.metric + 0.01));
+        assert!(over.metric < exact.metric + 0.01, "sub-bail values mean rejection");
+        // same contract through the footprint path
+        let mut fp = CorrFootprint::default();
+        o.ensure_footprint(&mut fp, &b, 0.25, &mut Vec::new);
+        let fp_exact = o.match_score_fp(&a, 50, &fp, 50, 300, 0.25, None);
+        let fp_bailed = o.match_score_fp(&a, 50, &fp, 50, 300, 0.25, Some(0.15));
+        assert_eq!(fp_exact, fp_bailed);
+    }
+
+    #[test]
+    fn match_score_empty_overlaps_are_zero() {
+        let (a, b) = matched_pair(64, 0.0);
+        let mut fp = CorrFootprint::default();
+        for kind in [BackendKind::Scalar, BackendKind::Optimized] {
+            let mut k = Kernel::new(kind);
+            k.ensure_footprint(&mut fp, &b, 0.25, &mut Vec::new);
+            // start past either buffer's end, empty buffers, zero window
+            for (ba, sa, bb, sb, w) in [
+                (&a[..], 64usize, &b[..], 0usize, 128usize),
+                (&a[..], 0, &b[..], 64, 128),
+                (&[][..], 0, &b[..], 0, 128),
+                (&a[..], 0, &[][..], 0, 128),
+                (&a[..], 0, &b[..], 0, 0),
+            ] {
+                assert_eq!(k.match_score(ba, sa, bb, sb, w, 0.25, None), MatchScore::default());
+            }
+            assert_eq!(k.match_score_fp(&a, 64, &fp, 0, 128, 0.25, None), MatchScore::default());
+            assert_eq!(k.match_score_fp(&a, 0, &fp, 64, 128, 0.25, None), MatchScore::default());
+        }
     }
 }

@@ -9,7 +9,7 @@
 use proptest::prelude::*;
 use zigzag_phy::complex::Complex;
 use zigzag_phy::filter::Fir;
-use zigzag_phy::kernel::{BackendKind, Kernel};
+use zigzag_phy::kernel::{BackendKind, CorrFootprint, Kernel, MatchScore};
 
 fn to_complex(raw: &[(f64, f64)]) -> Vec<Complex> {
     raw.iter().map(|&(re, im)| Complex::new(re, im)).collect()
@@ -97,6 +97,137 @@ proptest! {
         optimized.combine_weighted_into(&streams, &mut b);
         assert_close(&a, &b, 1e-9, "mrc");
     }
+}
+
+/// Asserts the match-metric agreement bar: metrics within `tol`, and the
+/// argmax τ within one sweep step of each other (ties between adjacent τ
+/// candidates are the only sanctioned divergence — both backends sweep
+/// ascending and break exact ties toward the earlier τ, but a ≤1e-9
+/// metric difference may flip a near-tie to a neighbouring step).
+fn assert_match_close(a: MatchScore, b: MatchScore, tau_step: f64, tol: f64, what: &str) {
+    assert!(
+        (a.metric - b.metric).abs() < tol,
+        "{what}: metric {} vs {} (err {})",
+        a.metric,
+        b.metric,
+        (a.metric - b.metric).abs()
+    );
+    assert!(
+        (a.tau - b.tau).abs() < tau_step + 1e-9,
+        "{what}: argmax τ {} vs {} further than one step ({tau_step})",
+        a.tau,
+        b.tau
+    );
+}
+
+proptest! {
+    /// `match_score` differential: with `bail: None` the optimized SoA
+    /// sweep must reproduce the scalar reference loop — metric ≤ 1e-9,
+    /// argmax τ within one step — across random spans, windows and
+    /// sweep resolutions (including spans that overhang either buffer).
+    #[test]
+    fn match_score_matches_scalar(
+        a_raw in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 0..260),
+        b_raw in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 0..260),
+        start_a in 0usize..280,
+        start_b in 0usize..280,
+        window in 0usize..200,
+        step_pick in 0u8..3,
+    ) {
+        let a = to_complex(&a_raw);
+        let b = to_complex(&b_raw);
+        let tau_step = [0.25, 0.5, 1.0][step_pick as usize];
+        let (mut scalar, mut optimized) = kernels();
+        let ms = scalar.match_score(&a, start_a, &b, start_b, window, tau_step, None);
+        let mo = optimized.match_score(&a, start_a, &b, start_b, window, tau_step, None);
+        assert_match_close(ms, mo, tau_step, 1e-9, "match_score");
+    }
+
+    /// The bail contract: when the exact metric clears the bail bar the
+    /// optimized path must return it exactly (abandonment never clips a
+    /// survivor); below the bar any returned value must itself stay
+    /// below the bar (a rejection, never a fake survivor).
+    #[test]
+    fn match_score_bail_contract(
+        a_raw in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 8..200),
+        b_raw in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 8..200),
+        start_b in 0usize..64,
+        window in 16usize..160,
+        bail in 0.0f64..1.0,
+    ) {
+        let a = to_complex(&a_raw);
+        let b = to_complex(&b_raw);
+        let (mut scalar, mut optimized) = kernels();
+        let exact = scalar.match_score(&a, 0, &b, start_b, window, 0.25, None);
+        let bailed = optimized.match_score(&a, 0, &b, start_b, window, 0.25, Some(bail));
+        if exact.metric >= bail {
+            assert_match_close(exact, bailed, 0.25, 1e-9, "bail survivor");
+        } else {
+            prop_assert!(
+                bailed.metric < bail + 1e-9,
+                "abandoned metric {} breached the bail bar {bail}", bailed.metric
+            );
+        }
+    }
+
+    /// Footprint-backed scoring is the raw path, cached: for a footprint
+    /// built by `ensure_footprint`, `match_score_fp` must agree with
+    /// `match_score` on the raw buffer — on both backends, including at
+    /// the coarser sweeps (0.5, 1.0) whose lanes are a subset of the
+    /// 0.25 build.
+    #[test]
+    fn footprint_scoring_matches_raw(
+        a_raw in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 4..200),
+        b_raw in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 4..200),
+        start_a in 0usize..64,
+        start_b in 0usize..64,
+        window in 1usize..160,
+        step_pick in 0u8..3,
+    ) {
+        let a = to_complex(&a_raw);
+        let b = to_complex(&b_raw);
+        let tau_step = [0.25, 0.5, 1.0][step_pick as usize];
+        let (mut scalar, mut optimized) = kernels();
+        let mut fp = CorrFootprint::default();
+        optimized.ensure_footprint(&mut fp, &b, 0.25, &mut Vec::new);
+        prop_assert!(fp.covers(b.len(), tau_step));
+        for kernel in [&mut scalar, &mut optimized] {
+            let raw = kernel.match_score(&a, start_a, &b, start_b, window, tau_step, None);
+            let cached = kernel.match_score_fp(&a, start_a, &fp, start_b, window, tau_step, None);
+            assert_match_close(raw, cached, tau_step, 1e-9, "footprint vs raw");
+        }
+    }
+}
+
+#[test]
+fn match_score_edge_cases() {
+    let a: Vec<Complex> = (0..96).map(|k| Complex::cis(0.13 * k as f64)).collect();
+    let b: Vec<Complex> = (0..64).map(|k| Complex::cis(0.13 * k as f64 + 0.4)).collect();
+    let (mut scalar, mut optimized) = kernels();
+    let mut fp = CorrFootprint::default();
+    optimized.ensure_footprint(&mut fp, &b, 0.25, &mut Vec::new);
+    let zero = MatchScore::default();
+    for kernel in [&mut scalar, &mut optimized] {
+        // empty span: a zero-length window scores zero, not NaN
+        assert_eq!(kernel.match_score(&a, 0, &b, 0, 0, 0.25, None), zero);
+        assert_eq!(kernel.match_score_fp(&a, 0, &fp, 0, 0, 0.25, None), zero);
+        // empty buffers on either side
+        assert_eq!(kernel.match_score(&[], 0, &b, 0, 64, 0.25, None), zero);
+        assert_eq!(kernel.match_score(&a, 0, &[], 0, 64, 0.25, None), zero);
+        // start exactly at (and past) the buffer tail: zero overlap
+        assert_eq!(kernel.match_score(&a, a.len(), &b, 0, 64, 0.25, None), zero);
+        assert_eq!(kernel.match_score(&a, 0, &b, b.len(), 64, 0.25, None), zero);
+        assert_eq!(kernel.match_score_fp(&a, 0, &fp, b.len() + 7, 64, 0.25, None), zero);
+    }
+    // window longer than either buffer: clamps to the shorter tail and
+    // still agrees across backends and against the footprint path
+    let (mut scalar, mut optimized) = kernels();
+    let ms = scalar.match_score(&a, 10, &b, 3, 10_000, 0.25, None);
+    let mo = optimized.match_score(&a, 10, &b, 3, 10_000, 0.25, None);
+    let mf = optimized.match_score_fp(&a, 10, &fp, 3, 10_000, 0.25, None);
+    assert!(ms.metric > 0.9, "aligned tones must correlate, got {}", ms.metric);
+    assert_match_close(ms, mo, 0.25, 1e-9, "clamped window");
+    assert_match_close(ms, mf, 0.25, 1e-9, "clamped window fp");
 }
 
 #[test]
