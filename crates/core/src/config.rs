@@ -140,6 +140,39 @@ pub struct RecoveryConfig {
     /// window's strongest symbol — under-observed symbols wait for the
     /// window to slide instead of committing garbage.
     pub min_observation: f64,
+    /// Extra turbo re-estimation passes after a CRC-failed first solve:
+    /// the solver re-derives every [`ChannelView`](crate::view::ChannelView)
+    /// from its own interference-cancelled buffer (the first pass's
+    /// decision images subtracted) and solves again — the SIC/turbo
+    /// iteration of arXiv:1401.7374. `0` (the default) keeps the
+    /// single-pass PR 5 solver; iteration stops early once every packet's
+    /// CRC passes or the decisions stop changing between passes.
+    pub turbo_iters: usize,
+    /// Proportional gain of the solver's per-window PI phase tracker.
+    /// `0.0` (the default) keeps the executor-style one-shot feedback
+    /// (full `δφ` applied per committed chunk); a positive gain switches
+    /// the joint solver to a damped PI loop with per-(collision × packet)
+    /// integrator state, which rides out phase-noise walks on impaired
+    /// links instead of letting one noisy window jolt the phase model.
+    pub window_pll_kp: f64,
+    /// Integral gain of the solver's per-window PI phase tracker
+    /// (absorbs residual frequency offset). Only read when
+    /// [`window_pll_kp`](Self::window_pll_kp) is positive.
+    pub window_pll_ki: f64,
+    /// Conditioning floor for salvage-pool member admission: a candidate
+    /// is recruited only while the group's channel-proxy Gram matrix
+    /// (detection correlations × placement shifts) keeps at least this
+    /// normalised determinant
+    /// ([`gram_conditioning`](zigzag_phy::linalg::gram_conditioning),
+    /// `1.0` = orthogonal equations, `0.0` = collinear). `0.0` (the
+    /// default) admits every confirmed candidate, as PR 5 did.
+    pub min_conditioning: f64,
+    /// Scale the per-window ridge `λ` from the window's *measured*
+    /// observation-energy spread instead of the flat `mean_diag` factor:
+    /// ill-conditioned windows (weakly-observed look-ahead columns) get a
+    /// proportionally stronger ridge. `false` (the default) keeps PR 5's
+    /// global factor bit-for-bit.
+    pub adaptive_lambda: bool,
 }
 
 impl Default for RecoveryConfig {
@@ -152,14 +185,40 @@ impl Default for RecoveryConfig {
             max_collisions: 4,
             lambda: 1e-4,
             min_observation: 0.25,
+            turbo_iters: 0,
+            window_pll_kp: 0.0,
+            window_pll_ki: 0.0,
+            min_conditioning: 0.0,
+            adaptive_lambda: false,
         }
     }
 }
 
 impl RecoveryConfig {
-    /// The default knobs with the subsystem switched on.
+    /// The default knobs with the subsystem switched on — bit-identical
+    /// to the PR 5 single-pass solver (no turbo, one-shot feedback).
     pub fn on() -> Self {
         Self { enabled: true, ..Self::default() }
+    }
+
+    /// The typical-link robustness preset: recovery on, plus the
+    /// machinery that survives impaired channels — per-window PI phase
+    /// tracking (rides phase-noise walks), turbo re-estimation (reclaims
+    /// CRC-failed first solves from their own cancelled buffers),
+    /// conditioning-gated member selection, and a conditioning-scaled
+    /// ridge. On benign links this delivers the same frames as
+    /// [`RecoveryConfig::on`]; on `LinkProfile::typical`-class links it
+    /// reclaims strictly more (the bench's tracked robustness curve).
+    pub fn robust() -> Self {
+        Self {
+            enabled: true,
+            turbo_iters: 2,
+            window_pll_kp: 0.65,
+            window_pll_ki: 0.08,
+            min_conditioning: 0.02,
+            adaptive_lambda: true,
+            ..Self::default()
+        }
     }
 }
 
@@ -217,6 +276,13 @@ impl DecoderConfig {
     /// are jointly solved instead of dropped.
     pub fn with_recovery() -> Self {
         Self { recovery: RecoveryConfig::on(), ..Self::default() }
+    }
+
+    /// [`DecoderConfig::with_recovery`] hardened for typical (impaired)
+    /// links: the [`RecoveryConfig::robust`] preset — window PLL, turbo
+    /// re-estimation, conditioning-aware recruitment.
+    pub fn with_robust_recovery() -> Self {
+        Self { recovery: RecoveryConfig::robust(), ..Self::default() }
     }
 }
 
@@ -398,6 +464,27 @@ mod tests {
         assert!(!i.use_isi_filter && i.track_phase);
         let f = DecoderConfig::forward_only();
         assert!(!f.backward && f.track_phase);
+    }
+
+    #[test]
+    fn recovery_presets_layer_cleanly() {
+        let on = RecoveryConfig::on();
+        assert!(on.enabled);
+        // `on()` must stay the PR 5 single-pass solver bit-for-bit: every
+        // robustness knob off.
+        assert_eq!(on.turbo_iters, 0);
+        assert_eq!(on.window_pll_kp, 0.0);
+        assert_eq!(on.min_conditioning, 0.0);
+        assert!(!on.adaptive_lambda);
+        assert_eq!(on, RecoveryConfig { enabled: true, ..RecoveryConfig::default() });
+
+        let robust = RecoveryConfig::robust();
+        assert!(robust.enabled && robust.turbo_iters > 0 && robust.window_pll_kp > 0.0);
+        assert!(robust.adaptive_lambda && robust.min_conditioning > 0.0);
+        // the shared solver knobs stay at the defaults
+        assert_eq!(robust.window, on.window);
+        assert_eq!(robust.commit, on.commit);
+        assert_eq!(DecoderConfig::with_robust_recovery().recovery, robust);
     }
 
     #[test]

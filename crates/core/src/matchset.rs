@@ -784,7 +784,7 @@ struct MemberAlignment {
 /// brute-force assignment over k! permutations). Reaching a given k also
 /// requires `DecoderConfig::collision_store ≥ k − 1`, checked per match
 /// attempt — the default store of 4 supports up to 5 senders.
-const MAX_KWAY: usize = 6;
+pub(crate) const MAX_KWAY: usize = 6;
 
 /// Aligns the current collision with one stored collision by *validated
 /// shifts* — the §4.2.2 correlation trick, generalized.

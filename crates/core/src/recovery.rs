@@ -62,15 +62,15 @@ use crate::config::{ClientRegistry, DecoderConfig};
 use crate::detect::Detection;
 use crate::engine::scratch::Scratch;
 use crate::matcher::{MATCH_THRESHOLD, MATCH_WINDOW};
-use crate::matchset::{footprint_metric, pair_alignment, RejectedSet, StoredCollision};
-use crate::schedule::min_coverage_lens;
-use crate::view::{ChannelView, PacketLayout};
+use crate::matchset::{footprint_metric, pair_alignment, RejectedSet, StoredCollision, MAX_KWAY};
+use crate::schedule::{min_coverage_lens, shift_signature};
+use crate::view::{ChannelView, PacketLayout, WindowPll};
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use zigzag_phy::bits::bits_to_bytes;
 use zigzag_phy::complex::{Complex, ZERO};
 use zigzag_phy::frame::{decode_mpdu, Frame, PlcpHeader, PLCP_SYMBOLS};
-use zigzag_phy::linalg::lstsq;
+use zigzag_phy::linalg::{gram_conditioning, lstsq_cond};
 use zigzag_phy::modulation::Modulation;
 use zigzag_phy::preamble::Preamble;
 
@@ -275,14 +275,96 @@ pub fn group_from_rejected(
     Some(RecoveryGroup { buffers, placements, clients: set.clients() })
 }
 
+/// Pairs a current collision's detections against a pooled candidate's,
+/// one pair per client of `key` — the k ≥ 3 generalisation of the
+/// pairwise [`pair_alignment`]: each side contributes its **earliest**
+/// detection per client (true packet starts cluster at the front of a
+/// collision; later same-client spikes are §5.3a data sidelobes), and
+/// packets are ordered by their current-buffer start (ties by client id),
+/// mirroring the pairwise convention that packet 0 is the earliest
+/// current detection.
+fn kway_pairing(
+    detections: &[Detection],
+    cand_detections: &[Detection],
+    key: &[u16],
+) -> Option<Vec<(Detection, Detection)>> {
+    let earliest = |dets: &[Detection], client: u16| -> Option<Detection> {
+        dets.iter().filter(|d| d.client == client).min_by_key(|d| d.pos).copied()
+    };
+    let mut pairs: Vec<(Detection, Detection)> = key
+        .iter()
+        .map(|&client| Some((earliest(detections, client)?, earliest(cand_detections, client)?)))
+        .collect::<Option<_>>()?;
+    pairs.sort_by_key(|&(c, _)| (c.pos, c.client));
+    Some(pairs)
+}
+
+/// One collision's row in the conditioning proxy: its per-packet channel
+/// coefficients (the detection correlations, ≈ `H·L`) embedded in a
+/// coordinate block keyed by the collision's shift signature. Equations
+/// from different signatures are independent by structure (they couple
+/// different symbol index pairs), so their rows are made orthogonal
+/// outright; same-signature collisions — §4.5's degenerate case — are
+/// left to be scored by their channel diversity alone.
+fn proxy_row(
+    signatures: &mut Vec<Vec<Option<isize>>>,
+    pairing_starts: &[(usize, usize)],
+    corrs: &[Complex],
+) -> (usize, Vec<Complex>) {
+    let k = corrs.len();
+    let layout = crate::schedule::CollisionLayout {
+        placements: pairing_starts
+            .iter()
+            .map(|&(packet, start)| crate::schedule::Placement { packet, start })
+            .collect(),
+        len: 0,
+    };
+    let sig = shift_signature(k, &layout);
+    let block = signatures.iter().position(|s| *s == sig).unwrap_or_else(|| {
+        signatures.push(sig);
+        signatures.len() - 1
+    });
+    let mut row = vec![ZERO; (block + 1) * k];
+    row[block * k..].copy_from_slice(corrs);
+    (block, row)
+}
+
+/// Pads every proxy row to the widest block width so
+/// [`gram_conditioning`] sees a rectangular system.
+fn proxy_conditioning(rows: &[(usize, Vec<Complex>)]) -> f64 {
+    let width = rows.iter().map(|(_, r)| r.len()).max().unwrap_or(0);
+    let dense: Vec<Vec<Complex>> = rows
+        .iter()
+        .map(|(_, r)| {
+            let mut d = r.clone();
+            d.resize(width, ZERO);
+            d
+        })
+        .collect();
+    gram_conditioning(&dense)
+}
+
 /// Assembles a group from the salvage pool: pairs the current collision's
 /// detections against each same-key pooled entry by client, confirms the
 /// alignment by sample correlation on **every** packet, and admits up to
 /// `max_members` members. Returns the group plus the candidate indices it
 /// used (so a successful solve can [`SalvagePool::consume`] them).
 ///
+/// Handles any key size up to the matcher's `MAX_KWAY`: two-client keys
+/// keep the historical [`pair_alignment`] pairing bit-for-bit; larger
+/// keys pair earliest-detection-per-client (`kway_pairing`). Every
+/// confirmation runs through the candidate's **cached** correlation
+/// footprint, so a pooled buffer is characterized once across all
+/// recruitment rounds it survives, not once per round.
+///
 /// Pure-shift members are admitted on purpose — cross-collision channel
-/// diversity is exactly what the joint solver exploits.
+/// diversity is exactly what the joint solver exploits. But diversity is
+/// measurable: with `min_conditioning > 0`, each candidate is admitted
+/// only while the group's channel-proxy Gram matrix (detection
+/// correlations, block-keyed by placement shift signature) keeps at
+/// least that normalised determinant — a recruit whose equations are
+/// near-collinear with the rows already admitted would only poison the
+/// joint `lstsq`, so it is skipped rather than solved against.
 pub fn group_from_pool(
     ws: &mut Scratch,
     buffer: &[Complex],
@@ -290,23 +372,34 @@ pub fn group_from_pool(
     key: &[u16],
     pool: &SalvagePool,
     max_members: usize,
+    min_conditioning: f64,
 ) -> Option<(RecoveryGroup, Vec<usize>)> {
-    if key.len() != 2 || max_members == 0 {
-        // k ≥ 3 pool assembly would need the k-way consensus machinery;
-        // rejected k-way sets already reach recovery through
-        // `group_from_rejected`.
+    let k = key.len();
+    if !(2..=MAX_KWAY).contains(&k) || max_members == 0 {
         return None;
     }
     let mut buffers = vec![buffer.to_vec()];
     let mut placements: Vec<Vec<(usize, usize)>> = Vec::new();
     let mut clients: Vec<u16> = Vec::new();
     let mut used = Vec::new();
+    let mut signatures: Vec<Vec<Option<isize>>> = Vec::new();
+    let mut proxy: Vec<(usize, Vec<Complex>)> = Vec::new();
     for (i, cand) in pool.candidates(key).enumerate() {
         if placements.len() > max_members {
             break;
         }
-        let Some((pairing, _pure_shift)) = pair_alignment(detections, &cand.detections) else {
-            continue;
+        // the historical pairwise alignment for k = 2; earliest-per-client
+        // consensus for k ≥ 3
+        let pairing: Vec<(Detection, Detection)> = if k == 2 {
+            match pair_alignment(detections, &cand.detections) {
+                Some((pairing, _pure_shift)) => pairing.to_vec(),
+                None => continue,
+            }
+        } else {
+            match kway_pairing(detections, &cand.detections, key) {
+                Some(pairing) => pairing,
+                None => continue,
+            }
         };
         // the §4.2.2 confirmation, through the candidate's cached
         // footprint; above the threshold the bailed metric is exact, so
@@ -330,6 +423,8 @@ pub fn group_from_pool(
             // first member fixes the packet order (current-buffer starts)
             placements.push(pairing.iter().enumerate().map(|(q, &(c, _))| (q, c.pos)).collect());
             clients = pairing.iter().map(|&(c, _)| c.client).collect();
+            let current_corrs: Vec<Complex> = pairing.iter().map(|&(c, _)| c.corr).collect();
+            proxy.push(proxy_row(&mut signatures, &placements[0], &current_corrs));
         }
         // subsequent members must agree on the current-buffer pairing
         if pairing.iter().map(|&(c, _)| (c.client, c.pos)).collect::<Vec<_>>()
@@ -341,8 +436,19 @@ pub fn group_from_pool(
         {
             continue;
         }
+        // conditioning gate: score the equation set *with* this recruit
+        // before committing to it
+        let cand_placements: Vec<(usize, usize)> =
+            pairing.iter().enumerate().map(|(q, &(_, s))| (q, s.pos)).collect();
+        let cand_corrs: Vec<Complex> = pairing.iter().map(|&(_, s)| s.corr).collect();
+        let row = proxy_row(&mut signatures, &cand_placements, &cand_corrs);
+        proxy.push(row);
+        if proxy_conditioning(&proxy) < min_conditioning {
+            proxy.pop();
+            continue;
+        }
         buffers.push(cand.buffer.clone());
-        placements.push(pairing.iter().enumerate().map(|(q, &(_, s))| (q, s.pos)).collect());
+        placements.push(cand_placements);
         used.push(i);
     }
     if used.is_empty() {
@@ -355,6 +461,17 @@ pub fn group_from_pool(
 /// over [`ChannelView`]-extracted equations, decision commits, image
 /// subtraction with tracking feedback, PLCP learning, CRC gate. See the
 /// module docs for the algorithm.
+///
+/// With [`RecoveryConfig::turbo_iters`](crate::config::RecoveryConfig)
+/// set, a CRC-failed first pass is followed by turbo re-estimation
+/// passes (the SIC iteration of arXiv:1401.7374): every [`ChannelView`]
+/// is re-derived from its own interference-cancelled buffer — the first
+/// pass's decision images of *other* packets subtracted expose each
+/// packet's preamble nearly clean — and the group is solved again.
+/// Iteration stops at the cap, when every CRC passes, or when the
+/// decisions stop changing (converged — another pass would repeat it).
+/// Per packet, the first CRC-valid frame across passes wins; a later
+/// pass can only add deliveries, never lose one.
 pub fn solve_group(
     group: &RecoveryGroup,
     registry: &ClientRegistry,
@@ -362,21 +479,40 @@ pub fn solve_group(
     cfg: &DecoderConfig,
     ws: &mut Scratch,
 ) -> Vec<RecoveredPacket> {
-    Solver::new(group, registry, preamble, cfg).map_or_else(
-        || {
-            group
-                .clients
-                .iter()
-                .map(|&client| RecoveredPacket {
-                    client,
-                    frame: None,
-                    scrambled_bits: Vec::new(),
-                    complete: false,
-                })
-                .collect()
-        },
-        |mut s| s.run(ws),
-    )
+    let Some(mut solver) = Solver::new(group, registry, preamble, cfg) else {
+        return group
+            .clients
+            .iter()
+            .map(|&client| RecoveredPacket {
+                client,
+                frame: None,
+                scrambled_bits: Vec::new(),
+                complete: false,
+            })
+            .collect();
+    };
+    let mut best = solver.run(ws);
+    if cfg.recovery.turbo_iters == 0 || best.iter().all(|p| p.frame.is_some()) {
+        return best;
+    }
+    let mut prev_decided = solver.decided.clone();
+    for _pass in 0..cfg.recovery.turbo_iters {
+        let Some(mut next) = solver.turbo_restart() else {
+            break;
+        };
+        let result = next.run(ws);
+        for (b, r) in best.iter_mut().zip(result) {
+            if b.frame.is_none() && r.frame.is_some() {
+                *b = r;
+            }
+        }
+        solver = next;
+        if best.iter().all(|p| p.frame.is_some()) || solver.decided == prev_decided {
+            break;
+        }
+        prev_decided = solver.decided.clone();
+    }
+    best
 }
 
 /// Solves many independent groups across a
@@ -418,6 +554,10 @@ struct Solver<'a> {
     /// executor's delta-subtraction invariant
     /// `residual[c] = buffer[c] − Σ_q acc[c][q]`.
     img_acc: Vec<Vec<Vec<Complex>>>,
+    /// Per-(collision × packet) PI phase-tracker state for the windowed
+    /// feedback ([`ChannelView::feedback_windowed`]); only driven when
+    /// `cfg.recovery.window_pll_kp > 0`.
+    pll: Vec<Vec<WindowPll>>,
     debug: bool,
 }
 
@@ -435,38 +575,13 @@ impl<'a> Solver<'a> {
         preamble: &'a Preamble,
         cfg: &'a DecoderConfig,
     ) -> Option<Solver<'a>> {
-        let k = group.packets();
-        let m = group.collisions();
-        if k == 0 || m == 0 {
-            return None;
-        }
-        let layouts_sched: Vec<crate::schedule::CollisionLayout> = group
-            .placements
-            .iter()
-            .zip(group.buffers.iter())
-            .map(|(pl, buf)| crate::schedule::CollisionLayout {
-                placements: pl
-                    .iter()
-                    .map(|&(packet, start)| crate::schedule::Placement { packet, start })
-                    .collect(),
-                len: buf.len(),
-            })
-            .collect();
-        let lens = min_coverage_lens(k, &layouts_sched);
-        if lens.iter().any(|&l| l <= preamble.len() + PLCP_SYMBOLS) {
-            return None;
-        }
-
-        let mut starts = vec![vec![usize::MAX; k]; m];
-        for (c, pl) in group.placements.iter().enumerate() {
-            for &(q, s) in pl {
-                starts[c][q] = s;
-            }
-        }
+        let (starts, lens) = Self::geometry(group, preamble)?;
 
         // Per-(c, q) views, estimated on the raw buffers exactly like the
         // executor's `make_view`: association ω and ISI taps, channel
         // gain/phase/µ from the (possibly immersed) preamble correlation.
+        let k = group.packets();
+        let m = group.collisions();
         let mut views: Vec<Vec<Option<ChannelView>>> = vec![Vec::new(); m];
         for c in 0..m {
             for q in 0..k {
@@ -490,6 +605,57 @@ impl<'a> Solver<'a> {
             }
         }
 
+        Some(Self::assemble(group, preamble, cfg, starts, lens, views))
+    }
+
+    /// The group's solve geometry: per-(collision × packet) start table
+    /// and the tightest coverage-consistent length estimates. `None` when
+    /// the group has no solvable shape.
+    fn geometry(
+        group: &RecoveryGroup,
+        preamble: &Preamble,
+    ) -> Option<(Vec<Vec<usize>>, Vec<usize>)> {
+        let k = group.packets();
+        let m = group.collisions();
+        if k == 0 || m == 0 {
+            return None;
+        }
+        let layouts_sched: Vec<crate::schedule::CollisionLayout> = group
+            .placements
+            .iter()
+            .zip(group.buffers.iter())
+            .map(|(pl, buf)| crate::schedule::CollisionLayout {
+                placements: pl
+                    .iter()
+                    .map(|&(packet, start)| crate::schedule::Placement { packet, start })
+                    .collect(),
+                len: buf.len(),
+            })
+            .collect();
+        let lens = min_coverage_lens(k, &layouts_sched);
+        if lens.iter().any(|&l| l <= preamble.len() + PLCP_SYMBOLS) {
+            return None;
+        }
+        let mut starts = vec![vec![usize::MAX; k]; m];
+        for (c, pl) in group.placements.iter().enumerate() {
+            for &(q, s) in pl {
+                starts[c][q] = s;
+            }
+        }
+        Some((starts, lens))
+    }
+
+    /// Builds the solver state around an already-estimated view table —
+    /// the seam [`Solver::new`] and [`Solver::turbo_restart`] share.
+    fn assemble(
+        group: &'a RecoveryGroup,
+        preamble: &'a Preamble,
+        cfg: &'a DecoderConfig,
+        starts: Vec<Vec<usize>>,
+        lens: Vec<usize>,
+        views: Vec<Vec<Option<ChannelView>>>,
+    ) -> Solver<'a> {
+        let k = group.packets();
         let layouts: Vec<PacketLayout> = (0..k)
             .map(|q| PacketLayout::unknown(preamble.symbols().to_vec(), PLCP_SYMBOLS, lens[q]))
             .collect();
@@ -500,7 +666,7 @@ impl<'a> Solver<'a> {
             }
         }
 
-        Some(Solver {
+        Solver {
             group,
             preamble,
             cfg,
@@ -517,8 +683,52 @@ impl<'a> Solver<'a> {
                 .iter()
                 .map(|b| (0..k).map(|_| vec![ZERO; b.len()]).collect())
                 .collect(),
+            pll: (0..group.collisions()).map(|_| vec![WindowPll::default(); k]).collect(),
             debug: std::env::var_os("ZIGZAG_DEBUG").is_some(),
-        })
+        }
+    }
+
+    /// The turbo re-estimation restart (arXiv:1401.7374's SIC iteration):
+    /// for every (collision × packet), build the *interference-cancelled*
+    /// buffer `residual[c] + acc[c][q]` — the raw reception with the
+    /// previous pass's decision images of every **other** packet
+    /// subtracted — and re-derive the view from its now nearly-clean
+    /// preamble (fresh µ search, gain and phase re-anchor; the tracked ω
+    /// and ISI taps carry over as hints). Falls back per view to a phase
+    /// re-anchor, then to the previous view, when the cleaned preamble
+    /// will not carry a fresh estimate. Returns a fresh solver over the
+    /// same group (decisions reset — the new views re-decide everything).
+    fn turbo_restart(&self) -> Option<Solver<'a>> {
+        let (starts, lens) = Self::geometry(self.group, self.preamble)?;
+        let k = self.group.packets();
+        let m = self.group.collisions();
+        let mut views: Vec<Vec<Option<ChannelView>>> = vec![Vec::new(); m];
+        let mut cleaned: Vec<Complex> = Vec::new();
+        for c in 0..m {
+            for (q, &start) in starts[c].iter().enumerate().take(k) {
+                let Some(old) = self.views[c][q].as_ref() else {
+                    views[c].push(None);
+                    continue;
+                };
+                cleaned.clear();
+                cleaned.extend(
+                    self.residuals[c].iter().zip(self.img_acc[c][q].iter()).map(|(&r, &a)| r + a),
+                );
+                let v = ChannelView::estimate(
+                    &cleaned,
+                    start,
+                    self.preamble.symbols(),
+                    Some(old.phase.omega()),
+                    Some(&old.taps),
+                    false,
+                    self.cfg,
+                )
+                .or_else(|| old.reanchored(&cleaned, self.preamble.symbols()))
+                .unwrap_or_else(|| old.clone());
+                views[c].push(Some(v));
+            }
+        }
+        Some(Self::assemble(self.group, self.preamble, self.cfg, starts, lens, views))
     }
 
     /// The sample reach of one symbol through ISI taps + the sinc
@@ -655,10 +865,25 @@ impl<'a> Solver<'a> {
             return self.force_skip_uncovered(commit);
         }
         let mean_diag = diag.iter().sum::<f64>() / diag.len() as f64;
-        let lambda = self.cfg.recovery.lambda * mean_diag.max(1e-12);
-        let Some(x) = lstsq(&rows, &b, lambda) else {
+        let lambda = if self.cfg.recovery.adaptive_lambda {
+            // size the ridge from the window's *measured* observation
+            // spread: weakly-observed look-ahead columns (small diagonal)
+            // are exactly what drags the normal matrix toward singular,
+            // so the ridge grows with the max/min energy ratio instead of
+            // staying a flat fraction of the mean
+            let diag_min = diag.iter().copied().filter(|&d| d > 0.0).fold(f64::INFINITY, f64::min);
+            let spread =
+                if diag_min.is_finite() { (diag_max / diag_min).sqrt().min(1e3) } else { 1.0 };
+            self.cfg.recovery.lambda * mean_diag.max(1e-12) * spread
+        } else {
+            self.cfg.recovery.lambda * mean_diag.max(1e-12)
+        };
+        let Some((x, cond)) = lstsq_cond(&rows, &b, lambda) else {
             return self.force_skip_uncovered(commit);
         };
+        if self.debug {
+            eprintln!("recover: window conditioning {cond:.3e}, lambda {lambda:.3e}");
+        }
         let threshold = self.cfg.recovery.min_observation * diag_max;
 
         // commit contiguously from each packet's frontier
@@ -754,7 +979,26 @@ impl<'a> Solver<'a> {
                 self.img_acc[c][q][p] = new_val;
             }
             if range.len() >= MIN_FEEDBACK_CHUNK && observed.len() == image.samples.len() {
-                view.feedback_with(&observed, image, exp, &sym_fn, pool, kernel);
+                let kp = self.cfg.recovery.window_pll_kp;
+                if kp > 0.0 {
+                    // per-window PI tracking: follows the phase-noise walk
+                    // with damped response to any single (still
+                    // interference-contaminated) window, integrator on
+                    // the residual frequency offset
+                    view.feedback_windowed(
+                        &observed,
+                        image,
+                        exp,
+                        &sym_fn,
+                        pool,
+                        kernel,
+                        &mut self.pll[c][q],
+                        kp,
+                        self.cfg.recovery.window_pll_ki,
+                    );
+                } else {
+                    view.feedback_with(&observed, image, exp, &sym_fn, pool, kernel);
+                }
             }
             pool.put(observed);
         }
@@ -892,5 +1136,114 @@ mod tests {
         let mut pool = SalvagePool::new(0);
         pool.absorb(salvaged(1, 2, 0));
         assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn kway_pairing_is_detection_order_invariant() {
+        // each side contributes its earliest detection per client, pairs
+        // ordered by current-buffer start — regardless of how the
+        // detector happened to order its output (and later same-client
+        // sidelobes are ignored)
+        let key = [1u16, 2, 3];
+        let current = vec![det(2, 40), det(1, 0), det(3, 95), det(1, 300)];
+        let cand = vec![det(3, 110), det(1, 12), det(2, 55), det(2, 400)];
+        let flat = |p: &[(Detection, Detection)]| -> Vec<(u16, usize, u16, usize)> {
+            p.iter().map(|&(c, s)| (c.client, c.pos, s.client, s.pos)).collect()
+        };
+        let a = kway_pairing(&current, &cand, &key).expect("all clients present");
+        assert_eq!(
+            flat(&a),
+            vec![(1, 0, 1, 12), (2, 40, 2, 55), (3, 95, 3, 110)],
+            "earliest per client, ordered by current start"
+        );
+        let mut cur_rev = current.clone();
+        cur_rev.reverse();
+        let mut cand_rev = cand.clone();
+        cand_rev.reverse();
+        let b = kway_pairing(&cur_rev, &cand_rev, &key).expect("order must not matter");
+        assert_eq!(flat(&a), flat(&b));
+        // a candidate missing one of the key's clients cannot pair
+        let partial: Vec<Detection> = cand.iter().filter(|d| d.client != 3).copied().collect();
+        assert!(kway_pairing(&current, &partial, &key).is_none());
+    }
+
+    #[test]
+    fn proxy_conditioning_is_member_order_invariant_and_ranks_diversity() {
+        // three member rows: two §4.5-degenerate (same shift signature,
+        // scored purely on channel diversity) and one structurally
+        // independent signature — the score must not depend on the order
+        // the members were recruited in
+        type Member = (Vec<(usize, usize)>, Vec<Complex>);
+        let same_sig: Vec<(usize, usize)> = vec![(0, 0), (1, 300)];
+        let other_sig: Vec<(usize, usize)> = vec![(0, 0), (1, 410)];
+        let members: Vec<Member> = vec![
+            (same_sig.clone(), vec![Complex::real(1.0), Complex::new(0.0, 0.8)]),
+            (same_sig.clone(), vec![Complex::real(0.6), Complex::real(0.7)]),
+            (other_sig, vec![Complex::real(0.9), Complex::new(0.0, 0.5)]),
+        ];
+        let score = |order: &[usize]| -> f64 {
+            let mut signatures = Vec::new();
+            let mut proxy = Vec::new();
+            for &m in order {
+                proxy.push(proxy_row(&mut signatures, &members[m].0, &members[m].1));
+            }
+            proxy_conditioning(&proxy)
+        };
+        let reference = score(&[0, 1, 2]);
+        for order in [[0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+            assert!(
+                (score(&order) - reference).abs() < 1e-12,
+                "recruitment order must not change the conditioning score"
+            );
+        }
+        // a collinear same-signature recruit collapses the score; the
+        // diverse set stays well away from the gate's floor
+        let mut signatures = Vec::new();
+        let mut collinear =
+            vec![proxy_row(&mut signatures, &same_sig, &[Complex::real(1.0), Complex::real(0.5)])];
+        collinear.push(proxy_row(
+            &mut signatures,
+            &same_sig,
+            &[Complex::real(0.8), Complex::real(0.4)],
+        ));
+        assert!(proxy_conditioning(&collinear) < 1e-3, "proportional channels are collinear rows");
+        assert!(reference > 0.02, "diverse members must clear the robust preset's gate");
+    }
+
+    #[test]
+    fn pooled_footprints_persist_across_recruitment_rounds() {
+        // the satellite contract: a pooled entry is characterized once —
+        // its correlation footprint is built on first recruitment and
+        // REUSED by every later round (the RefCell lane rides the pool)
+        let buffer: Vec<Complex> =
+            (0..600).map(|i| Complex::from_polar(1.0, 0.37 * i as f64)).collect();
+        let mut pool = SalvagePool::new(2);
+        pool.absorb(StoredCollision {
+            id: 7,
+            key: vec![1, 2],
+            buffer: buffer.clone(),
+            detections: vec![det(1, 10), det(2, 50)],
+            footprint: RefCell::new(zigzag_phy::kernel::CorrFootprint::default()),
+        });
+        let detections = [det(1, 10), det(2, 50)];
+        let mut ws = Scratch::new();
+        // round 1: an identical current buffer confirms at shift 0 and
+        // recruits the entry; the confirmation builds the footprint
+        let round1 = group_from_pool(&mut ws, &buffer, &detections, &[1, 2], &pool, 3, 0.0);
+        let (group, used) = round1.expect("an identical buffer must confirm and recruit");
+        assert_eq!(group.collisions(), 2);
+        assert_eq!(used, vec![0]);
+        let lanes_round1 = {
+            let fp = pool.candidates(&[1, 2]).next().unwrap().footprint.borrow();
+            assert!(fp.covers(buffer.len(), 0.25), "round 1 must have built the footprint");
+            fp.lanes().len()
+        };
+        // round 2 (the solve failed upstream, nothing was consumed): the
+        // footprint is already covering, so recruitment reuses it as-is
+        let round2 = group_from_pool(&mut ws, &buffer, &detections, &[1, 2], &pool, 3, 0.0);
+        assert!(round2.is_some(), "the entry must still recruit on later rounds");
+        let fp = pool.candidates(&[1, 2]).next().unwrap().footprint.borrow();
+        assert!(fp.covers(buffer.len(), 0.25), "the cached footprint must survive round 2");
+        assert_eq!(fp.lanes().len(), lanes_round1, "round 2 must not rebuild or extend lanes");
     }
 }

@@ -135,6 +135,18 @@ pub struct ChunkDecode {
     pub decided: Vec<Complex>,
 }
 
+/// Per-loop state of the recovery solver's windowed PI phase tracker
+/// (one per collision × packet — see
+/// [`ChannelView::feedback_windowed`]). The integrator accumulates the
+/// persistent part of the per-window phase error, i.e. the residual
+/// frequency offset the association-time ω estimate missed, while the
+/// proportional term absorbs the phase-noise walk window by window.
+#[derive(Clone, Debug, Default)]
+pub struct WindowPll {
+    /// Integrated phase correction (radians per window).
+    pub integ: f64,
+}
+
 /// A synthesized image of a chunk, on the receive-buffer sample grid.
 #[derive(Clone, Debug, Default)]
 pub struct Image {
@@ -616,6 +628,46 @@ impl ChannelView {
         pool: &mut BufPool,
         kernel: &mut Kernel,
     ) {
+        self.feedback_inner(observed, image, range, symbols, pool, kernel, None);
+    }
+
+    /// [`ChannelView::feedback_with`] with the phase update replaced by a
+    /// damped PI loop carrying explicit per-loop state — the recovery
+    /// solver's per-window phase tracker. Instead of applying the full
+    /// measured `δφ` (plus a `δφ/δt` frequency nudge) in one shot, the
+    /// correction is `kp·δφ + ∫ki·δφ`: the proportional term follows the
+    /// phase-noise walk with bounded response to any single noisy window
+    /// (the observed span is still contaminated by the *other* packets'
+    /// undecided symbols mid-solve), and the integrator converges on the
+    /// residual frequency offset. Gain and timing tracking are shared
+    /// with the one-shot path unchanged.
+    #[allow(clippy::too_many_arguments)] // mirrors feedback_with + the loop state
+    pub fn feedback_windowed(
+        &mut self,
+        observed: &[Complex],
+        image: &Image,
+        range: std::ops::Range<usize>,
+        symbols: &dyn Fn(usize) -> Option<Complex>,
+        pool: &mut BufPool,
+        kernel: &mut Kernel,
+        pll: &mut WindowPll,
+        kp: f64,
+        ki: f64,
+    ) {
+        self.feedback_inner(observed, image, range, symbols, pool, kernel, Some((pll, kp, ki)));
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal seam shared by both feedback paths
+    fn feedback_inner(
+        &mut self,
+        observed: &[Complex],
+        image: &Image,
+        range: std::ops::Range<usize>,
+        symbols: &dyn Fn(usize) -> Option<Complex>,
+        pool: &mut BufPool,
+        kernel: &mut Kernel,
+        pll: Option<(&mut WindowPll, f64, f64)>,
+    ) {
         if observed.len() != image.samples.len() || observed.is_empty() {
             return;
         }
@@ -629,12 +681,23 @@ impl ChannelView {
 
         if self.cfg.track_phase {
             let dphi = ratio.arg();
-            let domega = match self.last_fb_n {
-                Some(last) if mid_n > last + 1.0 => self.cfg.alpha_freq * dphi / (mid_n - last),
-                _ => 0.0,
-            };
-            self.phase.rebase(mid_n);
-            self.phase.correct(dphi, domega);
+            match pll {
+                Some((state, kp, ki)) => {
+                    state.integ += ki * dphi;
+                    self.phase.rebase(mid_n);
+                    self.phase.correct(kp * dphi + state.integ, 0.0);
+                }
+                None => {
+                    let domega = match self.last_fb_n {
+                        Some(last) if mid_n > last + 1.0 => {
+                            self.cfg.alpha_freq * dphi / (mid_n - last)
+                        }
+                        _ => 0.0,
+                    };
+                    self.phase.rebase(mid_n);
+                    self.phase.correct(dphi, domega);
+                }
+            }
             self.last_fb_n = Some(mid_n);
         }
         if self.cfg.track_gain {

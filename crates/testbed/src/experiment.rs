@@ -606,6 +606,121 @@ pub fn run_recovery_sets(
     engine.map(scenarios, |_, s| run_recovery_set(s, cfg))
 }
 
+/// One cell of the typical-link impairment sweep: a phase-noise class ×
+/// SNR × timing-drift point at which degenerate-backoff (§4.5,
+/// un-peelable) collisions are offered to the recovery layer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ImpairmentPoint {
+    /// Phase-noise walk step σ, radians/symbol (`0.0` = coherent
+    /// oscillator, `DEFAULT_PHASE_NOISE` = the typical-link class).
+    pub phase_noise: f64,
+    /// Link SNR in dB.
+    pub snr_db: f64,
+    /// Sampling-clock drift magnitude (timing-jitter class; each link
+    /// draws its sign and offset per transmission as usual).
+    pub sampling_drift: f64,
+}
+
+/// Reclaim fractions measured at one [`ImpairmentPoint`]: how many of
+/// the offered §4.5-style un-peelable packets each solver configuration
+/// delivered. The denominator is the *offered* count (`rounds × senders`
+/// summed over the cell's scenarios) — identical for both configurations
+/// by construction, so the two fractions are directly comparable.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReclaimPoint {
+    /// The sweep cell.
+    pub point: ImpairmentPoint,
+    /// Un-peelable packets offered (same for both configurations).
+    pub offered: usize,
+    /// Packets the baseline configuration delivered.
+    pub baseline_delivered: usize,
+    /// Packets the turbo/robust configuration delivered.
+    pub turbo_delivered: usize,
+}
+
+impl ReclaimPoint {
+    /// Baseline reclaim fraction in `[0, 1]`.
+    pub fn baseline_fraction(&self) -> f64 {
+        self.baseline_delivered as f64 / self.offered.max(1) as f64
+    }
+
+    /// Turbo reclaim fraction in `[0, 1]`.
+    pub fn turbo_fraction(&self) -> f64 {
+        self.turbo_delivered as f64 / self.offered.max(1) as f64
+    }
+}
+
+/// Builds the degenerate-backoff scenario for one sweep cell: `senders`
+/// typical-link clients ([`LinkProfile::typical`] — random nominal ω,
+/// mild random ISI) with the cell's phase-noise and drift classes
+/// substituted in, colliding at fixed equal spacing every round (the
+/// §4.5 Δ₁ = Δ₂ pattern peeling provably cannot decode).
+pub fn impaired_recovery_scenario(
+    point: &ImpairmentPoint,
+    senders: usize,
+    seed: u64,
+) -> RecoveryScenario {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_1417);
+    let links: Vec<LinkProfile> = (0..senders)
+        .map(|_| {
+            let mut l = LinkProfile::typical(point.snr_db, &mut rng);
+            l.phase_noise = point.phase_noise;
+            l.sampling_drift = point.sampling_drift * l.sampling_drift.signum();
+            l
+        })
+        .collect();
+    let delta = 280 + (seed as usize % 3) * 20;
+    let offsets: Vec<usize> = (0..senders).map(|s| s * delta).collect();
+    RecoveryScenario { links, offsets, seed }
+}
+
+/// Runs the typical-link robustness sweep: at every [`ImpairmentPoint`],
+/// `seeds.len()` degenerate-backoff scenarios are driven end-to-end
+/// through the receiver **twice** — once under `baseline` (PR 5's
+/// single-pass solver, `RecoveryConfig::on`) and once under `turbo`
+/// (`RecoveryConfig::robust`) — and the delivered counts are aggregated
+/// into one [`ReclaimPoint`] per cell. All runs fan out across the
+/// [`BatchEngine`]; results are in point order and thread-count
+/// invariant (each scenario run is self-contained).
+pub fn run_impairment_sweep(
+    engine: &BatchEngine,
+    points: &[ImpairmentPoint],
+    senders: usize,
+    seeds: &[u64],
+    baseline: &ExperimentConfig,
+    turbo: &ExperimentConfig,
+) -> Vec<ReclaimPoint> {
+    // flatten to (point, seed, config) jobs so the engine sees one batch
+    let mut jobs: Vec<(usize, RecoveryScenario, bool)> = Vec::new();
+    for (pi, point) in points.iter().enumerate() {
+        for &seed in seeds {
+            let scenario = impaired_recovery_scenario(point, senders, seed);
+            jobs.push((pi, scenario.clone(), false));
+            jobs.push((pi, scenario, true));
+        }
+    }
+    let outcomes = engine.map(&jobs, |_, (_, scenario, is_turbo)| {
+        run_recovery_set(scenario, if *is_turbo { turbo } else { baseline })
+    });
+    let mut curve: Vec<ReclaimPoint> = points
+        .iter()
+        .map(|&point| ReclaimPoint { point, offered: 0, baseline_delivered: 0, turbo_delivered: 0 })
+        .collect();
+    for ((pi, _, is_turbo), out) in jobs.iter().zip(outcomes) {
+        let delivered: usize = out.delivered.iter().sum();
+        let cell = &mut curve[*pi];
+        if *is_turbo {
+            cell.turbo_delivered += delivered;
+        } else {
+            cell.baseline_delivered += delivered;
+            // every round offers each sender's packet once; count the
+            // denominator from one configuration only
+            cell.offered += baseline.rounds * senders;
+        }
+    }
+    curve
+}
+
 /// Runs many k-sender scenarios across the [`BatchEngine`]; results are
 /// in scenario order and independent of the engine's thread count.
 pub fn run_sets(
@@ -907,6 +1022,59 @@ mod tests {
         assert!(
             rec.delivered.iter().sum::<usize>() > plain.delivered.iter().sum::<usize>(),
             "recovery must raise delivered throughput: {rec:?} vs {plain:?}"
+        );
+    }
+
+    #[test]
+    fn impairment_sweep_turbo_reclaims_at_least_baseline() {
+        // The tracked robustness curve in miniature: at the benign point
+        // robust() must not lose anything, and at the typical-link
+        // phase-noise class the turbo pass must reclaim strictly more.
+        use zigzag_channel::fading::{DEFAULT_PHASE_NOISE, DEFAULT_SAMPLING_DRIFT};
+        let points = [
+            ImpairmentPoint { phase_noise: 0.0, snr_db: 17.0, sampling_drift: 0.0 },
+            ImpairmentPoint {
+                phase_noise: DEFAULT_PHASE_NOISE,
+                snr_db: 15.0,
+                sampling_drift: DEFAULT_SAMPLING_DRIFT,
+            },
+        ];
+        let base = ExperimentConfig {
+            payload: 120,
+            rounds: 6,
+            decoder: DecoderConfig::with_recovery(),
+            ..Default::default()
+        };
+        let turbo =
+            ExperimentConfig { decoder: DecoderConfig::with_robust_recovery(), ..base.clone() };
+        let curve = run_impairment_sweep(
+            &BatchEngine::single_threaded(),
+            &points,
+            2,
+            &[41, 42, 43],
+            &base,
+            &turbo,
+        );
+        for cell in &curve {
+            eprintln!(
+                "phase_noise={:.3} snr={:.0} baseline={}/{} turbo={}/{}",
+                cell.point.phase_noise,
+                cell.point.snr_db,
+                cell.baseline_delivered,
+                cell.offered,
+                cell.turbo_delivered,
+                cell.offered,
+            );
+            assert!(
+                cell.turbo_delivered >= cell.baseline_delivered,
+                "turbo must never reclaim less than the single-pass solver: {cell:?}"
+            );
+        }
+        assert!(
+            curve[1].turbo_delivered > curve[1].baseline_delivered,
+            "at the typical phase-noise class the turbo pass must reclaim strictly more: \
+             {:?}",
+            curve[1]
         );
     }
 

@@ -17,8 +17,9 @@ pub mod metrics;
 pub mod topology;
 
 pub use experiment::{
-    registry_for, run_pair, run_pairs, run_set, run_sets, run_sharded_sets, ExperimentConfig,
-    PairRun, PairScenario, SetOutcome, SetScenario, ShardedRun,
+    impaired_recovery_scenario, registry_for, run_impairment_sweep, run_pair, run_pairs, run_set,
+    run_sets, run_sharded_sets, ExperimentConfig, ImpairmentPoint, PairRun, PairScenario,
+    ReclaimPoint, SetOutcome, SetScenario, ShardedRun,
 };
 pub use metrics::{delivered, Samples, SchemeOutcome, DELIVERY_BER};
 pub use topology::Testbed;
