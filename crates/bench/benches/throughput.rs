@@ -1,17 +1,20 @@
 //! Batched decode throughput: buffers decoded/sec through the
 //! `BatchEngine`, across two axes — single- vs multi-threaded, and the
-//! scalar vs optimized phy kernel backend — on a batch of 64 independent
-//! hidden-terminal work units (128 collision buffers).
+//! scalar vs optimized vs explicit-simd phy kernel backend — on a batch
+//! of 64 independent hidden-terminal work units (128 collision buffers).
 //!
 //! This is the perf anchor for the engine + kernel-backend work, and a
 //! regression gate: decode events must be **identical** at every thread
-//! count AND under both kernel backends (always asserted — this is the
-//! CI smoke check for kernel-backend regressions), the multi-threaded
-//! engine must beat single-threaded by ≥ 2× on ≥ 4 real cores, the
-//! optimized backend must measurably beat scalar end-to-end, and the
-//! staged k-way matcher must beat the frozen exhaustive-interp k=3
-//! baseline ([`K3_BASELINE_MS_SINGLE`]) by ≥ 5×. Perf gates
-//! (never the identity asserts) relax under `ZIGZAG_BENCH_RELAXED=1`;
+//! count AND under all three kernel backends (always asserted — this is
+//! the CI smoke check for kernel-backend regressions), the
+//! multi-threaded engine must beat single-threaded by ≥ 2× on ≥ 4 real
+//! cores, the optimized and simd backends must measurably beat scalar
+//! end-to-end, and the staged k-way matcher must beat the frozen
+//! exhaustive-interp k=3 baseline ([`K3_BASELINE_MS_SINGLE`]) by ≥ 5×.
+//! The recovery workload additionally asserts the lockstep-batched
+//! `solve_groups` path decodes bit-identically to the per-system
+//! reference path (`batch_chunk = 0`). Perf gates (never the identity
+//! asserts) relax under `ZIGZAG_BENCH_RELAXED=1`;
 //! `ZIGZAG_BENCH_RELAXED=threads` relaxes only the machine-parallelism
 //! gates, keeping the backend and staged-matching ratio gates (the CI
 //! setting). Results land in `BENCH_throughput.json` at the repo root
@@ -240,7 +243,7 @@ fn bench_batch_decode(c: &mut Criterion) {
     let mut events_by_backend = Vec::new();
     let mut n_buffers = 0;
 
-    for backend in [BackendKind::Scalar, BackendKind::Optimized] {
+    for backend in [BackendKind::Scalar, BackendKind::Optimized, BackendKind::Simd] {
         let units = build_units(backend);
         n_buffers = units.iter().map(|u| u.buffers.len()).sum();
         println!(
@@ -271,6 +274,10 @@ fn bench_batch_decode(c: &mut Criterion) {
     assert_eq!(
         events_by_backend[0], events_by_backend[1],
         "scalar and optimized kernel backends must produce identical decode events"
+    );
+    assert_eq!(
+        events_by_backend[0], events_by_backend[2],
+        "scalar and simd kernel backends must produce identical decode events"
     );
     let delivered: usize = events_by_backend[0]
         .iter()
@@ -321,6 +328,12 @@ fn bench_batch_decode(c: &mut Criterion) {
         k3_events,
         decode_batch(&single, &k3_scalar_units),
         "[k3] scalar and optimized kernel backends must produce identical decode events"
+    );
+    let (k3_simd_units, _) = build_k3_units(BackendKind::Simd);
+    assert_eq!(
+        k3_events,
+        decode_batch(&single, &k3_simd_units),
+        "[k3] simd and optimized kernel backends must produce identical decode events"
     );
 
     // --- shard workload: one AP, four disjoint client sets, sharded ---
@@ -442,6 +455,18 @@ fn bench_batch_decode(c: &mut Criterion) {
             "recovery decode at {shards} shards must be bit-identical to a single ReceiverCore"
         );
     }
+    // batched-vs-per-system identity: the lockstep `lstsq_batch` dispatch
+    // (the default `batch_chunk`) must not perturb a single recovery
+    // decision relative to the per-system reference solve path
+    let rec_per_system = DecoderConfig {
+        recovery: RecoveryConfig { batch_chunk: 0, ..rec_cfg.recovery.clone() },
+        ..rec_cfg.clone()
+    };
+    assert_eq!(
+        rec_reference,
+        run_single(&rec_per_system, &rec_registry, &rec_stream),
+        "lockstep-batched solve_groups must be bit-identical to the per-system path"
+    );
     println!(
         "recovery: {recovery_delivered} frames decoded that the zigzag-only pipeline cannot ({zigzag_only_delivered}), identical across 1/2/4 shards"
     );
@@ -545,13 +570,15 @@ fn bench_batch_decode(c: &mut Criterion) {
         ns("batch_decode_single_thread/optimized") / ns("batch_decode_multi_thread/optimized");
     let backend_speedup =
         ns("batch_decode_single_thread/scalar") / ns("batch_decode_single_thread/optimized");
+    let simd_speedup =
+        ns("batch_decode_single_thread/scalar") / ns("batch_decode_single_thread/simd");
     let combined =
         ns("batch_decode_single_thread/scalar") / ns("batch_decode_multi_thread/optimized");
     let shard_speedup = ns("shard_single_core") / ns("shard_sharded");
     let k3_ms = ns("batch_decode_k3_single_thread/optimized") / 1e6;
     let k3_speedup = K3_BASELINE_MS_SINGLE / k3_ms;
     println!(
-        "speedups: threads {thread_speedup:.2}x, backend {backend_speedup:.2}x, combined {combined:.2}x, shard {shard_speedup:.2}x, k3-vs-exhaustive {k3_speedup:.1}x   frames delivered: {delivered} (identical across backends and thread counts)"
+        "speedups: threads {thread_speedup:.2}x, backend {backend_speedup:.2}x, simd {simd_speedup:.2}x, combined {combined:.2}x, shard {shard_speedup:.2}x, k3-vs-exhaustive {k3_speedup:.1}x   frames delivered: {delivered} (identical across backends and thread counts)"
     );
 
     // JSON perf trajectory at the repo root.
@@ -633,6 +660,7 @@ fn bench_batch_decode(c: &mut Criterion) {
     s.push_str("  ]},\n");
     let _ = writeln!(s, "  \"speedup_threads\": {thread_speedup:.2},");
     let _ = writeln!(s, "  \"speedup_backend\": {backend_speedup:.2},");
+    let _ = writeln!(s, "  \"speedup_backend_simd\": {simd_speedup:.2},");
     let _ = writeln!(s, "  \"speedup_shard\": {shard_speedup:.2},");
     let _ = writeln!(s, "  \"speedup_combined\": {combined:.2}");
     s.push_str("}\n");
@@ -656,6 +684,10 @@ fn bench_batch_decode(c: &mut Criterion) {
         assert!(
             backend_speedup >= 1.2,
             "optimized backend must measurably beat scalar end-to-end, got {backend_speedup:.2}x"
+        );
+        assert!(
+            simd_speedup >= 1.2,
+            "simd backend must measurably beat scalar end-to-end, got {simd_speedup:.2}x"
         );
         assert!(
             k3_speedup >= 5.0,

@@ -173,6 +173,16 @@ pub struct RecoveryConfig {
     /// proportionally stronger ridge. `false` (the default) keeps PR 5's
     /// global factor bit-for-bit.
     pub adaptive_lambda: bool,
+    /// Groups per lockstep chunk in the batched
+    /// [`solve_groups`](crate::recovery::solve_groups) entry point: each
+    /// chunk drives its groups' sliding windows in rounds and dispatches
+    /// every round's per-window least-squares systems as **one**
+    /// [`lstsq_batch`](zigzag_phy::linalg::lstsq_batch) pack. The batch
+    /// solver is bit-identical per system to the per-system reference, so
+    /// this knob changes throughput only, never decisions. `0` disables
+    /// batching — every group runs the independent
+    /// [`solve_group`](crate::recovery::solve_group) reference path.
+    pub batch_chunk: usize,
 }
 
 impl Default for RecoveryConfig {
@@ -190,6 +200,7 @@ impl Default for RecoveryConfig {
             window_pll_ki: 0.0,
             min_conditioning: 0.0,
             adaptive_lambda: false,
+            batch_chunk: 8,
         }
     }
 }

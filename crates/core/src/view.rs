@@ -557,6 +557,27 @@ impl ChannelView {
         self.synthesize_at_into(range, symbols, self.mu, pool, kernel, out);
     }
 
+    /// The unit-impulse column image: the buffer-grid samples this view
+    /// produces for a lone `1 + 0j` at symbol `n` (every other symbol
+    /// zero), over a symbol window wide enough to capture the full ISI +
+    /// interpolation skirt. These are the coefficient columns of
+    /// recovery's per-window least-squares systems — one call per
+    /// (column × collision) during assembly.
+    pub fn synthesize_unit_into(
+        &self,
+        n: usize,
+        total_syms: usize,
+        pool: &mut BufPool,
+        kernel: &mut Kernel,
+        out: &mut Image,
+    ) {
+        let margin = self.taps.len() + 9;
+        let lo_sym = n.saturating_sub(margin);
+        let hi_sym = (n + margin + 1).min(total_syms);
+        let unit = |i: usize| (i == n).then(|| Complex::real(1.0));
+        self.synthesize_into(lo_sym..hi_sym, &unit, pool, kernel, out);
+    }
+
     fn synthesize_at_into(
         &self,
         range: std::ops::Range<usize>,

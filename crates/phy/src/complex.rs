@@ -12,7 +12,13 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A complex baseband sample `re + j·im`.
+///
+/// `repr(C)` pins the layout to two adjacent `f64`s (`re` then `im`), so
+/// a `&[Complex]` may be reinterpreted as an interleaved `&[f64]` of
+/// twice the length — the flat view the explicit-SIMD kernel backend's
+/// deinterleaving loads rely on.
 #[derive(Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Complex {
     /// Real (in-phase, I) component.
     pub re: f64,

@@ -5,7 +5,7 @@
 //! aligns collisions, the **FIR** convolution that applies/undoes ISI,
 //! the windowed-sinc **resampling** that moves chunks between sampling
 //! grids, and the **MRC** combiner of the forward/backward passes. This
-//! module puts those four behind a [`Backend`] trait with two
+//! module puts those four behind a [`Backend`] trait with three
 //! implementations:
 //!
 //! * [`Scalar`] — delegates to the original loops in [`crate::correlate`],
@@ -15,8 +15,15 @@
 //!   loops that the compiler can autovectorize, plus the algorithmic
 //!   wins: the correlation pre-derotates the reference once per scan
 //!   instead of paying a sin/cos per inner-loop sample, the FIR runs a
-//!   bounds-check-free per-tap interior sweep, and the resampler caches
-//!   the sinc·hann tap vector per distinct fractional offset.
+//!   single-pass bounds-check-free interior sweep, and the resampler
+//!   caches the sinc·hann tap vector per distinct fractional offset.
+//! * [`Simd`] — the `Optimized` staging with the inner loops written as
+//!   explicit four-lane kernels (the private `lanes` module): stable
+//!   `std::arch` AVX2 intrinsics behind a once-cached runtime
+//!   [`is_x86_feature_detected!`] check, and a portable `[f64; 4]`
+//!   fallback with identical per-lane arithmetic everywhere else.
+//!   Bit-identical to `Optimized` (and hence to the whole determinism
+//!   contract) by construction.
 //!
 //! A fifth primitive joined in the k-way matching PR: the normalized
 //! **match metric** of §4.2.2 (`match_score`), the correlation of a span
@@ -49,17 +56,22 @@ pub enum BackendKind {
     Scalar,
     /// SoA autovectorization-friendly loops with phasor/tap precomputation.
     Optimized,
+    /// Explicit fixed-lane-width kernels: runtime-detected `std::arch`
+    /// AVX2 paths on x86_64, a portable 4-lane array fallback elsewhere.
+    /// Bit-identical to [`BackendKind::Optimized`] by construction (same
+    /// per-lane arithmetic, no FMA contraction).
+    Simd,
 }
 
 impl BackendKind {
     /// Backend selected by the `ZIGZAG_BACKEND` environment variable
-    /// (`scalar` or `optimized`, case-insensitive); defaults to
+    /// (`scalar`, `optimized` or `simd`, case-insensitive); defaults to
     /// [`BackendKind::Optimized`] when unset. The variable is read once
     /// per process.
     ///
     /// An unrecognized value **panics** with the accepted names: the old
     /// behaviour silently fell back to `Optimized`, so a typo (`Scalar`,
-    /// `simd`, …) ran the whole differential suite against the backend it
+    /// `avx`, …) ran the whole differential suite against the backend it
     /// was supposed to cross-check.
     pub fn from_env() -> Self {
         use std::sync::OnceLock;
@@ -68,19 +80,20 @@ impl BackendKind {
             Err(_) => BackendKind::Optimized,
             Ok(v) => Self::from_name(&v).unwrap_or_else(|| {
                 panic!(
-                    "unrecognized ZIGZAG_BACKEND value {v:?}: expected \"scalar\" or \"optimized\""
+                    "unrecognized ZIGZAG_BACKEND value {v:?}: expected \"scalar\", \"optimized\" or \"simd\""
                 )
             }),
         })
     }
 
     /// Parses a backend name, case-insensitively: `"scalar"` /
-    /// `"optimized"`. The single parser behind [`Self::from_env`] and
-    /// [`Self::from_arg`].
+    /// `"optimized"` / `"simd"`. The single parser behind
+    /// [`Self::from_env`] and [`Self::from_arg`].
     pub fn from_name(name: &str) -> Option<Self> {
         match name.to_ascii_lowercase().as_str() {
             "scalar" => Some(BackendKind::Scalar),
             "optimized" => Some(BackendKind::Optimized),
+            "simd" => Some(BackendKind::Simd),
             _ => None,
         }
     }
@@ -96,6 +109,7 @@ impl BackendKind {
         match self {
             BackendKind::Scalar => &Scalar,
             BackendKind::Optimized => &Optimized,
+            BackendKind::Simd => &Simd,
         }
     }
 
@@ -387,6 +401,125 @@ fn optimized_sweep(
         }
         let re = (acc[0] + acc[2]) + (acc[4] + acc[6]);
         let im = (acc[1] + acc[3]) + (acc[5] + acc[7]);
+        let metric = (re * re + im * im).sqrt() / denom;
+        if metric > best.metric {
+            best = MatchScore { metric, tau };
+        }
+    }
+    best
+}
+
+/// The interior output range of a FIR application over `n` input
+/// samples — outputs whose every tap index `k + delay − l` is in range —
+/// plus the per-output clamped edge accumulator, shared by the
+/// `Optimized` and `Simd` backends. The edge closure accumulates only
+/// the in-range taps, in ascending `l` order: exactly the terms and
+/// order of the scalar reference's `tap_sum`, so edge outputs are
+/// bit-identical too.
+fn fir_interior(fir: &Fir, n: usize) -> (usize, usize, impl Fn(&[Complex], usize) -> Complex + '_) {
+    let l_count = fir.taps().len();
+    let delay = fir.delay();
+    // in-range for all l ∈ 0..L ⟺ k + delay − (L−1) ≥ 0 and k + delay < n
+    let lo = (l_count - 1).saturating_sub(delay).min(n);
+    let hi = n.saturating_sub(delay).max(lo);
+    let edge = move |x: &[Complex], k: usize| -> Complex {
+        let taps = fir.taps();
+        let l_lo = (k + delay + 1).saturating_sub(n).min(l_count);
+        let l_hi = (k + delay + 1).min(l_count);
+        let mut acc_re = 0.0;
+        let mut acc_im = 0.0;
+        for l in l_lo..l_hi {
+            let t = taps[l];
+            let v = x[k + delay - l];
+            acc_re += t.re * v.re - t.im * v.im;
+            acc_im += t.re * v.im + t.im * v.re;
+        }
+        Complex::new(acc_re, acc_im)
+    };
+    (lo, hi, edge)
+}
+
+/// Builds the per-call lattice lanes of a raw-buffer `match_score` span:
+/// one lane per *distinct fractional offset* of the sweep (a 0.25-step
+/// sweep has 9 τ candidates but only 4 fracs), each built with the
+/// backend's cached-tap resampler — ~17 sin/cos pairs per lane instead
+/// of 17 per sample per τ. The spans are taken out of the scratch while
+/// `resample_into` borrows it; the caller puts the returned vector back
+/// so the allocations persist across calls. Lanes are written into the
+/// vector's prefix, so a stale same-frac lane from an earlier, longer
+/// sweep can never shadow a fresh one in the sweep's `find`.
+///
+/// Span lattice geometry: `lane.samples[m] = b(start_b − 1 + frac + m)`
+/// — the footprint geometry with `base0 = 0`. `resample_into` is
+/// bit-identical across backends, so so are the lanes.
+fn build_span_lanes(
+    be: &dyn Backend,
+    ws: &mut KernelScratch,
+    buf_b: &[Complex],
+    start_b: usize,
+    n: usize,
+    tau_step: f64,
+) -> (Vec<SubLattice>, usize) {
+    let mut lanes = std::mem::take(&mut ws.lanes);
+    let mut built = 0usize;
+    for tau in tau_sweep(tau_step) {
+        let frac = tau - tau.floor();
+        if lanes[..built].iter().any(|l| l.frac == frac) {
+            continue;
+        }
+        if built == lanes.len() {
+            lanes.push(SubLattice::default());
+        }
+        let lane = &mut lanes[built];
+        lane.frac = frac;
+        be.resample_into(ws, buf_b, start_b as f64 - 1.0 + frac, 1.0, n + 2, &mut lane.samples);
+        lane.refresh_energy();
+        built += 1;
+    }
+    (lanes, built)
+}
+
+/// The `Simd` τ sweep: [`optimized_sweep`] with the inner accumulation
+/// dispatched to the lane kernels (`lanes::match_candidate`). The
+/// candidate visit order, abandonment bound, block cadence and
+/// tie-breaking are identical, and the lane kernels accumulate with the
+/// same per-lane arithmetic and `(l0+l1)+(l2+l3)` reduction — so its
+/// results are bit-identical to `optimized_sweep`'s.
+fn simd_sweep(
+    ar: &[f64],
+    ai: &[f64],
+    ea_prefix: &[f64],
+    lane_set: &[SubLattice],
+    base0: usize,
+    tau_step: f64,
+    bail: Option<f64>,
+) -> MatchScore {
+    let n = ar.len();
+    let ea_tot = ea_prefix[n];
+    let mut best = MatchScore::default();
+    if ea_tot <= 0.0 {
+        return best;
+    }
+    for tau in tau_sweep(tau_step) {
+        let f = tau.floor();
+        let frac = tau - f;
+        let lane = lane_set
+            .iter()
+            .find(|l| l.frac == frac)
+            .unwrap_or_else(|| panic!("no lattice lane for τ = {tau} (frac {frac})"));
+        let base = (base0 as isize + f as isize + 1) as usize;
+        let eb_tot = lane.window_energy(base, base + n);
+        if eb_tot <= 0.0 {
+            continue;
+        }
+        let denom = (ea_tot * eb_tot).sqrt();
+        let cutoff = bail.map(|t| t.max(best.metric));
+        let lat = &lane.samples[base..base + n];
+        let Some((re, im)) =
+            lanes::match_candidate(ar, ai, lat, ea_prefix, lane, base, denom, ea_tot, cutoff)
+        else {
+            continue;
+        };
         let metric = (re * re + im * im).sqrt() / denom;
         if metric > best.metric {
             best = MatchScore { metric, tau };
@@ -710,7 +843,7 @@ impl Backend for Optimized {
 
     fn fir_apply_into(
         &self,
-        ws: &mut KernelScratch,
+        _ws: &mut KernelScratch,
         fir: &Fir,
         x: &[Complex],
         y: &mut Vec<Complex>,
@@ -720,41 +853,36 @@ impl Backend for Optimized {
             y.extend_from_slice(x);
             return;
         }
-        let n = x.len();
-        split_soa(x, &mut ws.a_re, &mut ws.a_im);
-        ws.c_re.clear();
-        ws.c_re.resize(n, 0.0);
-        ws.c_im.clear();
-        ws.c_im.resize(n, 0.0);
-        // Per-tap interior sweep: tap l reads x[n − shift] with
-        // shift = l − delay, valid exactly for n ∈ [max(0, shift),
-        // min(n, n + shift)) — clamping the range once replaces the
-        // per-sample isize-cast bounds tests of the scalar loop, and the
-        // resulting element-wise saxpy has no reduction to block
-        // vectorization. Taps are visited in ascending l, so every output
-        // accumulates its contributions in the scalar loop's order and
-        // the result is bit-identical.
-        let delay = fir.delay() as isize;
-        for (l, &tap) in fir.taps().iter().enumerate() {
-            let shift = l as isize - delay;
-            let n_lo = shift.max(0) as usize;
-            let n_hi = (n as isize + shift).clamp(0, n as isize) as usize;
-            if n_lo >= n_hi {
-                continue;
-            }
-            let (tr, ti) = (tap.re, tap.im);
-            let x_lo = (n_lo as isize - shift) as usize;
-            let len = n_hi - n_lo;
-            let xr = &ws.a_re[x_lo..x_lo + len];
-            let xi = &ws.a_im[x_lo..x_lo + len];
-            let cr = &mut ws.c_re[n_lo..n_hi];
-            let ci = &mut ws.c_im[n_lo..n_hi];
-            for k in 0..len {
-                cr[k] += tr * xr[k] - ti * xi[k];
-                ci[k] += tr * xi[k] + ti * xr[k];
-            }
+        // Single-pass register accumulation: output k reads
+        // x[k + delay − l] for taps l in ascending order, held in two
+        // accumulator registers. The historical per-tap saxpy swept the
+        // whole c_re/c_im arrays once per tap (plus an up-front SoA copy
+        // of x and a final interleave), so its memory traffic grew with
+        // the tap count — the 1.2× fir_apply gap in BENCH_phy.json. Here
+        // x is read once and y written once, tap count only changes
+        // register work. Ascending-l accumulation per output is the
+        // scalar reference's order, so the result stays bit-identical.
+        let (lo, hi, edge) = fir_interior(fir, x.len());
+        y.reserve(x.len());
+        for k in 0..lo {
+            y.push(edge(x, k));
         }
-        y.extend(ws.c_re.iter().zip(ws.c_im.iter()).map(|(&re, &im)| Complex::new(re, im)));
+        let taps = fir.taps();
+        let delay = fir.delay();
+        for k in lo..hi {
+            let base = k + delay;
+            let mut acc_re = 0.0;
+            let mut acc_im = 0.0;
+            for (l, &t) in taps.iter().enumerate() {
+                let v = x[base - l];
+                acc_re += t.re * v.re - t.im * v.im;
+                acc_im += t.re * v.im + t.im * v.re;
+            }
+            y.push(Complex::new(acc_re, acc_im));
+        }
+        for k in hi..x.len() {
+            y.push(edge(x, k));
+        }
     }
 
     fn resample_into(
@@ -892,40 +1020,7 @@ impl Backend for Optimized {
             return MatchScore::default();
         }
         stage_a_span(ws, buf_a, start_a, n);
-        // Hoist the interpolation out of the τ loop: one lattice span per
-        // *distinct fractional offset* of the sweep (a 0.25-step sweep
-        // has 9 τ candidates but only 4 fracs), each built with the
-        // cached-tap resampler — ~17 sin/cos pairs per lane instead of 17
-        // per sample per τ. The spans are taken out of the scratch while
-        // `resample_into` borrows it, then put back so their allocations
-        // persist across calls. Lanes are written into the vector's
-        // prefix, so a stale same-frac lane from an earlier, longer sweep
-        // can never shadow a fresh one in the `find` below.
-        let mut lanes = std::mem::take(&mut ws.lanes);
-        let mut built = 0usize;
-        for tau in tau_sweep(tau_step) {
-            let frac = tau - tau.floor();
-            if lanes[..built].iter().any(|l| l.frac == frac) {
-                continue;
-            }
-            if built == lanes.len() {
-                lanes.push(SubLattice::default());
-            }
-            let lane = &mut lanes[built];
-            lane.frac = frac;
-            // Span lattice: lane.samples[m] = b(start_b − 1 + frac + m) —
-            // the footprint geometry with base0 = 0.
-            self.resample_into(
-                ws,
-                buf_b,
-                start_b as f64 - 1.0 + frac,
-                1.0,
-                n + 2,
-                &mut lane.samples,
-            );
-            lane.refresh_energy();
-            built += 1;
-        }
+        let (lanes, built) = build_span_lanes(self, ws, buf_b, start_b, n, tau_step);
         let score =
             optimized_sweep(&ws.a_re, &ws.a_im, &ws.ea_prefix, &lanes[..built], 0, tau_step, bail);
         ws.lanes = lanes;
@@ -951,6 +1046,870 @@ impl Backend for Optimized {
         }
         stage_a_span(ws, buf_a, start_a, n);
         optimized_sweep(&ws.a_re, &ws.a_im, &ws.ea_prefix, fp.lanes(), start_b, tau_step, bail)
+    }
+}
+
+/// Explicit fixed-lane-width kernels on the same staging as
+/// [`Optimized`]: the inner loops run four `f64` lanes wide through
+/// stable `std::arch` AVX2 intrinsics when the host CPU has them
+/// (runtime [`is_x86_feature_detected!`] dispatch, cached once per
+/// process) and through a portable `[f64; 4]` array path otherwise —
+/// including on every non-x86_64 target, so the backend builds and
+/// agrees everywhere.
+///
+/// Every lane evaluates **exactly** the arithmetic of the corresponding
+/// [`Optimized`] loop — the same multiply/add/sub ordering and no FMA
+/// contraction (a fused multiply-add rounds once where `a·b + c` rounds
+/// twice, which would break bit-identity) — and cross-lane reductions
+/// pair lanes in the same `(l0+l1)+(l2+l3)` order as `Optimized`'s
+/// four-accumulator loops. `Simd` is therefore bit-identical to
+/// `Optimized` on all five primitives by construction, and the repo's
+/// determinism contract (decode events bit-identical across backends,
+/// thread counts and shard counts) extends to it with no new tolerance
+/// carve-outs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Simd;
+
+impl Backend for Simd {
+    fn name(&self) -> &'static str {
+        "simd"
+    }
+
+    fn scan_into(
+        &self,
+        ws: &mut KernelScratch,
+        y: &[Complex],
+        s: &[Complex],
+        omega: f64,
+        positions: Range<usize>,
+        out: &mut Vec<Complex>,
+    ) {
+        out.clear();
+        // Same staging as Optimized: pre-derotated reference, SoA copy of
+        // the receive buffer; the per-Δ inner product runs on the lane
+        // kernels.
+        let l = s.len();
+        ws.b_re.clear();
+        ws.b_im.clear();
+        for (k, &sk) in s.iter().enumerate() {
+            let r = sk.conj() * Complex::cis(-omega * k as f64);
+            ws.b_re.push(r.re);
+            ws.b_im.push(r.im);
+        }
+        split_soa(y, &mut ws.a_re, &mut ws.a_im);
+        out.reserve(positions.len());
+        for d in positions {
+            let end = l.min(y.len().saturating_sub(d));
+            if end == 0 {
+                out.push(ZERO);
+                continue;
+            }
+            let (re, im) = lanes::corr_dot(
+                &ws.b_re[..end],
+                &ws.b_im[..end],
+                &ws.a_re[d..d + end],
+                &ws.a_im[d..d + end],
+            );
+            out.push(Complex::new(re, im));
+        }
+    }
+
+    fn fir_apply_into(
+        &self,
+        _ws: &mut KernelScratch,
+        fir: &Fir,
+        x: &[Complex],
+        y: &mut Vec<Complex>,
+    ) {
+        y.clear();
+        if fir.is_identity() {
+            y.extend_from_slice(x);
+            return;
+        }
+        // Optimized's single-pass sweep with the interior run four
+        // outputs wide: per tap, a broadcast coefficient against four
+        // deinterleaved input samples. Lanes are outputs, so no cross-
+        // lane reduction; per output the taps accumulate in ascending
+        // order exactly like the scalar reference.
+        let (lo, hi, edge) = fir_interior(fir, x.len());
+        y.resize(x.len(), ZERO);
+        for (k, yk) in y.iter_mut().enumerate().take(lo) {
+            *yk = edge(x, k);
+        }
+        lanes::fir_interior_fill(fir.taps(), fir.delay(), x, lo, hi, y);
+        for (k, yk) in y.iter_mut().enumerate().skip(hi) {
+            *yk = edge(x, k);
+        }
+    }
+
+    fn resample_into(
+        &self,
+        ws: &mut KernelScratch,
+        samples: &[Complex],
+        start: f64,
+        step: f64,
+        n: usize,
+        out: &mut Vec<Complex>,
+    ) {
+        out.clear();
+        let w = DEFAULT_HALF_WIDTH as f64;
+        ws.taps_valid = false;
+        out.reserve(n);
+        let mut k = 0;
+        while k < n {
+            // Four-outputs-at-a-time fast path: on the receiver's
+            // step = 1 grids, four consecutive outputs share the exact
+            // fractional offset and read four consecutive full windows —
+            // one broadcast tap against four deinterleaved samples per
+            // tap index, with per-output accumulation in tap order (the
+            // reference's). Any output that breaks the pattern (edge
+            // clamp, fractional drift, non-finite position) falls back to
+            // the Optimized per-output body, which is bit-identical.
+            if k + 4 <= n {
+                let t0 = start + k as f64 * step;
+                let f0 = t0.floor();
+                if f0.is_finite() {
+                    let frac = t0 - f0;
+                    let aligned = (1..4).all(|u| {
+                        let t = start + (k + u) as f64 * step;
+                        let f = t.floor();
+                        f == f0 + u as f64 && t - f == frac
+                    });
+                    if aligned {
+                        if !ws.taps_valid || ws.taps_frac != frac {
+                            ws.taps.clear();
+                            let j_lo = (frac - w).ceil() as isize;
+                            let j_hi = (frac + w).floor() as isize;
+                            for j in j_lo..=j_hi {
+                                let d = frac - j as f64;
+                                ws.taps.push(sinc(d) * hann(d, w + 1.0));
+                            }
+                            ws.taps_frac = frac;
+                            ws.taps_j_lo = j_lo;
+                            ws.taps_valid = true;
+                        }
+                        let base = f0 as isize + ws.taps_j_lo;
+                        let span = ws.taps.len() as isize;
+                        if base >= 0 && base + 3 + span <= samples.len() as isize {
+                            let block = lanes::resample_block(samples, base as usize, &ws.taps);
+                            out.extend_from_slice(&block);
+                            k += 4;
+                            continue;
+                        }
+                    }
+                }
+            }
+            // scalar fallback: one output, Optimized's body verbatim
+            let t = start + k as f64 * step;
+            let f = t.floor();
+            if !f.is_finite() {
+                out.push(ZERO);
+                k += 1;
+                continue;
+            }
+            let frac = t - f;
+            if !ws.taps_valid || ws.taps_frac != frac {
+                ws.taps.clear();
+                let j_lo = (frac - w).ceil() as isize;
+                let j_hi = (frac + w).floor() as isize;
+                for j in j_lo..=j_hi {
+                    let d = frac - j as f64;
+                    ws.taps.push(sinc(d) * hann(d, w + 1.0));
+                }
+                ws.taps_frac = frac;
+                ws.taps_j_lo = j_lo;
+                ws.taps_valid = true;
+            }
+            let base = f as isize + ws.taps_j_lo;
+            let i_lo = base.clamp(0, samples.len() as isize) as usize;
+            let i_hi = (base + ws.taps.len() as isize).clamp(0, samples.len() as isize) as usize;
+            if i_lo >= i_hi {
+                out.push(ZERO);
+                k += 1;
+                continue;
+            }
+            let mut acc_re = 0.0;
+            let mut acc_im = 0.0;
+            let j0 = (i_lo as isize - base) as usize;
+            for (v, &tap) in samples[i_lo..i_hi].iter().zip(&ws.taps[j0..]) {
+                acc_re += v.re * tap;
+                acc_im += v.im * tap;
+            }
+            out.push(Complex::new(acc_re, acc_im));
+            k += 1;
+        }
+    }
+
+    fn combine_weighted_into(
+        &self,
+        ws: &mut KernelScratch,
+        streams: &[(&[Complex], f64)],
+        out: &mut Vec<Complex>,
+    ) {
+        assert!(!streams.is_empty(), "MRC needs at least one stream");
+        out.clear();
+        // The weighted-sum-then-normalize arithmetic applies the same
+        // real formula to the re and im components independently, so the
+        // one- and two-stream paths run on the interleaved flat f64 view
+        // — trivially lane-parallel with per-element operations identical
+        // to the scalar loop's.
+        match *streams {
+            [(s, w)] => {
+                out.resize(s.len(), ZERO);
+                if w > 0.0 {
+                    lanes::scale_unscale(lanes::flat(s), w, lanes::flat_mut(out));
+                }
+            }
+            [(s1, w1), (s2, w2)] => {
+                let both = s1.len().min(s2.len());
+                let dw = w1 + w2;
+                out.resize(both, ZERO);
+                if dw > 0.0 {
+                    lanes::weighted_sum2(
+                        lanes::flat(&s1[..both]),
+                        lanes::flat(&s2[..both]),
+                        w1,
+                        w2,
+                        dw,
+                        lanes::flat_mut(out),
+                    );
+                }
+                let (tail, tw) =
+                    if s1.len() > both { (&s1[both..], w1) } else { (&s2[both..], w2) };
+                let filled = out.len();
+                out.resize(filled + tail.len(), ZERO);
+                if tw > 0.0 {
+                    lanes::scale_unscale(
+                        lanes::flat(tail),
+                        tw,
+                        lanes::flat_mut(&mut out[filled..]),
+                    );
+                }
+            }
+            _ => {
+                // ≥3 streams never occur on the decode path (forward +
+                // backward passes at most); accumulate on the flat view
+                // with the lane saxpy, normalize per symbol position.
+                let n = streams.iter().map(|(s, _)| s.len()).max().unwrap_or(0);
+                ws.c_re.clear();
+                ws.c_re.resize(2 * n, 0.0);
+                ws.den.clear();
+                ws.den.resize(n, 0.0);
+                for &(s, weight) in streams {
+                    lanes::saxpy(lanes::flat(s), weight, &mut ws.c_re[..2 * s.len()]);
+                    for d in ws.den[..s.len()].iter_mut() {
+                        *d += weight;
+                    }
+                }
+                out.extend((0..n).map(|k| {
+                    if ws.den[k] > 0.0 {
+                        Complex::new(ws.c_re[2 * k], ws.c_re[2 * k + 1]) / ws.den[k]
+                    } else {
+                        ZERO
+                    }
+                }));
+            }
+        }
+    }
+
+    fn match_score(
+        &self,
+        ws: &mut KernelScratch,
+        buf_a: &[Complex],
+        start_a: usize,
+        buf_b: &[Complex],
+        start_b: usize,
+        window: usize,
+        tau_step: f64,
+        bail: Option<f64>,
+    ) -> MatchScore {
+        let n = window
+            .min(buf_a.len().saturating_sub(start_a))
+            .min(buf_b.len().saturating_sub(start_b));
+        if n == 0 {
+            return MatchScore::default();
+        }
+        stage_a_span(ws, buf_a, start_a, n);
+        let (lanes_v, built) = build_span_lanes(self, ws, buf_b, start_b, n, tau_step);
+        let score =
+            simd_sweep(&ws.a_re, &ws.a_im, &ws.ea_prefix, &lanes_v[..built], 0, tau_step, bail);
+        ws.lanes = lanes_v;
+        score
+    }
+
+    fn match_score_fp(
+        &self,
+        ws: &mut KernelScratch,
+        buf_a: &[Complex],
+        start_a: usize,
+        fp: &CorrFootprint,
+        start_b: usize,
+        window: usize,
+        tau_step: f64,
+        bail: Option<f64>,
+    ) -> MatchScore {
+        let n = window
+            .min(buf_a.len().saturating_sub(start_a))
+            .min(fp.source_len().saturating_sub(start_b));
+        if n == 0 {
+            return MatchScore::default();
+        }
+        stage_a_span(ws, buf_a, start_a, n);
+        simd_sweep(&ws.a_re, &ws.a_im, &ws.ea_prefix, fp.lanes(), start_b, tau_step, bail)
+    }
+}
+
+/// The fixed-width lane kernels behind [`Simd`]: every routine has an
+/// AVX2 implementation (x86_64 only, guarded by a once-cached runtime
+/// [`is_x86_feature_detected!`]) and a portable `[f64; 4]` implementation
+/// with identical per-lane arithmetic, so results never depend on which
+/// path ran.
+///
+/// Complex operands arrive either as SoA `f64` slices (already split by
+/// the kernel staging) or as `&[Complex]`, which `flat`/`flat_mut`
+/// reinterpret as the interleaved `re, im, …` f64 view (`Complex` is
+/// `repr(C)`). AVX2 paths deinterleave AoS loads with
+/// `unpacklo/unpackhi`, which yields the lane permutation `[0, 2, 1, 3]`
+/// — harmless for element-wise kernels (the inverse permutation is
+/// applied by the matching interleaved store) and compensated explicitly
+/// in reductions so the reduction tree matches `Optimized`'s
+/// `(l0+l1)+(l2+l3)` exactly.
+mod lanes {
+    use super::{Complex, SubLattice, ABANDON_BLOCK, ZERO};
+
+    /// `true` when the AVX2 paths may run; detected once per process.
+    #[inline]
+    pub fn avx2() -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use std::sync::OnceLock;
+            static HAS: OnceLock<bool> = OnceLock::new();
+            *HAS.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+
+    /// Reinterprets complex samples as the interleaved `re, im, re, im…`
+    /// flat f64 view.
+    #[inline]
+    pub fn flat(x: &[Complex]) -> &[f64] {
+        // SAFETY: `Complex` is `#[repr(C)] { re: f64, im: f64 }`, so a
+        // slice of n `Complex` is layout-identical to 2n contiguous f64s.
+        unsafe { std::slice::from_raw_parts(x.as_ptr().cast::<f64>(), x.len() * 2) }
+    }
+
+    /// Mutable [`flat`].
+    #[inline]
+    pub fn flat_mut(x: &mut [Complex]) -> &mut [f64] {
+        // SAFETY: as in `flat`.
+        unsafe { std::slice::from_raw_parts_mut(x.as_mut_ptr().cast::<f64>(), x.len() * 2) }
+    }
+
+    /// The scan inner product `Σ s′[k]·y[d+k]` over SoA operands, with
+    /// `Optimized::scan_into`'s four-accumulator pairing: lane `u` holds
+    /// sample offsets `≡ u (mod 4)`, the scalar remainder accumulates
+    /// onto lane 0, and the reduction is `(l0+l1)+(l2+l3)`.
+    pub fn corr_dot(sr: &[f64], si: &[f64], yr: &[f64], yi: &[f64]) -> (f64, f64) {
+        #[cfg(target_arch = "x86_64")]
+        if avx2() {
+            // SAFETY: `avx2()` verified the CPU feature.
+            return unsafe { corr_dot_avx2(sr, si, yr, yi) };
+        }
+        corr_dot_portable(sr, si, yr, yi)
+    }
+
+    fn corr_dot_portable(sr: &[f64], si: &[f64], yr: &[f64], yi: &[f64]) -> (f64, f64) {
+        let n = sr.len();
+        let mut ar = [0.0f64; 4];
+        let mut ai = [0.0f64; 4];
+        let mut k = 0;
+        while k + 4 <= n {
+            for u in 0..4 {
+                ar[u] += sr[k + u] * yr[k + u] - si[k + u] * yi[k + u];
+                ai[u] += sr[k + u] * yi[k + u] + si[k + u] * yr[k + u];
+            }
+            k += 4;
+        }
+        while k < n {
+            ar[0] += sr[k] * yr[k] - si[k] * yi[k];
+            ai[0] += sr[k] * yi[k] + si[k] * yr[k];
+            k += 1;
+        }
+        ((ar[0] + ar[1]) + (ar[2] + ar[3]), (ai[0] + ai[1]) + (ai[2] + ai[3]))
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn corr_dot_avx2(sr: &[f64], si: &[f64], yr: &[f64], yi: &[f64]) -> (f64, f64) {
+        use std::arch::x86_64::*;
+        let n = sr.len();
+        let mut vre = _mm256_setzero_pd();
+        let mut vim = _mm256_setzero_pd();
+        let mut k = 0;
+        while k + 4 <= n {
+            let a = _mm256_loadu_pd(sr.as_ptr().add(k));
+            let b = _mm256_loadu_pd(si.as_ptr().add(k));
+            let c = _mm256_loadu_pd(yr.as_ptr().add(k));
+            let d = _mm256_loadu_pd(yi.as_ptr().add(k));
+            vre = _mm256_add_pd(vre, _mm256_sub_pd(_mm256_mul_pd(a, c), _mm256_mul_pd(b, d)));
+            vim = _mm256_add_pd(vim, _mm256_add_pd(_mm256_mul_pd(a, d), _mm256_mul_pd(b, c)));
+            k += 4;
+        }
+        let mut ar = [0.0f64; 4];
+        let mut ai = [0.0f64; 4];
+        _mm256_storeu_pd(ar.as_mut_ptr(), vre);
+        _mm256_storeu_pd(ai.as_mut_ptr(), vim);
+        while k < n {
+            ar[0] += sr[k] * yr[k] - si[k] * yi[k];
+            ai[0] += sr[k] * yi[k] + si[k] * yr[k];
+            k += 1;
+        }
+        ((ar[0] + ar[1]) + (ar[2] + ar[3]), (ai[0] + ai[1]) + (ai[2] + ai[3]))
+    }
+
+    /// The FIR interior sweep `y[k] = Σ_l taps[l]·x[k+delay−l]` for
+    /// `k ∈ lo..hi`, written in place. Lanes are outputs (no cross-lane
+    /// reduction); per output the taps accumulate in ascending order.
+    pub fn fir_interior_fill(
+        taps: &[Complex],
+        delay: usize,
+        x: &[Complex],
+        lo: usize,
+        hi: usize,
+        y: &mut [Complex],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if avx2() {
+            // SAFETY: `avx2()` verified the CPU feature.
+            unsafe { fir_interior_avx2(taps, delay, x, lo, hi, y) };
+            return;
+        }
+        fir_interior_portable(taps, delay, x, lo, hi, y);
+    }
+
+    fn fir_interior_portable(
+        taps: &[Complex],
+        delay: usize,
+        x: &[Complex],
+        lo: usize,
+        hi: usize,
+        y: &mut [Complex],
+    ) {
+        let mut k = lo;
+        while k + 4 <= hi {
+            let base = k + delay;
+            let mut ar = [0.0f64; 4];
+            let mut ai = [0.0f64; 4];
+            for (l, &t) in taps.iter().enumerate() {
+                let first = base - l;
+                for u in 0..4 {
+                    let v = x[first + u];
+                    ar[u] += t.re * v.re - t.im * v.im;
+                    ai[u] += t.re * v.im + t.im * v.re;
+                }
+            }
+            for u in 0..4 {
+                y[k + u] = Complex::new(ar[u], ai[u]);
+            }
+            k += 4;
+        }
+        while k < hi {
+            let base = k + delay;
+            let mut acc_re = 0.0;
+            let mut acc_im = 0.0;
+            for (l, &t) in taps.iter().enumerate() {
+                let v = x[base - l];
+                acc_re += t.re * v.re - t.im * v.im;
+                acc_im += t.re * v.im + t.im * v.re;
+            }
+            y[k] = Complex::new(acc_re, acc_im);
+            k += 1;
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn fir_interior_avx2(
+        taps: &[Complex],
+        delay: usize,
+        x: &[Complex],
+        lo: usize,
+        hi: usize,
+        y: &mut [Complex],
+    ) {
+        use std::arch::x86_64::*;
+        let xf = flat(x);
+        let mut k = lo;
+        while k + 4 <= hi {
+            let base = k + delay;
+            let mut accr = _mm256_setzero_pd();
+            let mut acci = _mm256_setzero_pd();
+            for (l, &t) in taps.iter().enumerate() {
+                let first = base - l;
+                let v0 = _mm256_loadu_pd(xf.as_ptr().add(2 * first));
+                let v1 = _mm256_loadu_pd(xf.as_ptr().add(2 * first + 4));
+                // deinterleave: re/im lanes in permuted output order
+                // [k, k+2, k+1, k+3] — consistent across taps, restored
+                // by the interleaving store below
+                let vr = _mm256_unpacklo_pd(v0, v1);
+                let vi = _mm256_unpackhi_pd(v0, v1);
+                let tr = _mm256_set1_pd(t.re);
+                let ti = _mm256_set1_pd(t.im);
+                accr = _mm256_add_pd(
+                    accr,
+                    _mm256_sub_pd(_mm256_mul_pd(tr, vr), _mm256_mul_pd(ti, vi)),
+                );
+                acci = _mm256_add_pd(
+                    acci,
+                    _mm256_add_pd(_mm256_mul_pd(tr, vi), _mm256_mul_pd(ti, vr)),
+                );
+            }
+            let yf = flat_mut(&mut y[k..k + 4]);
+            _mm256_storeu_pd(yf.as_mut_ptr(), _mm256_unpacklo_pd(accr, acci));
+            _mm256_storeu_pd(yf.as_mut_ptr().add(4), _mm256_unpackhi_pd(accr, acci));
+            k += 4;
+        }
+        while k < hi {
+            let base = k + delay;
+            let mut acc_re = 0.0;
+            let mut acc_im = 0.0;
+            for (l, &t) in taps.iter().enumerate() {
+                let v = x[base - l];
+                acc_re += t.re * v.re - t.im * v.im;
+                acc_im += t.re * v.im + t.im * v.re;
+            }
+            y[k] = Complex::new(acc_re, acc_im);
+            k += 1;
+        }
+    }
+
+    /// Four consecutive resampler outputs sharing one tap vector:
+    /// `out[u] = Σ_j samples[base0+j+u]·taps[j]` with per-output
+    /// accumulation in ascending tap order. The caller guarantees all
+    /// four windows are fully in range.
+    pub fn resample_block(samples: &[Complex], base0: usize, taps: &[f64]) -> [Complex; 4] {
+        #[cfg(target_arch = "x86_64")]
+        if avx2() {
+            // SAFETY: `avx2()` verified the CPU feature.
+            return unsafe { resample_block_avx2(samples, base0, taps) };
+        }
+        resample_block_portable(samples, base0, taps)
+    }
+
+    fn resample_block_portable(samples: &[Complex], base0: usize, taps: &[f64]) -> [Complex; 4] {
+        let mut ar = [0.0f64; 4];
+        let mut ai = [0.0f64; 4];
+        for (j, &tap) in taps.iter().enumerate() {
+            let first = base0 + j;
+            for u in 0..4 {
+                let v = samples[first + u];
+                ar[u] += v.re * tap;
+                ai[u] += v.im * tap;
+            }
+        }
+        [
+            Complex::new(ar[0], ai[0]),
+            Complex::new(ar[1], ai[1]),
+            Complex::new(ar[2], ai[2]),
+            Complex::new(ar[3], ai[3]),
+        ]
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn resample_block_avx2(samples: &[Complex], base0: usize, taps: &[f64]) -> [Complex; 4] {
+        use std::arch::x86_64::*;
+        let sf = flat(samples);
+        let mut accr = _mm256_setzero_pd();
+        let mut acci = _mm256_setzero_pd();
+        for (j, &tap) in taps.iter().enumerate() {
+            let p = base0 + j;
+            let v0 = _mm256_loadu_pd(sf.as_ptr().add(2 * p));
+            let v1 = _mm256_loadu_pd(sf.as_ptr().add(2 * p + 4));
+            let vr = _mm256_unpacklo_pd(v0, v1);
+            let vi = _mm256_unpackhi_pd(v0, v1);
+            let tv = _mm256_set1_pd(tap);
+            accr = _mm256_add_pd(accr, _mm256_mul_pd(vr, tv));
+            acci = _mm256_add_pd(acci, _mm256_mul_pd(vi, tv));
+        }
+        let mut out = [ZERO; 4];
+        let of = flat_mut(&mut out);
+        _mm256_storeu_pd(of.as_mut_ptr(), _mm256_unpacklo_pd(accr, acci));
+        _mm256_storeu_pd(of.as_mut_ptr().add(4), _mm256_unpackhi_pd(accr, acci));
+        out
+    }
+
+    /// `o[i] = (x[i]·w)/w` over flat views — the single-stream MRC path
+    /// (numerically *not* `x[i]`: the scalar loop scales then divides, so
+    /// this does too).
+    pub fn scale_unscale(x: &[f64], w: f64, o: &mut [f64]) {
+        #[cfg(target_arch = "x86_64")]
+        if avx2() {
+            // SAFETY: `avx2()` verified the CPU feature.
+            unsafe { scale_unscale_avx2(x, w, o) };
+            return;
+        }
+        for (d, &v) in o.iter_mut().zip(x.iter()) {
+            *d = (v * w) / w;
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn scale_unscale_avx2(x: &[f64], w: f64, o: &mut [f64]) {
+        use std::arch::x86_64::*;
+        let n = x.len();
+        let wv = _mm256_set1_pd(w);
+        let mut i = 0;
+        while i + 4 <= n {
+            let v = _mm256_loadu_pd(x.as_ptr().add(i));
+            let r = _mm256_div_pd(_mm256_mul_pd(v, wv), wv);
+            _mm256_storeu_pd(o.as_mut_ptr().add(i), r);
+            i += 4;
+        }
+        while i < n {
+            o[i] = (x[i] * w) / w;
+            i += 1;
+        }
+    }
+
+    /// `o[i] = (a[i]·w1 + b[i]·w2)/dw` over flat views — the two-stream
+    /// MRC path.
+    pub fn weighted_sum2(a: &[f64], b: &[f64], w1: f64, w2: f64, dw: f64, o: &mut [f64]) {
+        #[cfg(target_arch = "x86_64")]
+        if avx2() {
+            // SAFETY: `avx2()` verified the CPU feature.
+            unsafe { weighted_sum2_avx2(a, b, w1, w2, dw, o) };
+            return;
+        }
+        for i in 0..o.len() {
+            o[i] = (a[i] * w1 + b[i] * w2) / dw;
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn weighted_sum2_avx2(a: &[f64], b: &[f64], w1: f64, w2: f64, dw: f64, o: &mut [f64]) {
+        use std::arch::x86_64::*;
+        let n = o.len();
+        let w1v = _mm256_set1_pd(w1);
+        let w2v = _mm256_set1_pd(w2);
+        let dwv = _mm256_set1_pd(dw);
+        let mut i = 0;
+        while i + 4 <= n {
+            let av = _mm256_loadu_pd(a.as_ptr().add(i));
+            let bv = _mm256_loadu_pd(b.as_ptr().add(i));
+            let s = _mm256_add_pd(_mm256_mul_pd(av, w1v), _mm256_mul_pd(bv, w2v));
+            _mm256_storeu_pd(o.as_mut_ptr().add(i), _mm256_div_pd(s, dwv));
+            i += 4;
+        }
+        while i < n {
+            o[i] = (a[i] * w1 + b[i] * w2) / dw;
+            i += 1;
+        }
+    }
+
+    /// `acc[i] += x[i]·w` over flat views — the ≥3-stream MRC
+    /// accumulation.
+    pub fn saxpy(x: &[f64], w: f64, acc: &mut [f64]) {
+        #[cfg(target_arch = "x86_64")]
+        if avx2() {
+            // SAFETY: `avx2()` verified the CPU feature.
+            unsafe { saxpy_avx2(x, w, acc) };
+            return;
+        }
+        for (d, &v) in acc.iter_mut().zip(x.iter()) {
+            *d += v * w;
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn saxpy_avx2(x: &[f64], w: f64, acc: &mut [f64]) {
+        use std::arch::x86_64::*;
+        let n = x.len();
+        let wv = _mm256_set1_pd(w);
+        let mut i = 0;
+        while i + 4 <= n {
+            let v = _mm256_loadu_pd(x.as_ptr().add(i));
+            let d = _mm256_loadu_pd(acc.as_ptr().add(i));
+            _mm256_storeu_pd(acc.as_mut_ptr().add(i), _mm256_add_pd(d, _mm256_mul_pd(v, wv)));
+            i += 4;
+        }
+        while i < n {
+            acc[i] += x[i] * w;
+            i += 1;
+        }
+    }
+
+    /// One τ candidate of the match sweep: accumulates
+    /// `Σ_k a[k]·conj(lat[k])` in [`ABANDON_BLOCK`] chunks, testing the
+    /// Cauchy–Schwarz tail bound between chunks exactly like
+    /// `optimized_sweep`. Returns `None` when the candidate is abandoned,
+    /// otherwise the `(l0+l1)+(l2+l3)`-reduced correlation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn match_candidate(
+        ar: &[f64],
+        ai: &[f64],
+        lat: &[Complex],
+        ea_prefix: &[f64],
+        lane: &SubLattice,
+        base: usize,
+        denom: f64,
+        ea_tot: f64,
+        cutoff: Option<f64>,
+    ) -> Option<(f64, f64)> {
+        #[cfg(target_arch = "x86_64")]
+        if avx2() {
+            // SAFETY: `avx2()` verified the CPU feature.
+            return unsafe {
+                match_candidate_avx2(ar, ai, lat, ea_prefix, lane, base, denom, ea_tot, cutoff)
+            };
+        }
+        match_candidate_portable(ar, ai, lat, ea_prefix, lane, base, denom, ea_tot, cutoff)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn match_candidate_portable(
+        ar: &[f64],
+        ai: &[f64],
+        lat: &[Complex],
+        ea_prefix: &[f64],
+        lane: &SubLattice,
+        base: usize,
+        denom: f64,
+        ea_tot: f64,
+        cutoff: Option<f64>,
+    ) -> Option<(f64, f64)> {
+        let n = ar.len();
+        let mut vr = [0.0f64; 4];
+        let mut vi = [0.0f64; 4];
+        let mut k = 0;
+        while k < n {
+            let stop = (k + ABANDON_BLOCK).min(n);
+            while k + 4 <= stop {
+                for u in 0..4 {
+                    let (xr, xi) = (ar[k + u], ai[k + u]);
+                    let y = lat[k + u];
+                    vr[u] += xr * y.re + xi * y.im;
+                    vi[u] += xi * y.re - xr * y.im;
+                }
+                k += 4;
+            }
+            while k < stop {
+                let (xr, xi) = (ar[k], ai[k]);
+                let y = lat[k];
+                vr[0] += xr * y.re + xi * y.im;
+                vi[0] += xi * y.re - xr * y.im;
+                k += 1;
+            }
+            if k >= n {
+                break;
+            }
+            if let Some(cut) = cutoff {
+                let re = (vr[0] + vr[1]) + (vr[2] + vr[3]);
+                let im = (vi[0] + vi[1]) + (vi[2] + vi[3]);
+                let part = (re * re + im * im).sqrt();
+                let ea_rem = ea_tot - ea_prefix[k];
+                let eb_rem = lane.window_energy(base + k, base + n);
+                let ub = (part + (ea_rem * eb_rem).sqrt()) / denom;
+                if ub * (1.0 + 1e-12) < cut {
+                    return None;
+                }
+            }
+        }
+        Some(((vr[0] + vr[1]) + (vr[2] + vr[3]), (vi[0] + vi[1]) + (vi[2] + vi[3])))
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    unsafe fn match_candidate_avx2(
+        ar: &[f64],
+        ai: &[f64],
+        lat: &[Complex],
+        ea_prefix: &[f64],
+        lane: &SubLattice,
+        base: usize,
+        denom: f64,
+        ea_tot: f64,
+        cutoff: Option<f64>,
+    ) -> Option<(f64, f64)> {
+        use std::arch::x86_64::*;
+        let n = ar.len();
+        let lf = flat(lat);
+        // Vector lanes hold sample offsets in the unpack permutation
+        // [0, 2, 1, 3]; `reduce` compensates so the reduction tree is
+        // (l0+l1)+(l2+l3) in *sample* order, matching `Optimized`'s
+        // `(acc[0]+acc[2])+(acc[4]+acc[6])`. The scalar remainder —
+        // which only ever occurs in the final block, since ABANDON_BLOCK
+        // is a multiple of 4 — spills the vectors to arrays first and
+        // appends onto element 0, continuing the sample-lane-0 chain
+        // exactly as `Optimized` appends onto `acc[0]`.
+        let spill = |acc: __m256d| -> [f64; 4] {
+            let mut l = [0.0f64; 4];
+            _mm256_storeu_pd(l.as_mut_ptr(), acc);
+            l
+        };
+        let reduce = |l: [f64; 4]| -> f64 { (l[0] + l[2]) + (l[1] + l[3]) };
+        let mut accr = _mm256_setzero_pd();
+        let mut acci = _mm256_setzero_pd();
+        let mut k = 0;
+        while k < n {
+            let stop = (k + ABANDON_BLOCK).min(n);
+            while k + 4 <= stop {
+                let xr = _mm256_loadu_pd(ar.as_ptr().add(k));
+                let xi = _mm256_loadu_pd(ai.as_ptr().add(k));
+                let v0 = _mm256_loadu_pd(lf.as_ptr().add(2 * k));
+                let v1 = _mm256_loadu_pd(lf.as_ptr().add(2 * k + 4));
+                let yr0 = _mm256_unpacklo_pd(v0, v1);
+                let yi0 = _mm256_unpackhi_pd(v0, v1);
+                // x lanes must match the permuted y lanes: permute x by
+                // [0, 2, 1, 3] (a self-inverse permutation)
+                let xr = _mm256_permute4x64_pd::<0b11_01_10_00>(xr);
+                let xi = _mm256_permute4x64_pd::<0b11_01_10_00>(xi);
+                accr = _mm256_add_pd(
+                    accr,
+                    _mm256_add_pd(_mm256_mul_pd(xr, yr0), _mm256_mul_pd(xi, yi0)),
+                );
+                acci = _mm256_add_pd(
+                    acci,
+                    _mm256_sub_pd(_mm256_mul_pd(xi, yr0), _mm256_mul_pd(xr, yi0)),
+                );
+                k += 4;
+            }
+            if k < stop {
+                // final partial block: finish scalar and return
+                let mut lr = spill(accr);
+                let mut li = spill(acci);
+                while k < stop {
+                    let (xr, xi) = (ar[k], ai[k]);
+                    let y = lat[k];
+                    lr[0] += xr * y.re + xi * y.im;
+                    li[0] += xi * y.re - xr * y.im;
+                    k += 1;
+                }
+                return Some((reduce(lr), reduce(li)));
+            }
+            if k >= n {
+                break;
+            }
+            if let Some(cut) = cutoff {
+                let re = reduce(spill(accr));
+                let im = reduce(spill(acci));
+                let part = (re * re + im * im).sqrt();
+                let ea_rem = ea_tot - ea_prefix[k];
+                let eb_rem = lane.window_energy(base + k, base + n);
+                let ub = (part + (ea_rem * eb_rem).sqrt()) / denom;
+                if ub * (1.0 + 1e-12) < cut {
+                    return None;
+                }
+            }
+        }
+        Some((reduce(spill(accr)), reduce(spill(acci))))
     }
 }
 
@@ -1120,77 +2079,126 @@ mod tests {
         for s in ["optimized", "Optimized", "OPTIMIZED"] {
             assert_eq!(BackendKind::from_name(s), Some(BackendKind::Optimized), "{s}");
         }
+        for s in ["simd", "Simd", "SIMD"] {
+            assert_eq!(BackendKind::from_name(s), Some(BackendKind::Simd), "{s}");
+            assert_eq!(BackendKind::from_arg(s), Some(BackendKind::Simd), "{s}");
+        }
     }
 
     #[test]
     fn unknown_backend_names_are_rejected() {
         // Regression: `from_env` used to treat every unrecognized value
-        // (`simd`, typos, wrong case) as `Optimized`, silently running
-        // differential jobs on the wrong backend. The shared parser must
-        // reject them so `from_env` can fail loudly.
-        for s in ["simd", "gpu", "scalarr", "optimised", "", " scalar"] {
+        // (typos, wrong case, not-yet-implemented backends) as
+        // `Optimized`, silently running differential jobs on the wrong
+        // backend. The shared parser must reject them so `from_env` can
+        // fail loudly — and its panic message must list all three
+        // accepted names.
+        for s in ["gpu", "avx2", "scalarr", "optimised", "", " scalar", "simd "] {
             assert_eq!(BackendKind::from_name(s), None, "{s:?} must not parse");
             assert_eq!(BackendKind::from_arg(s), None, "{s:?} must not parse");
         }
     }
 
+    /// The non-reference backends, each checked against `Scalar` (and,
+    /// where the contract is bit-identity, against each other).
+    const FAST: [BackendKind; 2] = [BackendKind::Optimized, BackendKind::Simd];
+
     #[test]
     fn backends_agree_on_scan() {
         let y = sig(300, 3);
         let s = sig(32, 7);
+        for kind in FAST {
+            for omega in [0.0, 0.043, -0.12] {
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                Kernel::new(BackendKind::Scalar).scan_into(&y, &s, omega, 0..y.len(), &mut a);
+                Kernel::new(kind).scan_into(&y, &s, omega, 0..y.len(), &mut b);
+                assert_close(&a, &b, 1e-9, kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn simd_scan_is_bit_identical_to_optimized() {
+        let y = sig(301, 13);
+        let s = sig(37, 17);
         for omega in [0.0, 0.043, -0.12] {
             let mut a = Vec::new();
             let mut b = Vec::new();
-            Kernel::new(BackendKind::Scalar).scan_into(&y, &s, omega, 0..y.len(), &mut a);
-            Kernel::new(BackendKind::Optimized).scan_into(&y, &s, omega, 0..y.len(), &mut b);
-            assert_close(&a, &b, 1e-9, "scan");
+            Kernel::new(BackendKind::Optimized).scan_into(&y, &s, omega, 0..y.len(), &mut a);
+            Kernel::new(BackendKind::Simd).scan_into(&y, &s, omega, 0..y.len(), &mut b);
+            assert_eq!(a, b, "simd scan must be bit-identical to optimized (ω = {omega})");
         }
     }
 
     #[test]
     fn backends_agree_on_fir_bit_exact() {
-        let x = sig(128, 5);
+        // 131 inputs: the Simd interior (odd length) ends in a scalar
+        // remainder, exercising both the 4-wide and tail paths.
+        let x = sig(131, 5);
         let fir = Fir::new(
             vec![Complex::new(0.1, 0.02), Complex::real(1.0), Complex::new(0.2, -0.06)],
             1,
         );
         let mut a = Vec::new();
-        let mut b = Vec::new();
         Kernel::new(BackendKind::Scalar).fir_apply_into(&fir, &x, &mut a);
-        Kernel::new(BackendKind::Optimized).fir_apply_into(&fir, &x, &mut b);
-        assert_eq!(a, b, "FIR backends must be bit-identical");
+        for kind in FAST {
+            let mut b = Vec::new();
+            Kernel::new(kind).fir_apply_into(&fir, &x, &mut b);
+            assert_eq!(a, b, "{} FIR must be bit-identical", kind.name());
+        }
     }
 
     #[test]
     fn backends_agree_on_resample_bit_exact() {
         let x = sig(256, 11);
-        for (start, step) in [(0.37, 1.0), (-3.2, 1.0), (5.0, 1.0005), (250.9, 1.0)] {
+        for (start, step) in [(0.37, 1.0), (-3.2, 1.0), (5.0, 1.0005), (250.9, 1.0), (0.0, 0.33)] {
             let mut a = Vec::new();
-            let mut b = Vec::new();
-            Kernel::new(BackendKind::Scalar).resample_into(&x, start, step, 300, &mut a);
-            Kernel::new(BackendKind::Optimized).resample_into(&x, start, step, 300, &mut b);
-            assert_eq!(a, b, "resample backends must be bit-identical at {start}+k*{step}");
+            Kernel::new(BackendKind::Scalar).resample_into(&x, start, step, 301, &mut a);
+            for kind in FAST {
+                let mut b = Vec::new();
+                Kernel::new(kind).resample_into(&x, start, step, 301, &mut b);
+                assert_eq!(
+                    a,
+                    b,
+                    "{} resample must be bit-identical at {start}+k*{step}",
+                    kind.name()
+                );
+            }
         }
     }
 
     #[test]
     fn backends_agree_on_mrc_bit_exact() {
-        let s1 = sig(40, 1);
+        let s1 = sig(41, 1);
         let s2 = sig(25, 2);
         let s3 = sig(33, 3);
-        let streams: Vec<(&[Complex], f64)> = vec![(&s1, 2.0), (&s2, 0.5), (&s3, 0.0)];
-        let mut a = Vec::new();
-        let mut b = Vec::new();
-        Kernel::new(BackendKind::Scalar).combine_weighted_into(&streams, &mut a);
-        Kernel::new(BackendKind::Optimized).combine_weighted_into(&streams, &mut b);
-        assert_eq!(a, b, "MRC backends must be bit-identical");
+        // one stream, two streams (+tail), three streams, zero weights
+        let cases: Vec<Vec<(&[Complex], f64)>> = vec![
+            vec![(&s1, 2.0)],
+            vec![(&s1, 0.0)],
+            vec![(&s1, 2.0), (&s2, 0.5)],
+            vec![(&s2, 0.5), (&s1, 2.0)],
+            vec![(&s1, 2.0), (&s2, 0.5), (&s3, 0.0)],
+        ];
+        for streams in &cases {
+            let mut a = Vec::new();
+            Kernel::new(BackendKind::Scalar).combine_weighted_into(streams, &mut a);
+            for kind in FAST {
+                let mut b = Vec::new();
+                Kernel::new(kind).combine_weighted_into(streams, &mut b);
+                assert_eq!(a, b, "{} MRC must be bit-identical", kind.name());
+            }
+        }
     }
 
     #[test]
     fn kind_names_and_dispatch() {
         assert_eq!(BackendKind::Scalar.name(), "scalar");
         assert_eq!(BackendKind::Optimized.name(), "optimized");
+        assert_eq!(BackendKind::Simd.name(), "simd");
         assert_eq!(Kernel::new(BackendKind::Optimized).kind(), BackendKind::Optimized);
+        assert_eq!(Kernel::new(BackendKind::Simd).kind(), BackendKind::Simd);
     }
 
     #[test]
@@ -1226,13 +2234,28 @@ mod tests {
     #[test]
     fn backends_agree_on_match_score() {
         let (a, b) = matched_pair(400, 0.3);
-        let (mut s, mut o) =
-            (Kernel::new(BackendKind::Scalar), Kernel::new(BackendKind::Optimized));
+        let mut s = Kernel::new(BackendKind::Scalar);
+        for kind in FAST {
+            let mut o = Kernel::new(kind);
+            for step in [0.25, 0.5, 1.0] {
+                let ms = s.match_score(&a, 64, &b, 64, 256, step, None);
+                let mo = o.match_score(&a, 64, &b, 64, 256, step, None);
+                assert!(
+                    (ms.metric - mo.metric).abs() < 1e-9,
+                    "{} step {step}: {ms:?} vs {mo:?}",
+                    kind.name()
+                );
+                assert!((ms.tau - mo.tau).abs() < step + 1e-12, "step {step}: {ms:?} vs {mo:?}");
+            }
+        }
+        // the strong contract: simd ≡ optimized, bit for bit
+        let (mut o, mut v) = (Kernel::new(BackendKind::Optimized), Kernel::new(BackendKind::Simd));
         for step in [0.25, 0.5, 1.0] {
-            let ms = s.match_score(&a, 64, &b, 64, 256, step, None);
-            let mo = o.match_score(&a, 64, &b, 64, 256, step, None);
-            assert!((ms.metric - mo.metric).abs() < 1e-9, "step {step}: {ms:?} vs {mo:?}");
-            assert!((ms.tau - mo.tau).abs() < step + 1e-12, "step {step}: {ms:?} vs {mo:?}");
+            for bail in [None, Some(0.15), Some(0.9)] {
+                let mo = o.match_score(&a, 64, &b, 64, 257, step, bail);
+                let mv = v.match_score(&a, 64, &b, 64, 257, step, bail);
+                assert_eq!(mo, mv, "simd match_score must be bit-identical (step {step})");
+            }
         }
         // the matched pair actually spikes, and the argmax τ cancels the
         // applied fractional delay (b delayed by 0.3 → reading b at k + τ
@@ -1243,9 +2266,9 @@ mod tests {
     }
 
     #[test]
-    fn footprint_matches_raw_on_both_backends() {
+    fn footprint_matches_raw_on_all_backends() {
         let (a, b) = matched_pair(300, 0.4);
-        for kind in [BackendKind::Scalar, BackendKind::Optimized] {
+        for kind in [BackendKind::Scalar, BackendKind::Optimized, BackendKind::Simd] {
             let mut k = Kernel::new(kind);
             let mut fp = CorrFootprint::default();
             k.ensure_footprint(&mut fp, &b, 0.25, &mut Vec::new);
@@ -1268,28 +2291,30 @@ mod tests {
     #[test]
     fn bail_returns_exact_metric_at_or_above_threshold() {
         let (a, b) = matched_pair(400, 0.2);
-        let mut o = Kernel::new(BackendKind::Optimized);
-        let exact = o.match_score(&a, 50, &b, 50, 300, 0.25, None);
-        assert!(exact.metric > 0.5, "sanity: {exact:?}");
-        // bail below the true metric: the result must be bit-identical
-        let bailed = o.match_score(&a, 50, &b, 50, 300, 0.25, Some(0.15));
-        assert_eq!(exact, bailed, "metric ≥ bail must be exact");
-        // bail above the true metric: only the rejection is guaranteed
-        let over = o.match_score(&a, 50, &b, 50, 300, 0.25, Some(exact.metric + 0.01));
-        assert!(over.metric < exact.metric + 0.01, "sub-bail values mean rejection");
-        // same contract through the footprint path
-        let mut fp = CorrFootprint::default();
-        o.ensure_footprint(&mut fp, &b, 0.25, &mut Vec::new);
-        let fp_exact = o.match_score_fp(&a, 50, &fp, 50, 300, 0.25, None);
-        let fp_bailed = o.match_score_fp(&a, 50, &fp, 50, 300, 0.25, Some(0.15));
-        assert_eq!(fp_exact, fp_bailed);
+        for kind in FAST {
+            let mut o = Kernel::new(kind);
+            let exact = o.match_score(&a, 50, &b, 50, 300, 0.25, None);
+            assert!(exact.metric > 0.5, "sanity: {exact:?}");
+            // bail below the true metric: the result must be bit-identical
+            let bailed = o.match_score(&a, 50, &b, 50, 300, 0.25, Some(0.15));
+            assert_eq!(exact, bailed, "{}: metric ≥ bail must be exact", kind.name());
+            // bail above the true metric: only the rejection is guaranteed
+            let over = o.match_score(&a, 50, &b, 50, 300, 0.25, Some(exact.metric + 0.01));
+            assert!(over.metric < exact.metric + 0.01, "sub-bail values mean rejection");
+            // same contract through the footprint path
+            let mut fp = CorrFootprint::default();
+            o.ensure_footprint(&mut fp, &b, 0.25, &mut Vec::new);
+            let fp_exact = o.match_score_fp(&a, 50, &fp, 50, 300, 0.25, None);
+            let fp_bailed = o.match_score_fp(&a, 50, &fp, 50, 300, 0.25, Some(0.15));
+            assert_eq!(fp_exact, fp_bailed);
+        }
     }
 
     #[test]
     fn match_score_empty_overlaps_are_zero() {
         let (a, b) = matched_pair(64, 0.0);
         let mut fp = CorrFootprint::default();
-        for kind in [BackendKind::Scalar, BackendKind::Optimized] {
+        for kind in [BackendKind::Scalar, BackendKind::Optimized, BackendKind::Simd] {
             let mut k = Kernel::new(kind);
             k.ensure_footprint(&mut fp, &b, 0.25, &mut Vec::new);
             // start past either buffer's end, empty buffers, zero window

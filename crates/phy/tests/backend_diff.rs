@@ -1,15 +1,21 @@
 //! Differential harness for the kernel backends: for every hot-loop
-//! primitive (correlate, fir, interp, mrc), the `Optimized` backend must
-//! match the `Scalar` reference within 1e-9 across random lengths, taps
-//! and frequency offsets — including the edge cases (empty input, scan
-//! offset at the buffer end, ω = 0, identity filter). This is the
-//! numerical-equivalence bar that lets the decode engine switch backends
-//! without bit-level decode divergence.
+//! primitive (correlate, fir, interp, mrc), the `Optimized` and `Simd`
+//! backends must match the `Scalar` reference within 1e-9 across random
+//! lengths, taps and frequency offsets — including the edge cases (empty
+//! input, scan offset at the buffer end, ω = 0, identity filter). This
+//! is the numerical-equivalence bar that lets the decode engine switch
+//! backends without bit-level decode divergence. The batched
+//! least-squares entry point (`lstsq_batch`) is held to the same bar
+//! against the per-system reference solver.
 
 use proptest::prelude::*;
 use zigzag_phy::complex::Complex;
 use zigzag_phy::filter::Fir;
 use zigzag_phy::kernel::{BackendKind, CorrFootprint, Kernel, MatchScore};
+use zigzag_phy::linalg::{lstsq_batch, lstsq_cond, LstsqSystem};
+
+/// The non-reference backends, each diffed against `Scalar`.
+const FAST: [BackendKind; 2] = [BackendKind::Optimized, BackendKind::Simd];
 
 fn to_complex(raw: &[(f64, f64)]) -> Vec<Complex> {
     raw.iter().map(|&(re, im)| Complex::new(re, im)).collect()
@@ -22,10 +28,6 @@ fn assert_close(a: &[Complex], b: &[Complex], tol: f64, what: &str) {
     }
 }
 
-fn kernels() -> (Kernel, Kernel) {
-    (Kernel::new(BackendKind::Scalar), Kernel::new(BackendKind::Optimized))
-}
-
 proptest! {
     #[test]
     fn scan_matches_scalar(
@@ -35,14 +37,17 @@ proptest! {
     ) {
         let y = to_complex(&y_raw);
         let s = to_complex(&s_raw);
-        let (mut scalar, mut optimized) = kernels();
+        let mut scalar = Kernel::new(BackendKind::Scalar);
         let (mut a, mut b) = (Vec::new(), Vec::new());
         // positions deliberately run past the buffer end: offsets with a
         // partial (or empty) overlap must agree too
         let positions = 0..y.len() + 4;
         scalar.scan_into(&y, &s, omega, positions.clone(), &mut a);
-        optimized.scan_into(&y, &s, omega, positions, &mut b);
-        assert_close(&a, &b, 1e-9, "scan");
+        for kind in FAST {
+            let mut fast = Kernel::new(kind);
+            fast.scan_into(&y, &s, omega, positions.clone(), &mut b);
+            assert_close(&a, &b, 1e-9, kind.name());
+        }
     }
 
     #[test]
@@ -54,11 +59,14 @@ proptest! {
         let x = to_complex(&x_raw);
         let taps = to_complex(&taps_raw);
         let fir = Fir::new(taps.clone(), delay_pick % taps.len());
-        let (mut scalar, mut optimized) = kernels();
+        let mut scalar = Kernel::new(BackendKind::Scalar);
         let (mut a, mut b) = (Vec::new(), Vec::new());
         scalar.fir_apply_into(&fir, &x, &mut a);
-        optimized.fir_apply_into(&fir, &x, &mut b);
-        assert_close(&a, &b, 1e-9, "fir");
+        for kind in FAST {
+            let mut fast = Kernel::new(kind);
+            fast.fir_apply_into(&fir, &x, &mut b);
+            assert_close(&a, &b, 1e-9, kind.name());
+        }
     }
 
     #[test]
@@ -73,11 +81,14 @@ proptest! {
         // step = 1 exercises the cached-tap fast path; step = 1 + drift
         // the per-output cache-miss path
         let step = if integer_step == 1 { 1.0 } else { 1.0 + drift };
-        let (mut scalar, mut optimized) = kernels();
+        let mut scalar = Kernel::new(BackendKind::Scalar);
         let (mut a, mut b) = (Vec::new(), Vec::new());
         scalar.resample_into(&x, start, step, n, &mut a);
-        optimized.resample_into(&x, start, step, n, &mut b);
-        assert_close(&a, &b, 1e-9, "resample");
+        for kind in FAST {
+            let mut fast = Kernel::new(kind);
+            fast.resample_into(&x, start, step, n, &mut b);
+            assert_close(&a, &b, 1e-9, kind.name());
+        }
     }
 
     #[test]
@@ -91,11 +102,22 @@ proptest! {
     ) {
         let (s1, s2, s3) = (to_complex(&s1_raw), to_complex(&s2_raw), to_complex(&s3_raw));
         let streams: Vec<(&[Complex], f64)> = vec![(&s1, w1), (&s2, w2), (&s3, w3)];
-        let (mut scalar, mut optimized) = kernels();
+        let mut scalar = Kernel::new(BackendKind::Scalar);
         let (mut a, mut b) = (Vec::new(), Vec::new());
         scalar.combine_weighted_into(&streams, &mut a);
-        optimized.combine_weighted_into(&streams, &mut b);
-        assert_close(&a, &b, 1e-9, "mrc");
+        for kind in FAST {
+            let mut fast = Kernel::new(kind);
+            // 1- and 2-stream prefixes hit dedicated kernels; cover them
+            // alongside the 3-stream general path
+            for take in 1..=streams.len() {
+                let (mut sa, mut sb) = (Vec::new(), Vec::new());
+                scalar.combine_weighted_into(&streams[..take], &mut sa);
+                fast.combine_weighted_into(&streams[..take], &mut sb);
+                assert_close(&sa, &sb, 1e-9, kind.name());
+            }
+            fast.combine_weighted_into(&streams, &mut b);
+            assert_close(&a, &b, 1e-9, kind.name());
+        }
     }
 }
 
@@ -121,10 +143,11 @@ fn assert_match_close(a: MatchScore, b: MatchScore, tau_step: f64, tol: f64, wha
 }
 
 proptest! {
-    /// `match_score` differential: with `bail: None` the optimized SoA
-    /// sweep must reproduce the scalar reference loop — metric ≤ 1e-9,
-    /// argmax τ within one step — across random spans, windows and
-    /// sweep resolutions (including spans that overhang either buffer).
+    /// `match_score` differential: with `bail: None` the optimized and
+    /// simd sweeps must reproduce the scalar reference loop — metric
+    /// ≤ 1e-9, argmax τ within one step — across random spans, windows
+    /// and sweep resolutions (including spans that overhang either
+    /// buffer).
     #[test]
     fn match_score_matches_scalar(
         a_raw in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 0..260),
@@ -137,16 +160,19 @@ proptest! {
         let a = to_complex(&a_raw);
         let b = to_complex(&b_raw);
         let tau_step = [0.25, 0.5, 1.0][step_pick as usize];
-        let (mut scalar, mut optimized) = kernels();
+        let mut scalar = Kernel::new(BackendKind::Scalar);
         let ms = scalar.match_score(&a, start_a, &b, start_b, window, tau_step, None);
-        let mo = optimized.match_score(&a, start_a, &b, start_b, window, tau_step, None);
-        assert_match_close(ms, mo, tau_step, 1e-9, "match_score");
+        for kind in FAST {
+            let mut fast = Kernel::new(kind);
+            let mf = fast.match_score(&a, start_a, &b, start_b, window, tau_step, None);
+            assert_match_close(ms, mf, tau_step, 1e-9, kind.name());
+        }
     }
 
     /// The bail contract: when the exact metric clears the bail bar the
-    /// optimized path must return it exactly (abandonment never clips a
-    /// survivor); below the bar any returned value must itself stay
-    /// below the bar (a rejection, never a fake survivor).
+    /// abandoning backends must return it exactly (abandonment never
+    /// clips a survivor); below the bar any returned value must itself
+    /// stay below the bar (a rejection, never a fake survivor).
     #[test]
     fn match_score_bail_contract(
         a_raw in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 8..200),
@@ -157,22 +183,26 @@ proptest! {
     ) {
         let a = to_complex(&a_raw);
         let b = to_complex(&b_raw);
-        let (mut scalar, mut optimized) = kernels();
+        let mut scalar = Kernel::new(BackendKind::Scalar);
         let exact = scalar.match_score(&a, 0, &b, start_b, window, 0.25, None);
-        let bailed = optimized.match_score(&a, 0, &b, start_b, window, 0.25, Some(bail));
-        if exact.metric >= bail {
-            assert_match_close(exact, bailed, 0.25, 1e-9, "bail survivor");
-        } else {
-            prop_assert!(
-                bailed.metric < bail + 1e-9,
-                "abandoned metric {} breached the bail bar {bail}", bailed.metric
-            );
+        for kind in FAST {
+            let mut fast = Kernel::new(kind);
+            let bailed = fast.match_score(&a, 0, &b, start_b, window, 0.25, Some(bail));
+            if exact.metric >= bail {
+                assert_match_close(exact, bailed, 0.25, 1e-9, kind.name());
+            } else {
+                prop_assert!(
+                    bailed.metric < bail + 1e-9,
+                    "{}: abandoned metric {} breached the bail bar {bail}",
+                    kind.name(), bailed.metric
+                );
+            }
         }
     }
 
     /// Footprint-backed scoring is the raw path, cached: for a footprint
     /// built by `ensure_footprint`, `match_score_fp` must agree with
-    /// `match_score` on the raw buffer — on both backends, including at
+    /// `match_score` on the raw buffer — on every backend, including at
     /// the coarser sweeps (0.5, 1.0) whose lanes are a subset of the
     /// 0.25 build.
     #[test]
@@ -187,14 +217,44 @@ proptest! {
         let a = to_complex(&a_raw);
         let b = to_complex(&b_raw);
         let tau_step = [0.25, 0.5, 1.0][step_pick as usize];
-        let (mut scalar, mut optimized) = kernels();
+        let mut builder = Kernel::new(BackendKind::Optimized);
         let mut fp = CorrFootprint::default();
-        optimized.ensure_footprint(&mut fp, &b, 0.25, &mut Vec::new);
+        builder.ensure_footprint(&mut fp, &b, 0.25, &mut Vec::new);
         prop_assert!(fp.covers(b.len(), tau_step));
-        for kernel in [&mut scalar, &mut optimized] {
+        for kind in [BackendKind::Scalar, BackendKind::Optimized, BackendKind::Simd] {
+            let mut kernel = Kernel::new(kind);
             let raw = kernel.match_score(&a, start_a, &b, start_b, window, tau_step, None);
             let cached = kernel.match_score_fp(&a, start_a, &fp, start_b, window, tau_step, None);
-            assert_match_close(raw, cached, tau_step, 1e-9, "footprint vs raw");
+            assert_match_close(raw, cached, tau_step, 1e-9, kind.name());
+        }
+    }
+
+    /// The batched least-squares solver is the per-system reference,
+    /// packed: across random bucket mixes (system sizes 0–4 unknowns,
+    /// interleaved), `lstsq_batch` must return bit-identical solutions
+    /// and conditioning estimates to `lstsq_cond` run system-by-system —
+    /// including `None` for the singular systems.
+    #[test]
+    fn lstsq_batch_matches_per_system(
+        sizes in proptest::collection::vec((0usize..5, 1usize..9), 1..7),
+        entropy in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 256..257),
+        lambda in 0.0f64..0.5,
+    ) {
+        let mut pool = entropy.iter().cycle().map(|&(re, im)| Complex::new(re, im));
+        let mut draw = |n: usize| -> Vec<Complex> { (0..n).map(|_| pool.next().unwrap()).collect() };
+        let systems: Vec<(Vec<Vec<Complex>>, Vec<Complex>)> = sizes
+            .iter()
+            .map(|&(m, rows)| ((0..rows).map(|_| draw(m)).collect(), draw(rows)))
+            .collect();
+        let refs: Vec<LstsqSystem> = systems
+            .iter()
+            .map(|(rows, b)| LstsqSystem { rows, b, lambda })
+            .collect();
+        let batched = lstsq_batch(&refs);
+        for ((rows, b), got) in systems.iter().zip(batched) {
+            // bit-identical, not merely close: the batch path must not
+            // perturb the decode decisions it feeds
+            prop_assert_eq!(got, lstsq_cond(rows, b, lambda));
         }
     }
 }
@@ -203,11 +263,12 @@ proptest! {
 fn match_score_edge_cases() {
     let a: Vec<Complex> = (0..96).map(|k| Complex::cis(0.13 * k as f64)).collect();
     let b: Vec<Complex> = (0..64).map(|k| Complex::cis(0.13 * k as f64 + 0.4)).collect();
-    let (mut scalar, mut optimized) = kernels();
+    let mut builder = Kernel::new(BackendKind::Optimized);
     let mut fp = CorrFootprint::default();
-    optimized.ensure_footprint(&mut fp, &b, 0.25, &mut Vec::new);
+    builder.ensure_footprint(&mut fp, &b, 0.25, &mut Vec::new);
     let zero = MatchScore::default();
-    for kernel in [&mut scalar, &mut optimized] {
+    for kind in [BackendKind::Scalar, BackendKind::Optimized, BackendKind::Simd] {
+        let mut kernel = Kernel::new(kind);
         // empty span: a zero-length window scores zero, not NaN
         assert_eq!(kernel.match_score(&a, 0, &b, 0, 0, 0.25, None), zero);
         assert_eq!(kernel.match_score_fp(&a, 0, &fp, 0, 0, 0.25, None), zero);
@@ -221,101 +282,116 @@ fn match_score_edge_cases() {
     }
     // window longer than either buffer: clamps to the shorter tail and
     // still agrees across backends and against the footprint path
-    let (mut scalar, mut optimized) = kernels();
+    let mut scalar = Kernel::new(BackendKind::Scalar);
     let ms = scalar.match_score(&a, 10, &b, 3, 10_000, 0.25, None);
-    let mo = optimized.match_score(&a, 10, &b, 3, 10_000, 0.25, None);
-    let mf = optimized.match_score_fp(&a, 10, &fp, 3, 10_000, 0.25, None);
     assert!(ms.metric > 0.9, "aligned tones must correlate, got {}", ms.metric);
-    assert_match_close(ms, mo, 0.25, 1e-9, "clamped window");
-    assert_match_close(ms, mf, 0.25, 1e-9, "clamped window fp");
+    for kind in FAST {
+        let mut fast = Kernel::new(kind);
+        let mo = fast.match_score(&a, 10, &b, 3, 10_000, 0.25, None);
+        let mf = fast.match_score_fp(&a, 10, &fp, 3, 10_000, 0.25, None);
+        assert_match_close(ms, mo, 0.25, 1e-9, "clamped window");
+        assert_match_close(ms, mf, 0.25, 1e-9, "clamped window fp");
+    }
 }
 
 #[test]
 fn scan_edge_cases() {
     let y: Vec<Complex> = (0..64).map(|k| Complex::cis(0.21 * k as f64)).collect();
     let s: Vec<Complex> = (0..16).map(|k| Complex::cis(-0.4 * k as f64)).collect();
-    let (mut scalar, mut optimized) = kernels();
+    let mut scalar = Kernel::new(BackendKind::Scalar);
     let (mut a, mut b) = (Vec::new(), Vec::new());
-    for omega in [0.0, 0.1] {
-        // empty received buffer
-        scalar.scan_into(&[], &s, omega, 0..4, &mut a);
-        optimized.scan_into(&[], &s, omega, 0..4, &mut b);
-        assert_close(&a, &b, 1e-12, "scan empty y");
-        // empty reference sequence
-        scalar.scan_into(&y, &[], omega, 0..y.len(), &mut a);
-        optimized.scan_into(&y, &[], omega, 0..y.len(), &mut b);
-        assert_close(&a, &b, 1e-12, "scan empty s");
-        // δ exactly at / one past the buffer end (zero-sample overlap)
-        scalar.scan_into(&y, &s, omega, y.len() - 1..y.len() + 1, &mut a);
-        optimized.scan_into(&y, &s, omega, y.len() - 1..y.len() + 1, &mut b);
-        assert_close(&a, &b, 1e-9, "scan at buffer end");
-        // empty position range
-        scalar.scan_into(&y, &s, omega, 5..5, &mut a);
-        optimized.scan_into(&y, &s, omega, 5..5, &mut b);
-        assert!(a.is_empty() && b.is_empty());
+    for kind in FAST {
+        let mut fast = Kernel::new(kind);
+        for omega in [0.0, 0.1] {
+            // empty received buffer
+            scalar.scan_into(&[], &s, omega, 0..4, &mut a);
+            fast.scan_into(&[], &s, omega, 0..4, &mut b);
+            assert_close(&a, &b, 1e-12, "scan empty y");
+            // empty reference sequence
+            scalar.scan_into(&y, &[], omega, 0..y.len(), &mut a);
+            fast.scan_into(&y, &[], omega, 0..y.len(), &mut b);
+            assert_close(&a, &b, 1e-12, "scan empty s");
+            // δ exactly at / one past the buffer end (zero-sample overlap)
+            scalar.scan_into(&y, &s, omega, y.len() - 1..y.len() + 1, &mut a);
+            fast.scan_into(&y, &s, omega, y.len() - 1..y.len() + 1, &mut b);
+            assert_close(&a, &b, 1e-9, "scan at buffer end");
+            // empty position range
+            scalar.scan_into(&y, &s, omega, 5..5, &mut a);
+            fast.scan_into(&y, &s, omega, 5..5, &mut b);
+            assert!(a.is_empty() && b.is_empty());
+        }
     }
 }
 
 #[test]
 fn fir_identity_and_empty() {
     let x: Vec<Complex> = (0..32).map(|k| Complex::new(k as f64, -(k as f64))).collect();
-    let (mut scalar, mut optimized) = kernels();
+    let mut scalar = Kernel::new(BackendKind::Scalar);
     let (mut a, mut b) = (Vec::new(), Vec::new());
-    // identity filter takes the pass-through shortcut on both backends
-    scalar.fir_apply_into(&Fir::identity(), &x, &mut a);
-    optimized.fir_apply_into(&Fir::identity(), &x, &mut b);
-    assert_eq!(a, x);
-    assert_eq!(b, x);
-    // empty input
-    let f = Fir::from_real(&[0.2, 1.0, -0.1], 1);
-    scalar.fir_apply_into(&f, &[], &mut a);
-    optimized.fir_apply_into(&f, &[], &mut b);
-    assert!(a.is_empty() && b.is_empty());
-    // single-tap non-identity (delay 0 edge)
-    let f1 = Fir::from_real(&[-0.7], 0);
-    scalar.fir_apply_into(&f1, &x, &mut a);
-    optimized.fir_apply_into(&f1, &x, &mut b);
-    assert_close(&a, &b, 1e-12, "single tap");
+    for kind in FAST {
+        let mut fast = Kernel::new(kind);
+        // identity filter takes the pass-through shortcut on both backends
+        scalar.fir_apply_into(&Fir::identity(), &x, &mut a);
+        fast.fir_apply_into(&Fir::identity(), &x, &mut b);
+        assert_eq!(a, x);
+        assert_eq!(b, x);
+        // empty input
+        let f = Fir::from_real(&[0.2, 1.0, -0.1], 1);
+        scalar.fir_apply_into(&f, &[], &mut a);
+        fast.fir_apply_into(&f, &[], &mut b);
+        assert!(a.is_empty() && b.is_empty());
+        // single-tap non-identity (delay 0 edge)
+        let f1 = Fir::from_real(&[-0.7], 0);
+        scalar.fir_apply_into(&f1, &x, &mut a);
+        fast.fir_apply_into(&f1, &x, &mut b);
+        assert_close(&a, &b, 1e-12, "single tap");
+    }
 }
 
 #[test]
 fn resample_edge_cases() {
     let x: Vec<Complex> = (0..40).map(|k| Complex::cis(0.07 * k as f64)).collect();
-    let (mut scalar, mut optimized) = kernels();
+    let mut scalar = Kernel::new(BackendKind::Scalar);
     let (mut a, mut b) = (Vec::new(), Vec::new());
-    // empty input buffer, and n = 0
-    scalar.resample_into(&[], 0.3, 1.0, 8, &mut a);
-    optimized.resample_into(&[], 0.3, 1.0, 8, &mut b);
-    assert_close(&a, &b, 1e-12, "resample empty buffer");
-    scalar.resample_into(&x, 0.3, 1.0, 0, &mut a);
-    optimized.resample_into(&x, 0.3, 1.0, 0, &mut b);
-    assert!(a.is_empty() && b.is_empty());
-    // positions entirely out of range on both sides
-    for start in [-1e4, 1e4] {
-        scalar.resample_into(&x, start, 1.0, 8, &mut a);
-        optimized.resample_into(&x, start, 1.0, 8, &mut b);
-        assert_close(&a, &b, 1e-12, "resample out of range");
+    for kind in FAST {
+        let mut fast = Kernel::new(kind);
+        // empty input buffer, and n = 0
+        scalar.resample_into(&[], 0.3, 1.0, 8, &mut a);
+        fast.resample_into(&[], 0.3, 1.0, 8, &mut b);
+        assert_close(&a, &b, 1e-12, "resample empty buffer");
+        scalar.resample_into(&x, 0.3, 1.0, 0, &mut a);
+        fast.resample_into(&x, 0.3, 1.0, 0, &mut b);
+        assert!(a.is_empty() && b.is_empty());
+        // positions entirely out of range on both sides
+        for start in [-1e4, 1e4] {
+            scalar.resample_into(&x, start, 1.0, 8, &mut a);
+            fast.resample_into(&x, start, 1.0, 8, &mut b);
+            assert_close(&a, &b, 1e-12, "resample out of range");
+        }
+        // exactly integer positions (the sinc(0) = 1 special case)
+        scalar.resample_into(&x, 0.0, 1.0, x.len(), &mut a);
+        fast.resample_into(&x, 0.0, 1.0, x.len(), &mut b);
+        assert_close(&a, &b, 1e-12, "resample integer grid");
     }
-    // exactly integer positions (the sinc(0) = 1 special case)
-    scalar.resample_into(&x, 0.0, 1.0, x.len(), &mut a);
-    optimized.resample_into(&x, 0.0, 1.0, x.len(), &mut b);
-    assert_close(&a, &b, 1e-12, "resample integer grid");
 }
 
 #[test]
 fn mrc_edge_cases() {
     let s: Vec<Complex> = (0..8).map(|k| Complex::real(k as f64)).collect();
-    let (mut scalar, mut optimized) = kernels();
+    let mut scalar = Kernel::new(BackendKind::Scalar);
     let (mut a, mut b) = (Vec::new(), Vec::new());
-    // all-zero weights must yield zeros, not NaNs, on both backends
-    let streams: Vec<(&[Complex], f64)> = vec![(&s, 0.0), (&s, 0.0)];
-    scalar.combine_weighted_into(&streams, &mut a);
-    optimized.combine_weighted_into(&streams, &mut b);
-    assert_eq!(a, b);
-    assert!(a.iter().all(|v| *v == Complex::default()));
-    // empty streams
-    let empty: Vec<(&[Complex], f64)> = vec![(&[], 1.0)];
-    scalar.combine_weighted_into(&empty, &mut a);
-    optimized.combine_weighted_into(&empty, &mut b);
-    assert!(a.is_empty() && b.is_empty());
+    for kind in FAST {
+        let mut fast = Kernel::new(kind);
+        // all-zero weights must yield zeros, not NaNs, on both backends
+        let streams: Vec<(&[Complex], f64)> = vec![(&s, 0.0), (&s, 0.0)];
+        scalar.combine_weighted_into(&streams, &mut a);
+        fast.combine_weighted_into(&streams, &mut b);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| *v == Complex::default()));
+        // empty streams
+        let empty: Vec<(&[Complex], f64)> = vec![(&[], 1.0)];
+        scalar.combine_weighted_into(&empty, &mut a);
+        fast.combine_weighted_into(&empty, &mut b);
+        assert!(a.is_empty() && b.is_empty());
+    }
 }
