@@ -33,17 +33,21 @@ use std::fmt::Write as _;
 use zigzag_bench::airframe;
 use zigzag_channel::fading::{LinkProfile, DEFAULT_PHASE_NOISE, DEFAULT_SAMPLING_DRIFT};
 use zigzag_channel::scenario::{hidden_pair, synth_collision, PlacedTx};
+use zigzag_core::config::StreamConfig;
 use zigzag_core::config::{ClientInfo, ClientRegistry, DecoderConfig, RecoveryConfig, ShardConfig};
 use zigzag_core::engine::{
     decode_batch, unit_seed, BatchEngine, DecodeUnit, Pipeline, ReceiverCore, ShardedReceiver,
 };
 use zigzag_core::receiver::DecodePath;
+use zigzag_core::stream::carve_buffer;
 use zigzag_core::zigzag::{CollisionSpec, PacketSpec, ZigzagDecoder};
 use zigzag_core::ReceiverEvent;
 use zigzag_phy::complex::Complex;
 use zigzag_phy::frame::Frame;
 use zigzag_phy::kernel::BackendKind;
-use zigzag_testbed::{run_impairment_sweep, ExperimentConfig, ImpairmentPoint};
+use zigzag_testbed::{
+    continuous_air, run_impairment_sweep, ExperimentConfig, ImpairmentPoint, SetScenario,
+};
 
 const UNITS: usize = 64;
 
@@ -471,6 +475,98 @@ fn bench_batch_decode(c: &mut Criterion) {
         "recovery: {recovery_delivered} frames decoded that the zigzag-only pipeline cannot ({zigzag_only_delivered}), identical across 1/2/4 shards"
     );
 
+    // --- soak workload: one continuous air through the stream front end ---
+    // Sustained stream decode: collision bursts spliced into noise,
+    // ingested chunk-by-chunk through `process_stream` with end-to-end
+    // backpressure. Identity gate (never relaxed): the stream events must
+    // be bit-identical to pre-cutting the air with `carve_buffer` and
+    // batch-decoding the regions — across 1/2/4 shards, and at
+    // queue_depth = 1 with backpressure engaged and zero drops.
+    let soak_scenario = SetScenario {
+        links: vec![
+            LinkProfile::clean_with_omega(17.0, -0.13),
+            LinkProfile::clean_with_omega(17.0, 0.14),
+        ],
+        p_sense: 0.0,
+        seed: 7,
+    };
+    let soak_exp = ExperimentConfig { payload: 200, ..Default::default() };
+    let soak_air = continuous_air(&soak_scenario, &soak_exp, 8, 5000);
+    let stream_cfg = StreamConfig::default();
+    let soak_regions =
+        carve_buffer(&soak_air.samples, &shared_cfg, &soak_air.registry, &stream_cfg);
+    assert_eq!(soak_regions.len(), soak_air.bursts, "gap > max_packet ⇒ one region per burst");
+    let soak_buffers: Vec<Vec<Complex>> = soak_regions.iter().map(|r| r.samples.clone()).collect();
+    let soak_precut = run_single(&shared_cfg, &soak_air.registry, &soak_buffers);
+    println!(
+        "soak: {} samples of continuous air, {} collision bursts",
+        soak_air.samples.len(),
+        soak_air.bursts
+    );
+    let run_stream = |shards: usize, depth: usize| {
+        let mut rx = ShardedReceiver::new(
+            shared_cfg.clone(),
+            ShardConfig { shards, queue_depth: depth },
+            soak_air.registry.clone(),
+        );
+        rx.process_stream(&stream_cfg, |src| {
+            for chunk in soak_air.samples.chunks(4096) {
+                src.push_samples(chunk);
+            }
+        })
+    };
+    for (shards, depth) in [(1, 8), (2, 8), (4, 8), (2, 1)] {
+        let out = run_stream(shards, depth);
+        assert_eq!(
+            out.stats.samples,
+            soak_air.samples.len() as u64,
+            "soak[{shards}x{depth}]: every pushed sample must be accepted (zero drops)"
+        );
+        assert_eq!(
+            out.events(),
+            soak_precut,
+            "soak[{shards}x{depth}]: stream events must be bit-identical to pre-cut decode"
+        );
+    }
+    let mut soak_rx = ShardedReceiver::new(
+        shared_cfg.clone(),
+        ShardConfig { shards: 0, queue_depth: 8 },
+        soak_air.registry.clone(),
+    );
+    c.bench_function("soak_stream", |b| {
+        b.iter(|| {
+            soak_rx.reset_history();
+            soak_rx.process_stream(&stream_cfg, |src| {
+                for chunk in soak_air.samples.chunks(4096) {
+                    src.push_samples(chunk);
+                }
+            })
+        })
+    });
+    timings.push(("soak_stream".into(), c.last_ns));
+    let soak_ms = c.last_ns / 1e6;
+    // telemetry from one representative run: p99 shard-queue latency and
+    // backpressure counters
+    soak_rx.reset_history();
+    let soak_out = soak_rx.process_stream(&stream_cfg, |src| {
+        for chunk in soak_air.samples.chunks(4096) {
+            src.push_samples(chunk);
+        }
+    });
+    let mut waits: Vec<u64> = soak_out.regions.iter().map(|r| r.queue_wait_ns).collect();
+    waits.sort_unstable();
+    let p99_wait_ns =
+        waits.get((waits.len() * 99).div_ceil(100).saturating_sub(1)).copied().unwrap_or(0);
+    let soak_samples_per_sec = soak_air.samples.len() as f64 / (soak_ms / 1e3);
+    println!(
+        "soak: {:.1} buffers/s, {:.2} Msamples/s, p99 queue wait {:.1} us, source stalls {}, ring high water {}",
+        soak_air.bursts as f64 / (soak_ms / 1e3),
+        soak_samples_per_sec / 1e6,
+        p99_wait_ns as f64 / 1e3,
+        soak_out.stats.source_stalls,
+        soak_out.stats.ring_high_water
+    );
+
     // --- robustness sweep: §4.5 un-peelable groups on impaired links ---
     // Reclaim-fraction curve over phase-noise class × SNR × timing-drift
     // points, single-pass solver (`RecoveryConfig::on`) vs the turbo
@@ -555,6 +651,8 @@ fn bench_batch_decode(c: &mut Criterion) {
             shard_stream.len()
         } else if name.starts_with("recovery_") {
             rec_stream.len()
+        } else if name.starts_with("soak_") {
+            soak_air.bursts
         } else {
             n_buffers
         }
@@ -635,6 +733,17 @@ fn bench_batch_decode(c: &mut Criterion) {
         rec_stream.len(),
         SHARD_IDS.len(),
         ns("recovery_single_core") / 1e6
+    );
+    let _ = writeln!(
+        s,
+        "  \"soak\": {{\"samples\": {}, \"buffers\": {}, \"ms\": {soak_ms:.2}, \"buffers_per_sec\": {:.1}, \"msamples_per_sec\": {:.2}, \"p99_queue_wait_us\": {:.1}, \"source_stalls\": {}, \"ring_high_water\": {}, \"stream_equals_precut\": true}},",
+        soak_air.samples.len(),
+        soak_air.bursts,
+        soak_air.bursts as f64 / (soak_ms / 1e3),
+        soak_samples_per_sec / 1e6,
+        p99_wait_ns as f64 / 1e3,
+        soak_out.stats.source_stalls,
+        soak_out.stats.ring_high_water
     );
     let _ = writeln!(
         s,

@@ -220,12 +220,21 @@ impl RecoveryConfig {
     /// ridge. On benign links this delivers the same frames as
     /// [`RecoveryConfig::on`]; on `LinkProfile::typical`-class links it
     /// reclaims strictly more (the bench's tracked robustness curve).
+    ///
+    /// The PLL gains come from the `pll_gain_sweep` example (kp ∈
+    /// [0.05, 1.6] × ki ∈ [0, 0.4] over four impairment classes up to
+    /// 3× the typical phase-noise/drift): reclaim peaks at 21/144 on a
+    /// plateau containing kp 0.65 with ki ≤ 0.08, collapses below
+    /// kp ≈ 0.1 (loop can't follow the walk) and above kp ≈ 1.6 or
+    /// ki ≈ 0.4 (noise amplification). kp = 0.65, ki = 0.02 is the
+    /// plateau centre — the neighborhood most tolerant of the gains
+    /// being slightly wrong for a deployment's actual oscillator.
     pub fn robust() -> Self {
         Self {
             enabled: true,
             turbo_iters: 2,
             window_pll_kp: 0.65,
-            window_pll_ki: 0.08,
+            window_pll_ki: 0.02,
             min_conditioning: 0.02,
             adaptive_lambda: true,
             ..Self::default()
@@ -455,6 +464,84 @@ impl ShardConfig {
     }
 }
 
+/// Shape of the streaming front end ([`crate::stream`]): how the
+/// continuous IQ stream is windowed for detection, how collision regions
+/// are carved around detections, and how much raw sample memory the
+/// bounded ingest ring may hold.
+///
+/// The determinism contract extends through these knobs: for a given
+/// configuration the carved regions — boundaries, samples, and attached
+/// detections — depend only on the sample stream, never on how the
+/// producer chunked its `push_samples` calls or how often the ring
+/// filled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Samples the sliding detect operator commits per advance (the
+    /// detection window stride). Smaller windows lower latency and ring
+    /// retention; the scan cost per sample is the same either way
+    /// because every correlation position is computed exactly once.
+    pub window: usize,
+    /// Extra lookahead samples the scanner waits for beyond the window
+    /// being committed, so every committed position has its full
+    /// peak-suppression neighborhood and full-length correlation sums.
+    /// Values below the structural floor (preamble separation + preamble
+    /// length + interpolation margin, `2·L + 8`) are raised to it.
+    pub overlap: usize,
+    /// Capacity of the bounded [`SampleRing`](crate::stream::SampleRing)
+    /// in samples. When the ring is full, `push_samples` blocks — the
+    /// end of the backpressure chain (shard queue → carver → ring →
+    /// source). Raised if necessary so one window + overlap + lead
+    /// always fits.
+    pub ring_depth: usize,
+    /// Quiet samples carved ahead of a region's first detection, so the
+    /// carved buffer gives the decode pipeline the same interpolation
+    /// and suppression context the detections were found with.
+    pub lead: usize,
+    /// Samples a region is extended past its *last* detection before it
+    /// can close — an upper bound on one packet's air length (plus tail
+    /// pad). Any further detection inside that horizon extends the
+    /// region, so collisions spanning many windows stay in one region.
+    pub max_packet: usize,
+    /// Hard cap on a single region's length: a pathological detection
+    /// chain (e.g. a continuously-keyed interferer) closes at this size
+    /// and re-opens, bounding carve memory.
+    pub max_region: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            window: 4096,
+            overlap: 0, // raised to the structural floor at stream start
+            ring_depth: 1 << 16,
+            lead: 64,
+            max_packet: 4096,
+            max_region: 1 << 20,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// The effective lookahead for preamble length `l`: the configured
+    /// overlap with the structural floor `2·l + 8` applied (peak
+    /// suppression needs `l` of right context, the correlation sum reads
+    /// `l` further, and the half-sample grid interpolates 8 taps ahead).
+    pub fn effective_overlap(&self, l: usize) -> usize {
+        self.overlap.max(2 * l + 8)
+    }
+
+    /// The effective window stride (floor: one preamble length).
+    pub fn effective_window(&self, l: usize) -> usize {
+        self.window.max(l)
+    }
+
+    /// The effective ring capacity: at least one full advance —
+    /// window + overlap + lead + interpolation margin — must fit.
+    pub fn effective_ring_depth(&self, l: usize) -> usize {
+        self.ring_depth.max(self.effective_window(l) + self.effective_overlap(l) + self.lead + 16)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -520,6 +607,19 @@ mod tests {
         assert_eq!(c.shards, 0, "0 = one shard per available CPU");
         assert!(c.queue_depth >= 1);
         assert_eq!(ShardConfig::with_shards(3).shards, 3);
+    }
+
+    #[test]
+    fn stream_config_applies_structural_floors() {
+        let c = StreamConfig::default();
+        assert_eq!(c.effective_overlap(32), 72, "floor = 2·L + 8");
+        assert!(c.effective_window(32) >= 32);
+        assert!(c.effective_ring_depth(32) >= c.effective_window(32) + 72 + c.lead);
+        // degenerate knobs are raised, never honored below the floor
+        let tiny = StreamConfig { window: 8, overlap: 4, ring_depth: 1, ..c };
+        assert_eq!(tiny.effective_window(32), 32);
+        assert_eq!(tiny.effective_overlap(32), 72);
+        assert!(tiny.effective_ring_depth(32) >= 32 + 72 + tiny.lead);
     }
 
     #[test]

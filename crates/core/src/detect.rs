@@ -49,6 +49,36 @@ pub fn detect_packets(
     detect_packets_with(buffer, preamble, registry, cfg, &mut ws)
 }
 
+/// The §5.3(a) detection threshold for one associated client:
+/// `β·L·ĥ`, with `ĥ` the coarse channel-amplitude estimate implied by
+/// the client's associated SNR. Shared by the one-shot scan below and
+/// the windowed scanner of [`crate::stream`], so both paths gate spikes
+/// identically.
+pub fn client_threshold(cfg: &DecoderConfig, preamble_len: usize, snr_db: f64) -> f64 {
+    cfg.beta * preamble_len as f64 * amplitude_for_snr_db(snr_db)
+}
+
+/// Merges near-duplicate detections across clients and sampling grids:
+/// sorts by `(pos, score desc)` and collapses runs closer than half a
+/// preamble, keeping the highest score (the true client's compensation
+/// yields the strongest coherent sum). The windowed scanner replicates
+/// this incrementally; this is the one-shot reference both paths share.
+pub fn merge_detections(mut all: Vec<Detection>, preamble_len: usize) -> Vec<Detection> {
+    all.sort_by(|a, b| a.pos.cmp(&b.pos).then(b.score.total_cmp(&a.score)));
+    let mut merged: Vec<Detection> = Vec::new();
+    for d in all {
+        match merged.last() {
+            Some(last) if d.pos.saturating_sub(last.pos) < preamble_len / 2 => {
+                if d.score > last.score {
+                    *merged.last_mut().unwrap() = d;
+                }
+            }
+            _ => merged.push(d),
+        }
+    }
+    merged
+}
+
 /// Scratch-aware variant of [`detect_packets`]: the full-buffer
 /// correlation scans (one per associated client per sampling grid — the
 /// largest transient buffers in the receive path) are drawn from the
@@ -72,8 +102,7 @@ pub fn detect_packets_with(
     let mut corr = pool.take();
     let mut all: Vec<Detection> = Vec::new();
     for (client, info) in registry.iter() {
-        let h = amplitude_for_snr_db(info.snr_db);
-        let threshold = cfg.beta * l as f64 * h;
+        let threshold = client_threshold(cfg, l, info.snr_db);
         for grid in [buffer, half.as_slice()] {
             kernel.scan_into(grid, preamble.symbols(), info.omega, 0..grid.len(), &mut corr);
             for p in find_peaks(&corr, threshold, l) {
@@ -89,19 +118,7 @@ pub fn detect_packets_with(
     pool.put(corr);
     pool.put(half);
     // merge near-duplicates across clients
-    all.sort_by(|a, b| a.pos.cmp(&b.pos).then(b.score.total_cmp(&a.score)));
-    let mut merged: Vec<Detection> = Vec::new();
-    for d in all {
-        match merged.last() {
-            Some(last) if d.pos.saturating_sub(last.pos) < l / 2 => {
-                if d.score > last.score {
-                    *merged.last_mut().unwrap() = d;
-                }
-            }
-            _ => merged.push(d),
-        }
-    }
-    merged
+    merge_detections(all, l)
 }
 
 /// Classifies a buffer: `true` if more than one packet start was detected

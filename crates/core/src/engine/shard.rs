@@ -78,13 +78,20 @@ pub struct IngestQueue<T> {
 struct QueueState<T> {
     items: VecDeque<T>,
     closed: bool,
+    high_water: usize,
+    stalls: u64,
 }
 
 impl<T> IngestQueue<T> {
     /// An open queue holding at most `cap` items (at least 1).
     pub fn new(cap: usize) -> Self {
         Self {
-            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+                high_water: 0,
+                stalls: 0,
+            }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
             cap: cap.max(1),
@@ -106,10 +113,25 @@ impl<T> IngestQueue<T> {
         self.len() == 0
     }
 
+    /// Highest occupancy the queue has reached since creation — how close
+    /// the producer has come to saturating this shard.
+    pub fn high_water(&self) -> usize {
+        self.state.lock().expect("ingest queue poisoned").high_water
+    }
+
+    /// How many `push` calls found the queue full and had to block
+    /// (backpressure events — each one throttled the producer).
+    pub fn stalls(&self) -> u64 {
+        self.state.lock().expect("ingest queue poisoned").stalls
+    }
+
     /// Enqueues an item, blocking while the queue is full. Returns the
     /// item back if the queue was closed.
     pub fn push(&self, item: T) -> Result<(), T> {
         let mut state = self.state.lock().expect("ingest queue poisoned");
+        if state.items.len() >= self.cap && !state.closed {
+            state.stalls += 1;
+        }
         while state.items.len() >= self.cap && !state.closed {
             state = self.not_full.wait(state).expect("ingest queue poisoned");
         }
@@ -117,6 +139,7 @@ impl<T> IngestQueue<T> {
             return Err(item);
         }
         state.items.push_back(item);
+        state.high_water = state.high_water.max(state.items.len());
         drop(state);
         self.not_empty.notify_one();
         Ok(())
@@ -222,14 +245,20 @@ impl<T> Drop for CloseOnDrop<'_, T> {
 /// }
 /// ```
 pub struct ShardedReceiver {
-    cfg: DecoderConfig,
-    shard_cfg: ShardConfig,
-    registry: SharedRegistry,
-    pipeline: Pipeline,
-    preamble: Preamble,
-    cores: Vec<ReceiverCore>,
+    pub(crate) cfg: DecoderConfig,
+    pub(crate) shard_cfg: ShardConfig,
+    pub(crate) registry: SharedRegistry,
+    pub(crate) pipeline: Pipeline,
+    pub(crate) preamble: Preamble,
+    pub(crate) cores: Vec<ReceiverCore>,
     router_ws: Scratch,
-    loads: Vec<u64>,
+    pub(crate) loads: Vec<u64>,
+    /// Cumulative backpressure stalls per shard queue (every `push` that
+    /// found the queue full), accumulated across `process_batch` /
+    /// `process_stream` calls.
+    pub(crate) stalls: Vec<u64>,
+    /// Highest ingest-queue occupancy each shard has seen.
+    pub(crate) high_water: Vec<usize>,
 }
 
 impl ShardedReceiver {
@@ -262,6 +291,8 @@ impl ShardedReceiver {
             cores,
             router_ws,
             loads: vec![0; shards],
+            stalls: vec![0; shards],
+            high_water: vec![0; shards],
         }
     }
 
@@ -274,6 +305,21 @@ impl ShardedReceiver {
     /// "exercises routing" when more than one entry is non-zero).
     pub fn loads(&self) -> &[u64] {
         &self.loads
+    }
+
+    /// Cumulative backpressure stalls per shard: how many times the
+    /// ingest front end found that shard's queue full and had to block.
+    /// Non-zero entries mean decode was the bottleneck for that shard
+    /// (the queue depth was reached and the producer was throttled).
+    pub fn shard_stalls(&self) -> &[u64] {
+        &self.stalls
+    }
+
+    /// Highest ingest-queue occupancy each shard has reached across all
+    /// `process_batch` / `process_stream` calls so far — `queue_depth`
+    /// means that shard saturated its queue at least once.
+    pub fn queue_high_water(&self) -> &[usize] {
+        &self.high_water
     }
 
     /// Read access to the shared association registry.
@@ -308,6 +354,8 @@ impl ShardedReceiver {
             core.reset_history();
         }
         self.loads.iter_mut().for_each(|l| *l = 0);
+        self.stalls.iter_mut().for_each(|s| *s = 0);
+        self.high_water.iter_mut().for_each(|h| *h = 0);
     }
 
     /// Processes one receive buffer inline (detect pre-pass, route,
@@ -346,7 +394,7 @@ impl ShardedReceiver {
         let depth = self.shard_cfg.queue_depth.max(1);
         let window = n * depth;
         let engine = BatchEngine::new(n);
-        let Self { cfg, registry, pipeline, preamble, cores, loads, .. } = self;
+        let Self { cfg, registry, pipeline, preamble, cores, loads, stalls, high_water, .. } = self;
         let (cfg, registry, pipeline, preamble) = (&*cfg, &*registry, &*pipeline, &*preamble);
 
         let queues: Vec<IngestQueue<Job<'_>>> = (0..n).map(|_| IngestQueue::new(depth)).collect();
@@ -396,6 +444,11 @@ impl ShardedReceiver {
             drop(closer);
         });
 
+        for (i, q) in queues.iter().enumerate() {
+            stalls[i] += q.stalls();
+            high_water[i] = high_water[i].max(q.high_water());
+        }
+
         let mut out = vec![Vec::new(); buffers.len()];
         for slot in results {
             for (seq, ev) in slot.into_inner().expect("shard result slot poisoned") {
@@ -427,6 +480,29 @@ mod tests {
     #[test]
     fn queue_capacity_has_a_floor_of_one() {
         assert_eq!(IngestQueue::<u8>::new(0).capacity(), 1);
+    }
+
+    #[test]
+    fn queue_telemetry_tracks_occupancy_and_stalls() {
+        let q = IngestQueue::new(2);
+        assert_eq!((q.high_water(), q.stalls()), (0, 0));
+        q.push(1).unwrap();
+        assert_eq!(q.high_water(), 1);
+        q.push(2).unwrap();
+        assert_eq!(q.high_water(), 2);
+        // a blocked push on a full queue counts exactly one stall
+        std::thread::scope(|s| {
+            s.spawn(|| q.push(3).unwrap());
+            while q.stalls() == 0 {
+                std::thread::yield_now();
+            }
+            assert_eq!(q.pop(), Some(1));
+        });
+        assert_eq!(q.stalls(), 1);
+        assert_eq!(q.high_water(), 2, "pop before the blocked push lands keeps occupancy ≤ cap");
+        // draining does not reset the marks
+        assert_eq!((q.pop(), q.pop()), (Some(2), Some(3)));
+        assert_eq!((q.high_water(), q.stalls()), (2, 1));
     }
 
     #[test]

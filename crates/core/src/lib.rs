@@ -37,7 +37,9 @@
 //! Supporting modules: [`view`] (per-packet-per-collision channel model —
 //!  estimation, chunk decode, image synthesis, tracking), [`config`]
 //! (receiver knobs + association registry), [`intervals`] (decoded-range
-//! bookkeeping).
+//! bookkeeping), and [`stream`] — the streaming flowgraph front end that
+//! carves collision regions out of a continuous IQ stream and feeds them
+//! to the sharded receiver with end-to-end backpressure.
 
 #![warn(missing_docs)]
 
@@ -52,11 +54,13 @@ pub mod receiver;
 pub mod recovery;
 pub mod schedule;
 pub mod standard;
+pub mod stream;
 pub mod view;
 pub mod zigzag;
 
 pub use config::{
     ClientInfo, ClientRegistry, DecoderConfig, RecoveryConfig, ShardConfig, SharedRegistry,
+    StreamConfig,
 };
 pub use engine::{
     decode_batch, unit_seed, BatchEngine, DecodeUnit, IngestQueue, Pipeline, Scratch,
@@ -65,4 +69,8 @@ pub use engine::{
 pub use matchset::{CollisionStore, MatchOutcome, MatchSet, RejectedSet, StoredCollision};
 pub use receiver::{ReceiverEvent, ZigzagReceiver};
 pub use recovery::{RecoveredPacket, RecoveryGroup, SalvagePool};
+pub use stream::{
+    carve_buffer, CarvedRegion, RegionOutcome, SampleRing, Segmenter, StreamOutcome, StreamSource,
+    StreamStats,
+};
 pub use zigzag::{CollisionSpec, PacketSpec, ZigzagDecoder, ZigzagOutput};

@@ -121,6 +121,33 @@ impl ZigzagReceiver {
         self.core.receive(&self.pipeline, buffer)
     }
 
+    /// Decodes one continuous stretch of air through the streaming front
+    /// end ([`crate::stream`]): carves collision regions out of `air`
+    /// with the windowed scanner and decodes each region on this
+    /// receiver, returning per-region outcomes in stream order. The
+    /// single-core, no-threads counterpart of
+    /// [`ShardedReceiver::process_stream`](crate::engine::ShardedReceiver::process_stream)
+    /// — identical regions, identical events.
+    pub fn process_air(
+        &mut self,
+        air: &[Complex],
+        scfg: &crate::config::StreamConfig,
+    ) -> Vec<crate::stream::RegionOutcome> {
+        crate::stream::carve_buffer(air, &self.core.cfg, &self.core.registry, scfg)
+            .into_iter()
+            .map(|r| {
+                let events = self.core.receive_detected(&self.pipeline, &r.samples, r.detections);
+                crate::stream::RegionOutcome {
+                    seq: r.seq,
+                    start: r.start,
+                    len: r.samples.len(),
+                    queue_wait_ns: 0,
+                    events,
+                }
+            })
+            .collect()
+    }
+
     /// The pre-engine monolithic control flow, kept verbatim as a
     /// reference implementation. The pipeline-vs-legacy equivalence test
     /// in `tests/engine.rs` checks `process` against this on identical

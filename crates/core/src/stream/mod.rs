@@ -1,0 +1,47 @@
+//! # The streaming flowgraph front end
+//!
+//! Everything else in this crate decodes *buffers*; a real AP sees an
+//! unbounded IQ sample stream. This module is the flowgraph that turns
+//! one into the other — a windowed source→detect→carve→route operator
+//! graph over a ring of raw samples:
+//!
+//! ```text
+//!                    ┌────────────── Segmenter ──────────────┐
+//! push_samples ──► SampleRing ──► WindowScanner ──► RegionCarver ──► CarvedRegion
+//!   (producer)    bounded ring    sliding §4.2.1      collision          │
+//!                 absolute idx    preamble scan,      regions across     ▼
+//!                                 overlap reused      window bounds   route ──► IngestQueue ──► ReceiverCore
+//! ```
+//!
+//! * [`SampleRing`] ingests arbitrary-sized chunks and addresses them in
+//!   absolute stream coordinates.
+//! * `WindowScanner` runs the kernel-backend preamble scan over
+//!   sliding windows, carrying correlation context across the overlap
+//!   so **no sample is scanned twice** — and commits detections at
+//!   fixed window-stride boundaries, which is what makes the output
+//!   independent of producer chunking.
+//! * `RegionCarver` assembles collision regions
+//!   from runs of detections — including collisions whose second packet
+//!   starts in a later window — and emits `UnitCtx`-ready buffers with
+//!   their detections attached (the `receive_detected` seam: shards
+//!   never re-scan).
+//! * the driver routes each region into the existing sharded receiver
+//!   with **end-to-end backpressure**: full shard queue ⇒ stalled
+//!   carver ⇒ full ring ⇒ blocked [`StreamSource::push_samples`].
+//!   Bounded memory; never a dropped sample.
+//!
+//! The determinism gate: the same air pushed through the stream front
+//! end (any chunking, any backend, any shard count) and pre-cut with
+//! [`carve_buffer`] then batch-decoded yields bit-identical decode
+//! events — pinned by `tests/stream.rs` and the soak bench.
+
+mod carver;
+mod driver;
+mod ring;
+mod window;
+
+pub use carver::CarvedRegion;
+pub use driver::{
+    carve_buffer, RegionOutcome, Segmenter, StreamOutcome, StreamSource, StreamStats,
+};
+pub use ring::SampleRing;

@@ -873,6 +873,71 @@ pub fn run_sharded_sets(
     ShardedRun { outcomes, shard_loads: rx.loads().to_vec() }
 }
 
+/// One continuous stretch of receiver air synthesized from a k-sender
+/// scenario — what the streaming front end (`zigzag_core::stream`)
+/// ingests, where every other experiment driver hands the receiver
+/// pre-cut buffers.
+#[derive(Clone, Debug)]
+pub struct StreamAir {
+    /// The AP-wide association registry for the scenario's senders.
+    pub registry: ClientRegistry,
+    /// The air: collision bursts spliced into unit-variance channel
+    /// noise.
+    pub samples: Vec<Complex>,
+    /// Collision bursts spliced in — with gaps longer than the stream
+    /// config's `max_packet`, the carver cuts exactly this many regions.
+    pub bursts: usize,
+}
+
+/// Emits one continuous air for a k-sender scenario: `groups`
+/// retransmission groups, each contributing k collisions of the same k
+/// frames at fresh MAC jitter (the §4.3 story: enough collisions for a
+/// k×k match set), separated by `gap` samples of unit-variance noise.
+///
+/// The gap must exceed the stream config's `max_packet` for bursts to
+/// carve into separate regions. Deterministic in `scenario.seed`.
+pub fn continuous_air(
+    scenario: &SetScenario,
+    cfg: &ExperimentConfig,
+    groups: usize,
+    gap: usize,
+) -> StreamAir {
+    let k = scenario.links.len();
+    let mut rng = StdRng::seed_from_u64(scenario.seed ^ 0x57AE);
+    let ids: Vec<(u16, &LinkProfile)> =
+        scenario.links.iter().enumerate().map(|(i, l)| (i as u16 + 1, l)).collect();
+    let registry = registry_for(&ids);
+    let policy = Backoff::Exponential;
+    let mut samples = zigzag_channel::noise::awgn_vec(&mut rng, gap, 1.0);
+    let mut bursts = 0;
+    for g in 0..groups {
+        let txs: Vec<TxState> = (0..k)
+            .map(|s| {
+                TxState::new(s as u16 + 1, g as u16, cfg.payload, &scenario.links[s], &mut rng)
+            })
+            .collect();
+        for retry in 0..k as u32 {
+            let jitters: Vec<u32> =
+                txs.iter().map(|_| policy.draw(&cfg.mac, retry, &mut rng)).collect();
+            let m = *jitters.iter().min().expect("k >= 1");
+            let placed: Vec<PlacedTx<'_>> = txs
+                .iter()
+                .zip(&jitters)
+                .map(|(tx, &jit)| PlacedTx {
+                    air: &tx.air,
+                    base: &tx.chan,
+                    start: cfg.mac.slots_to_symbols(jit - m),
+                })
+                .collect();
+            let sc = synth_collision(&placed, 1.0, &mut rng);
+            samples.extend_from_slice(&sc.buffer);
+            samples.extend(zigzag_channel::noise::awgn_vec(&mut rng, gap, 1.0));
+            bursts += 1;
+        }
+    }
+    StreamAir { registry, samples, bursts }
+}
+
 /// Scores one receiver event against a set's in-flight frames, with the
 /// set's global client-id base.
 fn record_set_event(
@@ -1165,6 +1230,29 @@ mod tests {
         let seq = run_sets(&BatchEngine::single_threaded(), &scenarios, &cfg);
         let par = run_sets(&BatchEngine::new(3), &scenarios, &cfg);
         assert_eq!(seq, par, "run_sets must be thread-count invariant");
+    }
+
+    #[test]
+    fn continuous_air_carves_one_region_per_burst() {
+        let scenario = SetScenario {
+            links: vec![
+                LinkProfile::clean_with_omega(17.0, -0.13),
+                LinkProfile::clean_with_omega(17.0, 0.14),
+            ],
+            p_sense: 0.0,
+            seed: 3,
+        };
+        let cfg = ExperimentConfig { payload: 150, ..Default::default() };
+        let air = continuous_air(&scenario, &cfg, 2, 5000);
+        assert_eq!(air.bursts, 4, "k collisions per group, k = 2, 2 groups");
+        let regions = zigzag_core::stream::carve_buffer(
+            &air.samples,
+            &cfg.decoder,
+            &air.registry,
+            &zigzag_core::config::StreamConfig::default(),
+        );
+        assert_eq!(regions.len(), air.bursts, "gap > max_packet ⇒ one region per burst");
+        assert!(regions.iter().all(|r| !r.detections.is_empty()));
     }
 
     #[test]

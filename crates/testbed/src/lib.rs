@@ -17,9 +17,9 @@ pub mod metrics;
 pub mod topology;
 
 pub use experiment::{
-    impaired_recovery_scenario, registry_for, run_impairment_sweep, run_pair, run_pairs, run_set,
-    run_sets, run_sharded_sets, ExperimentConfig, ImpairmentPoint, PairRun, PairScenario,
-    ReclaimPoint, SetOutcome, SetScenario, ShardedRun,
+    continuous_air, impaired_recovery_scenario, registry_for, run_impairment_sweep, run_pair,
+    run_pairs, run_set, run_sets, run_sharded_sets, ExperimentConfig, ImpairmentPoint, PairRun,
+    PairScenario, ReclaimPoint, SetOutcome, SetScenario, ShardedRun, StreamAir,
 };
 pub use metrics::{delivered, Samples, SchemeOutcome, DELIVERY_BER};
 pub use topology::Testbed;

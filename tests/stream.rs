@@ -1,0 +1,296 @@
+//! Streaming front-end integration tests: the determinism gate (the same
+//! air decoded through the stream flowgraph and via pre-cut buffers must
+//! yield bit-identical decode events, across kernel backends and shard
+//! counts), collision regions that straddle detect-window boundaries,
+//! chunking invariance, and end-to-end backpressure with zero drops.
+
+use proptest::prelude::*;
+use rand::prelude::*;
+use std::sync::OnceLock;
+use zigzag::channel::fading::LinkProfile;
+use zigzag::channel::noise::awgn_vec;
+use zigzag::channel::scenario::hidden_pair;
+use zigzag::core::config::{ClientInfo, ClientRegistry, DecoderConfig, ShardConfig, StreamConfig};
+use zigzag::core::detect::detect_packets;
+use zigzag::core::engine::ShardedReceiver;
+use zigzag::core::receiver::{ReceiverEvent, ZigzagReceiver};
+use zigzag::core::stream::{carve_buffer, CarvedRegion, Segmenter};
+use zigzag::phy::complex::Complex;
+use zigzag::phy::frame::{encode_frame, Frame};
+use zigzag::phy::kernel::BackendKind;
+use zigzag::phy::modulation::Modulation;
+use zigzag::phy::preamble::Preamble;
+
+fn air_frame(src: u16, seq: u16, len: usize, seed: u64) -> zigzag::phy::frame::AirFrame {
+    let f = Frame::with_random_payload(0, src, seq, len, seed);
+    encode_frame(&f, Modulation::Bpsk, &Preamble::default_len())
+}
+
+/// One continuous stretch of air: hidden-pair collision buffers spliced
+/// into unit-variance channel noise, plus the AP registry that hears it.
+/// Gaps exceed `max_packet` so each collision carves into its own region.
+struct Air {
+    registry: ClientRegistry,
+    samples: Vec<Complex>,
+    collisions: usize,
+}
+
+/// Builds `pairs.len()` hidden pairs; each pair contributes its two
+/// collisions (original + retransmission) to the stream in order.
+fn build_air(pairs: &[([u16; 2], [f64; 2], usize, u64)], gap: usize) -> Air {
+    let mut registry = ClientRegistry::new();
+    let mut bufs: Vec<Vec<Complex>> = Vec::new();
+    for &(ids, omegas, offset, seed) in pairs {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let links = [
+            LinkProfile::clean_with_omega(17.0, omegas[0]),
+            LinkProfile::clean_with_omega(17.0, omegas[1]),
+        ];
+        for (i, l) in links.iter().enumerate() {
+            registry.associate(
+                ids[i],
+                ClientInfo { omega: l.association_omega(), snr_db: l.snr_db, taps: l.isi.clone() },
+            );
+        }
+        let a = air_frame(ids[0], seed as u16, 150, 60_000 + seed * 7);
+        let b = air_frame(ids[1], seed as u16, 150, 61_000 + seed * 11);
+        let hp = hidden_pair(&a, &b, &links[0], &links[1], offset, offset / 3, &mut rng);
+        bufs.push(hp.collision1.buffer);
+        bufs.push(hp.collision2.buffer);
+    }
+    // round-robin the pairs' collisions into one arrival order
+    let mut order: Vec<Vec<Complex>> = Vec::new();
+    for round in 0..2 {
+        for p in 0..pairs.len() {
+            order.push(bufs[p * 2 + round].clone());
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(0xA1A);
+    let mut samples = awgn_vec(&mut rng, gap, 1.0);
+    let collisions = order.len();
+    for buf in order {
+        samples.extend_from_slice(&buf);
+        samples.extend(awgn_vec(&mut rng, gap, 1.0));
+    }
+    Air { registry, samples, collisions }
+}
+
+fn outcome_key(r: &zigzag::core::stream::RegionOutcome) -> (usize, usize, usize, &[ReceiverEvent]) {
+    (r.seq, r.start, r.len, &r.events)
+}
+
+/// The tentpole gate: carve the air once, decode the pre-cut regions
+/// through `process_batch`, then decode the same air through
+/// `process_stream` at several shard counts and queue depths — regions
+/// and events must be bit-identical, with every sample accounted for.
+#[test]
+fn stream_matches_precut_across_backends_and_shards() {
+    let air = build_air(&[([1, 2], [-0.13, 0.14], 420, 0), ([3, 4], [-0.08, 0.02], 300, 1)], 5000);
+    let scfg = StreamConfig::default();
+    for backend in [BackendKind::Scalar, BackendKind::Optimized, BackendKind::Simd] {
+        let cfg = DecoderConfig { backend, ..DecoderConfig::shared_ap() };
+        let regions = carve_buffer(&air.samples, &cfg, &air.registry, &scfg);
+        assert_eq!(regions.len(), air.collisions, "one region per spliced collision ({backend:?})");
+
+        // the receive_detected seam: the detections the scanner attached
+        // must equal a from-scratch scan of the carved buffer
+        for r in &regions {
+            let rescan = detect_packets(&r.samples, &Preamble::default_len(), &air.registry, &cfg);
+            assert_eq!(
+                rescan, r.detections,
+                "attached detections diverge from re-scan (region {} {backend:?})",
+                r.seq
+            );
+        }
+
+        let buffers: Vec<Vec<Complex>> = regions.iter().map(|r| r.samples.clone()).collect();
+        let mut precut_rx = ShardedReceiver::new(
+            cfg.clone(),
+            ShardConfig { shards: 1, queue_depth: 4 },
+            air.registry.clone(),
+        );
+        let precut = precut_rx.process_batch(&buffers);
+        let delivered = precut
+            .iter()
+            .flatten()
+            .filter(|e| matches!(e, ReceiverEvent::Delivered { .. }))
+            .count();
+        assert!(delivered >= 4, "both pairs must resolve through the carve: {delivered}");
+
+        for (shards, depth) in [(1, 1), (2, 1), (4, 1), (2, 4)] {
+            let mut rx = ShardedReceiver::new(
+                cfg.clone(),
+                ShardConfig { shards, queue_depth: depth },
+                air.registry.clone(),
+            );
+            let out = rx.process_stream(&scfg, |src| {
+                for chunk in air.samples.chunks(1234) {
+                    src.push_samples(chunk);
+                }
+            });
+            assert_eq!(out.stats.samples, air.samples.len() as u64, "no sample may be dropped");
+            assert_eq!(out.regions.len(), regions.len(), "{backend:?} {shards}x{depth}");
+            for (got, want) in out.regions.iter().zip(&regions) {
+                assert_eq!(
+                    (got.seq, got.start, got.len),
+                    (want.seq, want.start, want.samples.len()),
+                    "region geometry diverged ({backend:?} shards {shards} depth {depth})"
+                );
+            }
+            let events: Vec<Vec<ReceiverEvent>> = out.events();
+            assert_eq!(
+                events, precut,
+                "stream events diverged from pre-cut ({backend:?} shards {shards} depth {depth})"
+            );
+        }
+    }
+}
+
+/// A collision whose second packet starts in a later detect window must
+/// land in one region and decode identically to the pre-cut buffer.
+#[test]
+fn collision_straddling_a_window_boundary_decodes_identically() {
+    // window 512 ≪ Δ = 700: the second packet's preamble spike commits
+    // two windows after the first packet's
+    let air = build_air(&[([1, 2], [-0.13, 0.14], 700, 2)], 5000);
+    let scfg = StreamConfig { window: 512, ..StreamConfig::default() };
+    let cfg = DecoderConfig::shared_ap();
+    let regions = carve_buffer(&air.samples, &cfg, &air.registry, &scfg);
+    assert_eq!(regions.len(), air.collisions);
+    for r in &regions {
+        assert!(
+            r.detections.len() >= 2,
+            "run-spanning detections must stay in one region: {:?}",
+            r.detections
+        );
+    }
+    // the first collision's Δ = 700 > 512: its second packet commits two
+    // detect windows after the first, yet stays in one region
+    let delta = regions[0].detections[1].pos - regions[0].detections[0].pos;
+    assert!(delta > scfg.window, "Δ = {delta} must straddle the {} window", scfg.window);
+    // wide-window carve is identical: the commit grid must not leak into
+    // region shapes
+    let wide = carve_buffer(&air.samples, &cfg, &air.registry, &StreamConfig::default());
+    assert_eq!(regions, wide, "region geometry must be window-size invariant");
+
+    let buffers: Vec<Vec<Complex>> = regions.iter().map(|r| r.samples.clone()).collect();
+    let mut precut_rx = ShardedReceiver::new(
+        cfg.clone(),
+        ShardConfig { shards: 1, queue_depth: 4 },
+        air.registry.clone(),
+    );
+    let precut = precut_rx.process_batch(&buffers);
+    let mut rx =
+        ShardedReceiver::new(cfg, ShardConfig { shards: 2, queue_depth: 2 }, air.registry.clone());
+    let out = rx.process_stream(&scfg, |src| {
+        for chunk in air.samples.chunks(497) {
+            src.push_samples(chunk);
+        }
+    });
+    assert_eq!(out.events(), precut);
+    let delivered = out
+        .regions
+        .iter()
+        .flat_map(|r| &r.events)
+        .filter(|e| matches!(e, ReceiverEvent::Delivered { .. }))
+        .count();
+    assert_eq!(delivered, 2, "the straddling pair must fully resolve");
+}
+
+/// The synchronous single-core entry point must produce the same regions
+/// and events as the threaded sharded driver.
+#[test]
+fn sync_process_air_matches_threaded_stream() {
+    let air = build_air(&[([1, 2], [-0.13, 0.14], 420, 3)], 5000);
+    let cfg = DecoderConfig::shared_ap();
+    let scfg = StreamConfig::default();
+    let mut sync_rx = ZigzagReceiver::new(cfg.clone(), air.registry.clone());
+    let sync_out = sync_rx.process_air(&air.samples, &scfg);
+    let mut rx =
+        ShardedReceiver::new(cfg, ShardConfig { shards: 2, queue_depth: 1 }, air.registry.clone());
+    let out = rx.process_stream(&scfg, |src| src.push_samples(&air.samples));
+    assert_eq!(
+        sync_out.iter().map(outcome_key).collect::<Vec<_>>(),
+        out.regions.iter().map(outcome_key).collect::<Vec<_>>(),
+    );
+}
+
+/// Backpressure with the smallest possible buffers: queue depth 1 and a
+/// floored ring. A slow shard must throttle the source end-to-end —
+/// bounded memory, zero drops, events unchanged.
+#[test]
+fn depth_one_backpressure_never_drops_a_sample() {
+    let air = build_air(&[([1, 2], [-0.13, 0.14], 420, 4), ([3, 4], [-0.08, 0.02], 300, 5)], 5000);
+    let cfg = DecoderConfig::shared_ap();
+    // ring_depth 1 is floored to one advance; window 1024 keeps the
+    // floored ring (~1.2k samples) far smaller than the ~37k-sample air
+    let scfg = StreamConfig { window: 1024, ring_depth: 1, ..StreamConfig::default() };
+    let l = Preamble::default_len().len();
+    let regions = carve_buffer(&air.samples, &cfg, &air.registry, &scfg);
+    let buffers: Vec<Vec<Complex>> = regions.iter().map(|r| r.samples.clone()).collect();
+    let mut precut_rx = ShardedReceiver::new(
+        cfg.clone(),
+        ShardConfig { shards: 1, queue_depth: 4 },
+        air.registry.clone(),
+    );
+    let precut = precut_rx.process_batch(&buffers);
+
+    let mut rx =
+        ShardedReceiver::new(cfg, ShardConfig { shards: 2, queue_depth: 1 }, air.registry.clone());
+    let out = rx.process_stream(&scfg, |src| {
+        for chunk in air.samples.chunks(777) {
+            src.push_samples(chunk);
+        }
+    });
+    assert_eq!(out.stats.samples, air.samples.len() as u64, "zero drops under backpressure");
+    assert_eq!(out.stats.regions, regions.len());
+    assert_eq!(out.events(), precut, "backpressure must change pacing, never events");
+    assert!(
+        out.stats.ring_high_water <= scfg.effective_ring_depth(l),
+        "ring must stay bounded: {} > {}",
+        out.stats.ring_high_water,
+        scfg.effective_ring_depth(l)
+    );
+    // telemetry surfaces through the receiver accessors too
+    assert_eq!(rx.shard_stalls().len(), rx.shards());
+    assert_eq!(rx.queue_high_water().len(), rx.shards());
+    for (&hw, run_hw) in rx.queue_high_water().iter().zip(&out.stats.queue_high_water) {
+        assert!(hw <= 1, "depth-1 queues can never exceed one entry: {hw}");
+        assert!(*run_hw <= hw, "cumulative high water must cover the run's");
+    }
+}
+
+/// Shared fixture for the chunking proptest: one air, carved once.
+fn chunking_fixture() -> &'static (DecoderConfig, Air, StreamConfig, Vec<CarvedRegion>) {
+    static FIXTURE: OnceLock<(DecoderConfig, Air, StreamConfig, Vec<CarvedRegion>)> =
+        OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let air = build_air(&[([1, 2], [-0.13, 0.14], 420, 6)], 4500);
+        let cfg = DecoderConfig::shared_ap();
+        let scfg = StreamConfig { window: 1024, ..StreamConfig::default() };
+        let regions = carve_buffer(&air.samples, &cfg, &air.registry, &scfg);
+        assert!(!regions.is_empty());
+        (cfg, air, scfg, regions)
+    })
+}
+
+proptest! {
+    /// Push chunking is invisible: any sequence of chunk sizes fed to the
+    /// segmenter yields exactly the one-shot carve — same sample bytes,
+    /// same detections, same region geometry.
+    #[test]
+    fn carve_is_invariant_to_push_chunking(sizes in collection::vec(1usize..4000, 1..24)) {
+        let (cfg, air, scfg, reference) = chunking_fixture();
+        let mut seg = Segmenter::new(cfg, &air.registry, scfg);
+        let mut out = Vec::new();
+        let (mut fed, mut i) = (0, 0);
+        while fed < air.samples.len() {
+            let n = sizes[i % sizes.len()].min(air.samples.len() - fed);
+            seg.push(&air.samples[fed..fed + n], &mut out);
+            fed += n;
+            i += 1;
+        }
+        seg.finish(&mut out);
+        prop_assert_eq!(&out, reference);
+    }
+}
