@@ -26,6 +26,13 @@
 //! single-pass solver vs the turbo preset. The turbo ≥ baseline and
 //! strictly-greater-at-`DEFAULT_PHASE_NOISE` gates never relax; the
 //! absolute reclaim floor relaxes with the other perf gates.
+//!
+//! Finally, the cell co-simulation workload: a million symbolic stations
+//! through `zigzag_mac::cell` with a sampled fraction of genuine
+//! collisions lowered into this receiver (thread-count identity and
+//! lowered-verdict feedback gates never relax), plus the slotted-ALOHA
+//! throughput curves whose ZigZag-vs-plain dominance gate relaxes with
+//! the perf gates.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::prelude::*;
@@ -42,11 +49,14 @@ use zigzag_core::receiver::DecodePath;
 use zigzag_core::stream::carve_buffer;
 use zigzag_core::zigzag::{CollisionSpec, PacketSpec, ZigzagDecoder};
 use zigzag_core::ReceiverEvent;
+use zigzag_mac::cell::preset::saturation_knee;
+use zigzag_mac::cell::{run_cell, symbolic_curve, CellPreset, DecodeModel, SplitResolver};
 use zigzag_phy::complex::Complex;
 use zigzag_phy::frame::Frame;
 use zigzag_phy::kernel::BackendKind;
 use zigzag_testbed::{
     continuous_air, run_impairment_sweep, ExperimentConfig, ImpairmentPoint, SetScenario,
+    SignalResolver,
 };
 
 const UNITS: usize = 64;
@@ -643,6 +653,79 @@ fn bench_batch_decode(c: &mut Criterion) {
         curve[2]
     );
 
+    // --- cell co-simulation: a million symbolic stations over one AP grid ---
+    // The cell-scale MAC co-simulator (`zigzag_mac::cell`): arrivals,
+    // sensing, backoff and clean receptions stay symbolic; a sampled
+    // fraction of genuine collision episodes lowers to synthesized IQ and
+    // decodes through this crate's receiver via the testbed's
+    // `SignalResolver`. Identity gates (never relaxed): the run replays
+    // bit-identically across decode thread counts, at least one collision
+    // actually lowers, and lowered verdicts reach station retry state.
+    const CELL_STATIONS: u32 = 1_000_000;
+    const CELL_SLOTS: u64 = 10_000;
+    let cell_preset = CellPreset::DcfHidden { cells: 8, groups_per_cell: 2 };
+    let cell_cfg = cell_preset.config(CELL_STATIONS, CELL_SLOTS, 0.8, 2008);
+    let cell_run = |threads: usize| {
+        let mut signal = SignalResolver::with_seed(2008, threads);
+        let mut split =
+            SplitResolver::new(DecodeModel::zigzag_ap(2008), &mut signal, 0.05, 4, 2008);
+        run_cell(&cell_cfg, &mut split)
+    };
+    println!("cell: {CELL_STATIONS} stations, {CELL_SLOTS} slots, DCF over 8 hidden-group cells");
+    c.bench_function("cell_sim_1m_dcf", |b| b.iter(|| cell_run(0)));
+    timings.push(("cell_sim_1m_dcf".into(), c.last_ns));
+    let cell_ms = c.last_ns / 1e6;
+    let cell_multi = cell_run(0);
+    let cell_single = cell_run(1);
+    assert_eq!(
+        cell_single.trace_hash, cell_multi.trace_hash,
+        "the cell run must replay bit-identically across decode thread counts"
+    );
+    assert_eq!(cell_single.stats, cell_multi.stats);
+    let cs = &cell_multi.stats;
+    assert!(cs.lowered_rounds >= 1, "the run must lower at least one collision to IQ samples");
+    assert!(
+        cs.lowered_deliveries + cs.lowered_retries >= 1,
+        "signal-level verdicts must be reflected in station delivery/retry state"
+    );
+    println!(
+        "cell: {} active stations, {} offered / {} delivered / {} dropped; {} collision rounds ({} lowered: {} deliveries, {} retries), {} reap recoveries; {:.2} Mslots/s",
+        cs.stations_active,
+        cs.offered_frames,
+        cs.delivered_frames,
+        cs.dropped_frames,
+        cs.collision_rounds,
+        cs.lowered_rounds,
+        cs.lowered_deliveries,
+        cs.lowered_retries,
+        cs.recovered_frames,
+        CELL_SLOTS as f64 / (cell_ms / 1e3) / 1e6
+    );
+
+    // --- ALOHA throughput curves: ZigZag AP vs conventional AP ---
+    // Same MAC on both sides (arXiv:1501.00976's setting); the gap is the
+    // AP's pair peeling + §4.1 reap. Gated below: the ZigZag curve must
+    // strictly dominate plain slotted ALOHA from the saturation knee on.
+    const CELL_LOADS: [f64; 4] = [0.2, 0.5, 0.9, 1.4];
+    let zz_curve =
+        symbolic_curve(CellPreset::ZigzagAloha { cells: 1 }, 3_000, 3_000, &CELL_LOADS, 77);
+    let plain_curve =
+        symbolic_curve(CellPreset::PlainAloha { cells: 1 }, 3_000, 3_000, &CELL_LOADS, 77);
+    let knee = saturation_knee(&plain_curve);
+    for (z, p) in zz_curve.iter().zip(&plain_curve) {
+        println!(
+            "cell aloha: offered {:.1}  zigzag {:.4}  plain {:.4}{}",
+            z.offered,
+            z.throughput,
+            p.throughput,
+            if (z.offered - plain_curve[knee].offered).abs() < 1e-9 {
+                "  <- plain knee"
+            } else {
+                ""
+            }
+        );
+    }
+
     let ns = |name: &str| timings.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap();
     let row_buffers = |name: &str| {
         if name.contains("_k3_") {
@@ -653,6 +736,9 @@ fn bench_batch_decode(c: &mut Criterion) {
             rec_stream.len()
         } else if name.starts_with("soak_") {
             soak_air.bursts
+        } else if name.starts_with("cell_") {
+            // for the cell run the natural unit is simulated slots
+            CELL_SLOTS as usize
         } else {
             n_buffers
         }
@@ -767,6 +853,28 @@ fn bench_batch_decode(c: &mut Criterion) {
         );
     }
     s.push_str("  ]},\n");
+    let _ = writeln!(
+        s,
+        "  \"cell\": {{\"stations\": {CELL_STATIONS}, \"slots\": {CELL_SLOTS}, \"ms\": {cell_ms:.2}, \"mslots_per_sec\": {:.2}, \"stations_active\": {}, \"offered\": {}, \"delivered\": {}, \"collision_rounds\": {}, \"lowered_rounds\": {}, \"lowered_deliveries\": {}, \"lowered_retries\": {}, \"recovered_frames\": {}, \"aloha_curve\": [",
+        CELL_SLOTS as f64 / (cell_ms / 1e3) / 1e6,
+        cs.stations_active,
+        cs.offered_frames,
+        cs.delivered_frames,
+        cs.collision_rounds,
+        cs.lowered_rounds,
+        cs.lowered_deliveries,
+        cs.lowered_retries,
+        cs.recovered_frames
+    );
+    for (i, (z, p)) in zz_curve.iter().zip(&plain_curve).enumerate() {
+        let comma = if i + 1 < zz_curve.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"offered\": {:.1}, \"zigzag\": {:.4}, \"plain\": {:.4}}}{comma}",
+            z.offered, z.throughput, p.throughput
+        );
+    }
+    s.push_str("  ]},\n");
     let _ = writeln!(s, "  \"speedup_threads\": {thread_speedup:.2},");
     let _ = writeln!(s, "  \"speedup_backend\": {backend_speedup:.2},");
     let _ = writeln!(s, "  \"speedup_backend_simd\": {simd_speedup:.2},");
@@ -811,6 +919,20 @@ fn bench_batch_decode(c: &mut Criterion) {
             "turbo reclaim fraction at the typical phase-noise class fell below the floor: {:?}",
             curve[2]
         );
+        // cell throughput-curve sanity: ZigZag-enhanced slotted ALOHA
+        // must strictly dominate the plain baseline from the plain
+        // curve's saturation knee on — the network-level payoff the
+        // paper (and arXiv:1501.00976) promise from collision decoding
+        for i in knee..zz_curve.len() {
+            assert!(
+                zz_curve[i].throughput > plain_curve[i].throughput,
+                "ZigZag ALOHA must strictly beat plain at offered load {:.1} \
+                 (got {:.4} vs {:.4})",
+                zz_curve[i].offered,
+                zz_curve[i].throughput,
+                plain_curve[i].throughput
+            );
+        }
     }
     if !relax_machine && multi.threads() >= 4 {
         assert!(

@@ -100,6 +100,14 @@ pub struct DecoderConfig {
     /// groups the chunk scheduler cannot peel. Off by default — see
     /// [`RecoveryConfig::enabled`] and [`DecoderConfig::with_recovery`].
     pub recovery: RecoveryConfig,
+    /// §4.1's "collision followed by a clean retransmission" path: after
+    /// a successful *single-packet* decode, re-encode the packet,
+    /// subtract it from every stored collision that contains this client
+    /// (the ANC primitive, [`crate::capture::subtract_known`]), and try
+    /// to decode the buried partners from the residuals. `false` (the
+    /// default) keeps the receiver bit-identical to the pre-reap
+    /// pipeline: a solo reception never touches the store.
+    pub solo_reap: bool,
 }
 
 /// Knobs of the algebraic batch-recovery subsystem ([`crate::recovery`]).
@@ -271,6 +279,7 @@ impl Default for DecoderConfig {
             backend: BackendKind::default(),
             match_search: MatchSearch::default(),
             recovery: RecoveryConfig::default(),
+            solo_reap: false,
         }
     }
 }
@@ -303,6 +312,13 @@ impl DecoderConfig {
     /// re-estimation, conditioning-aware recruitment.
     pub fn with_robust_recovery() -> Self {
         Self { recovery: RecoveryConfig::robust(), ..Self::default() }
+    }
+
+    /// The default configuration with §4.1 solo-reaping enabled: a clean
+    /// retransmission is subtracted from stored collisions containing
+    /// the same client, recovering the buried partners.
+    pub fn with_solo_reap() -> Self {
+        Self { solo_reap: true, ..Self::default() }
     }
 }
 

@@ -385,6 +385,97 @@ pub(crate) fn zigzag_decode_match(
     }
 }
 
+/// §4.1's "collision followed by a clean retransmission" path, shared by
+/// [`StandardDecodeStage`] (gated on `DecoderConfig::solo_reap`): the
+/// solo decode `solo` of `client` just CRC'd, so its *clean* symbols are
+/// known. For every stored collision containing `client`, estimate the
+/// client's channel inside the stored buffer, render the known symbols
+/// through it, subtract (the ANC primitive — one collision suffices once
+/// one packet's content is known, §2.1), and try to decode each buried
+/// partner from the residual. A store entry is consumed only when at
+/// least one partner actually decodes; otherwise it stays for a future
+/// ZigZag match.
+pub(crate) fn reap_stored(
+    rx: &mut ReceiverCore,
+    client: u16,
+    solo: &SingleDecode,
+    events: &mut Vec<ReceiverEvent>,
+) {
+    let ids: Vec<u64> = rx.store.iter().filter(|e| e.key.contains(&client)).map(|e| e.id).collect();
+    for id in ids {
+        let recovered = {
+            let ReceiverCore { cfg, registry, preamble, scratch, store, .. } = &mut *rx;
+            let Some(entry) = store.get(id) else { continue };
+            // best detection of the known client anchors its channel
+            // estimate inside the stored collision
+            let Some(anchor) = entry
+                .detections
+                .iter()
+                .filter(|d| d.client == client)
+                .max_by(|a, b| a.corr.abs().total_cmp(&b.corr.abs()))
+            else {
+                continue;
+            };
+            let Some(mut known) = decode_single_with(
+                &entry.buffer,
+                anchor.pos,
+                Some(client),
+                registry,
+                preamble,
+                false,
+                cfg,
+                scratch,
+            ) else {
+                continue;
+            };
+            // swap in the retransmission's clean hard decisions: the
+            // stored attempt carries the same MPDU, so these are the true
+            // symbols under the stored collision's channel
+            if known.decided.len() != solo.decided.len() {
+                continue;
+            }
+            known.decided = solo.decided.clone();
+            let residual = subtract_decoded_with(&entry.buffer, &known, preamble, scratch);
+            // decode each partner (best detection per distinct client)
+            let mut partners: Vec<Detection> = Vec::new();
+            for d in entry.detections.iter().filter(|d| d.client != client) {
+                match partners.iter_mut().find(|p| p.client == d.client) {
+                    Some(p) => {
+                        if d.corr.abs() > p.corr.abs() {
+                            *p = *d;
+                        }
+                    }
+                    None => partners.push(*d),
+                }
+            }
+            let mut recovered = Vec::new();
+            for p in partners {
+                if let Some(w) = decode_single_with(
+                    &residual,
+                    p.pos,
+                    Some(p.client),
+                    registry,
+                    preamble,
+                    true,
+                    cfg,
+                    scratch,
+                ) {
+                    if let Some(f) = w.frame {
+                        recovered.push(f);
+                    }
+                }
+            }
+            recovered
+        };
+        if !recovered.is_empty() {
+            rx.store.remove(id);
+            for f in recovered {
+                rx.deliver(f, DecodePath::InterferenceCancellation, events);
+            }
+        }
+    }
+}
+
 /// §4.2.1: scan the buffer for packet starts from every associated client.
 pub struct DetectStage;
 
@@ -413,7 +504,10 @@ impl DecodeStage for DetectStage {
 }
 
 /// The ordinary single-packet decode — the whole story when there is no
-/// collision.
+/// collision. With `DecoderConfig::solo_reap` on, a successful solo
+/// decode additionally reaps the collision store (§4.1): the clean
+/// packet is subtracted from every stored collision containing its
+/// client and the buried partners are decoded from the residuals.
 pub struct StandardDecodeStage;
 
 impl DecodeStage for StandardDecodeStage {
@@ -448,6 +542,9 @@ impl DecodeStage for StandardDecodeStage {
             Some(d) if d.frame.is_some() => {
                 let frame = d.frame.clone().unwrap();
                 rx.deliver(frame, DecodePath::Standard, events);
+                if rx.cfg.solo_reap {
+                    reap_stored(rx, det.client, &d, events);
+                }
             }
             _ => events.push(ReceiverEvent::DecodeFailed),
         }

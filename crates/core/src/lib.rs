@@ -37,9 +37,11 @@
 //! Supporting modules: [`view`] (per-packet-per-collision channel model —
 //!  estimation, chunk decode, image synthesis, tracking), [`config`]
 //! (receiver knobs + association registry), [`intervals`] (decoded-range
-//! bookkeeping), and [`stream`] — the streaming flowgraph front end that
-//! carves collision regions out of a continuous IQ stream and feeds them
-//! to the sharded receiver with end-to-end backpressure.
+//! bookkeeping), [`service`] (the per-episode decode service a MAC-level
+//! cell simulator lowers genuine collisions into), and [`stream`] — the
+//! streaming flowgraph front end that carves collision regions out of a
+//! continuous IQ stream and feeds them to the sharded receiver with
+//! end-to-end backpressure.
 
 #![warn(missing_docs)]
 
@@ -53,6 +55,7 @@ pub mod matchset;
 pub mod receiver;
 pub mod recovery;
 pub mod schedule;
+pub mod service;
 pub mod standard;
 pub mod stream;
 pub mod view;
@@ -69,6 +72,7 @@ pub use engine::{
 pub use matchset::{CollisionStore, MatchOutcome, MatchSet, RejectedSet, StoredCollision};
 pub use receiver::{ReceiverEvent, ZigzagReceiver};
 pub use recovery::{RecoveredPacket, RecoveryGroup, SalvagePool};
+pub use service::{CollisionService, EpisodeRound};
 pub use stream::{
     carve_buffer, CarvedRegion, RegionOutcome, SampleRing, Segmenter, StreamOutcome, StreamSource,
     StreamStats,

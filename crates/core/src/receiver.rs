@@ -364,6 +364,52 @@ mod tests {
     }
 
     #[test]
+    fn solo_retransmission_reaps_stored_collision() {
+        // §4.1's other half: a collision is followed by a *clean*
+        // retransmission of one sender. The AP decodes the solo packet
+        // normally, subtracts it from the stored collision, and recovers
+        // the partner — one collision plus one solo, no second collision.
+        let mut rng = StdRng::seed_from_u64(5);
+        let la = LinkProfile::typical(16.0, &mut rng);
+        let lb = LinkProfile::typical(16.0, &mut rng);
+        let a = air(1, 7, 300);
+        let b = air(2, 9, 300);
+        let hp = hidden_pair(&a, &b, &la, &lb, 420, 140, &mut rng);
+        let mut rx = ZigzagReceiver::new(DecoderConfig::with_solo_reap(), ClientRegistry::new());
+        for (id, l) in [(1, &la), (2, &lb)] {
+            rx.associate(
+                id,
+                ClientInfo { omega: l.association_omega(), snr_db: l.snr_db, taps: l.isi.clone() },
+            );
+        }
+
+        let ev1 = rx.process(&hp.collision1.buffer);
+        assert!(
+            matches!(&ev1[..], [ReceiverEvent::CollisionStored]),
+            "first collision should be stored, got {ev1:?}"
+        );
+        // Alice's frame arrives alone (Bob backed off further)
+        let solo = clean_reception(&a, &la, &mut rng);
+        let ev2 = rx.process(&solo.buffer);
+        assert!(
+            ev2.iter().any(|e| matches!(
+                e,
+                ReceiverEvent::Delivered { frame, path: DecodePath::Standard } if frame == &a.frame
+            )),
+            "the solo retransmission decodes standardly: {ev2:?}"
+        );
+        assert!(
+            ev2.iter().any(|e| matches!(
+                e,
+                ReceiverEvent::Delivered { frame, path: DecodePath::InterferenceCancellation }
+                    if frame == &b.frame
+            )),
+            "the partner must be reaped from the stored collision: {ev2:?}"
+        );
+        assert_eq!(rx.stored_collisions(), 0, "the reaped entry is consumed");
+    }
+
+    #[test]
     fn capture_scenario_via_capture_paths() {
         let mut rng = StdRng::seed_from_u64(15);
         let la = LinkProfile::typical(22.0, &mut rng);

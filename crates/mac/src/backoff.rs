@@ -37,6 +37,74 @@ impl Backoff {
     }
 }
 
+/// Per-frame 802.11 DCF backoff stage machine.
+///
+/// The standard's rules (§9.3.3 of 802.11-2007, mirrored by the paper's
+/// §4.5 footnote) distinguish three outcomes and only one of them moves
+/// the contention window:
+///
+/// * **collision / missing ACK** — the stage increments, doubling the
+///   window up to CWmax ([`BackoffState::on_collision`]);
+/// * **successful delivery** — the stage resets to CWmin
+///   ([`BackoffState::on_success`]);
+/// * **deferral** (carrier sensed busy) — the station waits out the
+///   medium and redraws, but the stage is *unchanged*
+///   ([`BackoffState::on_defer`]). Deferring is the protocol working,
+///   not evidence of congestion.
+///
+/// The seed-era `pair_episode` conflated the round index with the stage;
+/// this type makes the distinction explicit and is what both the episode
+/// generator and the [`crate::cell`] simulator consume.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BackoffState {
+    stage: u32,
+}
+
+impl BackoffState {
+    /// Fresh frame: stage 0 (CWmin window).
+    pub fn new() -> Self {
+        Self { stage: 0 }
+    }
+
+    /// Current backoff stage (number of collisions this frame has
+    /// suffered, saturating).
+    pub fn stage(&self) -> u32 {
+        self.stage
+    }
+
+    /// Window (slots) the next draw uses under `policy`.
+    pub fn window(&self, policy: Backoff, params: &MacParams) -> u32 {
+        policy.window(params, self.stage)
+    }
+
+    /// Draws one backoff (slots) at the current stage.
+    pub fn draw<R: Rng + ?Sized>(&self, policy: Backoff, params: &MacParams, rng: &mut R) -> u32 {
+        policy.draw(params, self.stage, rng)
+    }
+
+    /// Collision (no ACK): the window doubles.
+    pub fn on_collision(&mut self) {
+        self.stage = self.stage.saturating_add(1);
+    }
+
+    /// Delivered: contention window resets to CWmin.
+    pub fn on_success(&mut self) {
+        self.stage = 0;
+    }
+
+    /// Frame abandoned at the retry limit: the next frame starts at
+    /// CWmin.
+    pub fn on_drop(&mut self) {
+        self.stage = 0;
+    }
+
+    /// Medium sensed busy: the station defers, the stage stays put.
+    pub fn on_defer(&mut self) {
+        // Intentionally a no-op — kept as a method so call sites document
+        // the DCF rule ("reset on success, not on deferral").
+    }
+}
+
 /// Draws the start offsets (slots) of `n` hidden senders in one collision
 /// round: every node picks a slot in its window and transmits (none can
 /// sense the others).
@@ -113,6 +181,58 @@ mod tests {
         let ep = episode_offsets(3, 3, Backoff::Exponential, &p, &mut rng);
         assert_eq!(ep.len(), 3);
         assert!(ep.iter().all(|r| r.len() == 3));
+    }
+
+    #[test]
+    fn state_resets_on_success_not_on_deferral() {
+        let p = MacParams::default();
+        let mut st = BackoffState::new();
+        assert_eq!(st.window(Backoff::Exponential, &p), 31);
+
+        // two collisions double the window twice
+        st.on_collision();
+        st.on_collision();
+        assert_eq!(st.stage(), 2);
+        assert_eq!(st.window(Backoff::Exponential, &p), 127);
+
+        // deferral leaves the stage untouched — the DCF distinction the
+        // seed code got wrong
+        st.on_defer();
+        assert_eq!(st.stage(), 2);
+        assert_eq!(st.window(Backoff::Exponential, &p), 127);
+
+        // success resets to CWmin
+        st.on_success();
+        assert_eq!(st.stage(), 0);
+        assert_eq!(st.window(Backoff::Exponential, &p), 31);
+    }
+
+    #[test]
+    fn state_drop_resets_and_stage_saturates() {
+        let p = MacParams::default();
+        let mut st = BackoffState::new();
+        for _ in 0..100 {
+            st.on_collision();
+        }
+        assert_eq!(st.stage(), 100);
+        assert_eq!(st.window(Backoff::Exponential, &p), p.cw_max);
+        st.on_drop();
+        assert_eq!(st.stage(), 0);
+    }
+
+    #[test]
+    fn state_draw_respects_stage_window() {
+        let p = MacParams::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut st = BackoffState::new();
+        st.on_collision(); // stage 1 ⇒ window 63
+        let mut seen_past_cwmin = false;
+        for _ in 0..2000 {
+            let d = st.draw(Backoff::Exponential, &p, &mut rng);
+            assert!(d <= 63);
+            seen_past_cwmin |= d > 31;
+        }
+        assert!(seen_past_cwmin, "stage-1 draws should exceed CWmin");
     }
 
     #[test]

@@ -1,0 +1,312 @@
+//! Symbolic decode model.
+//!
+//! A per-round success model of the AP's receiver, parameterised on the
+//! two axes that matter to ZigZag: how many transmissions overlap (`k`)
+//! and how many collisions the episode has accumulated (`round`). The
+//! shipped defaults are paper-shaped priors; [`DecodeModel::fit`]
+//! replaces them with rates measured from real signal-level decodes on
+//! the same run (the [`crate::cell::SplitResolver`] cross-validation
+//! loop).
+//!
+//! Every draw comes from a fresh RNG keyed by `(seed, episode, round)`,
+//! so verdicts are independent of batch composition, resolution order
+//! and thread count.
+
+use super::mix3;
+use crate::cell::resolver::{CollisionResolver, CollisionRound, RoundResolution, Tally, Verdict};
+use rand::prelude::*;
+
+const MODEL_TAG: u64 = 0x5a5a_4d4f_4445_4c21; // "ZZMODEL!"
+const CANCEL_TAG: u64 = 0x5a5a_4341_4e43_454c; // "ZZCANCEL"
+
+/// Symbolic per-round decode-success model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DecodeModel {
+    /// `true` for a ZigZag AP (stores collisions, peels across rounds);
+    /// `false` for a plain receiver (collisions deliver only by capture).
+    pub zigzag: bool,
+    /// Probability a fresh collision resolves by capture (the strongest
+    /// transmission decodes despite the overlap; the rest are lost or
+    /// stored).
+    pub p_capture: f64,
+    /// ZigZag: probability a `k = 2` episode at round ≥ 2 jointly
+    /// delivers both frames (two stored collisions with distinct Δ).
+    pub p_pair: f64,
+    /// ZigZag: probability a `k = 3` episode at round ≥ 3 jointly
+    /// delivers all three.
+    pub p_triple: f64,
+    /// ZigZag §4.1: probability a solo retransmission reaps one stored
+    /// peer — the clean decode is subtracted from the stored collision
+    /// and the buried partner decodes from the residual. Applied
+    /// per peer of a `k = 1` round. Plain receivers keep no store, so
+    /// their `p_cancel` is 0.
+    pub p_cancel: f64,
+    /// Seed for the per-(episode, round) verdict draws.
+    pub seed: u64,
+}
+
+impl DecodeModel {
+    /// Paper-shaped priors for a ZigZag AP. `p_pair` reflects §5's
+    /// finding that two collisions with distinct offsets almost always
+    /// peel; the exact values are meant to be re-fit from lowered rounds
+    /// via [`DecodeModel::fit`].
+    pub fn zigzag_ap(seed: u64) -> Self {
+        Self { zigzag: true, p_capture: 0.15, p_pair: 0.85, p_triple: 0.55, p_cancel: 0.9, seed }
+    }
+
+    /// A conventional 802.11 receiver: no collision store, capture is
+    /// the only way a collided frame survives.
+    pub fn plain_ap(seed: u64) -> Self {
+        Self { zigzag: false, p_capture: 0.15, p_pair: 0.0, p_triple: 0.0, p_cancel: 0.0, seed }
+    }
+
+    /// The model's joint-delivery probability for a `(k, round)` bucket
+    /// — what the cross-validation test compares against measured rates.
+    pub fn predicted_all(&self, k: usize, round: u32) -> f64 {
+        match (self.zigzag, k) {
+            (_, 0 | 1) => 1.0,
+            (true, 2) if round >= 2 => self.p_pair,
+            (true, 3) if round >= 3 => self.p_triple,
+            _ => 0.0,
+        }
+    }
+
+    /// Refits the joint-success parameters from signal-level outcome
+    /// tallies (buckets with fewer than `min_samples` rounds keep their
+    /// prior).
+    pub fn fit(&self, tally: &Tally, min_samples: u64) -> Self {
+        let mut fitted = self.clone();
+        if let Some((rate, n)) = tally.rate_all_from(2, 2) {
+            if n >= min_samples {
+                fitted.p_pair = rate;
+            }
+        }
+        if let Some((rate, n)) = tally.rate_all_from(3, 3) {
+            if n >= min_samples {
+                fitted.p_triple = rate;
+            }
+        }
+        if let Some((rate, n)) = tally.recovery_rate() {
+            if n >= min_samples {
+                fitted.p_cancel = rate;
+            }
+        }
+        fitted
+    }
+
+    fn rng_for(&self, episode: u64, round: u32) -> StdRng {
+        StdRng::seed_from_u64(mix3(self.seed ^ MODEL_TAG, episode, u64::from(round)))
+    }
+
+    fn verdicts_one(&self, round: &CollisionRound) -> Vec<Verdict> {
+        let k = round.txs.len();
+        let mut rng = self.rng_for(round.episode, round.round);
+        if k <= 1 {
+            return vec![Verdict::Delivered; k];
+        }
+        if !self.zigzag {
+            // plain receiver: capture or nothing, no second chances
+            return if rng.gen_bool(self.p_capture) {
+                let winner = rng.gen_range(0..k as u32) as usize;
+                (0..k)
+                    .map(|i| if i == winner { Verdict::Delivered } else { Verdict::Lost })
+                    .collect()
+            } else {
+                vec![Verdict::Lost; k]
+            };
+        }
+        // ZigZag AP: joint peeling once the episode has enough stored
+        // collisions (k rounds for k senders), capture before that;
+        // everything undecoded stays Pending because the store keeps it.
+        let joint = match k {
+            2 if round.round >= 2 => Some(self.p_pair),
+            3 if round.round >= 3 => Some(self.p_triple),
+            _ => None,
+        };
+        if let Some(p) = joint {
+            if rng.gen_bool(p) {
+                return vec![Verdict::Delivered; k];
+            }
+            return vec![Verdict::Pending; k];
+        }
+        if k <= 3 {
+            if rng.gen_bool(self.p_capture) {
+                let winner = rng.gen_range(0..k as u32) as usize;
+                return (0..k)
+                    .map(|i| if i == winner { Verdict::Delivered } else { Verdict::Pending })
+                    .collect();
+            }
+            return vec![Verdict::Pending; k];
+        }
+        // k ≥ 4: beyond the store's peeling depth — capture or loss
+        if rng.gen_bool(self.p_capture) {
+            let winner = rng.gen_range(0..k as u32) as usize;
+            (0..k).map(|i| if i == winner { Verdict::Delivered } else { Verdict::Lost }).collect()
+        } else {
+            vec![Verdict::Lost; k]
+        }
+    }
+
+    /// Solo-reap draws (§4.1): each peer recovers independently with
+    /// probability `p_cancel`. Keyed by `(episode, slot)` rather than
+    /// `(episode, round)` — an episode can see several solo
+    /// retransmissions at the *same* accumulated round count, and each
+    /// must get a fresh draw.
+    fn recovered_one(&self, round: &CollisionRound) -> Vec<super::FrameRef> {
+        if round.txs.len() != 1 || round.peers.is_empty() || self.p_cancel <= 0.0 {
+            return Vec::new();
+        }
+        let mut rng =
+            StdRng::seed_from_u64(mix3(self.seed ^ CANCEL_TAG, round.episode, round.slot));
+        round.peers.iter().copied().filter(|_| rng.gen_bool(self.p_cancel)).collect()
+    }
+}
+
+impl CollisionResolver for DecodeModel {
+    fn resolve(&mut self, rounds: &[CollisionRound]) -> Vec<RoundResolution> {
+        rounds
+            .iter()
+            .map(|r| RoundResolution {
+                verdicts: self.verdicts_one(r),
+                recovered: self.recovered_one(r),
+                lowered: false,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::resolver::TxAttempt;
+
+    fn round(episode: u64, round_no: u32, k: usize) -> CollisionRound {
+        CollisionRound {
+            episode,
+            round: round_no,
+            slot: 0,
+            cell: 0,
+            txs: (0..k)
+                .map(|i| TxAttempt {
+                    station: i as u32,
+                    seq: 1,
+                    attempt: 0,
+                    offset_slots: i as u32,
+                })
+                .collect(),
+            peers: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn verdicts_are_order_and_batch_independent() {
+        let mut m = DecodeModel::zigzag_ap(3);
+        let a = m.resolve(&[round(1, 1, 2), round(2, 2, 2)]);
+        let b = m.resolve(&[round(2, 2, 2)]);
+        let c = m.resolve(&[round(1, 1, 2)]);
+        assert_eq!(a[1], b[0]);
+        assert_eq!(a[0], c[0]);
+    }
+
+    #[test]
+    fn pair_round_two_delivers_at_model_rate() {
+        let mut m = DecodeModel::zigzag_ap(11);
+        let n = 4000;
+        let mut joint = 0;
+        for e in 0..n {
+            let res = m.resolve(&[round(e, 2, 2)]);
+            let delivered = res[0].verdicts.iter().filter(|v| **v == Verdict::Delivered).count();
+            assert!(delivered == 0 || delivered == 2, "round-2 pairs deliver jointly");
+            if delivered == 2 {
+                joint += 1;
+            }
+        }
+        let rate = joint as f64 / n as f64;
+        assert!((rate - m.p_pair).abs() < 0.03, "rate {rate} vs p_pair {}", m.p_pair);
+    }
+
+    #[test]
+    fn first_round_never_jointly_delivers_and_plain_never_stores() {
+        let mut zz = DecodeModel::zigzag_ap(5);
+        for e in 0..500 {
+            let res = zz.resolve(&[round(e, 1, 2)]);
+            let d = res[0].verdicts.iter().filter(|v| **v == Verdict::Delivered).count();
+            assert!(d <= 1, "fresh pair collision can at best capture one");
+            assert!(
+                !res[0].verdicts.contains(&Verdict::Lost),
+                "zigzag AP stores what it can't decode"
+            );
+        }
+        let mut plain = DecodeModel::plain_ap(5);
+        for e in 0..500 {
+            let res = plain.resolve(&[round(e, 3, 2)]);
+            assert!(!res[0].verdicts.contains(&Verdict::Pending), "plain AP has no store");
+        }
+    }
+
+    #[test]
+    fn solo_reap_recovers_peers_at_p_cancel() {
+        use crate::cell::FrameRef;
+        let mut zz = DecodeModel::zigzag_ap(21);
+        let mut plain = DecodeModel::plain_ap(21);
+        let n = 4000;
+        let mut hits = 0u64;
+        for e in 0..n {
+            let mut r = round(e, 1, 1);
+            r.slot = 100 + e;
+            r.peers = vec![FrameRef { station: 50, seq: 3 }];
+            let res = zz.resolve(&[r.clone()]);
+            assert_eq!(res[0].verdicts, vec![Verdict::Delivered], "the solo itself decodes");
+            hits += res[0].recovered.len() as u64;
+            // a plain AP stored nothing: never recovers
+            assert!(plain.resolve(&[r])[0].recovered.is_empty());
+        }
+        let rate = hits as f64 / n as f64;
+        assert!((rate - zz.p_cancel).abs() < 0.03, "rate {rate} vs p_cancel {}", zz.p_cancel);
+    }
+
+    #[test]
+    fn repeated_solos_of_one_episode_draw_independently() {
+        use crate::cell::FrameRef;
+        let mut m = DecodeModel::zigzag_ap(3);
+        m.p_cancel = 0.5;
+        let mut outcomes = std::collections::HashSet::new();
+        for slot in 0..64 {
+            let mut r = round(7, 1, 1);
+            r.slot = slot;
+            r.peers = vec![FrameRef { station: 1, seq: 0 }];
+            outcomes.insert(m.resolve(&[r])[0].recovered.len());
+        }
+        assert_eq!(outcomes.len(), 2, "same (episode, round) at different slots must vary");
+    }
+
+    #[test]
+    fn fit_overrides_priors_with_measured_rates() {
+        let mut t = Tally::new();
+        for _ in 0..40 {
+            t.record(2, 2, &[Verdict::Delivered, Verdict::Delivered]);
+        }
+        for _ in 0..10 {
+            t.record(2, 2, &[Verdict::Pending, Verdict::Pending]);
+        }
+        t.record_recovery(30, 18);
+        let m = DecodeModel::zigzag_ap(1).fit(&t, 20);
+        assert!((m.p_pair - 0.8).abs() < 1e-12);
+        assert!((m.p_cancel - 0.6).abs() < 1e-12, "p_cancel refit from recovery tally");
+        // k=3 bucket unobserved ⇒ prior kept
+        assert_eq!(m.p_triple, DecodeModel::zigzag_ap(1).p_triple);
+        // too few samples ⇒ prior kept
+        let m2 = DecodeModel::zigzag_ap(1).fit(&t, 1000);
+        assert_eq!(m2.p_pair, DecodeModel::zigzag_ap(1).p_pair);
+    }
+
+    #[test]
+    fn predicted_all_matches_structure() {
+        let m = DecodeModel::zigzag_ap(1);
+        assert_eq!(m.predicted_all(2, 1), 0.0);
+        assert_eq!(m.predicted_all(2, 2), m.p_pair);
+        assert_eq!(m.predicted_all(3, 3), m.p_triple);
+        assert_eq!(m.predicted_all(1, 1), 1.0);
+        assert_eq!(DecodeModel::plain_ap(1).predicted_all(2, 5), 0.0);
+    }
+}

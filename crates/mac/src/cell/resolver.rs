@@ -1,0 +1,457 @@
+//! The collision-resolution seam between symbolic MAC simulation and the
+//! signal-level pipeline.
+//!
+//! The simulator lowers a collision to a [`CollisionRound`] — which
+//! stations, which frames, which retransmission attempt, what slot
+//! offsets — and a [`CollisionResolver`] turns it into per-transmission
+//! [`Verdict`]s. Implementations:
+//!
+//! * [`crate::cell::DecodeModel`] — symbolic, per-round probability
+//!   draws (fast path for million-station runs);
+//! * `zigzag_testbed::cell::SignalResolver` — synthesises the collided
+//!   air and decodes it through the real receiver pipeline;
+//! * [`SplitResolver`] — deterministically samples a fraction of
+//!   episodes down to the signal level and models the rest, tallying
+//!   the lowered outcomes so the model can be cross-validated (and
+//!   re-fit) against real decodes on the same run.
+
+use super::{hash_fraction, mix2};
+use crate::cell::model::DecodeModel;
+use std::collections::BTreeMap;
+
+/// A frame reference: one station's in-flight frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FrameRef {
+    /// Station id.
+    pub station: u32,
+    /// Per-station frame sequence number.
+    pub seq: u32,
+}
+
+/// One transmission inside a collision round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxAttempt {
+    /// Transmitting station id.
+    pub station: u32,
+    /// Per-station frame sequence number.
+    pub seq: u32,
+    /// Retransmission attempt index of this frame (0 = first try).
+    pub attempt: u32,
+    /// Start offset in slots, re-referenced so the round's earliest
+    /// transmission is 0 — the ZigZag Δ in MAC units.
+    pub offset_slots: u32,
+}
+
+/// One resolution round at one AP: either a genuine `k ≥ 2` collision,
+/// or (`k = 1` with non-empty `peers`) a **solo retransmission** by a
+/// station whose earlier attempts sit in stored collisions — the §4.1
+/// reap opportunity: decode the solo cleanly, subtract it from the
+/// stored collisions, recover the `peers`.
+///
+/// `episode` identifies the *set of frames* involved (stable across
+/// retransmissions of the same frames), and `round` counts how many
+/// times this episode has collided — round 2 of a pair is the second
+/// collision ZigZag needs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CollisionRound {
+    /// Stable episode key (hash of the sorted `(station, seq)` set).
+    pub episode: u64,
+    /// 1-based collision count of this episode (for a solo round: the
+    /// collisions the episode had accumulated when the solo arrived).
+    pub round: u32,
+    /// Slot at which the collision resolved (component close).
+    pub slot: u64,
+    /// Cell (AP) the collision happened at.
+    pub cell: u32,
+    /// The overlapping transmissions, ordered by (start slot, station).
+    pub txs: Vec<TxAttempt>,
+    /// Solo rounds only (`txs.len() == 1`): the other still-pending
+    /// frames of the transmitter's live episodes — the frames a §4.1
+    /// reap of the stored collisions could recover. Empty for `k ≥ 2`
+    /// rounds (there the episode *is* the transmission set). Sorted by
+    /// `(station, seq)`.
+    pub peers: Vec<FrameRef>,
+}
+
+/// The fate of one transmission in a resolved round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The frame was decoded (directly, by capture, or by ZigZag across
+    /// stored collisions) — the station receives its ACK.
+    Delivered,
+    /// Not decodable yet, but the AP stored the collision; a
+    /// retransmission may resolve it. The station retries.
+    Pending,
+    /// Unrecoverable at the receiver; the station retries (and
+    /// eventually drops the frame at the retry limit).
+    Lost,
+}
+
+/// A resolved round: one verdict per transmission (same order as
+/// [`CollisionRound::txs`]), plus whether the round was actually lowered
+/// to the signal level.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoundResolution {
+    /// Per-transmission verdicts, parallel to the round's `txs`.
+    pub verdicts: Vec<Verdict>,
+    /// Frames from the round's `peers` recovered by reaping stored
+    /// collisions with the solo decode (§4.1). The simulator delivers
+    /// these *without* the peer ever retransmitting.
+    pub recovered: Vec<FrameRef>,
+    /// `true` if IQ samples were synthesised and decoded for this round.
+    pub lowered: bool,
+}
+
+/// Anything that can adjudicate collision rounds.
+///
+/// `resolve` receives *all* rounds that closed in one slot as a batch —
+/// implementations are free to fan the batch out (the signal resolver
+/// runs it over `BatchEngine`) but must return verdicts in batch order,
+/// independent of thread count.
+pub trait CollisionResolver {
+    /// Adjudicates a batch of rounds, one [`RoundResolution`] per round,
+    /// in order.
+    fn resolve(&mut self, rounds: &[CollisionRound]) -> Vec<RoundResolution>;
+
+    /// The episode completed (every frame delivered or dropped): any
+    /// per-episode state — stored collisions, channel draws — can be
+    /// released.
+    fn retire(&mut self, episode: u64) {
+        let _ = episode;
+    }
+}
+
+/// Outcome statistics bucketed by `(k, round)` — the axes the symbolic
+/// model is parameterised on.
+#[derive(Clone, Debug, Default)]
+pub struct Tally {
+    buckets: BTreeMap<(usize, u32), BucketStat>,
+    recovery_offers: u64,
+    recovery_hits: u64,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct BucketStat {
+    rounds: u64,
+    all_delivered: u64,
+    any_delivered: u64,
+}
+
+impl Tally {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one resolved round.
+    pub fn record(&mut self, k: usize, round: u32, verdicts: &[Verdict]) {
+        let stat = self.buckets.entry((k, round)).or_default();
+        stat.rounds += 1;
+        let delivered = verdicts.iter().filter(|v| matches!(v, Verdict::Delivered)).count();
+        if delivered == k {
+            stat.all_delivered += 1;
+        }
+        if delivered > 0 {
+            stat.any_delivered += 1;
+        }
+    }
+
+    /// Number of rounds recorded in bucket `(k, round)`.
+    pub fn rounds(&self, k: usize, round: u32) -> u64 {
+        self.buckets.get(&(k, round)).map_or(0, |s| s.rounds)
+    }
+
+    /// Fraction of `(k, round)` rounds where *every* transmission was
+    /// delivered (the joint ZigZag success), or `None` if unobserved.
+    pub fn rate_all(&self, k: usize, round: u32) -> Option<f64> {
+        self.buckets
+            .get(&(k, round))
+            .filter(|s| s.rounds > 0)
+            .map(|s| s.all_delivered as f64 / s.rounds as f64)
+    }
+
+    /// Aggregated joint-success rate over all rounds `>= min_round` of
+    /// width `k`, with the sample count: the statistic
+    /// [`DecodeModel::fit`] consumes.
+    pub fn rate_all_from(&self, k: usize, min_round: u32) -> Option<(f64, u64)> {
+        let (mut rounds, mut all) = (0u64, 0u64);
+        for (&(bk, br), s) in &self.buckets {
+            if bk == k && br >= min_round {
+                rounds += s.rounds;
+                all += s.all_delivered;
+            }
+        }
+        (rounds > 0).then(|| (all as f64 / rounds as f64, rounds))
+    }
+
+    /// Observed `(k, round)` buckets with their round counts, sorted.
+    pub fn observed(&self) -> Vec<(usize, u32, u64)> {
+        self.buckets.iter().map(|(&(k, r), s)| (k, r, s.rounds)).collect()
+    }
+
+    /// Records one solo-reap round: `offers` peers were reachable from
+    /// stored collisions, `hits` of them were recovered.
+    pub fn record_recovery(&mut self, offers: u64, hits: u64) {
+        self.recovery_offers += offers;
+        self.recovery_hits += hits;
+    }
+
+    /// Fraction of offered peers recovered by solo reaping, with the
+    /// offer count — what [`DecodeModel::fit`] uses for `p_cancel`.
+    pub fn recovery_rate(&self) -> Option<(f64, u64)> {
+        (self.recovery_offers > 0).then(|| {
+            (self.recovery_hits as f64 / self.recovery_offers as f64, self.recovery_offers)
+        })
+    }
+}
+
+const SAMPLE_TAG: u64 = 0x5a5a_4c4f_5745_5244; // "ZZLOWERD"
+
+/// Routes a deterministic sample of episodes to a signal-level resolver
+/// and models the rest symbolically.
+///
+/// The lowering decision is per *episode* (not per round): every round
+/// of a sampled episode goes to the signal level, so the receiver sees
+/// complete collision histories and ZigZag has its pairs. Episodes wider
+/// than `max_k` stay symbolic regardless (the synthesised-air path
+/// supports them, but the model is only fit up to `max_k`).
+pub struct SplitResolver<'a> {
+    model: DecodeModel,
+    signal: &'a mut dyn CollisionResolver,
+    rate: f64,
+    max_k: usize,
+    seed: u64,
+    tally: Tally,
+    /// Episodes whose `k ≥ 2` rounds actually reached the signal level —
+    /// only their solo (`k = 1`) reap rounds go to the signal resolver,
+    /// because only for them does it hold stored collisions to reap.
+    live_lowered: std::collections::HashSet<u64>,
+}
+
+impl<'a> SplitResolver<'a> {
+    /// Samples `rate` of episodes (by `(seed, episode)` hash) down to
+    /// `signal`; the rest resolve through `model`.
+    pub fn new(
+        model: DecodeModel,
+        signal: &'a mut dyn CollisionResolver,
+        rate: f64,
+        max_k: usize,
+        seed: u64,
+    ) -> Self {
+        Self {
+            model,
+            signal,
+            rate: rate.clamp(0.0, 1.0),
+            max_k: max_k.max(2),
+            seed,
+            tally: Tally::new(),
+            live_lowered: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Whether `episode` is lowered to the signal level.
+    pub fn lowers(&self, episode: u64) -> bool {
+        self.rate > 0.0 && hash_fraction(mix2(self.seed ^ SAMPLE_TAG, episode)) < self.rate
+    }
+
+    /// Outcome tally of the rounds that were actually lowered — the
+    /// cross-validation data for [`DecodeModel::fit`].
+    pub fn signal_tally(&self) -> &Tally {
+        &self.tally
+    }
+}
+
+impl CollisionResolver for SplitResolver<'_> {
+    fn resolve(&mut self, rounds: &[CollisionRound]) -> Vec<RoundResolution> {
+        let mut lowered_idx = Vec::new();
+        let mut lowered_rounds = Vec::new();
+        let mut symbolic_idx = Vec::new();
+        let mut symbolic_rounds = Vec::new();
+        for (i, round) in rounds.iter().enumerate() {
+            let k = round.txs.len();
+            // A solo reap round is only meaningful at the signal level if
+            // this episode's collisions actually went there (the per-
+            // episode receiver holds their stored air); a k ≥ 2 round
+            // lowers whenever the episode is sampled and narrow enough.
+            let lower = if k <= 1 {
+                self.live_lowered.contains(&round.episode)
+            } else {
+                k <= self.max_k && self.lowers(round.episode)
+            };
+            if lower {
+                if k >= 2 {
+                    self.live_lowered.insert(round.episode);
+                }
+                lowered_idx.push(i);
+                lowered_rounds.push(round.clone());
+            } else {
+                symbolic_idx.push(i);
+                symbolic_rounds.push(round.clone());
+            }
+        }
+        let signal_res = if lowered_rounds.is_empty() {
+            Vec::new()
+        } else {
+            self.signal.resolve(&lowered_rounds)
+        };
+        let model_res = if symbolic_rounds.is_empty() {
+            Vec::new()
+        } else {
+            self.model.resolve(&symbolic_rounds)
+        };
+        let mut out: Vec<Option<RoundResolution>> = vec![None; rounds.len()];
+        for ((&i, round), res) in lowered_idx.iter().zip(&lowered_rounds).zip(signal_res) {
+            if round.txs.len() >= 2 {
+                self.tally.record(round.txs.len(), round.round, &res.verdicts);
+            } else if !round.peers.is_empty() {
+                self.tally.record_recovery(round.peers.len() as u64, res.recovered.len() as u64);
+            }
+            out[i] = Some(res);
+        }
+        for (&i, res) in symbolic_idx.iter().zip(model_res) {
+            out[i] = Some(res);
+        }
+        out.into_iter().map(|r| r.expect("every round resolved")).collect()
+    }
+
+    fn retire(&mut self, episode: u64) {
+        self.live_lowered.remove(&episode);
+        self.signal.retire(episode);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct AllLost;
+    impl CollisionResolver for AllLost {
+        fn resolve(&mut self, rounds: &[CollisionRound]) -> Vec<RoundResolution> {
+            rounds
+                .iter()
+                .map(|r| RoundResolution {
+                    verdicts: vec![Verdict::Lost; r.txs.len()],
+                    recovered: Vec::new(),
+                    lowered: true,
+                })
+                .collect()
+        }
+    }
+
+    fn round(episode: u64, k: usize) -> CollisionRound {
+        CollisionRound {
+            episode,
+            round: 1,
+            slot: 10,
+            cell: 0,
+            txs: (0..k)
+                .map(|i| TxAttempt {
+                    station: i as u32,
+                    seq: 0,
+                    attempt: 0,
+                    offset_slots: i as u32,
+                })
+                .collect(),
+            peers: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn split_rate_extremes_route_everything() {
+        let mut signal = AllLost;
+        let model = DecodeModel::zigzag_ap(9);
+        let mut all = SplitResolver::new(model.clone(), &mut signal, 1.0, 3, 1);
+        for e in 0..64 {
+            assert!(all.lowers(e), "rate 1.0 lowers every episode");
+        }
+        let res = all.resolve(&[round(5, 2), round(6, 3)]);
+        assert!(res.iter().all(|r| r.lowered && r.verdicts.iter().all(|v| *v == Verdict::Lost)));
+        assert_eq!(all.signal_tally().rounds(2, 1), 1);
+
+        let mut signal = AllLost;
+        let mut none = SplitResolver::new(model, &mut signal, 0.0, 3, 1);
+        for e in 0..64 {
+            assert!(!none.lowers(e));
+        }
+        let res = none.resolve(&[round(5, 2)]);
+        assert!(!res[0].lowered);
+        assert_eq!(none.signal_tally().rounds(2, 1), 0);
+    }
+
+    #[test]
+    fn split_sampling_is_per_episode_and_deterministic() {
+        let mut s1 = AllLost;
+        let mut s2 = AllLost;
+        let model = DecodeModel::zigzag_ap(9);
+        let a = SplitResolver::new(model.clone(), &mut s1, 0.3, 2, 42);
+        let b = SplitResolver::new(model, &mut s2, 0.3, 2, 42);
+        let lowered: Vec<bool> = (0..1000).map(|e| a.lowers(e)).collect();
+        assert_eq!(lowered, (0..1000).map(|e| b.lowers(e)).collect::<Vec<_>>());
+        let frac = lowered.iter().filter(|&&l| l).count() as f64 / 1000.0;
+        assert!((frac - 0.3).abs() < 0.06, "sampled fraction {frac}");
+    }
+
+    #[test]
+    fn split_respects_max_k() {
+        let mut signal = AllLost;
+        let model = DecodeModel::zigzag_ap(9);
+        let mut split = SplitResolver::new(model, &mut signal, 1.0, 2, 1);
+        let res = split.resolve(&[round(7, 4)]);
+        assert!(!res[0].lowered, "k=4 stays symbolic at max_k=2");
+    }
+
+    #[test]
+    fn solo_rounds_follow_their_episode_to_the_signal_level() {
+        // A signal resolver that recovers every offered peer.
+        struct ReapAll;
+        impl CollisionResolver for ReapAll {
+            fn resolve(&mut self, rounds: &[CollisionRound]) -> Vec<RoundResolution> {
+                rounds
+                    .iter()
+                    .map(|r| RoundResolution {
+                        verdicts: vec![Verdict::Pending; r.txs.len()],
+                        recovered: r.peers.clone(),
+                        lowered: true,
+                    })
+                    .collect()
+            }
+        }
+        let mut signal = ReapAll;
+        let model = DecodeModel::zigzag_ap(9);
+        let mut split = SplitResolver::new(model, &mut signal, 1.0, 3, 1);
+        let mut solo = round(5, 1);
+        solo.peers = vec![FrameRef { station: 9, seq: 0 }];
+
+        // before any lowered collision of episode 5, the solo stays
+        // symbolic (the signal resolver holds nothing to reap)
+        let res = split.resolve(&[solo.clone()]);
+        assert!(!res[0].lowered, "solo of an un-lowered episode stays symbolic");
+
+        // after a lowered k=2 round, the episode's solo follows it down
+        let _ = split.resolve(&[round(5, 2)]);
+        let res = split.resolve(&[solo.clone()]);
+        assert!(res[0].lowered);
+        assert_eq!(res[0].recovered, solo.peers);
+        let (rate, offers) = split.signal_tally().recovery_rate().unwrap();
+        assert_eq!((rate, offers), (1.0, 1));
+
+        // retiring the episode forgets it
+        split.retire(5);
+        let res = split.resolve(&[solo]);
+        assert!(!res[0].lowered, "retired episodes no longer route solos");
+    }
+
+    #[test]
+    fn tally_rates() {
+        let mut t = Tally::new();
+        t.record(2, 2, &[Verdict::Delivered, Verdict::Delivered]);
+        t.record(2, 2, &[Verdict::Delivered, Verdict::Lost]);
+        t.record(2, 3, &[Verdict::Delivered, Verdict::Delivered]);
+        assert_eq!(t.rounds(2, 2), 2);
+        assert_eq!(t.rate_all(2, 2), Some(0.5));
+        let (rate, n) = t.rate_all_from(2, 2).unwrap();
+        assert_eq!(n, 3);
+        assert!((rate - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(t.observed(), vec![(2, 2, 2), (2, 3, 1)]);
+    }
+}

@@ -1,0 +1,1025 @@
+//! The cell-scale discrete-event simulator.
+//!
+//! One tick per 802.11 slot. Stations are lazy: of a million configured
+//! ids, only those whose first arrival falls inside the run are ever
+//! materialised, so memory tracks *active* stations. Each station owns
+//! an RNG stream seeded from `(seed, id)` — every decision a station
+//! makes consumes only its own stream, so behaviour is independent of
+//! event interleaving, map iteration order and decode thread count.
+//!
+//! Per slot, the loop does two things in a fixed order:
+//!
+//! 1. **Close receptions.** Every cell whose in-flight component
+//!    (maximal run of overlapping transmissions at one AP) ends this
+//!    slot resolves: a single transmission delivers symbolically; `k ≥ 2`
+//!    becomes a [`CollisionRound`], and all rounds closing this slot go
+//!    to the [`CollisionResolver`] as one batch (which the signal-level
+//!    resolver fans over `BatchEngine`). Verdicts feed straight back
+//!    into [`BackoffState`] and retry counters.
+//! 2. **Wake stations.** Arrivals queue a frame and schedule the first
+//!    attempt; attempts carrier-sense (DCF) or fire frame-aligned
+//!    (slotted ALOHA) and join their cell's component.
+//!
+//! Every externally visible event is folded into an FNV-1a trace hash —
+//! the determinism contract is `trace_hash` equality, bit-for-bit.
+
+use super::{
+    mix2, CollisionResolver, CollisionRound, Discipline, FrameRef, SensingGraph, TxAttempt, Verdict,
+};
+use crate::backoff::BackoffState;
+use crate::cell::wheel::{EventWheel, Wake};
+use crate::params::MacParams;
+use rand::prelude::*;
+use std::collections::HashMap;
+
+const STATION_TAG: u64 = 0x5a5a_5354_4154_494f; // "ZZSTATIO"
+
+/// How stations source traffic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalModel {
+    /// Aggregate Poisson offered load of `per_slot` frames per slot,
+    /// spread over the station population (per-station geometric
+    /// inter-arrival gaps; arrivals are suppressed while a station's
+    /// previous frame is still in service).
+    Poisson {
+        /// Offered frames per slot across the whole population.
+        per_slot: f64,
+    },
+    /// Every station always has a frame queued (saturation analysis).
+    Saturated,
+}
+
+/// Full configuration of one cell-simulation run.
+#[derive(Clone, Debug)]
+pub struct CellConfig {
+    /// Station population (ids `0..stations`).
+    pub stations: u32,
+    /// Slots of traffic generation. Components still in flight at the
+    /// end are drained (no new transmissions start after this).
+    pub slots: u64,
+    /// The MAC discipline every station runs.
+    pub discipline: Discipline,
+    /// Who senses whom, and the cell/AP layout.
+    pub sensing: SensingGraph,
+    /// Traffic model.
+    pub arrivals: ArrivalModel,
+    /// Transmission duration in slots.
+    pub packet_slots: u32,
+    /// SIFS + ACK turnaround in slots (feedback reaches the sender this
+    /// many slots after the reception closes).
+    pub ack_slots: u32,
+    /// 802.11 timing/contention parameters.
+    pub mac: MacParams,
+    /// Master seed; all station and resolver streams derive from it.
+    pub seed: u64,
+    /// Keep the full event list in [`CellOutcome::trace`] (the hash is
+    /// always computed).
+    pub record_trace: bool,
+}
+
+/// Per-station outcome counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StationCounters {
+    /// Frames that arrived at this station.
+    pub offered: u32,
+    /// Frames delivered (acked).
+    pub delivered: u32,
+    /// Frames dropped at the retry limit.
+    pub dropped: u32,
+    /// Collision verdicts received (retries caused).
+    pub collisions: u32,
+    /// Carrier-sense deferrals.
+    pub defers: u32,
+}
+
+/// One simulator event, as folded into the trace hash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A frame arrived at a station.
+    Arrival {
+        /// Slot of the arrival.
+        slot: u64,
+        /// Station id.
+        station: u32,
+    },
+    /// A station started transmitting.
+    TxStart {
+        /// Slot the transmission starts.
+        slot: u64,
+        /// Station id.
+        station: u32,
+        /// Backoff stage in effect (collisions so far for this frame).
+        stage: u32,
+    },
+    /// A DCF station sensed the medium busy and deferred.
+    Defer {
+        /// Slot of the deferral.
+        slot: u64,
+        /// Station id.
+        station: u32,
+        /// Backoff stage — unchanged by the deferral.
+        stage: u32,
+    },
+    /// A resolver round closed at an AP: a `k ≥ 2` collision, or a
+    /// `k = 1` solo retransmission routed through the resolver because
+    /// its peers may still be reaped from stored collisions (§4.1).
+    Collision {
+        /// Slot the reception closed.
+        slot: u64,
+        /// Cell (AP) index.
+        cell: u32,
+        /// Number of overlapping transmissions (1 for a reap round).
+        k: u32,
+        /// Episode key.
+        episode: u64,
+        /// 1-based collision count of the episode.
+        round: u32,
+        /// Whether the round was lowered to the signal level.
+        lowered: bool,
+    },
+    /// A frame was delivered.
+    Deliver {
+        /// Slot the verdict was applied.
+        slot: u64,
+        /// Station id.
+        station: u32,
+        /// `true` if the delivering decode ran at the signal level.
+        lowered: bool,
+    },
+    /// A frame was dropped at the retry limit.
+    Drop {
+        /// Slot of the drop.
+        slot: u64,
+        /// Station id.
+        station: u32,
+    },
+}
+
+/// Aggregate run statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CellStats {
+    /// Stations that ever became active.
+    pub stations_active: u64,
+    /// Frames offered.
+    pub offered_frames: u64,
+    /// Frames delivered.
+    pub delivered_frames: u64,
+    /// Frames dropped at the retry limit.
+    pub dropped_frames: u64,
+    /// Clean single-transmission receptions (resolved symbolically).
+    pub singles: u64,
+    /// Collision rounds (`k ≥ 2`) handed to the resolver.
+    pub collision_rounds: u64,
+    /// Solo-retransmission rounds handed to the resolver because the
+    /// transmitter had live collision episodes (§4.1 reap opportunities).
+    pub recovery_rounds: u64,
+    /// Frames delivered by §4.1 reaping — the peer never retransmitted.
+    pub recovered_frames: u64,
+    /// Rounds actually lowered to the signal level.
+    pub lowered_rounds: u64,
+    /// Deliveries whose verdict came from a signal-level decode.
+    pub lowered_deliveries: u64,
+    /// Retries caused by a signal-level verdict.
+    pub lowered_retries: u64,
+    /// Carrier-sense deferrals.
+    pub defers: u64,
+    /// Transmissions started.
+    pub tx_starts: u64,
+    /// Widest collision seen (k).
+    pub max_k: u32,
+    /// Frames still unresolved when the run ended.
+    pub in_flight_at_end: u64,
+}
+
+impl CellStats {
+    /// Delivered frames per traffic slot.
+    pub fn throughput(&self, slots: u64) -> f64 {
+        self.delivered_frames as f64 / slots.max(1) as f64
+    }
+}
+
+/// Everything a run produces.
+#[derive(Clone, Debug)]
+pub struct CellOutcome {
+    /// Aggregate statistics.
+    pub stats: CellStats,
+    /// FNV-1a hash over every [`TraceEvent`] — the determinism witness.
+    pub trace_hash: u64,
+    /// The full event list, if [`CellConfig::record_trace`] was set.
+    pub trace: Vec<TraceEvent>,
+    /// Counters of every station that became active, sorted by id.
+    pub counters: Vec<(u32, StationCounters)>,
+}
+
+/// Geometric inter-arrival gap: number of Bernoulli(`p`) slots until the
+/// first success, `≥ 1`. `p ≤ 0` returns effectively-never.
+pub fn geometric<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u64 {
+    if p >= 1.0 {
+        return 1;
+    }
+    if p <= 0.0 {
+        return u64::MAX / 4;
+    }
+    let u = rng.next_f64();
+    let gap = ((1.0 - u).ln() / (1.0 - p).ln()).floor();
+    (gap as u64).saturating_add(1).min(u64::MAX / 4)
+}
+
+struct Station {
+    rng: StdRng,
+    backoff: BackoffState,
+    retries: u32,
+    seq: u32,
+    has_frame: bool,
+    /// The slot of this station's one outstanding attempt wake, if any.
+    /// A wake only fires when it matches — a §4.1 peer recovery delivers
+    /// the frame while its retransmission wake is still queued, and the
+    /// stale wake must fall through.
+    pending_attempt: Option<u64>,
+    episodes: Vec<u64>,
+    counters: StationCounters,
+}
+
+impl Station {
+    fn new(rng: StdRng) -> Self {
+        Self {
+            rng,
+            backoff: BackoffState::new(),
+            retries: 0,
+            seq: 0,
+            has_frame: false,
+            pending_attempt: None,
+            episodes: Vec::new(),
+            counters: StationCounters::default(),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Tx {
+    station: u32,
+    seq: u32,
+    attempt: u32,
+    start: u64,
+}
+
+#[derive(Default)]
+struct Component {
+    txs: Vec<Tx>,
+    close_at: u64,
+}
+
+/// Book-keeping for one collision episode (a set of frames that collided
+/// together at least once).
+struct EpisodeState {
+    /// The `(station, seq)` members, sorted.
+    members: Vec<(u32, u32)>,
+    /// Collisions accumulated so far.
+    rounds: u32,
+    /// Members whose frames are still in service; the episode retires
+    /// (and the resolver may release its stored air) only when this
+    /// reaches zero — a §4.1 reap can still need the store after *one*
+    /// member finished.
+    live: u32,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_word(h: u64, v: u64) -> u64 {
+    let mut h = h;
+    for shift in [0u32, 8, 16, 24, 32, 40, 48, 56] {
+        h ^= (v >> shift) & 0xff;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn episode_key(txs: &[Tx]) -> u64 {
+    let mut keys: Vec<u64> =
+        txs.iter().map(|t| (u64::from(t.station) << 32) | u64::from(t.seq)).collect();
+    keys.sort_unstable();
+    let mut h = FNV_OFFSET;
+    for k in keys {
+        h = fnv_word(h, k);
+    }
+    h
+}
+
+fn align_up(x: u64, m: u64) -> u64 {
+    let m = m.max(1);
+    x.div_ceil(m) * m
+}
+
+struct Sim<'a> {
+    cfg: &'a CellConfig,
+    arrival_p: f64,
+    horizon: u64,
+    stations: HashMap<u32, Station>,
+    wheel: EventWheel,
+    media: Vec<Component>,
+    busy_until: Vec<u64>,
+    closes: Vec<Vec<u32>>,
+    episodes: HashMap<u64, EpisodeState>,
+    retired: Vec<u64>,
+    stats: CellStats,
+    hash: u64,
+    trace: Vec<TraceEvent>,
+}
+
+impl<'a> Sim<'a> {
+    fn new(cfg: &'a CellConfig) -> Self {
+        let horizon = cfg.slots + u64::from(cfg.packet_slots) + u64::from(cfg.ack_slots) + 2;
+        let arrival_p = match cfg.arrivals {
+            ArrivalModel::Poisson { per_slot } => {
+                (per_slot / cfg.stations.max(1) as f64).clamp(0.0, 1.0)
+            }
+            ArrivalModel::Saturated => 1.0,
+        };
+        Sim {
+            cfg,
+            arrival_p,
+            horizon,
+            stations: HashMap::new(),
+            wheel: EventWheel::new(horizon),
+            media: (0..cfg.sensing.cells()).map(|_| Component::default()).collect(),
+            busy_until: vec![0; cfg.sensing.group_count()],
+            closes: vec![Vec::new(); horizon as usize],
+            episodes: HashMap::new(),
+            retired: Vec::new(),
+            stats: CellStats::default(),
+            hash: FNV_OFFSET,
+            trace: Vec::new(),
+        }
+    }
+
+    fn emit(&mut self, ev: TraceEvent) {
+        let h = self.hash;
+        self.hash = match ev {
+            TraceEvent::Arrival { slot, station } => {
+                fnv_word(fnv_word(fnv_word(h, 1), slot), u64::from(station))
+            }
+            TraceEvent::TxStart { slot, station, stage } => fnv_word(
+                fnv_word(fnv_word(fnv_word(h, 2), slot), u64::from(station)),
+                u64::from(stage),
+            ),
+            TraceEvent::Defer { slot, station, stage } => fnv_word(
+                fnv_word(fnv_word(fnv_word(h, 3), slot), u64::from(station)),
+                u64::from(stage),
+            ),
+            TraceEvent::Collision { slot, cell, k, episode, round, lowered } => {
+                let mut x = fnv_word(fnv_word(fnv_word(h, 4), slot), u64::from(cell));
+                x = fnv_word(fnv_word(fnv_word(x, u64::from(k)), episode), u64::from(round));
+                fnv_word(x, u64::from(lowered))
+            }
+            TraceEvent::Deliver { slot, station, lowered } => fnv_word(
+                fnv_word(fnv_word(fnv_word(h, 5), slot), u64::from(station)),
+                u64::from(lowered),
+            ),
+            TraceEvent::Drop { slot, station } => {
+                fnv_word(fnv_word(fnv_word(h, 6), slot), u64::from(station))
+            }
+        };
+        if self.cfg.record_trace {
+            self.trace.push(ev);
+        }
+    }
+
+    fn init_arrivals(&mut self) {
+        let seed = self.cfg.seed ^ STATION_TAG;
+        for id in 0..self.cfg.stations {
+            let mut rng = StdRng::seed_from_u64(mix2(seed, u64::from(id)));
+            let first = match self.cfg.arrivals {
+                ArrivalModel::Saturated => 0,
+                ArrivalModel::Poisson { .. } => geometric(&mut rng, self.arrival_p) - 1,
+            };
+            if first < self.cfg.slots {
+                self.stations.insert(id, Station::new(rng));
+                self.wheel.schedule(first, Wake::Arrival(id));
+            }
+        }
+        self.stats.stations_active = self.stations.len() as u64;
+    }
+
+    fn schedule_attempt(&mut self, st: &mut Station, id: u32, slot: u64) {
+        // beyond the horizon the run is over; the frame counts as
+        // in-flight at the end
+        st.pending_attempt = Some(slot);
+        let _ = self.wheel.schedule(slot, Wake::Attempt(id));
+    }
+
+    fn schedule_next_arrival(&mut self, st: &mut Station, id: u32, now: u64) {
+        let next = match self.cfg.arrivals {
+            ArrivalModel::Saturated => now + 1,
+            ArrivalModel::Poisson { .. } => now + geometric(&mut st.rng, self.arrival_p),
+        };
+        if next < self.cfg.slots {
+            self.wheel.schedule(next, Wake::Arrival(id));
+        }
+    }
+
+    fn on_arrival(&mut self, id: u32, t: u64) {
+        let mut st = self.stations.remove(&id).expect("arrival for unknown station");
+        debug_assert!(!st.has_frame, "arrival while a frame is in service");
+        st.has_frame = true;
+        st.retries = 0;
+        st.seq = st.counters.offered;
+        st.counters.offered += 1;
+        self.stats.offered_frames += 1;
+        self.emit(TraceEvent::Arrival { slot: t, station: id });
+        let at = match self.cfg.discipline {
+            Discipline::Dcf { policy } => {
+                t + 1 + u64::from(st.backoff.draw(policy, &self.cfg.mac, &mut st.rng))
+            }
+            Discipline::SlottedAloha { .. } => align_up(t + 1, u64::from(self.cfg.packet_slots)),
+        };
+        self.schedule_attempt(&mut st, id, at);
+        self.stations.insert(id, st);
+    }
+
+    fn on_attempt(&mut self, id: u32, t: u64) {
+        if t >= self.cfg.slots {
+            // generation window over: the frame stays queued and is
+            // counted as in-flight at the end
+            return;
+        }
+        let mut st = self.stations.remove(&id).expect("attempt for unknown station");
+        if !st.has_frame || st.pending_attempt != Some(t) {
+            // stale wake: the frame was delivered by a §4.1 reap (or
+            // rescheduled) while this wake sat in the wheel
+            self.stations.insert(id, st);
+            return;
+        }
+        st.pending_attempt = None;
+        if let Discipline::Dcf { policy } = self.cfg.discipline {
+            let sensing = &self.cfg.sensing;
+            let cell = sensing.cell_of(id);
+            let base = (cell * sensing.groups_per_cell()) as usize;
+            let mut release = 0u64;
+            let mut sensed = false;
+            for g in 0..sensing.groups_per_cell() {
+                let busy = self.busy_until[base + g as usize];
+                if busy > t {
+                    let p = sensing.sense_prob(id, g);
+                    let hit = p >= 1.0 || (p > 0.0 && st.rng.gen_bool(p));
+                    if hit {
+                        sensed = true;
+                        release = release.max(busy);
+                    }
+                }
+            }
+            if sensed {
+                st.counters.defers += 1;
+                st.backoff.on_defer();
+                self.stats.defers += 1;
+                self.emit(TraceEvent::Defer { slot: t, station: id, stage: st.backoff.stage() });
+                let d = u64::from(st.backoff.draw(policy, &self.cfg.mac, &mut st.rng));
+                self.schedule_attempt(&mut st, id, release + 1 + d);
+                self.stations.insert(id, st);
+                return;
+            }
+        }
+        self.start_tx(&mut st, id, t);
+        self.stations.insert(id, st);
+    }
+
+    fn start_tx(&mut self, st: &mut Station, id: u32, t: u64) {
+        self.emit(TraceEvent::TxStart { slot: t, station: id, stage: st.backoff.stage() });
+        self.stats.tx_starts += 1;
+        let cell = self.cfg.sensing.cell_of(id) as usize;
+        let end = t + u64::from(self.cfg.packet_slots);
+        let comp = &mut self.media[cell];
+        if comp.txs.is_empty() {
+            comp.close_at = end;
+        } else {
+            debug_assert!(comp.close_at > t, "joining a closed component");
+            comp.close_at = comp.close_at.max(end);
+        }
+        comp.txs.push(Tx { station: id, seq: st.seq, attempt: st.retries, start: t });
+        let close_at = comp.close_at;
+        if let Some(bucket) = self.closes.get_mut(close_at as usize) {
+            bucket.push(cell as u32);
+        }
+        let g = self.cfg.sensing.global_group(id);
+        let busy_through = end + u64::from(self.cfg.ack_slots);
+        self.busy_until[g] = self.busy_until[g].max(busy_through);
+    }
+
+    /// Releases a finished frame's episodes: each loses one live member,
+    /// and an episode with none left is queued for retirement.
+    fn finish_episodes(&mut self, st: &mut Station) {
+        for ep in st.episodes.drain(..) {
+            if let Some(state) = self.episodes.get_mut(&ep) {
+                state.live = state.live.saturating_sub(1);
+                if state.live == 0 {
+                    self.retired.push(ep);
+                }
+            }
+        }
+    }
+
+    fn feedback(&mut self, station: u32, seq: u32, verdict: Verdict, t: u64, lowered: bool) {
+        let mut st = self.stations.remove(&station).expect("verdict for unknown station");
+        debug_assert!(st.has_frame && st.seq == seq, "verdict for a stale frame");
+        match verdict {
+            Verdict::Delivered => {
+                st.counters.delivered += 1;
+                st.backoff.on_success();
+                st.retries = 0;
+                st.has_frame = false;
+                st.pending_attempt = None;
+                self.finish_episodes(&mut st);
+                self.stats.delivered_frames += 1;
+                if lowered {
+                    self.stats.lowered_deliveries += 1;
+                }
+                self.emit(TraceEvent::Deliver { slot: t, station, lowered });
+                self.schedule_next_arrival(&mut st, station, t);
+            }
+            Verdict::Pending | Verdict::Lost => {
+                st.counters.collisions += 1;
+                st.retries += 1;
+                st.backoff.on_collision();
+                if lowered {
+                    self.stats.lowered_retries += 1;
+                }
+                if st.retries > self.cfg.mac.retry_limit {
+                    st.counters.dropped += 1;
+                    st.backoff.on_drop();
+                    st.retries = 0;
+                    st.has_frame = false;
+                    st.pending_attempt = None;
+                    self.finish_episodes(&mut st);
+                    self.stats.dropped_frames += 1;
+                    self.emit(TraceEvent::Drop { slot: t, station });
+                    self.schedule_next_arrival(&mut st, station, t);
+                } else {
+                    let earliest = t + u64::from(self.cfg.ack_slots) + 1;
+                    let at = match self.cfg.discipline {
+                        Discipline::Dcf { policy } => {
+                            earliest
+                                + u64::from(st.backoff.draw(policy, &self.cfg.mac, &mut st.rng))
+                        }
+                        Discipline::SlottedAloha { backoff } => {
+                            let frame = u64::from(self.cfg.packet_slots);
+                            let delay = backoff.delay_frames(st.backoff.stage(), &mut st.rng);
+                            align_up(earliest, frame) + (delay - 1) * frame
+                        }
+                    };
+                    self.schedule_attempt(&mut st, station, at);
+                }
+            }
+        }
+        self.stations.insert(station, st);
+    }
+
+    fn close_components(&mut self, t: u64, resolver: &mut dyn CollisionResolver) {
+        let mut due = std::mem::take(&mut self.closes[t as usize]);
+        if due.is_empty() {
+            return;
+        }
+        due.sort_unstable();
+        due.dedup();
+        let mut batch: Vec<CollisionRound> = Vec::new();
+        for cell in due {
+            let comp = &mut self.media[cell as usize];
+            if comp.close_at != t || comp.txs.is_empty() {
+                continue; // superseded by a later extension of the component
+            }
+            let mut txs = std::mem::take(&mut comp.txs);
+            txs.sort_by_key(|tx| (tx.start, tx.station));
+            if txs.len() == 1 {
+                let tx = txs[0];
+                // §4.1 reap opportunity: a solo retransmission of a frame
+                // whose earlier attempts sit in stored collisions routes
+                // through the resolver as a k = 1 round so the buried
+                // peers can be recovered. A solo with no live episodes
+                // stays on the symbolic fast path.
+                let (episode, round_no, peers) = self.solo_reap_target(tx.station);
+                if peers.is_empty() {
+                    self.stats.singles += 1;
+                    self.feedback(tx.station, tx.seq, Verdict::Delivered, t, false);
+                    continue;
+                }
+                self.stats.recovery_rounds += 1;
+                batch.push(CollisionRound {
+                    episode,
+                    round: round_no,
+                    slot: t,
+                    cell,
+                    txs: vec![TxAttempt {
+                        station: tx.station,
+                        seq: tx.seq,
+                        attempt: tx.attempt,
+                        offset_slots: 0,
+                    }],
+                    peers,
+                });
+                continue;
+            }
+            self.stats.max_k = self.stats.max_k.max(txs.len() as u32);
+            self.stats.collision_rounds += 1;
+            let episode = episode_key(&txs);
+            let state = self.episodes.entry(episode).or_insert_with(|| {
+                let mut members: Vec<(u32, u32)> =
+                    txs.iter().map(|tx| (tx.station, tx.seq)).collect();
+                members.sort_unstable();
+                EpisodeState { members, rounds: 0, live: txs.len() as u32 }
+            });
+            state.rounds += 1;
+            let round_no = state.rounds;
+            let base = txs.iter().map(|tx| tx.start).min().unwrap_or(t);
+            for tx in &txs {
+                let st = self.stations.get_mut(&tx.station).expect("collider exists");
+                if !st.episodes.contains(&episode) {
+                    st.episodes.push(episode);
+                }
+            }
+            batch.push(CollisionRound {
+                episode,
+                round: round_no,
+                slot: t,
+                cell,
+                txs: txs
+                    .iter()
+                    .map(|tx| TxAttempt {
+                        station: tx.station,
+                        seq: tx.seq,
+                        attempt: tx.attempt,
+                        offset_slots: (tx.start - base) as u32,
+                    })
+                    .collect(),
+                peers: Vec::new(),
+            });
+        }
+        if !batch.is_empty() {
+            let resolutions = resolver.resolve(&batch);
+            assert_eq!(resolutions.len(), batch.len(), "resolver returned a full batch");
+            for (round, res) in batch.iter().zip(&resolutions) {
+                assert_eq!(res.verdicts.len(), round.txs.len(), "one verdict per transmission");
+                if res.lowered {
+                    self.stats.lowered_rounds += 1;
+                }
+                self.emit(TraceEvent::Collision {
+                    slot: t,
+                    cell: round.cell,
+                    k: round.txs.len() as u32,
+                    episode: round.episode,
+                    round: round.round,
+                    lowered: res.lowered,
+                });
+                for (tx, v) in round.txs.iter().zip(&res.verdicts) {
+                    self.feedback(tx.station, tx.seq, *v, t, res.lowered);
+                }
+                // §4.1 reap deliveries: guarded, because an earlier round
+                // of this same batch may already have finished the peer
+                for fr in &res.recovered {
+                    let alive = self
+                        .stations
+                        .get(&fr.station)
+                        .is_some_and(|p| p.has_frame && p.seq == fr.seq);
+                    if alive {
+                        self.stats.recovered_frames += 1;
+                        self.feedback(fr.station, fr.seq, Verdict::Delivered, t, res.lowered);
+                    }
+                }
+            }
+        }
+        if !self.retired.is_empty() {
+            let mut retired = std::mem::take(&mut self.retired);
+            retired.sort_unstable();
+            retired.dedup();
+            for ep in retired {
+                self.episodes.remove(&ep);
+                resolver.retire(ep);
+            }
+        }
+    }
+
+    /// For a solo transmission by `station`: the most recent live episode
+    /// (its key and accumulated round count) and every still-pending peer
+    /// frame across *all* of the station's live episodes — the §4.1 reap
+    /// set. Empty peers ⇒ no reap opportunity.
+    fn solo_reap_target(&self, station: u32) -> (u64, u32, Vec<FrameRef>) {
+        let st = self.stations.get(&station).expect("transmitter exists");
+        let Some(&episode) = st.episodes.last() else {
+            return (0, 0, Vec::new());
+        };
+        let mut peers: Vec<FrameRef> = Vec::new();
+        for ep in &st.episodes {
+            if let Some(state) = self.episodes.get(ep) {
+                for &(s, q) in &state.members {
+                    if s == station {
+                        continue;
+                    }
+                    let alive = self.stations.get(&s).is_some_and(|p| p.has_frame && p.seq == q);
+                    if alive && !peers.contains(&FrameRef { station: s, seq: q }) {
+                        peers.push(FrameRef { station: s, seq: q });
+                    }
+                }
+            }
+        }
+        peers.sort_unstable();
+        let rounds = self.episodes.get(&episode).map_or(0, |s| s.rounds);
+        (episode, rounds, peers)
+    }
+
+    fn finish(mut self) -> CellOutcome {
+        let mut counters: Vec<(u32, StationCounters)> = Vec::with_capacity(self.stations.len());
+        for (&id, st) in &self.stations {
+            if st.has_frame {
+                self.stats.in_flight_at_end += 1;
+            }
+            counters.push((id, st.counters));
+        }
+        counters.sort_unstable_by_key(|&(id, _)| id);
+        CellOutcome { stats: self.stats, trace_hash: self.hash, trace: self.trace, counters }
+    }
+}
+
+/// Runs one cell simulation against `resolver`.
+pub fn run_cell(cfg: &CellConfig, resolver: &mut dyn CollisionResolver) -> CellOutcome {
+    assert!(cfg.packet_slots >= 1, "packets must occupy at least one slot");
+    assert!(cfg.slots >= 1, "need at least one slot");
+    let mut sim = Sim::new(cfg);
+    sim.init_arrivals();
+    for t in 0..sim.horizon {
+        sim.close_components(t, resolver);
+        for wake in sim.wheel.drain(t) {
+            match wake {
+                Wake::Arrival(id) => sim.on_arrival(id, t),
+                Wake::Attempt(id) => sim.on_attempt(id, t),
+            }
+        }
+    }
+    sim.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backoff::Backoff;
+    use crate::cell::DecodeModel;
+
+    fn dcf_cfg(stations: u32, slots: u64, seed: u64) -> CellConfig {
+        CellConfig {
+            stations,
+            slots,
+            discipline: Discipline::Dcf { policy: Backoff::Exponential },
+            sensing: SensingGraph::hidden_groups(2, 2),
+            arrivals: ArrivalModel::Poisson { per_slot: 0.05 },
+            packet_slots: 12,
+            ack_slots: 2,
+            mac: MacParams::default(),
+            seed,
+            record_trace: true,
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let cfg = dcf_cfg(200, 2_000, 42);
+        let mut m1 = DecodeModel::zigzag_ap(42);
+        let mut m2 = DecodeModel::zigzag_ap(42);
+        let a = run_cell(&cfg, &mut m1);
+        let b = run_cell(&cfg, &mut m2);
+        assert_eq!(a.trace_hash, b.trace_hash);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.counters, b.counters);
+        assert!(a.stats.offered_frames > 0, "traffic flowed");
+    }
+
+    #[test]
+    fn different_seed_different_trace() {
+        let mut m1 = DecodeModel::zigzag_ap(1);
+        let mut m2 = DecodeModel::zigzag_ap(1);
+        let a = run_cell(&dcf_cfg(200, 2_000, 1), &mut m1);
+        let b = run_cell(&dcf_cfg(200, 2_000, 2), &mut m2);
+        assert_ne!(a.trace_hash, b.trace_hash);
+    }
+
+    #[test]
+    fn frames_are_conserved() {
+        let cfg = dcf_cfg(300, 3_000, 7);
+        let mut model = DecodeModel::zigzag_ap(7);
+        let out = run_cell(&cfg, &mut model);
+        let s = out.stats;
+        assert_eq!(
+            s.offered_frames,
+            s.delivered_frames + s.dropped_frames + s.in_flight_at_end,
+            "every offered frame is delivered, dropped, or in flight"
+        );
+        let per_station: u64 = out.counters.iter().map(|(_, c)| u64::from(c.delivered)).sum();
+        assert_eq!(per_station, s.delivered_frames);
+    }
+
+    #[test]
+    fn hidden_groups_collide_cliques_do_not() {
+        let mut hidden_cfg = dcf_cfg(64, 4_000, 9);
+        hidden_cfg.sensing = SensingGraph::hidden_groups(1, 2);
+        hidden_cfg.arrivals = ArrivalModel::Poisson { per_slot: 0.2 };
+        let mut model = DecodeModel::zigzag_ap(9);
+        let hidden = run_cell(&hidden_cfg, &mut model);
+        assert!(hidden.stats.collision_rounds > 0, "hidden groups must collide");
+
+        let mut clique_cfg = hidden_cfg.clone();
+        clique_cfg.sensing = SensingGraph::clique(1);
+        let mut model = DecodeModel::zigzag_ap(9);
+        let clique = run_cell(&clique_cfg, &mut model);
+        assert!(clique.stats.defers > 0, "a clique defers instead");
+        assert!(
+            clique.stats.collision_rounds < hidden.stats.collision_rounds / 2,
+            "perfect sensing prevents most collisions ({} vs {})",
+            clique.stats.collision_rounds,
+            hidden.stats.collision_rounds
+        );
+    }
+
+    #[test]
+    fn deferral_keeps_stage_collision_bumps_it() {
+        let mut cfg = dcf_cfg(64, 4_000, 11);
+        cfg.sensing = SensingGraph::hidden_groups(1, 2);
+        cfg.arrivals = ArrivalModel::Poisson { per_slot: 0.25 };
+        let mut model = DecodeModel::zigzag_ap(11);
+        let out = run_cell(&cfg, &mut model);
+
+        // For every station: walk its Defer/TxStart events; the TxStart
+        // following a Defer must carry the *same* stage (802.11: deferral
+        // does not consume a backoff stage).
+        use std::collections::HashMap;
+        let mut last_defer: HashMap<u32, u32> = HashMap::new();
+        let mut checked = 0;
+        for ev in &out.trace {
+            match *ev {
+                TraceEvent::Defer { station, stage, .. } => {
+                    last_defer.insert(station, stage);
+                }
+                TraceEvent::TxStart { station, stage, .. } => {
+                    if let Some(ds) = last_defer.remove(&station) {
+                        assert_eq!(stage, ds, "deferral must not advance the backoff stage");
+                        checked += 1;
+                    }
+                }
+                // The deferred frame can finish out-of-band — e.g. a §4.1
+                // reap delivers it while it waits — so the next TxStart is
+                // a fresh frame at stage 0. Stop tracking it.
+                TraceEvent::Deliver { station, .. } | TraceEvent::Drop { station, .. } => {
+                    last_defer.remove(&station);
+                }
+                _ => {}
+            }
+        }
+        assert!(checked > 0, "need deferral-then-transmit pairs to check");
+
+        // And stages do advance on collisions: some retransmission starts
+        // at stage >= 1.
+        assert!(
+            out.trace
+                .iter()
+                .any(|ev| matches!(ev, TraceEvent::TxStart { stage, .. } if *stage >= 1)),
+            "collisions must advance stages"
+        );
+    }
+
+    #[test]
+    fn retry_limit_drops_frames() {
+        // two hidden stations, saturated, and a resolver that never
+        // delivers: every frame must exhaust its retries and drop
+        use crate::cell::RoundResolution;
+        struct NeverDeliver;
+        impl CollisionResolver for NeverDeliver {
+            fn resolve(&mut self, rounds: &[CollisionRound]) -> Vec<RoundResolution> {
+                rounds
+                    .iter()
+                    .map(|r| RoundResolution {
+                        verdicts: vec![Verdict::Lost; r.txs.len()],
+                        recovered: Vec::new(),
+                        lowered: false,
+                    })
+                    .collect()
+            }
+        }
+        let cfg = CellConfig {
+            stations: 2,
+            slots: 60_000,
+            discipline: Discipline::Dcf { policy: Backoff::Exponential },
+            sensing: SensingGraph::hidden_groups(1, 2),
+            arrivals: ArrivalModel::Saturated,
+            packet_slots: 12,
+            ack_slots: 2,
+            mac: MacParams::default(),
+            seed: 13,
+            record_trace: false,
+        };
+        let out = run_cell(&cfg, &mut NeverDeliver);
+        assert!(out.stats.dropped_frames > 0, "lost verdicts must eventually drop frames");
+        // singles still deliver (when backoff happens to separate them)
+        for (_, c) in &out.counters {
+            assert!(c.collisions > 0);
+        }
+    }
+
+    #[test]
+    fn solo_reaps_recover_buried_peers() {
+        // slotted ALOHA at moderate load: pairs collide, one member's
+        // eventual solo retransmission must route through the resolver as
+        // a k = 1 recovery round and reap the buried peer (§4.1)
+        let cfg = CellConfig {
+            stations: 400,
+            slots: 4_000,
+            discipline: Discipline::SlottedAloha {
+                backoff: crate::cell::AlohaBackoff::BinaryExponential { base: 2, cap: 64 },
+            },
+            sensing: SensingGraph::clique(1),
+            arrivals: ArrivalModel::Poisson { per_slot: 0.5 },
+            packet_slots: 1,
+            ack_slots: 1,
+            mac: MacParams::default(),
+            seed: 21,
+            record_trace: false,
+        };
+        let mut model = DecodeModel::zigzag_ap(21);
+        let zz = run_cell(&cfg, &mut model);
+        assert!(zz.stats.recovery_rounds > 0, "solos of collided frames route via the resolver");
+        assert!(zz.stats.recovered_frames > 0, "a ZigZag AP reaps buried peers");
+        assert_eq!(
+            zz.stats.offered_frames,
+            zz.stats.delivered_frames + zz.stats.dropped_frames + zz.stats.in_flight_at_end,
+            "conservation holds with reap deliveries"
+        );
+
+        // a conventional AP offers the same recovery rounds but never
+        // recovers anything from them
+        let mut model = DecodeModel::plain_ap(21);
+        let plain = run_cell(&cfg, &mut model);
+        assert!(plain.stats.recovery_rounds > 0);
+        assert_eq!(plain.stats.recovered_frames, 0, "a conventional AP never reaps");
+    }
+
+    #[test]
+    fn aloha_attempts_are_frame_aligned() {
+        let cfg = CellConfig {
+            stations: 500,
+            slots: 2_000,
+            discipline: Discipline::SlottedAloha {
+                backoff: crate::cell::AlohaBackoff::FixedWindow(4),
+            },
+            sensing: SensingGraph::clique(1),
+            arrivals: ArrivalModel::Poisson { per_slot: 0.4 },
+            packet_slots: 4,
+            ack_slots: 1,
+            mac: MacParams::default(),
+            seed: 17,
+            record_trace: true,
+        };
+        let mut model = DecodeModel::zigzag_ap(17);
+        let out = run_cell(&cfg, &mut model);
+        assert!(out.stats.tx_starts > 0);
+        for ev in &out.trace {
+            if let TraceEvent::TxStart { slot, .. } = ev {
+                assert_eq!(slot % 4, 0, "slotted ALOHA transmits on frame boundaries");
+            }
+        }
+        // frame-aligned overlap means full overlap: offsets are all zero,
+        // so the same pair colliding twice gives the zigzag-favourable
+        // Δ1 ≠ Δ2 only at the signal level (jitter) — symbolically we
+        // just check collisions happen and deliver eventually
+        assert!(out.stats.collision_rounds > 0);
+        assert!(out.stats.delivered_frames > 0);
+    }
+
+    #[test]
+    fn lazy_materialisation_keeps_population_sparse() {
+        let cfg = CellConfig {
+            stations: 1_000_000,
+            slots: 200,
+            discipline: Discipline::Dcf { policy: Backoff::Exponential },
+            sensing: SensingGraph::hidden_groups(8, 2),
+            arrivals: ArrivalModel::Poisson { per_slot: 1.0 },
+            packet_slots: 12,
+            ack_slots: 2,
+            mac: MacParams::default(),
+            seed: 23,
+            record_trace: false,
+        };
+        let mut model = DecodeModel::zigzag_ap(23);
+        let out = run_cell(&cfg, &mut model);
+        // ~200 expected arrivals over a million stations: the active set
+        // must stay within the same order of magnitude
+        assert!(out.stats.stations_active < 1_000, "{} active", out.stats.stations_active);
+        assert!(out.stats.offered_frames > 50);
+    }
+
+    #[test]
+    fn geometric_is_positive_and_mean_matches() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = 0.2;
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| geometric(&mut rng, p)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 5.0).abs() < 0.15, "mean {mean}");
+        assert_eq!(geometric(&mut rng, 1.0), 1);
+        assert!(geometric(&mut rng, 0.0) > 1 << 40);
+    }
+}

@@ -14,15 +14,21 @@
 //!   trace-replay methodology).
 //! * [`ack`] — Lemma 4.4.1 (synchronous-ACK feasibility ≥ 93.75%) and the
 //!   Fig 4-5 ack schedule.
+//! * [`cell`] — the cell-scale discrete-event co-simulator: millions of
+//!   symbolic stations under DCF or slotted-ALOHA disciplines, with
+//!   genuine collisions handed to a pluggable [`cell::CollisionResolver`]
+//!   (the signal-level pipeline, a fitted [`cell::DecodeModel`], or a
+//!   sampled split of the two).
 
 #![warn(missing_docs)]
 
 pub mod ack;
 pub mod backoff;
+pub mod cell;
 pub mod params;
 pub mod sim;
 
 pub use ack::{schedule_acks, sync_ack_probability_bound, sync_ack_probability_mc, AckSchedule};
-pub use backoff::Backoff;
+pub use backoff::{Backoff, BackoffState};
 pub use params::MacParams;
 pub use sim::{multi_episode, pair_episode, PairEpisode, Round};

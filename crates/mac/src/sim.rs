@@ -8,7 +8,7 @@
 //! the 802.11 retransmission rules (fresh jitter per round, exponential
 //! backoff, retry limit).
 
-use crate::backoff::Backoff;
+use crate::backoff::{Backoff, BackoffState};
 use crate::params::MacParams;
 use rand::Rng;
 
@@ -33,6 +33,12 @@ pub enum Round {
 pub struct PairEpisode {
     /// Rounds until resolution (a deferral) or the retry limit.
     pub rounds: Vec<Round>,
+    /// Backoff stage in effect at each round (same length as `rounds`).
+    ///
+    /// Stages advance only on collisions — a `Deferred` round carries the
+    /// stage accumulated by the collisions before it, *not* one more
+    /// (802.11 DCF: deferral neither doubles nor resets the window).
+    pub stages: Vec<u32>,
 }
 
 impl PairEpisode {
@@ -56,20 +62,35 @@ impl PairEpisode {
 
 /// Simulates one contention episode between two senders that sense each
 /// other with probability `p_sense` per round.
+///
+/// The backoff window is driven by an explicit [`BackoffState`] rather
+/// than the round index: only collisions advance the stage, so a
+/// `Deferred` round uses (and records) the window earned by the
+/// collisions before it instead of silently consuming a stage.
 pub fn pair_episode<R: Rng + ?Sized>(p_sense: f64, params: &MacParams, rng: &mut R) -> PairEpisode {
+    let policy = Backoff::Exponential;
     let mut rounds = Vec::new();
-    for round in 0..=params.retry_limit {
+    let mut stages = Vec::new();
+    let mut backoff = BackoffState::new();
+    loop {
+        stages.push(backoff.stage());
         if rng.gen_bool(p_sense.clamp(0.0, 1.0)) {
             rounds.push(Round::Deferred);
+            // carrier sense resolved the contention: both frames are
+            // delivered serially, so the window resets
+            backoff.on_success();
             break;
         }
-        let policy = Backoff::Exponential;
-        let a = policy.draw(params, round, rng);
-        let b = policy.draw(params, round, rng);
+        let a = backoff.draw(policy, params, rng);
+        let b = backoff.draw(policy, params, rng);
         let min = a.min(b);
         rounds.push(Round::Collided { a: a - min, b: b - min });
+        backoff.on_collision();
+        if backoff.stage() > params.retry_limit {
+            break;
+        }
     }
-    PairEpisode { rounds }
+    PairEpisode { rounds, stages }
 }
 
 /// Simulates a hidden-terminal episode of `n` senders: each round, every
@@ -144,6 +165,30 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let ep = pair_episode(0.0, &p, &mut rng);
         assert_eq!(ep.rounds.len(), 4);
+    }
+
+    #[test]
+    fn stages_advance_only_on_collisions() {
+        let p = MacParams::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..500 {
+            let ep = pair_episode(0.4, &p, &mut rng);
+            assert_eq!(ep.stages.len(), ep.rounds.len());
+            // the stage at round i equals the number of collisions in
+            // rounds 0..i — deferrals never consume a stage
+            let mut collisions = 0u32;
+            for (round, &stage) in ep.rounds.iter().zip(&ep.stages) {
+                assert_eq!(stage, collisions);
+                if matches!(round, Round::Collided { .. }) {
+                    collisions += 1;
+                }
+            }
+            // a terminal deferral is drawn at the *uncollided* window
+            if ep.resolved_by_csma() {
+                let priors = ep.rounds.len() as u32 - 1;
+                assert_eq!(*ep.stages.last().unwrap(), priors);
+            }
+        }
     }
 
     #[test]

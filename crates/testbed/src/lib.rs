@@ -12,9 +12,12 @@
 
 #![warn(missing_docs)]
 
+pub mod cell;
 pub mod experiment;
 pub mod metrics;
 pub mod topology;
+
+pub use cell::{SignalCellConfig, SignalResolver};
 
 pub use experiment::{
     continuous_air, impaired_recovery_scenario, registry_for, run_impairment_sweep, run_pair,
